@@ -1,0 +1,75 @@
+// Figure 3 — effect of average cache group size on average client latency.
+//
+// Paper setup: 500-cache network, SL scheme, group sizes swept from 2 to
+// 500 caches per group. Three series: all caches, the 50 caches nearest to
+// the origin server, and the 50 farthest.
+//
+// Expected shape: all three curves are U-shaped (cooperation first helps,
+// then interaction costs dominate), and the far-cache curve attains its
+// minimum at a LARGER group size than the near-cache curve — the
+// observation that motivates SDSL.
+#include "bench_common.h"
+
+using namespace ecgf;
+
+int main() {
+  constexpr std::size_t kCaches = 500;
+  constexpr std::uint64_t kSeed = 2006;
+
+  std::cout << "Fig. 3 — avg latency vs avg group size (N=500, SL scheme)\n";
+  const auto testbed =
+      core::make_testbed(bench::paper_testbed_params(kCaches), kSeed);
+  core::GfCoordinator coordinator(testbed.network, net::ProberOptions{},
+                                  kSeed + 1);
+  const core::SlScheme scheme(bench::paper_scheme_config());
+
+  const auto near50 = testbed.network.nearest_caches(50);
+  const auto far50 = testbed.network.farthest_caches(50);
+
+  util::Table table({"avg_group_size", "K", "all_ms", "nearest50_ms",
+                     "farthest50_ms", "group_hit_rate"});
+  table.set_title("Figure 3");
+
+  struct Row {
+    double size;
+    double all, near, far;
+  };
+  std::vector<Row> rows;
+
+  for (const std::size_t k : {250, 100, 50, 25, 10, 5, 2, 1}) {
+    const auto result = coordinator.run(scheme, k);
+    const auto report = core::simulate_partition(testbed, result.partition(),
+                                                 bench::paper_sim_config());
+    const double avg_size =
+        static_cast<double>(kCaches) / static_cast<double>(k);
+    const double all = report.avg_latency_ms;
+    const double near = core::subset_mean_latency(report, near50);
+    const double far = core::subset_mean_latency(report, far50);
+    table.add_row({avg_size, static_cast<long long>(k), all, near, far,
+                   report.counts.group_hit_rate()});
+    rows.push_back({avg_size, all, near, far});
+  }
+  bench::print_table(table);
+
+  // Shape checks. U-shape: the minimum is strictly inside the sweep.
+  auto argmin = [&](auto get) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (get(rows[i]) < get(rows[best])) best = i;
+    }
+    return best;
+  };
+  const std::size_t all_min = argmin([](const Row& r) { return r.all; });
+  const std::size_t near_min = argmin([](const Row& r) { return r.near; });
+  const std::size_t far_min = argmin([](const Row& r) { return r.far; });
+
+  bench::shape_check("latency (all caches) is U-shaped in group size",
+                     all_min > 0 && all_min + 1 < rows.size());
+  bench::shape_check(
+      "far caches prefer larger groups than near caches (min at larger size)",
+      rows[far_min].size >= rows[near_min].size);
+  bench::shape_check(
+      "near caches' latency curve sits below far caches' curve",
+      rows[near_min].near < rows[far_min].far);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 8 — SL vs SDSL average cache latency as the network size varies.
+//
+// Paper setup: N = 100…500 caches; groups = 10 % and 20 % of N; the same
+// 25 landmarks for both schemes.
+//
+// Expected shape: SDSL ≤ SL at every size and both group-count settings
+// (paper: >27 % improvement at N = 500, K = 20 %·N).
+#include "bench_common.h"
+
+using namespace ecgf;
+
+int main() {
+  constexpr std::uint64_t kSeed = 2006;
+
+  std::cout << "Fig. 8 — SL vs SDSL latency vs network size "
+               "(K = 10% and 20% of N)\n";
+  util::Table table({"N", "K_pct", "SL_ms", "SDSL_ms", "improvement_pct"});
+  table.set_title("Figure 8");
+
+  int wins = 0;
+  int points = 0;
+  for (const std::size_t n : {100, 200, 300, 400, 500}) {
+    const auto testbed =
+        core::make_testbed(bench::paper_testbed_params(n), kSeed + n);
+    core::GfCoordinator coordinator(testbed.network, net::ProberOptions{},
+                                    kSeed + n + 1);
+    const core::SlScheme sl(bench::paper_scheme_config());
+    const core::SdslScheme sdsl(bench::paper_scheme_config());
+
+    for (const int pct : {10, 20}) {
+      const std::size_t k = n * pct / 100;
+      const auto sl_groups = coordinator.run(sl, k);
+      const auto sdsl_groups = coordinator.run(sdsl, k);
+      const auto sl_report = core::simulate_partition(
+          testbed, sl_groups.partition(), bench::paper_sim_config());
+      const auto sdsl_report = core::simulate_partition(
+          testbed, sdsl_groups.partition(), bench::paper_sim_config());
+      const double improvement =
+          100.0 * (sl_report.avg_latency_ms - sdsl_report.avg_latency_ms) /
+          sl_report.avg_latency_ms;
+      table.add_row({static_cast<long long>(n), static_cast<long long>(pct),
+                     sl_report.avg_latency_ms, sdsl_report.avg_latency_ms,
+                     improvement});
+      if (sdsl_report.avg_latency_ms < sl_report.avg_latency_ms) ++wins;
+      ++points;
+    }
+  }
+  bench::print_table(table);
+
+  bench::shape_check(
+      "SDSL outperforms SL across network sizes and group-count settings",
+      wins * 4 >= points * 3);  // at least 3/4 of configurations
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Micro-benchmarks of the library's algorithmic hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "cache/bloom.h"
+#include "cluster/agglomerative.h"
+#include "cluster/kmeans.h"
+#include "coords/gnp.h"
+#include "core/experiment.h"
+#include "core/network_builder.h"
+#include "topology/shortest_paths.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace ecgf;
+
+void BM_Dijkstra(benchmark::State& state) {
+  util::Rng rng(1);
+  topology::TransitStubParams params;
+  auto topo = topology::generate_transit_stub(params, rng);
+  for (auto _ : state) {
+    auto dist = topology::dijkstra(topo.graph, 0);
+    benchmark::DoNotOptimize(dist);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(topo.graph.node_count()));
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_KMeans(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  cluster::Points points(n, std::vector<double>(8));
+  for (auto& p : points) {
+    for (double& x : p) x = rng.uniform(0.0, 100.0);
+  }
+  const cluster::UniformCoverageInit init;
+  for (auto _ : state) {
+    util::Rng run_rng(3);
+    auto result = cluster::kmeans(points, n / 10, init, run_rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(100)->Arg(500);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  util::Rng rng(4);
+  cache::CatalogParams cp;
+  cp.document_count = 1000;
+  auto catalog = cache::Catalog::generate(cp, rng);
+  workload::WorkloadParams wp;
+  wp.cache_count = 100;
+  wp.duration_ms = 60'000.0;
+  for (auto _ : state) {
+    util::Rng run_rng(5);
+    auto trace = workload::generate_trace(wp, catalog, run_rng);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_BuildEdgeNetwork(benchmark::State& state) {
+  core::EdgeNetworkParams params;
+  params.cache_count = static_cast<std::size_t>(state.range(0));
+  params.topo = core::scaled_topology_for(params.cache_count);
+  for (auto _ : state) {
+    auto network = core::build_edge_network(params, 6);
+    benchmark::DoNotOptimize(network);
+  }
+}
+BENCHMARK(BM_BuildEdgeNetwork)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Agglomerative(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& p : pts) {
+    p = {rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+  }
+  const cluster::DistanceFn dist = [&](std::size_t a, std::size_t b) {
+    const double dx = pts[a].first - pts[b].first;
+    const double dy = pts[a].second - pts[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  for (auto _ : state) {
+    auto result = cluster::agglomerative(n, n / 10, dist);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Agglomerative)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_GnpEmbedding(benchmark::State& state) {
+  core::EdgeNetworkParams params;
+  params.cache_count = 100;
+  const auto network = core::build_edge_network(params, 8);
+  std::vector<net::HostId> landmarks{100};  // server
+  for (net::HostId h = 0; h < 12; ++h) landmarks.push_back(h * 8);
+  coords::GnpOptions opts;
+  opts.dimension = 5;
+  for (auto _ : state) {
+    auto prober = network.make_prober(net::ProberOptions{}, 9);
+    util::Rng rng(10);
+    auto embedding =
+        coords::build_gnp_embedding(101, landmarks, prober, opts, rng);
+    benchmark::DoNotOptimize(embedding);
+  }
+}
+BENCHMARK(BM_GnpEmbedding)->Unit(benchmark::kMillisecond);
+
+void BM_BloomFilter(benchmark::State& state) {
+  cache::BloomFilter bf(1 << 14, 4);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    bf.add(key);
+    benchmark::DoNotOptimize(bf.maybe_contains(key ^ 0x5555));
+    ++key;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomFilter);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  core::TestbedParams params;
+  params.cache_count = 50;
+  params.workload.duration_ms = 60'000.0;
+  params.catalog.document_count = 1000;
+  const auto testbed = core::make_testbed(params, 11);
+  util::Rng rng(12);
+  const auto partition = core::random_partition(50, 5, rng);
+  for (auto _ : state) {
+    sim::SimulationConfig config;
+    config.groups = partition;
+    auto report = sim::run_simulation(testbed.catalog, testbed.network.rtt(),
+                                      testbed.network.server(), config,
+                                      testbed.trace);
+    benchmark::DoNotOptimize(report);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(report.requests_processed));
+  }
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,142 @@
+// cdn_deployment — the workload the paper's introduction motivates: a CDN
+// operator deploys a large edge cache network in front of a dynamic-content
+// origin, partitions it into cooperative groups with SDSL, and inspects the
+// resulting deployment: group layout, hit rates, per-distance latency
+// bands, directory/consistency traffic.
+//
+// Usage: cdn_deployment [cache_count] [groups] [seed]
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "core/planner.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace ecgf;
+
+int main(int argc, char** argv) {
+  const std::size_t cache_count =
+      argc > 1 ? std::stoul(argv[1]) : 200;
+  const std::size_t groups = argc > 2 ? std::stoul(argv[2]) : cache_count / 10;
+  const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 7;
+
+  std::cout << "Deploying an edge cache network: " << cache_count
+            << " caches, " << groups << " cooperative groups (seed " << seed
+            << ")\n\n";
+
+  // --- Build the testbed: topology, hosts, catalog, request/update logs.
+  core::TestbedParams params;
+  params.cache_count = cache_count;
+  params.catalog.document_count = 3000;
+  params.workload.duration_ms = 180'000.0;
+  params.workload.requests_per_cache_per_s = 2.0;
+  const auto testbed = core::make_testbed(params, seed);
+
+  // --- Form groups with the SDSL scheme.
+  core::GfCoordinator coordinator(testbed.network, net::ProberOptions{},
+                                  seed + 1);
+
+  // Capacity planning: what group count does the analytical model suggest
+  // for this network? (Informational; the requested `groups` is used.)
+  {
+    sim::SimulationConfig plan_sim;
+    plan_sim.cache_capacity_bytes = 2ull << 20;
+    const auto mp = core::calibrate_latency_model(testbed, coordinator,
+                                                  params.workload, plan_sim);
+    double server_rtt_total = 0.0;
+    for (std::uint32_t c = 0; c < cache_count; ++c) {
+      server_rtt_total += testbed.network.rtt_ms(c, testbed.network.server());
+    }
+    const std::size_t recommended = core::recommend_group_count(
+        mp, cache_count, server_rtt_total / static_cast<double>(cache_count));
+    std::cout << "model-recommended group count: " << recommended
+              << " (requested: " << groups << ")\n\n";
+  }
+  core::SchemeConfig config;
+  config.num_landmarks = 25;
+  config.theta = 2.0;
+  const core::SdslScheme scheme(config);
+  const auto result = coordinator.run(scheme, groups);
+
+  std::cout << "Group formation: " << result.groups.size() << " groups, "
+            << result.probes_used << " probe packets, "
+            << result.kmeans_iterations << " K-means iterations\n";
+  std::cout << "Average group interaction cost: "
+            << util::format_fixed(
+                   coordinator.average_group_interaction_cost(result), 2)
+            << " ms\n\n";
+
+  // --- Group layout: size vs distance from the origin server.
+  util::Table layout({"group", "caches", "mean_server_dist_ms",
+                      "intra_group_rtt_ms"});
+  layout.set_title("Group layout (sorted by server distance)");
+  std::vector<std::size_t> order(result.groups.size());
+  for (std::size_t g = 0; g < order.size(); ++g) order[g] = g;
+  auto mean_server_dist = [&](std::size_t g) {
+    double total = 0.0;
+    for (auto m : result.groups[g].members) {
+      total += testbed.network.rtt_ms(m, testbed.network.server());
+    }
+    return total / static_cast<double>(result.groups[g].members.size());
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return mean_server_dist(a) < mean_server_dist(b);
+  });
+  for (std::size_t g : order) {
+    const auto& members = result.groups[g].members;
+    double intra = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        intra += testbed.network.rtt_ms(members[i], members[j]);
+        ++pairs;
+      }
+    }
+    layout.add_row({static_cast<long long>(result.groups[g].id),
+                    static_cast<long long>(members.size()),
+                    mean_server_dist(g),
+                    pairs ? intra / static_cast<double>(pairs) : 0.0});
+  }
+  layout.print(std::cout);
+
+  // --- Run the trace through the cooperative network.
+  sim::SimulationConfig sim_config;
+  sim_config.cache_capacity_bytes = 2ull << 20;
+  const auto report =
+      core::simulate_partition(testbed, result.partition(), sim_config);
+
+  std::cout << "\nSimulation over " << report.requests_processed
+            << " requests:\n";
+  std::cout << "  avg cache latency: "
+            << util::format_fixed(report.avg_latency_ms, 2) << " ms\n";
+  std::cout << "  local hit rate:    "
+            << util::format_fixed(100.0 * report.counts.local_hit_rate(), 1)
+            << " %\n";
+  std::cout << "  group hit rate:    "
+            << util::format_fixed(100.0 * report.counts.group_hit_rate(), 1)
+            << " %\n";
+  std::cout << "  origin fetches:    " << report.counts.origin_fetches << "\n";
+  std::cout << "  updates applied:   " << report.origin_updates
+            << " (invalidations pushed: " << report.invalidations_pushed
+            << ")\n\n";
+
+  // --- Latency by distance band.
+  util::Table bands({"band", "caches", "avg_latency_ms"});
+  bands.set_title("Latency by distance-to-origin band");
+  const std::size_t band_size = cache_count / 4;
+  const auto near = testbed.network.nearest_caches(cache_count);
+  const char* names[4] = {"nearest 25%", "25-50%", "50-75%", "farthest 25%"};
+  for (int b = 0; b < 4; ++b) {
+    std::vector<std::uint32_t> subset(
+        near.begin() + b * band_size,
+        near.begin() + std::min((b + 1) * band_size, cache_count));
+    bands.add_row({std::string(names[b]),
+                   static_cast<long long>(subset.size()),
+                   core::subset_mean_latency(report, subset)});
+  }
+  bands.print(std::cout);
+  return 0;
+}

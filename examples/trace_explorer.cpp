@@ -1,0 +1,141 @@
+// trace_explorer — generate a synthetic workload (the stand-in for the
+// paper's IBM Sydney-Olympics trace), write it to disk in the library's
+// trace format, read it back, and print its statistical profile: request
+// rates, popularity skew, inter-cache similarity, update activity.
+//
+// Usage: trace_explorer [cache_count] [seconds] [out.trace]
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "cache/catalog.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+using namespace ecgf;
+
+int main(int argc, char** argv) {
+  const std::size_t cache_count = argc > 1 ? std::stoul(argv[1]) : 50;
+  const double seconds = argc > 2 ? std::stod(argv[2]) : 120.0;
+  const std::string path = argc > 3 ? argv[3] : "";
+
+  util::Rng rng(3);
+  cache::CatalogParams catalog_params;
+  catalog_params.document_count = 2000;
+  const auto catalog = cache::Catalog::generate(catalog_params, rng);
+
+  workload::WorkloadParams params;
+  params.cache_count = cache_count;
+  params.duration_ms = seconds * 1000.0;
+  params.requests_per_cache_per_s = 2.0;
+  params.zipf_alpha = 0.9;
+  params.similarity = 0.8;
+  util::Rng trace_rng(4);
+  const auto trace = workload::generate_trace(params, catalog, trace_rng);
+
+  std::cout << "Generated workload: " << trace.requests.size()
+            << " requests, " << trace.updates.size() << " updates over "
+            << seconds << " s across " << cache_count << " caches\n\n";
+
+  // --- Round trip through the on-disk format.
+  std::stringstream buffer;
+  workload::write_trace(buffer, trace);
+  if (!path.empty()) {
+    std::ofstream file(path);
+    file << buffer.str();
+    std::cout << "Trace written to " << path << " ("
+              << buffer.str().size() / 1024 << " KiB)\n\n";
+  }
+  const auto reloaded = workload::read_trace(buffer);
+  reloaded.validate(cache_count, catalog.size());
+  std::cout << "Round-trip check: " << reloaded.requests.size()
+            << " requests reloaded and validated\n\n";
+
+  // --- Popularity profile: how much traffic do the top documents carry?
+  std::map<cache::DocId, std::size_t> doc_counts;
+  for (const auto& r : trace.requests) ++doc_counts[r.doc];
+  std::vector<std::pair<std::size_t, cache::DocId>> ranked;
+  for (const auto& [doc, n] : doc_counts) ranked.emplace_back(n, doc);
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  util::Table pop({"slice", "documents", "share_of_requests_pct"});
+  pop.set_title("Popularity concentration (Zipf " +
+                util::format_fixed(params.zipf_alpha, 1) + ")");
+  const double total = static_cast<double>(trace.requests.size());
+  for (const double frac : {0.01, 0.05, 0.10, 0.25}) {
+    const std::size_t take =
+        std::max<std::size_t>(1, static_cast<std::size_t>(
+                                     frac * static_cast<double>(ranked.size())));
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < take && i < ranked.size(); ++i) {
+      covered += ranked[i].first;
+    }
+    pop.add_row({"top " + util::format_fixed(100.0 * frac, 0) + "%",
+                 static_cast<long long>(take),
+                 100.0 * static_cast<double>(covered) / total});
+  }
+  pop.print(std::cout);
+
+  // --- Per-cache request volume spread.
+  std::vector<double> per_cache(cache_count, 0.0);
+  for (const auto& r : trace.requests) per_cache[r.cache] += 1.0;
+  std::cout << "\nPer-cache request volume: mean "
+            << util::format_fixed(util::mean(per_cache), 1) << ", min "
+            << util::format_fixed(
+                   *std::min_element(per_cache.begin(), per_cache.end()), 0)
+            << ", max "
+            << util::format_fixed(
+                   *std::max_element(per_cache.begin(), per_cache.end()), 0)
+            << "\n";
+
+  // --- Inter-cache similarity: top-20 overlap between cache pairs.
+  auto top_docs = [&](std::uint32_t c) {
+    std::map<cache::DocId, int> counts;
+    for (const auto& r : trace.requests) {
+      if (r.cache == c) ++counts[r.doc];
+    }
+    std::vector<std::pair<int, cache::DocId>> rank;
+    for (auto [d, n] : counts) rank.emplace_back(n, d);
+    std::sort(rank.rbegin(), rank.rend());
+    std::set<cache::DocId> out;
+    for (std::size_t i = 0; i < std::min<std::size_t>(20, rank.size()); ++i) {
+      out.insert(rank[i].second);
+    }
+    return out;
+  };
+  double overlap_total = 0.0;
+  int pairs = 0;
+  for (std::uint32_t a = 0; a < std::min<std::size_t>(6, cache_count); ++a) {
+    for (std::uint32_t b = a + 1; b < std::min<std::size_t>(6, cache_count);
+         ++b) {
+      const auto ta = top_docs(a);
+      const auto tb = top_docs(b);
+      int common = 0;
+      for (auto d : ta) {
+        if (tb.contains(d)) ++common;
+      }
+      overlap_total += static_cast<double>(common) / 20.0;
+      ++pairs;
+    }
+  }
+  std::cout << "Inter-cache top-20 overlap (similarity knob "
+            << util::format_fixed(params.similarity, 1) << "): "
+            << util::format_fixed(100.0 * overlap_total / pairs, 1) << " %\n";
+
+  // --- Update activity.
+  std::set<cache::DocId> updated;
+  for (const auto& u : trace.updates) updated.insert(u.doc);
+  std::cout << "Update log: " << trace.updates.size() << " updates touching "
+            << updated.size() << " distinct documents ("
+            << util::format_fixed(
+                   100.0 * static_cast<double>(updated.size()) /
+                       static_cast<double>(catalog.size()),
+                   1)
+            << "% of catalog)\n";
+  return 0;
+}

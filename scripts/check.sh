@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run every test, run every bench, and
+# fail if any test fails or any bench prints a failing shape check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+fail=0
+for b in build/bench/*; do
+  out="$("$b")" || fail=1
+  echo "$out"
+  if grep -q "shape-check: FAIL" <<<"$out"; then
+    echo "!! shape-check failure in $b" >&2
+    fail=1
+  fi
+done
+exit "$fail"

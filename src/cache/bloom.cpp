@@ -1,0 +1,63 @@
+#include "cache/bloom.h"
+
+#include <bit>
+#include <cmath>
+
+namespace ecgf::cache {
+
+BloomFilter::BloomFilter(std::size_t bit_count, std::size_t hash_count)
+    : bit_count_(bit_count),
+      hash_count_(hash_count),
+      words_((bit_count + 63) / 64, 0) {
+  ECGF_EXPECTS(bit_count >= 1);
+  ECGF_EXPECTS(hash_count >= 1);
+}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::base_hashes(
+    std::uint64_t key) const {
+  // splitmix64 twice for two independent-enough hash streams.
+  auto mix = [](std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+  };
+  const std::uint64_t h1 = mix(key);
+  const std::uint64_t h2 = mix(h1 ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+  return {h1, h2};
+}
+
+void BloomFilter::add(std::uint64_t key) {
+  const auto [h1, h2] = base_hashes(key);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    words_[bit / 64] |= 1ULL << (bit % 64);
+  }
+}
+
+bool BloomFilter::maybe_contains(std::uint64_t key) const {
+  const auto [h1, h2] = base_hashes(key);
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    if ((words_[bit / 64] & (1ULL << (bit % 64))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0ULL);
+}
+
+std::size_t BloomFilter::popcount() const {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+double BloomFilter::estimated_fpr() const {
+  const double load =
+      static_cast<double>(popcount()) / static_cast<double>(bit_count_);
+  return std::pow(load, static_cast<double>(hash_count_));
+}
+
+}  // namespace ecgf::cache

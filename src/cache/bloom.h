@@ -1,0 +1,42 @@
+// Bloom filter — the summary structure of Summary-Cache-style cooperative
+// caching (Fan et al., SIGCOMM '98): each cache periodically publishes a
+// compact summary of its contents; peers consult summaries locally instead
+// of a beacon directory, trading directory precision for zero-lookup-hop
+// misses (false positives cost wasted fetch attempts).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace ecgf::cache {
+
+class BloomFilter {
+ public:
+  /// `bit_count` bits, `hash_count` probes per key. Both ≥ 1.
+  BloomFilter(std::size_t bit_count, std::size_t hash_count);
+
+  void add(std::uint64_t key);
+  /// True when the key *might* be present; false is definitive.
+  bool maybe_contains(std::uint64_t key) const;
+  void clear();
+
+  std::size_t bit_count() const { return bit_count_; }
+  std::size_t hash_count() const { return hash_count_; }
+  /// Number of set bits (for load/FPR diagnostics).
+  std::size_t popcount() const;
+  /// Predicted false-positive rate at the current load:
+  /// (popcount / bits)^hashes.
+  double estimated_fpr() const;
+
+ private:
+  /// Double hashing: h_i(k) = h1 + i·h2 (Kirsch–Mitzenmacher).
+  std::pair<std::uint64_t, std::uint64_t> base_hashes(std::uint64_t key) const;
+
+  std::size_t bit_count_;
+  std::size_t hash_count_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ecgf::cache

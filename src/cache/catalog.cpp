@@ -1,0 +1,47 @@
+#include "cache/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecgf::cache {
+
+Catalog Catalog::generate(const CatalogParams& params, util::Rng& rng) {
+  ECGF_EXPECTS(params.document_count > 0);
+  ECGF_EXPECTS(params.min_size_bytes > 0);
+  ECGF_EXPECTS(params.max_size_bytes >= params.min_size_bytes);
+  ECGF_EXPECTS(params.min_generation_ms >= 0.0);
+  ECGF_EXPECTS(params.max_generation_ms >= params.min_generation_ms);
+  ECGF_EXPECTS(params.hot_update_fraction >= 0.0 &&
+               params.hot_update_fraction <= 1.0);
+
+  std::vector<DocumentInfo> docs(params.document_count);
+  for (auto& d : docs) {
+    const double raw =
+        std::exp(rng.normal(params.size_log_mean, params.size_log_sigma));
+    d.size_bytes = static_cast<std::uint32_t>(std::clamp(
+        raw, static_cast<double>(params.min_size_bytes),
+        static_cast<double>(params.max_size_bytes)));
+    d.generation_cost_ms =
+        params.min_generation_ms == params.max_generation_ms
+            ? params.min_generation_ms
+            : rng.uniform(params.min_generation_ms, params.max_generation_ms);
+    d.update_rate = rng.bernoulli(params.hot_update_fraction)
+                        ? params.hot_update_rate
+                        : params.cold_update_rate;
+  }
+  return Catalog(std::move(docs));
+}
+
+Catalog::Catalog(std::vector<DocumentInfo> docs) : docs_(std::move(docs)) {
+  ECGF_EXPECTS(!docs_.empty());
+  double total = 0.0;
+  for (const auto& d : docs_) {
+    ECGF_EXPECTS(d.size_bytes > 0);
+    ECGF_EXPECTS(d.generation_cost_ms >= 0.0);
+    ECGF_EXPECTS(d.update_rate >= 0.0);
+    total += static_cast<double>(d.size_bytes);
+  }
+  mean_size_bytes_ = total / static_cast<double>(docs_.size());
+}
+
+}  // namespace ecgf::cache

@@ -1,0 +1,54 @@
+// The document catalog: sizes, generation costs, and update rates for the
+// whole corpus. Benches generate it synthetically (see workload/) with
+// heavy-tailed sizes, matching web-trace behaviour.
+#pragma once
+
+#include <vector>
+
+#include "cache/document.h"
+#include "util/expect.h"
+#include "util/rng.h"
+
+namespace ecgf::cache {
+
+struct CatalogParams {
+  std::size_t document_count = 2000;
+  // Log-normal size distribution (bytes), clamped to [min,max].
+  double size_log_mean = 9.2;   ///< exp(9.2) ≈ 10 KB median
+  double size_log_sigma = 1.0;
+  std::uint32_t min_size_bytes = 512;
+  std::uint32_t max_size_bytes = 1 << 20;
+  // Dynamic-generation cost at the origin, uniform range (ms).
+  double min_generation_ms = 5.0;
+  double max_generation_ms = 40.0;
+  // Update rates: a `hot_update_fraction` of documents updates at
+  // `hot_update_rate`, the rest at `cold_update_rate` (per second).
+  double hot_update_fraction = 0.1;
+  double hot_update_rate = 0.05;
+  double cold_update_rate = 0.002;
+};
+
+/// Immutable per-document metadata table.
+class Catalog {
+ public:
+  /// Generate a synthetic catalog.
+  static Catalog generate(const CatalogParams& params, util::Rng& rng);
+
+  /// Build from explicit documents (tests, trace replay).
+  explicit Catalog(std::vector<DocumentInfo> docs);
+
+  std::size_t size() const { return docs_.size(); }
+
+  const DocumentInfo& info(DocId doc) const {
+    ECGF_EXPECTS(doc < docs_.size());
+    return docs_[doc];
+  }
+
+  double mean_size_bytes() const { return mean_size_bytes_; }
+
+ private:
+  std::vector<DocumentInfo> docs_;
+  double mean_size_bytes_ = 0.0;
+};
+
+}  // namespace ecgf::cache

@@ -1,0 +1,21 @@
+// Document model for dynamic content. Each document has a size, a server
+// generation cost (it is *dynamic* content — the origin recomputes it on a
+// miss), and an update rate (how often the origin's copy changes,
+// invalidating cached replicas).
+#pragma once
+
+#include <cstdint>
+
+namespace ecgf::cache {
+
+using DocId = std::uint32_t;
+using Version = std::uint64_t;
+
+/// Static properties of one document.
+struct DocumentInfo {
+  std::uint32_t size_bytes = 0;
+  double generation_cost_ms = 0.0;  ///< origin-side compute on each fetch
+  double update_rate = 0.0;         ///< expected updates per second at the origin
+};
+
+}  // namespace ecgf::cache

@@ -1,0 +1,131 @@
+#include "cache/edge_cache.h"
+
+namespace ecgf::cache {
+
+EdgeCache::EdgeCache(std::uint64_t capacity_bytes, const Catalog& catalog,
+                     std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_bytes_(capacity_bytes),
+      catalog_(catalog),
+      policy_(std::move(policy)) {
+  ECGF_EXPECTS(capacity_bytes_ > 0);
+  ECGF_EXPECTS(policy_ != nullptr);
+}
+
+LookupOutcome EdgeCache::lookup(DocId doc, Version current_version,
+                                double now_ms) {
+  ++stats_.lookups;
+  const auto it = resident_.find(doc);
+  if (it == resident_.end()) {
+    ++stats_.misses;
+    record_demand(doc, now_ms);
+    return LookupOutcome::kMiss;
+  }
+  if (it->second.version != current_version) {
+    ++stats_.stale_hits;
+    record_demand(doc, now_ms);
+    return LookupOutcome::kHitStale;
+  }
+  ++stats_.fresh_hits;
+  policy_->on_access(doc, now_ms);
+  return LookupOutcome::kHitFresh;
+}
+
+LookupOutcome EdgeCache::lookup_ttl(DocId doc, double ttl_ms, double now_ms) {
+  ECGF_EXPECTS(ttl_ms > 0.0);
+  ++stats_.lookups;
+  const auto it = resident_.find(doc);
+  if (it == resident_.end()) {
+    ++stats_.misses;
+    record_demand(doc, now_ms);
+    return LookupOutcome::kMiss;
+  }
+  if (now_ms - it->second.stored_ms > ttl_ms) {
+    ++stats_.stale_hits;
+    record_demand(doc, now_ms);
+    return LookupOutcome::kHitStale;
+  }
+  ++stats_.fresh_hits;
+  policy_->on_access(doc, now_ms);
+  return LookupOutcome::kHitFresh;
+}
+
+bool EdgeCache::has_fresh(DocId doc, Version version) const {
+  const auto it = resident_.find(doc);
+  return it != resident_.end() && it->second.version == version;
+}
+
+bool EdgeCache::has_unexpired(DocId doc, double ttl_ms, double now_ms) const {
+  ECGF_EXPECTS(ttl_ms > 0.0);
+  const auto it = resident_.find(doc);
+  return it != resident_.end() && now_ms - it->second.stored_ms <= ttl_ms;
+}
+
+Version EdgeCache::resident_version(DocId doc) const {
+  const auto it = resident_.find(doc);
+  ECGF_EXPECTS(it != resident_.end());
+  return it->second.version;
+}
+
+void EdgeCache::erase_resident(DocId doc, bool count_as_eviction) {
+  const auto it = resident_.find(doc);
+  ECGF_EXPECTS(it != resident_.end());
+  used_bytes_ -= catalog_.info(doc).size_bytes;
+  resident_.erase(it);
+  policy_->on_erase(doc);
+  if (count_as_eviction) ++stats_.evictions;
+}
+
+bool EdgeCache::insert(DocId doc, Version version, double now_ms,
+                       std::vector<DocId>* evicted, bool force) {
+  const std::uint64_t size = catalog_.info(doc).size_bytes;
+  if (size > capacity_bytes_) {
+    ++stats_.rejections;
+    return false;  // can never fit
+  }
+
+  // Refresh-in-place for a resident (stale) copy: same footprint.
+  if (const auto it = resident_.find(doc); it != resident_.end()) {
+    it->second.version = version;
+    it->second.stored_ms = now_ms;
+    policy_->on_access(doc, now_ms);
+    return true;
+  }
+
+  // Score-gated eviction: make room only by removing documents the policy
+  // values no more than the newcomer.
+  const double incoming = policy_->score(doc, now_ms);
+  while (used_bytes_ + size > capacity_bytes_) {
+    const DocId v = policy_->victim(now_ms);
+    if (!force && policy_->score(v, now_ms) > incoming) {
+      ++stats_.rejections;
+      return false;
+    }
+    erase_resident(v, /*count_as_eviction=*/true);
+    if (evicted != nullptr) evicted->push_back(v);
+  }
+
+  resident_.emplace(doc, Resident{version, now_ms});
+  used_bytes_ += size;
+  policy_->on_insert(doc, now_ms);
+  ++stats_.insertions;
+  return true;
+}
+
+bool EdgeCache::invalidate(DocId doc) {
+  if (!resident_.contains(doc)) return false;
+  erase_resident(doc, /*count_as_eviction=*/false);
+  ++stats_.invalidations;
+  return true;
+}
+
+void EdgeCache::touch(DocId doc, double now_ms) {
+  if (resident_.contains(doc)) policy_->on_access(doc, now_ms);
+}
+
+void EdgeCache::record_demand(DocId doc, double now_ms) {
+  if (auto* utility = dynamic_cast<UtilityPolicy*>(policy_.get())) {
+    utility->note_reference(doc, now_ms);
+  }
+}
+
+}  // namespace ecgf::cache

@@ -1,0 +1,27 @@
+#include "cache/origin.h"
+
+#include "util/expect.h"
+
+namespace ecgf::cache {
+
+OriginServer::OriginServer(const Catalog& catalog)
+    : catalog_(catalog), versions_(catalog.size(), 1) {}
+
+Version OriginServer::version(DocId doc) const {
+  ECGF_EXPECTS(doc < versions_.size());
+  return versions_[doc];
+}
+
+double OriginServer::serve_ms(DocId doc) {
+  ECGF_EXPECTS(doc < versions_.size());
+  ++stats_.fetches;
+  return catalog_.info(doc).generation_cost_ms;
+}
+
+Version OriginServer::apply_update(DocId doc) {
+  ECGF_EXPECTS(doc < versions_.size());
+  ++stats_.updates;
+  return ++versions_[doc];
+}
+
+}  // namespace ecgf::cache

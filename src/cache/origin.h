@@ -1,0 +1,42 @@
+// The origin server: authoritative versions of every (dynamic) document.
+// Serving a document costs its generation time; applying an update bumps
+// the version, invalidating all cached replicas.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/catalog.h"
+#include "cache/document.h"
+
+namespace ecgf::cache {
+
+struct OriginStats {
+  std::uint64_t fetches = 0;
+  std::uint64_t updates = 0;
+};
+
+class OriginServer {
+ public:
+  explicit OriginServer(const Catalog& catalog);
+
+  /// Authoritative current version of `doc`.
+  Version version(DocId doc) const;
+
+  /// Serve a fetch: returns the origin-side processing latency (dynamic
+  /// generation cost) and counts the fetch.
+  double serve_ms(DocId doc);
+
+  /// Apply one update to `doc`; returns the new version.
+  Version apply_update(DocId doc);
+
+  const OriginStats& stats() const { return stats_; }
+  const Catalog& catalog() const { return catalog_; }
+
+ private:
+  const Catalog& catalog_;
+  std::vector<Version> versions_;
+  OriginStats stats_;
+};
+
+}  // namespace ecgf::cache

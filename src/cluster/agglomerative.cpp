@@ -1,0 +1,82 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ecgf::cluster {
+
+std::vector<std::vector<std::size_t>> AgglomerativeResult::groups(
+    std::size_t k) const {
+  std::vector<std::vector<std::size_t>> out(k);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    ECGF_EXPECTS(assignment[i] < k);
+    out[assignment[i]].push_back(i);
+  }
+  return out;
+}
+
+AgglomerativeResult agglomerative(std::size_t n, std::size_t k,
+                                  const DistanceFn& dist) {
+  ECGF_EXPECTS(n >= 1);
+  ECGF_EXPECTS(k >= 1 && k <= n);
+
+  // Active-cluster distance matrix under complete linkage
+  // (Lance–Williams: d(A∪B, C) = max(d(A,C), d(B,C))).
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d[i][j] = d[j][i] = dist(i, j);
+      ECGF_EXPECTS(d[i][j] >= 0.0);
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<std::uint32_t> cluster_of(n);
+  std::iota(cluster_of.begin(), cluster_of.end(), 0u);
+
+  AgglomerativeResult result;
+  for (std::size_t live = n; live > k; --live) {
+    // Smallest-distance active pair; ties toward smallest (a, b).
+    std::size_t best_a = n, best_b = n;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < n; ++a) {
+      if (!active[a]) continue;
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (!active[b]) continue;
+        if (d[a][b] < best) {
+          best = d[a][b];
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    ECGF_ASSERT(best_a < n);
+
+    // Merge b into a.
+    active[best_b] = false;
+    for (std::uint32_t& c : cluster_of) {
+      if (c == best_b) c = static_cast<std::uint32_t>(best_a);
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!active[c] || c == best_a) continue;
+      d[best_a][c] = d[c][best_a] = std::max(d[best_a][c], d[best_b][c]);
+    }
+    ++result.merges;
+  }
+
+  // Compact the surviving cluster ids into [0, k).
+  std::vector<std::uint32_t> remap(n, 0);
+  std::uint32_t next = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (active[c]) remap[c] = next++;
+  }
+  ECGF_ASSERT(next == k);
+  result.assignment.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.assignment[i] = remap[cluster_of[i]];
+  }
+  return result;
+}
+
+}  // namespace ecgf::cluster

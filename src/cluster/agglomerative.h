@@ -1,0 +1,29 @@
+// Hierarchical agglomerative clustering (complete linkage) over an
+// arbitrary distance callback — the second "any standard clustering
+// algorithm" comparator (§4.1). Complete link directly minimises group
+// diameter, which makes it a natural fit for the group-interaction-cost
+// objective; its cost is the full O(n²) distance matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/points.h"
+#include "util/expect.h"
+
+namespace ecgf::cluster {
+
+struct AgglomerativeResult {
+  std::vector<std::uint32_t> assignment;  ///< cluster id per item, in [0, k)
+  std::size_t merges = 0;
+
+  std::vector<std::vector<std::size_t>> groups(std::size_t k) const;
+};
+
+/// Cluster `n` items into `k` groups by repeatedly merging the pair of
+/// clusters with the smallest complete-link distance. Deterministic: ties
+/// break toward the lexicographically smallest cluster pair.
+AgglomerativeResult agglomerative(std::size_t n, std::size_t k,
+                                  const DistanceFn& dist);
+
+}  // namespace ecgf::cluster

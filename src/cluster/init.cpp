@@ -1,0 +1,134 @@
+#include "cluster/init.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ecgf::cluster {
+
+namespace {
+
+/// Shared rejection-sampling loop: draw candidates via `draw`, enforce the
+/// coverage guard, fall back to the last candidate when attempts run out.
+std::vector<std::size_t> choose_with_guard(
+    const Points& points, std::size_t k, const CoverageGuard& guard,
+    util::Rng& rng, const std::function<std::size_t()>& draw) {
+  validate_points(points);
+  const std::size_t n = points.size();
+  ECGF_EXPECTS(k >= 1);
+  ECGF_EXPECTS(k <= n);
+
+  const double spread = estimate_spread(points, rng);
+  const double min_sep = guard.min_separation_fraction * spread;
+  const double min_sep_sq = min_sep * min_sep;
+
+  std::vector<bool> chosen(n, false);
+  std::vector<std::size_t> centres;
+  centres.reserve(k);
+  while (centres.size() < k) {
+    std::size_t candidate = n;
+    for (std::size_t attempt = 0; attempt < guard.max_attempts_per_centre;
+         ++attempt) {
+      const std::size_t c = draw();
+      if (chosen[c]) continue;
+      candidate = c;
+      bool too_close = false;
+      for (std::size_t prev : centres) {
+        if (squared_l2(points[c], points[prev]) < min_sep_sq) {
+          too_close = true;
+          break;
+        }
+      }
+      if (!too_close) break;
+    }
+    if (candidate == n || chosen[candidate]) {
+      // Degenerate tail (e.g. k close to n): take the first unchosen index.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!chosen[i]) {
+          candidate = i;
+          break;
+        }
+      }
+    }
+    chosen[candidate] = true;
+    centres.push_back(candidate);
+  }
+  ECGF_ENSURES(centres.size() == k);
+  return centres;
+}
+
+}  // namespace
+
+double estimate_spread(const Points& points, util::Rng& rng,
+                       std::size_t sample) {
+  // Mean pairwise distance of a sample — the scale of the whole point set,
+  // not of its local density, so the coverage guard separates *regions*.
+  const std::size_t n = points.size();
+  if (n < 2) return 1.0;
+  const std::size_t s = std::min(sample, n);
+  auto idx = rng.sample_indices(n, s);
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < s; ++a) {
+    for (std::size_t b = a + 1; b < s; ++b) {
+      total += std::sqrt(squared_l2(points[idx[a]], points[idx[b]]));
+      ++pairs;
+    }
+  }
+  const double mean = total / static_cast<double>(pairs);
+  return mean > 0.0 ? mean : 1.0;
+}
+
+std::vector<std::size_t> UniformCoverageInit::choose(const Points& points,
+                                                     std::size_t k,
+                                                     util::Rng& rng) const {
+  return choose_with_guard(points, k, guard_, rng,
+                           [&]() { return rng.index(points.size()); });
+}
+
+ServerDistanceWeightedInit::ServerDistanceWeightedInit(
+    std::vector<double> server_distance, double theta, CoverageGuard guard)
+    : server_distance_(std::move(server_distance)), theta_(theta), guard_(guard) {
+  ECGF_EXPECTS(theta >= 0.0);
+  for (double d : server_distance_) ECGF_EXPECTS(d >= 0.0);
+}
+
+std::vector<std::size_t> ServerDistanceWeightedInit::choose(
+    const Points& points, std::size_t k, util::Rng& rng) const {
+  ECGF_EXPECTS(server_distance_.size() == points.size());
+
+  // Pr(i) ∝ 1 / max(dist, floor)^θ. The floor prevents a cache co-located
+  // with the server from absorbing the entire distribution.
+  double min_positive = std::numeric_limits<double>::infinity();
+  for (double d : server_distance_) {
+    if (d > 0.0) min_positive = std::min(min_positive, d);
+  }
+  const double floor =
+      std::isfinite(min_positive) ? std::max(min_positive * 0.1, 1e-3) : 1e-3;
+
+  std::vector<double> weights(server_distance_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / std::pow(std::max(server_distance_[i], floor), theta_);
+    total += weights[i];
+  }
+  ECGF_ASSERT(total > 0.0);
+
+  // Cumulative distribution for O(log n) weighted draws inside the guard.
+  std::vector<double> cdf(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    cdf[i] = acc;
+  }
+
+  auto draw = [&]() -> std::size_t {
+    const double r = rng.uniform01() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    return std::min(static_cast<std::size_t>(it - cdf.begin()),
+                    cdf.size() - 1);
+  };
+  return choose_with_guard(points, k, guard_, rng, draw);
+}
+
+}  // namespace ecgf::cluster

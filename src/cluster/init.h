@@ -1,0 +1,73 @@
+// Initial-centre selection strategies for K-means.
+//
+// * UniformCoverageInit — the SL scheme's initialisation: K caches chosen
+//   at random "ensuring that all regions of the edge cache network are
+//   represented" (paper §3.3). Region coverage is enforced with a
+//   minimum-separation guard in feature space.
+// * ServerDistanceWeightedInit — the SDSL scheme's initialisation (paper
+//   §4.1): Pr(Ec_j) ∝ 1 / Dist(Ec_j, Os)^θ, with the same coverage guard,
+//   so more centres land near the origin server (⇒ compact groups there)
+//   and fewer far away (⇒ larger, more spread-out groups).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cluster/points.h"
+#include "util/rng.h"
+
+namespace ecgf::cluster {
+
+/// Strategy interface: pick k distinct point indices as initial centres.
+class InitStrategy {
+ public:
+  virtual ~InitStrategy() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::vector<std::size_t> choose(const Points& points, std::size_t k,
+                                          util::Rng& rng) const = 0;
+};
+
+struct CoverageGuard {
+  /// A candidate centre closer than `min_separation_fraction` × (mean
+  /// nearest-neighbour spread of the point set) to an already chosen centre
+  /// is rejected while attempts remain.
+  double min_separation_fraction = 0.5;
+  std::size_t max_attempts_per_centre = 32;
+};
+
+class UniformCoverageInit final : public InitStrategy {
+ public:
+  explicit UniformCoverageInit(CoverageGuard guard = {}) : guard_(guard) {}
+  std::string_view name() const override { return "uniform"; }
+  std::vector<std::size_t> choose(const Points& points, std::size_t k,
+                                  util::Rng& rng) const override;
+
+ private:
+  CoverageGuard guard_;
+};
+
+class ServerDistanceWeightedInit final : public InitStrategy {
+ public:
+  /// `server_distance[i]` = network distance of cache i to the origin
+  /// server; `theta` = the SDSL sensitivity exponent (θ ≥ 0).
+  ServerDistanceWeightedInit(std::vector<double> server_distance, double theta,
+                             CoverageGuard guard = {});
+  std::string_view name() const override { return "server-distance"; }
+  std::vector<std::size_t> choose(const Points& points, std::size_t k,
+                                  util::Rng& rng) const override;
+
+  double theta() const { return theta_; }
+
+ private:
+  std::vector<double> server_distance_;
+  double theta_;
+  CoverageGuard guard_;
+};
+
+/// Estimate the coverage-guard separation radius for a point set: the mean
+/// distance of a sampled point to its nearest sampled neighbour.
+double estimate_spread(const Points& points, util::Rng& rng,
+                       std::size_t sample = 64);
+
+}  // namespace ecgf::cluster

@@ -1,0 +1,164 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ecgf::cluster {
+
+std::vector<std::vector<std::size_t>> KMeansResult::groups() const {
+  std::vector<std::vector<std::size_t>> out(centers.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    out[assignment[i]].push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+/// Nearest centre id for a point; ties break toward the lower id so the
+/// algorithm is deterministic.
+std::uint32_t nearest_center(const std::vector<double>& p,
+                             const Points& centers) {
+  std::uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::uint32_t c = 0; c < centers.size(); ++c) {
+    const double d = squared_l2(p, centers[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void recompute_centers(const Points& points,
+                       const std::vector<std::uint32_t>& assignment,
+                       Points& centers) {
+  const std::size_t dim = points[0].size();
+  std::vector<std::size_t> counts(centers.size(), 0);
+  for (auto& c : centers) std::fill(c.begin(), c.end(), 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    auto& c = centers[assignment[i]];
+    for (std::size_t d = 0; d < dim; ++d) c[d] += points[i][d];
+    ++counts[assignment[i]];
+  }
+  for (std::size_t k = 0; k < centers.size(); ++k) {
+    if (counts[k] == 0) continue;  // handled by empty-cluster repair
+    const double inv = 1.0 / static_cast<double>(counts[k]);
+    for (double& x : centers[k]) x *= inv;
+  }
+}
+
+/// Give every empty cluster the point farthest from its current centre
+/// (among clusters with >1 member), keeping all k clusters non-empty.
+void repair_empty_clusters(const Points& points,
+                           std::vector<std::uint32_t>& assignment,
+                           Points& centers) {
+  const std::size_t k = centers.size();
+  std::vector<std::size_t> counts(k, 0);
+  for (std::uint32_t a : assignment) ++counts[a];
+  for (std::uint32_t empty = 0; empty < k; ++empty) {
+    if (counts[empty] != 0) continue;
+    // Farthest point in any cluster that can spare one.
+    double best_d = -1.0;
+    std::size_t best_i = points.size();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (counts[assignment[i]] <= 1) continue;
+      const double d = squared_l2(points[i], centers[assignment[i]]);
+      if (d > best_d) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    if (best_i == points.size()) break;  // k == n edge: nothing to steal
+    --counts[assignment[best_i]];
+    assignment[best_i] = empty;
+    ++counts[empty];
+    centers[empty] = points[best_i];
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// One full K-means run (init → iterate → terminate).
+KMeansResult kmeans_single(const Points& points, std::size_t k,
+                           const InitStrategy& init, util::Rng& rng,
+                           const KMeansOptions& options) {
+  const std::size_t n = points.size();
+
+  // --- Initialisation phase.
+  const std::vector<std::size_t> seeds = init.choose(points, k, rng);
+  ECGF_ASSERT(seeds.size() == k);
+  KMeansResult result;
+  result.centers.reserve(k);
+  for (std::size_t s : seeds) result.centers.push_back(points[s]);
+  result.assignment.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.assignment[i] = nearest_center(points[i], result.centers);
+  }
+  repair_empty_clusters(points, result.assignment, result.centers);
+
+  // --- Iterative phase.
+  const std::size_t reassignment_floor = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.reassignment_fraction *
+                                  static_cast<double>(n)));
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    recompute_centers(points, result.assignment, result.centers);
+    std::size_t reassigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = nearest_center(points[i], result.centers);
+      if (c != result.assignment[i]) {
+        result.assignment[i] = c;
+        ++reassigned;
+      }
+    }
+    repair_empty_clusters(points, result.assignment, result.centers);
+    if (reassigned <= reassignment_floor) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+
+  // --- Termination phase: centres reflect final membership.
+  recompute_centers(points, result.assignment, result.centers);
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Points& points, std::size_t k,
+                    const InitStrategy& init, util::Rng& rng,
+                    const KMeansOptions& options) {
+  validate_points(points);
+  ECGF_EXPECTS(k >= 1);
+  ECGF_EXPECTS(k <= points.size());
+  ECGF_EXPECTS(options.max_iterations >= 1);
+  ECGF_EXPECTS(options.restarts >= 1);
+
+  KMeansResult best;
+  double best_wcss = 0.0;
+  for (std::size_t run = 0; run < options.restarts; ++run) {
+    KMeansResult candidate = kmeans_single(points, k, init, rng, options);
+    const double wcss = within_cluster_ss(points, candidate);
+    if (run == 0 || wcss < best_wcss) {
+      best_wcss = wcss;
+      best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+double within_cluster_ss(const Points& points, const KMeansResult& result) {
+  ECGF_EXPECTS(points.size() == result.assignment.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    total += squared_l2(points[i], result.centers[result.assignment[i]]);
+  }
+  return total;
+}
+
+}  // namespace ecgf::cluster

@@ -1,0 +1,50 @@
+// K-means over feature vectors — step 3 of the SL/SDSL schemes (paper §3.3).
+// Initialisation is pluggable (this is exactly where SL and SDSL differ);
+// iteration, reassignment, and termination are shared.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/init.h"
+#include "cluster/points.h"
+#include "util/rng.h"
+
+namespace ecgf::cluster {
+
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  /// Terminate when the number of reassigned points in an iteration drops
+  /// to max(1, reassignment_fraction × n) or below ("becomes minimal").
+  double reassignment_fraction = 0.005;
+  /// Independent runs (fresh init each); the result with the lowest
+  /// within-cluster sum of squares wins. Shields the schemes from K-means'
+  /// sensitivity to initial centres.
+  std::size_t restarts = 3;
+};
+
+struct KMeansResult {
+  /// assignment[i] = cluster id of point i, in [0, k).
+  std::vector<std::uint32_t> assignment;
+  /// Final cluster mean vectors, k rows.
+  Points centers;
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  std::size_t cluster_count() const { return centers.size(); }
+  /// Point indices per cluster (derived view).
+  std::vector<std::vector<std::size_t>> groups() const;
+};
+
+/// Run K-means with the given initial-centre strategy. Every cluster in the
+/// result is non-empty (empty clusters are repaired by stealing the point
+/// farthest from its centre). Deterministic given (points, k, init, rng).
+KMeansResult kmeans(const Points& points, std::size_t k,
+                    const InitStrategy& init, util::Rng& rng,
+                    const KMeansOptions& options = {});
+
+/// Sum over points of the squared L2 distance to their cluster centre —
+/// K-means' own objective, used in tests as a monotonicity invariant.
+double within_cluster_ss(const Points& points, const KMeansResult& result);
+
+}  // namespace ecgf::cluster

@@ -1,0 +1,99 @@
+#include "cluster/kmedoids.h"
+
+#include <limits>
+
+namespace ecgf::cluster {
+
+std::vector<std::vector<std::size_t>> KMedoidsResult::groups() const {
+  std::vector<std::vector<std::size_t>> out(medoids.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    out[assignment[i]].push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+std::uint32_t nearest_medoid(std::size_t item,
+                             const std::vector<std::size_t>& medoids,
+                             const DistanceFn& dist) {
+  std::uint32_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::uint32_t m = 0; m < medoids.size(); ++m) {
+    const double d = item == medoids[m] ? 0.0 : dist(item, medoids[m]);
+    if (d < best_d) {
+      best_d = d;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KMedoidsResult kmedoids(std::size_t n, std::size_t k, const DistanceFn& dist,
+                        util::Rng& rng,
+                        const std::vector<double>& seed_weights,
+                        const KMedoidsOptions& options) {
+  ECGF_EXPECTS(n >= 1);
+  ECGF_EXPECTS(k >= 1 && k <= n);
+  ECGF_EXPECTS(seed_weights.empty() || seed_weights.size() == n);
+
+  KMedoidsResult result;
+  if (seed_weights.empty()) {
+    result.medoids = rng.sample_indices(n, k);
+  } else {
+    result.medoids = rng.weighted_sample_without_replacement(seed_weights, k);
+  }
+  result.assignment.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.assignment[i] = nearest_medoid(i, result.medoids, dist);
+  }
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    bool changed = false;
+
+    // Voronoi update: within each cluster, the new medoid is the member
+    // minimising the sum of distances to the other members.
+    auto groups = result.groups();
+    for (std::uint32_t c = 0; c < k; ++c) {
+      const auto& members = groups[c];
+      if (members.empty()) continue;
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::size_t best_m = result.medoids[c];
+      for (std::size_t candidate : members) {
+        double cost = 0.0;
+        for (std::size_t other : members) {
+          if (other != candidate) cost += dist(candidate, other);
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_m = candidate;
+        }
+      }
+      if (best_m != result.medoids[c]) {
+        result.medoids[c] = best_m;
+        changed = true;
+      }
+    }
+
+    // Reassignment.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t m = nearest_medoid(i, result.medoids, dist);
+      if (m != result.assignment[i]) {
+        result.assignment[i] = m;
+        changed = true;
+      }
+    }
+
+    if (!changed) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ecgf::cluster

@@ -1,0 +1,36 @@
+// K-medoids (PAM-style, with the Voronoi-iteration update) over an
+// arbitrary distance callback. Paper §4.1 notes "any standard clustering
+// algorithm may be similarly modified" — this is the ablation comparator
+// for that claim (bench: ablation_clustering).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/points.h"
+#include "util/rng.h"
+
+namespace ecgf::cluster {
+
+struct KMedoidsOptions {
+  std::size_t max_iterations = 60;
+};
+
+struct KMedoidsResult {
+  std::vector<std::uint32_t> assignment;  ///< cluster id per item
+  std::vector<std::size_t> medoids;       ///< item index per cluster
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  std::vector<std::vector<std::size_t>> groups() const;
+};
+
+/// Cluster `n` items into k groups under `dist`. `seed_weights` (optional,
+/// size n) biases initial medoid choice the same way the SDSL init biases
+/// K-means centres; empty means uniform.
+KMedoidsResult kmedoids(std::size_t n, std::size_t k, const DistanceFn& dist,
+                        util::Rng& rng,
+                        const std::vector<double>& seed_weights = {},
+                        const KMedoidsOptions& options = {});
+
+}  // namespace ecgf::cluster

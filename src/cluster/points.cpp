@@ -1,0 +1,23 @@
+#include "cluster/points.h"
+
+namespace ecgf::cluster {
+
+std::size_t validate_points(const Points& points) {
+  ECGF_EXPECTS(!points.empty());
+  const std::size_t dim = points[0].size();
+  ECGF_EXPECTS(dim > 0);
+  for (const auto& p : points) ECGF_EXPECTS(p.size() == dim);
+  return dim;
+}
+
+double squared_l2(const std::vector<double>& a, const std::vector<double>& b) {
+  ECGF_EXPECTS(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace ecgf::cluster

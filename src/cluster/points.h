@@ -1,0 +1,26 @@
+// Plain point-set type used by the clustering algorithms. The cluster
+// library is deliberately independent of coords/net: callers hand it rows
+// of doubles and (optionally) a pairwise-distance callback.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace ecgf::cluster {
+
+/// Row-major point set; all rows share one dimension.
+using Points = std::vector<std::vector<double>>;
+
+/// Distance callback over item indices (used by K-medoids and quality
+/// metrics, where the "distance" is a measured RTT, not a coordinate gap).
+using DistanceFn = std::function<double(std::size_t, std::size_t)>;
+
+/// Validate that `points` is non-empty and rectangular; returns dimension.
+std::size_t validate_points(const Points& points);
+
+/// Squared L2 between two rows.
+double squared_l2(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace ecgf::cluster

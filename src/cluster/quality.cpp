@@ -1,0 +1,50 @@
+#include "cluster/quality.h"
+
+#include "util/expect.h"
+
+namespace ecgf::cluster {
+
+double group_interaction_cost(const std::vector<std::size_t>& group,
+                              const DistanceFn& icost) {
+  if (group.size() < 2) return 0.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = i + 1; j < group.size(); ++j) {
+      total += icost(group[i], group[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double average_group_interaction_cost(
+    const std::vector<std::vector<std::size_t>>& groups,
+    const DistanceFn& icost) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const auto& g : groups) {
+    if (g.size() < 2) continue;
+    total += group_interaction_cost(g, icost);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double pair_weighted_interaction_cost(
+    const std::vector<std::vector<std::size_t>>& groups,
+    const DistanceFn& icost) {
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (const auto& g : groups) {
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      for (std::size_t j = i + 1; j < g.size(); ++j) {
+        total += icost(g[i], g[j]);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : total / static_cast<double>(pairs);
+}
+
+}  // namespace ecgf::cluster

@@ -1,0 +1,30 @@
+// Clustering-quality metrics — the paper's "average group interaction
+// cost" (§2), computed against ground-truth distances, not the feature
+// vectors the clustering saw. This is the y-axis of Figs. 4, 5, 6, 7.
+#pragma once
+
+#include <vector>
+
+#include "cluster/points.h"
+
+namespace ecgf::cluster {
+
+/// Group interaction cost: mean pairwise interaction cost within one group.
+/// Groups with fewer than two members have no pairs; they contribute 0 and
+/// are *excluded* from network-level averages.
+double group_interaction_cost(const std::vector<std::size_t>& group,
+                              const DistanceFn& icost);
+
+/// Average group interaction cost across a partition: mean of the per-group
+/// costs over all groups with ≥ 2 members. Returns 0 when no group has a pair.
+double average_group_interaction_cost(
+    const std::vector<std::vector<std::size_t>>& groups,
+    const DistanceFn& icost);
+
+/// Size-weighted variant (each pair counts once network-wide) — used in
+/// tests to cross-check the unweighted average.
+double pair_weighted_interaction_cost(
+    const std::vector<std::vector<std::size_t>>& groups,
+    const DistanceFn& icost);
+
+}  // namespace ecgf::cluster

@@ -1,0 +1,24 @@
+#include "coords/feature_vector.h"
+
+#include "util/expect.h"
+
+namespace ecgf::coords {
+
+PositionMap build_feature_vectors(std::size_t host_count,
+                                  const std::vector<net::HostId>& landmarks,
+                                  net::Prober& prober) {
+  ECGF_EXPECTS(!landmarks.empty());
+  for (net::HostId lm : landmarks) ECGF_EXPECTS(lm < host_count);
+
+  PositionMap map(host_count, landmarks.size());
+  std::vector<double> fv(landmarks.size());
+  for (net::HostId h = 0; h < host_count; ++h) {
+    for (std::size_t l = 0; l < landmarks.size(); ++l) {
+      fv[l] = prober.measure_rtt_ms(h, landmarks[l]);
+    }
+    map.set_coords(h, fv);
+  }
+  return map;
+}
+
+}  // namespace ecgf::coords

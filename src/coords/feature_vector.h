@@ -1,0 +1,20 @@
+// Feature-vector positioning — step 2 of the SL/SDSL schemes (paper §3.2).
+// Each host probes every landmark multiple times and records the averaged
+// RTTs; the vector of RTTs *is* the host's position.
+#pragma once
+
+#include <vector>
+
+#include "coords/position_map.h"
+#include "net/prober.h"
+
+namespace ecgf::coords {
+
+/// Build the feature-vector PositionMap for all hosts (dimension = number
+/// of landmarks). Every host is positioned, including the landmarks and the
+/// origin server themselves (a landmark's RTT to itself is 0).
+PositionMap build_feature_vectors(std::size_t host_count,
+                                  const std::vector<net::HostId>& landmarks,
+                                  net::Prober& prober);
+
+}  // namespace ecgf::coords

@@ -1,0 +1,165 @@
+#include "coords/gnp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace ecgf::coords {
+
+namespace {
+
+double sq_rel_error(double predicted, double measured) {
+  // Squared relative error; measured distances are strictly positive for
+  // distinct hosts (RTT floor comes from last-mile links).
+  const double denom = std::max(measured, 1e-6);
+  const double e = (predicted - measured) / denom;
+  return e * e;
+}
+
+double euclid(std::span<const double> a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+GnpEmbedding build_gnp_embedding(std::size_t host_count,
+                                 const std::vector<net::HostId>& landmarks,
+                                 net::Prober& prober, const GnpOptions& options,
+                                 util::Rng& rng) {
+  const std::size_t L = landmarks.size();
+  ECGF_EXPECTS(L >= 2);
+  ECGF_EXPECTS(options.dimension >= 1);
+  ECGF_EXPECTS(options.dimension < L);
+  for (net::HostId lm : landmarks) ECGF_EXPECTS(lm < host_count);
+
+  const std::size_t D = options.dimension;
+
+  // --- Phase 1a: measure the landmark-to-landmark RTT matrix.
+  std::vector<std::vector<double>> lm_rtt(L, std::vector<double>(L, 0.0));
+  double max_rtt = 1.0;
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = i + 1; j < L; ++j) {
+      lm_rtt[i][j] = lm_rtt[j][i] =
+          prober.measure_rtt_ms(landmarks[i], landmarks[j]);
+      max_rtt = std::max(max_rtt, lm_rtt[i][j]);
+    }
+  }
+
+  // --- Phase 1b: fit landmark coordinates by coordinate descent — each
+  // sweep re-optimises one landmark's D coordinates with Nelder–Mead while
+  // the others stay fixed. This is the scalable form of GNP's joint
+  // simplex-downhill fit; random restarts guard against poor local minima.
+  NelderMeadOptions nm = options.nm;
+  nm.initial_step = std::max(1.0, max_rtt / 16.0);
+
+  std::vector<std::vector<double>> lc;
+  double best_total = std::numeric_limits<double>::infinity();
+  const std::size_t restarts = std::max<std::size_t>(1, options.landmark_restarts);
+  for (std::size_t restart = 0; restart < restarts; ++restart) {
+    std::vector<std::vector<double>> cand(L, std::vector<double>(D));
+    for (auto& v : cand) {
+      for (double& x : v) x = rng.uniform(0.0, max_rtt);
+    }
+
+    auto landmark_objective = [&](std::size_t i,
+                                  const std::vector<double>& x) {
+      double err = 0.0;
+      for (std::size_t j = 0; j < L; ++j) {
+        if (j == i) continue;
+        double s = 0.0;
+        for (std::size_t d = 0; d < D; ++d) {
+          const double diff = x[d] - cand[j][d];
+          s += diff * diff;
+        }
+        err += sq_rel_error(std::sqrt(s), lm_rtt[i][j]);
+      }
+      return err;
+    };
+
+    for (std::size_t round = 0; round < options.landmark_rounds; ++round) {
+      for (std::size_t i = 0; i < L; ++i) {
+        auto res = nelder_mead(
+            [&](const std::vector<double>& x) {
+              return landmark_objective(i, x);
+            },
+            cand[i], nm);
+        cand[i] = std::move(res.x);
+      }
+    }
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < L; ++i) total += landmark_objective(i, cand[i]);
+    if (total < best_total) {
+      best_total = total;
+      lc = std::move(cand);
+    }
+  }
+
+  double lm_err = 0.0;
+  std::size_t lm_pairs = 0;
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = i + 1; j < L; ++j) {
+      double s = 0.0;
+      for (std::size_t d = 0; d < D; ++d) {
+        const double diff = lc[i][d] - lc[j][d];
+        s += diff * diff;
+      }
+      lm_err += sq_rel_error(std::sqrt(s), lm_rtt[i][j]);
+      ++lm_pairs;
+    }
+  }
+
+  // --- Phase 2: embed every host against the fixed landmark coordinates.
+  PositionMap map(host_count, D);
+  std::vector<bool> is_landmark(host_count, false);
+  for (std::size_t i = 0; i < L; ++i) {
+    is_landmark[landmarks[i]] = true;
+    map.set_coords(landmarks[i], lc[i]);
+  }
+
+  double host_err = 0.0;
+  std::size_t host_terms = 0;
+  std::vector<double> to_lm(L);
+  for (net::HostId h = 0; h < host_count; ++h) {
+    if (is_landmark[h]) continue;
+    for (std::size_t l = 0; l < L; ++l) {
+      to_lm[l] = prober.measure_rtt_ms(h, landmarks[l]);
+    }
+    auto host_objective = [&](const std::vector<double>& x) {
+      double err = 0.0;
+      for (std::size_t l = 0; l < L; ++l) {
+        err += sq_rel_error(euclid(std::span<const double>(lc[l]), x), to_lm[l]);
+      }
+      return err;
+    };
+    // Two seeds — the nearest landmark's coordinates and the landmark
+    // centroid — keep the per-host fit cheap while dodging local minima.
+    const std::size_t nearest = static_cast<std::size_t>(
+        std::min_element(to_lm.begin(), to_lm.end()) - to_lm.begin());
+    std::vector<double> centroid(D, 0.0);
+    for (std::size_t l = 0; l < L; ++l) {
+      for (std::size_t d = 0; d < D; ++d) centroid[d] += lc[l][d];
+    }
+    for (double& x : centroid) x /= static_cast<double>(L);
+
+    auto res = nelder_mead(host_objective, lc[nearest], nm);
+    auto res2 = nelder_mead(host_objective, centroid, nm);
+    if (res2.value < res.value) res = std::move(res2);
+    map.set_coords(h, res.x);
+    host_err += res.value / static_cast<double>(L);
+    ++host_terms;
+  }
+
+  GnpEmbedding out{std::move(map), 0.0, 0.0};
+  out.landmark_fit_error = lm_pairs ? lm_err / static_cast<double>(lm_pairs) : 0.0;
+  out.host_fit_error = host_terms ? host_err / static_cast<double>(host_terms) : 0.0;
+  return out;
+}
+
+}  // namespace ecgf::coords

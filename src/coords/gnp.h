@@ -1,0 +1,38 @@
+// Global Network Positioning (Ng & Zhang, INFOCOM '02) — the Euclidean
+// comparator of the paper's Fig. 7. Landmarks are first embedded into a
+// D-dimensional Euclidean space by minimising the squared relative error
+// between coordinate distances and measured RTTs (simplex-downhill /
+// Nelder–Mead); every other host is then embedded against the fixed
+// landmark coordinates.
+#pragma once
+
+#include <vector>
+
+#include "coords/nelder_mead.h"
+#include "coords/position_map.h"
+#include "net/prober.h"
+#include "util/rng.h"
+
+namespace ecgf::coords {
+
+struct GnpOptions {
+  std::size_t dimension = 7;          ///< Euclidean dimensionality D
+  std::size_t landmark_rounds = 6;    ///< coordinate-descent sweeps over landmarks
+  std::size_t landmark_restarts = 3;  ///< random restarts of the landmark fit
+  NelderMeadOptions nm{};             ///< per-point minimiser settings
+};
+
+/// Result of the embedding, with fit diagnostics.
+struct GnpEmbedding {
+  PositionMap positions;
+  double landmark_fit_error = 0.0;  ///< final mean squared relative error (landmarks)
+  double host_fit_error = 0.0;      ///< mean squared relative error (hosts)
+};
+
+/// Compute GNP coordinates for all hosts.
+GnpEmbedding build_gnp_embedding(std::size_t host_count,
+                                 const std::vector<net::HostId>& landmarks,
+                                 net::Prober& prober, const GnpOptions& options,
+                                 util::Rng& rng);
+
+}  // namespace ecgf::coords

@@ -1,0 +1,126 @@
+#include "coords/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace ecgf::coords {
+
+namespace {
+
+std::vector<double> centroid_excluding_worst(
+    const std::vector<std::vector<double>>& simplex, std::size_t worst) {
+  const std::size_t dim = simplex[0].size();
+  std::vector<double> c(dim, 0.0);
+  for (std::size_t i = 0; i < simplex.size(); ++i) {
+    if (i == worst) continue;
+    for (std::size_t d = 0; d < dim; ++d) c[d] += simplex[i][d];
+  }
+  const double inv = 1.0 / static_cast<double>(simplex.size() - 1);
+  for (double& x : c) x *= inv;
+  return c;
+}
+
+std::vector<double> affine(const std::vector<double>& centroid,
+                           const std::vector<double>& point, double t) {
+  // centroid + t * (centroid - point)
+  std::vector<double> out(centroid.size());
+  for (std::size_t d = 0; d < centroid.size(); ++d) {
+    out[d] = centroid[d] + t * (centroid[d] - point[d]);
+  }
+  return out;
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> start, const NelderMeadOptions& options) {
+  ECGF_EXPECTS(!start.empty());
+  ECGF_EXPECTS(options.max_iterations > 0);
+  const std::size_t dim = start.size();
+
+  // Initial simplex: start point plus one vertex per axis offset.
+  std::vector<std::vector<double>> simplex;
+  simplex.reserve(dim + 1);
+  simplex.push_back(start);
+  for (std::size_t d = 0; d < dim; ++d) {
+    auto v = start;
+    v[d] += options.initial_step;
+    simplex.push_back(std::move(v));
+  }
+  std::vector<double> values(dim + 1);
+  for (std::size_t i = 0; i <= dim; ++i) values[i] = objective(simplex[i]);
+
+  NelderMeadResult result;
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    // Identify best, worst, second-worst.
+    std::size_t best = 0, worst = 0, second = 0;
+    for (std::size_t i = 1; i <= dim; ++i) {
+      if (values[i] < values[best]) best = i;
+      if (values[i] > values[worst]) worst = i;
+    }
+    second = best;
+    for (std::size_t i = 0; i <= dim; ++i) {
+      if (i != worst && values[i] > values[second]) second = i;
+    }
+
+    if (std::abs(values[worst] - values[best]) <
+        options.tolerance * (std::abs(values[worst]) + std::abs(values[best]) +
+                             options.tolerance)) {
+      result.converged = true;
+      break;
+    }
+
+    const auto centroid = centroid_excluding_worst(simplex, worst);
+    const auto reflected = affine(centroid, simplex[worst], options.reflection);
+    const double f_reflected = objective(reflected);
+
+    if (f_reflected < values[best]) {
+      // Try expanding further in the same direction.
+      const auto expanded = affine(centroid, simplex[worst], options.expansion);
+      const double f_expanded = objective(expanded);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+    } else if (f_reflected < values[second]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+    } else {
+      // Contract toward the centroid.
+      const auto contracted =
+          affine(centroid, simplex[worst], -options.contraction);
+      const double f_contracted = objective(contracted);
+      if (f_contracted < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = f_contracted;
+      } else {
+        // Shrink the whole simplex toward the best vertex.
+        for (std::size_t i = 0; i <= dim; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < dim; ++d) {
+            simplex[i][d] = simplex[best][d] +
+                            options.shrink * (simplex[i][d] - simplex[best][d]);
+          }
+          values[i] = objective(simplex[i]);
+        }
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  for (std::size_t i = 1; i <= dim; ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  result.x = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+}  // namespace ecgf::coords

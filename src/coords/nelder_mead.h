@@ -1,0 +1,33 @@
+// Generic Nelder–Mead (downhill simplex) minimiser — the optimisation
+// engine behind the GNP embedding, exactly as in Ng & Zhang's original GNP
+// ("simplex downhill" fit of coordinates).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace ecgf::coords {
+
+struct NelderMeadOptions {
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-7;       ///< stop when f-spread across simplex < tol
+  double initial_step = 1.0;     ///< simplex seeding step per dimension
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;       ///< best point found
+  double value = 0.0;          ///< objective at x
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimise `objective` starting from `start`.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& objective,
+    std::vector<double> start, const NelderMeadOptions& options = {});
+
+}  // namespace ecgf::coords

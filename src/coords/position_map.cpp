@@ -1,0 +1,17 @@
+#include "coords/position_map.h"
+
+#include <cmath>
+
+namespace ecgf::coords {
+
+double l2_distance(std::span<const double> a, std::span<const double> b) {
+  ECGF_EXPECTS(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace ecgf::coords

@@ -1,0 +1,58 @@
+// Position representation shared by the clustering stage: every host gets a
+// fixed-dimension coordinate vector, whatever the representation scheme
+// (raw-RTT feature vectors, GNP Euclidean coordinates, Vivaldi coordinates).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/rtt_provider.h"
+#include "util/expect.h"
+
+namespace ecgf::coords {
+
+/// Dense host → coordinate-vector map. Host ids follow the library-wide
+/// convention (0..N-1 caches, N = origin server).
+class PositionMap {
+ public:
+  /// Empty map (no hosts); any access is a contract violation. Exists so
+  /// result structs can be built before positioning runs.
+  PositionMap() = default;
+
+  PositionMap(std::size_t host_count, std::size_t dimension)
+      : dimension_(dimension),
+        coords_(host_count * dimension, 0.0),
+        host_count_(host_count) {
+    ECGF_EXPECTS(host_count > 0);
+    ECGF_EXPECTS(dimension > 0);
+  }
+
+  std::size_t host_count() const { return host_count_; }
+  std::size_t dimension() const { return dimension_; }
+
+  std::span<const double> coords(net::HostId host) const {
+    ECGF_EXPECTS(host < host_count_);
+    return {coords_.data() + host * dimension_, dimension_};
+  }
+
+  std::span<double> mutable_coords(net::HostId host) {
+    ECGF_EXPECTS(host < host_count_);
+    return {coords_.data() + host * dimension_, dimension_};
+  }
+
+  void set_coords(net::HostId host, std::span<const double> values) {
+    ECGF_EXPECTS(values.size() == dimension_);
+    auto dst = mutable_coords(host);
+    std::copy(values.begin(), values.end(), dst.begin());
+  }
+
+ private:
+  std::size_t dimension_ = 0;
+  std::vector<double> coords_;
+  std::size_t host_count_ = 0;
+};
+
+/// L2 distance between two coordinate vectors of equal dimension.
+double l2_distance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ecgf::coords

@@ -1,0 +1,154 @@
+#include "coords/virtual_landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/expect.h"
+
+namespace ecgf::coords {
+
+SymmetricEigen jacobi_eigen(std::vector<std::vector<double>> a,
+                            std::size_t max_sweeps) {
+  const std::size_t n = a.size();
+  ECGF_EXPECTS(n > 0);
+  for (const auto& row : a) ECGF_EXPECTS(row.size() == n);
+
+  // v starts as identity; accumulates the rotations (columns = vectors).
+  std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) v[i][i] = 1.0;
+
+  auto off_diagonal_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += a[i][j] * a[i][j];
+    }
+    return std::sqrt(s);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() < 1e-12) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a[p][q]) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Rotate rows/columns p and q of a.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p];
+          const double akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k];
+          const double aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        // Accumulate into v.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v[k][p];
+          const double vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract (eigenvalue, eigenvector) pairs and sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a[x][x] > a[y][y]; });
+
+  SymmetricEigen out;
+  out.eigenvalues.reserve(n);
+  out.eigenvectors.reserve(n);
+  for (std::size_t idx : order) {
+    out.eigenvalues.push_back(a[idx][idx]);
+    std::vector<double> vec(n);
+    for (std::size_t k = 0; k < n; ++k) vec[k] = v[k][idx];
+    out.eigenvectors.push_back(std::move(vec));
+  }
+  return out;
+}
+
+VirtualLandmarksEmbedding build_virtual_landmarks(
+    std::size_t host_count, const std::vector<net::HostId>& landmarks,
+    net::Prober& prober, const VirtualLandmarksOptions& options) {
+  const std::size_t L = landmarks.size();
+  ECGF_EXPECTS(L >= 2);
+  ECGF_EXPECTS(options.dimension >= 1);
+  ECGF_EXPECTS(options.dimension <= L);
+  for (net::HostId lm : landmarks) ECGF_EXPECTS(lm < host_count);
+
+  // Raw feature matrix (host × landmark RTTs).
+  std::vector<std::vector<double>> fv(host_count, std::vector<double>(L));
+  for (net::HostId h = 0; h < host_count; ++h) {
+    for (std::size_t l = 0; l < L; ++l) {
+      fv[h][l] = prober.measure_rtt_ms(h, landmarks[l]);
+    }
+  }
+
+  // Column means and covariance.
+  std::vector<double> mean(L, 0.0);
+  for (const auto& row : fv) {
+    for (std::size_t l = 0; l < L; ++l) mean[l] += row[l];
+  }
+  for (double& m : mean) m /= static_cast<double>(host_count);
+
+  std::vector<std::vector<double>> cov(L, std::vector<double>(L, 0.0));
+  for (const auto& row : fv) {
+    for (std::size_t i = 0; i < L; ++i) {
+      const double di = row[i] - mean[i];
+      for (std::size_t j = i; j < L; ++j) {
+        cov[i][j] += di * (row[j] - mean[j]);
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(host_count);
+  for (std::size_t i = 0; i < L; ++i) {
+    for (std::size_t j = i; j < L; ++j) {
+      cov[i][j] *= inv;
+      cov[j][i] = cov[i][j];
+    }
+  }
+
+  const SymmetricEigen eigen = jacobi_eigen(cov);
+
+  // Project centred features onto the top-D components.
+  const std::size_t D = options.dimension;
+  PositionMap map(host_count, D);
+  std::vector<double> coords(D);
+  for (net::HostId h = 0; h < host_count; ++h) {
+    for (std::size_t d = 0; d < D; ++d) {
+      double dot = 0.0;
+      for (std::size_t l = 0; l < L; ++l) {
+        dot += (fv[h][l] - mean[l]) * eigen.eigenvectors[d][l];
+      }
+      coords[d] = dot;
+    }
+    map.set_coords(h, coords);
+  }
+
+  VirtualLandmarksEmbedding out;
+  out.positions = std::move(map);
+  out.eigenvalues = eigen.eigenvalues;
+  double total = 0.0;
+  double kept = 0.0;
+  for (std::size_t i = 0; i < eigen.eigenvalues.size(); ++i) {
+    const double ev = std::max(0.0, eigen.eigenvalues[i]);
+    total += ev;
+    if (i < D) kept += ev;
+  }
+  out.explained_variance = total > 0.0 ? kept / total : 0.0;
+  return out;
+}
+
+}  // namespace ecgf::coords

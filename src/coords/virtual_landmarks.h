@@ -1,0 +1,45 @@
+// Virtual Landmarks (Tang & Crovella, IMC '03) — the third positioning
+// system the paper cites: measure RTTs to the landmark set, then project
+// the raw feature vectors onto their top principal components. Keeps the
+// feature vectors' simplicity while shrinking the clustering dimension
+// and averaging out per-landmark measurement noise.
+#pragma once
+
+#include <vector>
+
+#include "coords/position_map.h"
+#include "net/prober.h"
+
+namespace ecgf::coords {
+
+struct VirtualLandmarksOptions {
+  std::size_t dimension = 5;  ///< principal components to keep
+};
+
+struct VirtualLandmarksEmbedding {
+  PositionMap positions;
+  /// Fraction of total feature-vector variance captured by the kept
+  /// components, in [0, 1].
+  double explained_variance = 0.0;
+  /// Eigenvalues of the feature covariance, descending.
+  std::vector<double> eigenvalues;
+};
+
+/// Probe all landmarks from every host and project onto the top-D
+/// principal components of the resulting feature matrix.
+/// Requires dimension ≤ number of landmarks.
+VirtualLandmarksEmbedding build_virtual_landmarks(
+    std::size_t host_count, const std::vector<net::HostId>& landmarks,
+    net::Prober& prober, const VirtualLandmarksOptions& options);
+
+/// Eigen-decomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Returns eigenvalues (descending) and matching unit eigenvectors
+/// (rows of `eigenvectors`). Exposed for tests.
+struct SymmetricEigen {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;
+};
+SymmetricEigen jacobi_eigen(std::vector<std::vector<double>> matrix,
+                            std::size_t max_sweeps = 64);
+
+}  // namespace ecgf::coords

@@ -1,0 +1,83 @@
+#include "coords/vivaldi.h"
+
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace ecgf::coords {
+
+namespace {
+
+/// Unit vector from b toward a; a random direction when coincident.
+std::vector<double> direction(std::span<const double> a,
+                              std::span<const double> b, util::Rng& rng) {
+  std::vector<double> dir(a.size());
+  double norm = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    dir[d] = a[d] - b[d];
+    norm += dir[d] * dir[d];
+  }
+  norm = std::sqrt(norm);
+  if (norm < 1e-9) {
+    for (double& x : dir) x = rng.uniform(-1.0, 1.0);
+    norm = 0.0;
+    for (double x : dir) norm += x * x;
+    norm = std::sqrt(std::max(norm, 1e-9));
+  }
+  for (double& x : dir) x /= norm;
+  return dir;
+}
+
+}  // namespace
+
+VivaldiEmbedding build_vivaldi_embedding(std::size_t host_count,
+                                         net::Prober& prober,
+                                         const VivaldiOptions& options,
+                                         util::Rng& rng) {
+  ECGF_EXPECTS(host_count >= 2);
+  ECGF_EXPECTS(options.dimension >= 1);
+  ECGF_EXPECTS(options.rounds >= 1);
+  ECGF_EXPECTS(options.samples_per_round >= 1);
+  ECGF_EXPECTS(options.cc > 0.0 && options.cc <= 1.0);
+  ECGF_EXPECTS(options.ce > 0.0 && options.ce <= 1.0);
+
+  PositionMap map(host_count, options.dimension);
+  // Small random start to break symmetry.
+  for (net::HostId h = 0; h < host_count; ++h) {
+    auto c = map.mutable_coords(h);
+    for (double& x : c) x = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<double> error(host_count, 1.0);
+
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    for (net::HostId i = 0; i < host_count; ++i) {
+      for (std::size_t s = 0; s < options.samples_per_round; ++s) {
+        net::HostId j = static_cast<net::HostId>(rng.index(host_count));
+        if (j == i) continue;
+        const double rtt = prober.measure_rtt_ms(i, j);
+        const double predicted = l2_distance(map.coords(i), map.coords(j));
+
+        // Sample confidence balance: w → 1 when i is uncertain vs j.
+        const double w = error[i] / std::max(error[i] + error[j], 1e-9);
+        const double rel_err =
+            std::abs(predicted - rtt) / std::max(rtt, 1e-6);
+
+        // Update i's running error estimate (EWMA weighted by confidence).
+        error[i] = rel_err * options.ce * w + error[i] * (1.0 - options.ce * w);
+        error[i] = std::min(error[i], 10.0);
+
+        // Spring force: move i along the error gradient.
+        const double delta = options.cc * w;
+        const auto dir = direction(map.coords(i), map.coords(j), rng);
+        auto ci = map.mutable_coords(i);
+        for (std::size_t d = 0; d < ci.size(); ++d) {
+          ci[d] += delta * (rtt - predicted) * dir[d];
+        }
+      }
+    }
+  }
+
+  return VivaldiEmbedding{std::move(map), std::move(error)};
+}
+
+}  // namespace ecgf::coords

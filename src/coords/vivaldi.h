@@ -1,0 +1,35 @@
+// Vivaldi decentralised network coordinates (Dabek et al., SIGCOMM '04).
+// The paper cites Vivaldi as the other coordinates-based alternative to its
+// feature vectors; we provide it as an extension comparator for the
+// position-representation ablation.
+#pragma once
+
+#include <vector>
+
+#include "coords/position_map.h"
+#include "net/prober.h"
+#include "util/rng.h"
+
+namespace ecgf::coords {
+
+struct VivaldiOptions {
+  std::size_t dimension = 4;
+  std::size_t rounds = 40;       ///< full passes over all hosts
+  std::size_t samples_per_round = 8;  ///< neighbours sampled per host per pass
+  double cc = 0.25;              ///< coordinate adaptation gain
+  double ce = 0.25;              ///< error adaptation gain
+};
+
+struct VivaldiEmbedding {
+  PositionMap positions;
+  std::vector<double> local_error;  ///< per-host confidence (lower = better)
+};
+
+/// Run the Vivaldi spring-relaxation algorithm over all hosts, sampling
+/// random neighbours each round (the decentralised measurement pattern).
+VivaldiEmbedding build_vivaldi_embedding(std::size_t host_count,
+                                         net::Prober& prober,
+                                         const VivaldiOptions& options,
+                                         util::Rng& rng);
+
+}  // namespace ecgf::coords

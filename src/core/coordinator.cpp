@@ -1,0 +1,37 @@
+#include "core/coordinator.h"
+
+#include "util/expect.h"
+
+namespace ecgf::core {
+
+GfCoordinator::GfCoordinator(const EdgeNetwork& network,
+                             net::ProberOptions probing, std::uint64_t seed)
+    : network_(network), probing_(probing), rng_(seed) {}
+
+GroupingResult GfCoordinator::run(const GroupingScheme& scheme,
+                                  std::size_t k) {
+  ++runs_;
+  net::Prober prober =
+      network_.make_prober(probing_, rng_.fork(runs_).uniform_int(0, 1 << 30));
+  util::Rng scheme_rng = rng_.fork(runs_ * 7919);
+  return scheme.form_groups(network_.cache_count(), network_.server(), k,
+                            prober, scheme_rng);
+}
+
+double GfCoordinator::average_group_interaction_cost(
+    const GroupingResult& result, double transfer_ms) const {
+  ECGF_EXPECTS(transfer_ms >= 0.0);
+  const auto icost = [&](std::size_t a, std::size_t b) {
+    return network_.rtt_ms(static_cast<net::HostId>(a),
+                           static_cast<net::HostId>(b)) +
+           transfer_ms;
+  };
+  std::vector<std::vector<std::size_t>> groups;
+  groups.reserve(result.groups.size());
+  for (const CacheGroup& g : result.groups) {
+    groups.emplace_back(g.members.begin(), g.members.end());
+  }
+  return cluster::average_group_interaction_cost(groups, icost);
+}
+
+}  // namespace ecgf::core

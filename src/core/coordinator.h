@@ -1,0 +1,40 @@
+// The Group Formation Coordinator (GF-Coordinator, paper §3): the node that
+// orchestrates landmark selection, positioning, and clustering for a given
+// edge cache network, and evaluates the quality of the resulting partition
+// against ground-truth distances.
+#pragma once
+
+#include "cluster/quality.h"
+#include "core/network_builder.h"
+#include "core/scheme.h"
+
+namespace ecgf::core {
+
+class GfCoordinator {
+ public:
+  /// `probing` defines the measurement-noise regime; `seed` drives every
+  /// random choice (selection sampling, clustering init, probe jitter).
+  GfCoordinator(const EdgeNetwork& network, net::ProberOptions probing,
+                std::uint64_t seed);
+
+  /// Execute a scheme end-to-end: returns the formed groups plus cost
+  /// accounting. Each call uses a fresh prober and a forked RNG, so
+  /// repeated runs are independent but deterministic.
+  GroupingResult run(const GroupingScheme& scheme, std::size_t k);
+
+  /// Paper §2 metric: average group interaction cost of a partition in ms,
+  /// evaluated on ground-truth RTTs. `transfer_ms` is the document-transfer
+  /// component added to each pairwise interaction (ICost = RTT + transfer).
+  double average_group_interaction_cost(const GroupingResult& result,
+                                        double transfer_ms = 0.0) const;
+
+  const EdgeNetwork& network() const { return network_; }
+
+ private:
+  const EdgeNetwork& network_;
+  net::ProberOptions probing_;
+  util::Rng rng_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace ecgf::core

@@ -1,0 +1,102 @@
+#include "core/grouping_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/expect.h"
+
+namespace ecgf::core {
+
+std::vector<std::vector<std::uint32_t>> SavedGrouping::partition() const {
+  std::vector<std::vector<std::uint32_t>> out;
+  out.reserve(groups.size());
+  for (const CacheGroup& g : groups) out.push_back(g.members);
+  return out;
+}
+
+void SavedGrouping::validate(std::size_t cache_count) const {
+  std::vector<bool> seen(cache_count, false);
+  std::size_t covered = 0;
+  for (const CacheGroup& g : groups) {
+    ECGF_EXPECTS(!g.members.empty());
+    for (net::HostId m : g.members) {
+      ECGF_EXPECTS(m < cache_count);
+      ECGF_EXPECTS(!seen[m]);
+      seen[m] = true;
+      ++covered;
+    }
+  }
+  ECGF_EXPECTS(covered == cache_count);
+}
+
+namespace {
+
+void write_lines(std::ostream& os, const std::vector<net::HostId>& landmarks,
+                 const std::vector<CacheGroup>& groups) {
+  os << "ecgf-groups v1\n";
+  os << "landmarks";
+  for (net::HostId lm : landmarks) os << ' ' << lm;
+  os << '\n';
+  for (const CacheGroup& g : groups) {
+    os << "group " << g.id;
+    for (net::HostId m : g.members) os << ' ' << m;
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+void write_grouping(std::ostream& os, const GroupingResult& result) {
+  write_lines(os, result.landmarks, result.groups);
+}
+
+void write_grouping(std::ostream& os, const SavedGrouping& grouping) {
+  write_lines(os, grouping.landmarks, grouping.groups);
+}
+
+SavedGrouping read_grouping(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  if (header != "ecgf-groups v1") {
+    throw util::ContractViolation("read_grouping: bad header: " + header);
+  }
+  SavedGrouping out;
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "landmarks") {
+      net::HostId id;
+      while (ls >> id) out.landmarks.push_back(id);
+    } else if (kind == "group") {
+      CacheGroup g;
+      ls >> g.id;
+      if (ls.fail()) {
+        throw util::ContractViolation("read_grouping: bad group id at line " +
+                                      std::to_string(line_no));
+      }
+      net::HostId m;
+      while (ls >> m) g.members.push_back(m);
+      if (g.members.empty()) {
+        throw util::ContractViolation("read_grouping: empty group at line " +
+                                      std::to_string(line_no));
+      }
+      out.groups.push_back(std::move(g));
+    } else {
+      throw util::ContractViolation("read_grouping: unknown record at line " +
+                                    std::to_string(line_no));
+    }
+  }
+  if (out.groups.empty()) {
+    throw util::ContractViolation("read_grouping: no groups found");
+  }
+  return out;
+}
+
+}  // namespace ecgf::core

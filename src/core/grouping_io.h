@@ -1,0 +1,34 @@
+// Persistence for formed groupings: the GF-coordinator runs once, saves
+// the partition, and operational tooling (replay, monitoring) reloads it
+// without re-probing the network.
+//
+// Text format:
+//   ecgf-groups v1
+//   landmarks <id> <id> ...
+//   group <gid> <member> <member> ...
+//   (one group line per group)
+#pragma once
+
+#include <iosfwd>
+
+#include "core/scheme.h"
+
+namespace ecgf::core {
+
+/// Persisted subset of a GroupingResult: landmarks + the partition.
+/// (Positions and probe accounting are formation-time artifacts and are
+/// not stored.)
+struct SavedGrouping {
+  std::vector<net::HostId> landmarks;
+  std::vector<CacheGroup> groups;
+
+  std::vector<std::vector<std::uint32_t>> partition() const;
+  /// Validate: groups partition [0, cache_count) exactly once.
+  void validate(std::size_t cache_count) const;
+};
+
+void write_grouping(std::ostream& os, const GroupingResult& result);
+void write_grouping(std::ostream& os, const SavedGrouping& grouping);
+SavedGrouping read_grouping(std::istream& is);
+
+}  // namespace ecgf::core

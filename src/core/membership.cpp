@@ -1,0 +1,150 @@
+#include "core/membership.h"
+
+#include <limits>
+
+#include "util/expect.h"
+
+namespace ecgf::core {
+
+double rand_index(const std::vector<std::vector<std::uint32_t>>& a,
+                  const std::vector<std::vector<std::uint32_t>>& b,
+                  std::size_t n) {
+  ECGF_EXPECTS(n >= 2);
+  auto labels_of = [n](const std::vector<std::vector<std::uint32_t>>& p) {
+    std::vector<std::uint32_t> labels(n, 0);
+    std::vector<bool> seen(n, false);
+    for (std::uint32_t g = 0; g < p.size(); ++g) {
+      for (std::uint32_t c : p[g]) {
+        ECGF_EXPECTS(c < n);
+        ECGF_EXPECTS(!seen[c]);
+        seen[c] = true;
+        labels[c] = g;
+      }
+    }
+    for (bool s : seen) ECGF_EXPECTS(s);
+    return labels;
+  };
+  const auto la = labels_of(a);
+  const auto lb = labels_of(b);
+
+  std::size_t agree = 0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool together_a = la[i] == la[j];
+      const bool together_b = lb[i] == lb[j];
+      if (together_a == together_b) ++agree;
+      ++pairs;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(pairs);
+}
+
+MembershipManager::MembershipManager(const GroupingResult& base,
+                                     std::size_t cache_count)
+    : dimension_(base.positions.dimension()),
+      centroid_sum_(base.groups.size(), std::vector<double>(dimension_, 0.0)),
+      counts_(base.groups.size(), 0),
+      assignment_(cache_count),
+      active_count_(cache_count) {
+  ECGF_EXPECTS(cache_count >= 1);
+  ECGF_EXPECTS(!base.groups.empty());
+  ECGF_EXPECTS(base.positions.host_count() >= cache_count);
+
+  positions_.reserve(cache_count);
+  for (std::uint32_t c = 0; c < cache_count; ++c) {
+    const auto span = base.positions.coords(c);
+    positions_.emplace_back(span.begin(), span.end());
+  }
+
+  std::size_t covered = 0;
+  for (std::uint32_t g = 0; g < base.groups.size(); ++g) {
+    for (net::HostId member : base.groups[g].members) {
+      ECGF_EXPECTS(member < cache_count);
+      ECGF_EXPECTS(!assignment_[member].has_value());
+      assignment_[member] = g;
+      add_to_centroid(member, g);
+      ++covered;
+    }
+  }
+  ECGF_EXPECTS(covered == cache_count);
+}
+
+void MembershipManager::add_to_centroid(std::uint32_t cache,
+                                        std::uint32_t group) {
+  auto& sum = centroid_sum_[group];
+  for (std::size_t d = 0; d < dimension_; ++d) sum[d] += positions_[cache][d];
+  ++counts_[group];
+}
+
+void MembershipManager::remove_from_centroid(std::uint32_t cache,
+                                             std::uint32_t group) {
+  ECGF_ASSERT(counts_[group] > 0);
+  auto& sum = centroid_sum_[group];
+  for (std::size_t d = 0; d < dimension_; ++d) sum[d] -= positions_[cache][d];
+  --counts_[group];
+}
+
+bool MembershipManager::is_member(std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < assignment_.size());
+  return assignment_[cache].has_value();
+}
+
+std::uint32_t MembershipManager::group_of(std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < assignment_.size());
+  ECGF_EXPECTS(assignment_[cache].has_value());
+  return *assignment_[cache];
+}
+
+void MembershipManager::leave(std::uint32_t cache) {
+  ECGF_EXPECTS(cache < assignment_.size());
+  ECGF_EXPECTS(assignment_[cache].has_value());
+  remove_from_centroid(cache, *assignment_[cache]);
+  assignment_[cache].reset();
+  --active_count_;
+}
+
+std::uint32_t MembershipManager::join(std::uint32_t cache) {
+  ECGF_EXPECTS(cache < assignment_.size());
+  ECGF_EXPECTS(!assignment_[cache].has_value());
+
+  std::uint32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::uint32_t g = 0; g < counts_.size(); ++g) {
+    if (counts_[g] == 0) continue;  // empty groups have no centroid
+    double dist = 0.0;
+    const double inv = 1.0 / static_cast<double>(counts_[g]);
+    for (std::size_t d = 0; d < dimension_; ++d) {
+      const double diff = positions_[cache][d] - centroid_sum_[g][d] * inv;
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = g;
+      found = true;
+    }
+  }
+  if (!found) best = 0;  // every group empty: restart group 0 with this cache
+
+  assignment_[cache] = best;
+  add_to_centroid(cache, best);
+  ++active_count_;
+  return best;
+}
+
+std::vector<std::vector<std::uint32_t>> MembershipManager::active_partition()
+    const {
+  std::vector<std::vector<std::uint32_t>> groups(counts_.size());
+  for (std::uint32_t c = 0; c < assignment_.size(); ++c) {
+    if (assignment_[c].has_value()) groups[*assignment_[c]].push_back(c);
+  }
+  std::vector<std::vector<std::uint32_t>> out;
+  out.reserve(groups.size());
+  for (auto& g : groups) {
+    if (!g.empty()) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace ecgf::core

@@ -1,0 +1,65 @@
+// Group membership dynamics — operating the cache groups *after*
+// formation. The paper assumes a static cache population; a deployable
+// system needs caches to leave (maintenance, crashes) and rejoin without a
+// full re-clustering, plus a way to quantify how much a periodic
+// re-formation actually changes the grouping.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/scheme.h"
+
+namespace ecgf::core {
+
+/// Rand index between two partitions of the caches [0, n): the fraction of
+/// cache pairs whose co-membership agrees (1.0 = identical grouping,
+/// ~0.5 = unrelated). Standard partition-similarity metric, used to
+/// measure re-formation stability.
+double rand_index(const std::vector<std::vector<std::uint32_t>>& a,
+                  const std::vector<std::vector<std::uint32_t>>& b,
+                  std::size_t n);
+
+/// Incremental membership on top of a formed GroupingResult.
+///
+/// Maintains per-group centroids in the formation's feature space. A cache
+/// can `leave()` (departs its group) and later `join()` (re-assigned to
+/// the group with the nearest centroid — no re-clustering, no probing:
+/// the formation-time position is reused). Centroids track membership
+/// incrementally, so long sequences of churn stay consistent.
+class MembershipManager {
+ public:
+  /// `base` must cover caches 0..cache_count-1 (a full formation result).
+  MembershipManager(const GroupingResult& base, std::size_t cache_count);
+
+  std::size_t group_count() const { return counts_.size(); }
+  std::size_t active_caches() const { return active_count_; }
+
+  bool is_member(std::uint32_t cache) const;
+  /// Group of an active cache; throws for departed caches.
+  std::uint32_t group_of(std::uint32_t cache) const;
+
+  /// Remove the cache from its group. Throws if already departed.
+  void leave(std::uint32_t cache);
+
+  /// Re-admit a departed cache into the group with the nearest centroid;
+  /// returns that group id. Throws if the cache is still a member.
+  std::uint32_t join(std::uint32_t cache);
+
+  /// Current partition including only active caches; groups that lost all
+  /// members are omitted (the simulator requires non-empty groups).
+  std::vector<std::vector<std::uint32_t>> active_partition() const;
+
+ private:
+  void add_to_centroid(std::uint32_t cache, std::uint32_t group);
+  void remove_from_centroid(std::uint32_t cache, std::uint32_t group);
+
+  std::size_t dimension_;
+  std::vector<std::vector<double>> positions_;   ///< formation-time coords
+  std::vector<std::vector<double>> centroid_sum_;
+  std::vector<std::size_t> counts_;
+  std::vector<std::optional<std::uint32_t>> assignment_;  ///< nullopt = departed
+  std::size_t active_count_;
+};
+
+}  // namespace ecgf::core

@@ -1,0 +1,90 @@
+#include "core/network_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/expect.h"
+
+namespace ecgf::core {
+
+EdgeNetwork::EdgeNetwork(topology::TransitStubTopology topo,
+                         topology::HostPlacement placement,
+                         net::DistanceMatrix rtt, std::size_t cache_count)
+    : topo_(std::move(topo)),
+      placement_(std::move(placement)),
+      provider_(std::move(rtt)),
+      cache_count_(cache_count) {
+  ECGF_EXPECTS(cache_count_ >= 1);
+  ECGF_EXPECTS(provider_.host_count() == cache_count_ + 1);
+  ECGF_EXPECTS(placement_.host_count() == cache_count_ + 1);
+}
+
+net::Prober EdgeNetwork::make_prober(const net::ProberOptions& options,
+                                     std::uint64_t seed) const {
+  return net::Prober(provider_, options, util::Rng(seed));
+}
+
+std::vector<std::uint32_t> EdgeNetwork::caches_by_server_distance() const {
+  std::vector<std::uint32_t> order(cache_count_);
+  std::iota(order.begin(), order.end(), 0u);
+  const net::HostId os = server();
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double da = provider_.rtt_ms(a, os);
+    const double db = provider_.rtt_ms(b, os);
+    return da != db ? da < db : a < b;
+  });
+  return order;
+}
+
+std::vector<std::uint32_t> EdgeNetwork::nearest_caches(std::size_t n) const {
+  ECGF_EXPECTS(n >= 1 && n <= cache_count_);
+  auto order = caches_by_server_distance();
+  order.resize(n);
+  return order;
+}
+
+std::vector<std::uint32_t> EdgeNetwork::farthest_caches(std::size_t n) const {
+  ECGF_EXPECTS(n >= 1 && n <= cache_count_);
+  auto order = caches_by_server_distance();
+  std::reverse(order.begin(), order.end());
+  order.resize(n);
+  return order;
+}
+
+topology::TransitStubParams scaled_topology_for(std::size_t cache_count) {
+  topology::TransitStubParams p;
+  // Defaults give 4·4·3·12 = 576 stub routers — enough for 500 caches. For
+  // larger populations widen the stub domains.
+  const std::size_t hosts = cache_count + 1;
+  std::size_t stub_routers = static_cast<std::size_t>(p.transit_domains) *
+                             p.transit_nodes_per_domain *
+                             p.stub_domains_per_transit_node *
+                             p.stub_nodes_per_domain;
+  while (stub_routers < hosts) {
+    p.stub_nodes_per_domain += 4;
+    stub_routers = static_cast<std::size_t>(p.transit_domains) *
+                   p.transit_nodes_per_domain *
+                   p.stub_domains_per_transit_node * p.stub_nodes_per_domain;
+  }
+  return p;
+}
+
+EdgeNetwork build_edge_network(const EdgeNetworkParams& params,
+                               std::uint64_t seed) {
+  ECGF_EXPECTS(params.cache_count >= 1);
+  util::Rng rng(seed);
+  util::Rng topo_rng = rng.fork(1);
+  util::Rng place_rng = rng.fork(2);
+
+  topology::TransitStubTopology topo =
+      topology::generate_transit_stub(params.topo, topo_rng);
+  topology::HostPlacement placement = topology::place_hosts(
+      topo, params.cache_count + 1, params.placement, place_rng);
+  auto full = topology::host_rtt_matrix(topo.graph, placement);
+  net::DistanceMatrix matrix = net::DistanceMatrix::from_full(full);
+  return EdgeNetwork(std::move(topo), std::move(placement), std::move(matrix),
+                     params.cache_count);
+}
+
+}  // namespace ecgf::core

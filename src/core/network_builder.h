@@ -1,0 +1,76 @@
+// One-call construction of a complete experimental edge cache network:
+// transit-stub topology → host placement (N caches + origin server) →
+// ground-truth RTT matrix → RttProvider. Owns everything the schemes and
+// the simulator need.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/distance_matrix.h"
+#include "net/prober.h"
+#include "topology/attachment.h"
+#include "topology/transit_stub.h"
+
+namespace ecgf::core {
+
+struct EdgeNetworkParams {
+  std::size_t cache_count = 100;
+  topology::TransitStubParams topo{};
+  topology::PlacementOptions placement{};
+};
+
+/// An instantiated edge cache network with ground-truth distances.
+class EdgeNetwork {
+ public:
+  EdgeNetwork(topology::TransitStubTopology topo,
+              topology::HostPlacement placement, net::DistanceMatrix rtt,
+              std::size_t cache_count);
+
+  std::size_t cache_count() const { return cache_count_; }
+  /// Origin server host id (== cache_count by convention).
+  net::HostId server() const {
+    return static_cast<net::HostId>(cache_count_);
+  }
+  std::size_t host_count() const { return cache_count_ + 1; }
+
+  /// Ground-truth RTT provider over all hosts (caches + server).
+  const net::RttProvider& rtt() const { return provider_; }
+
+  /// Ground-truth RTT in ms between two hosts.
+  double rtt_ms(net::HostId a, net::HostId b) const {
+    return provider_.rtt_ms(a, b);
+  }
+
+  /// Make a measurement channel with the given probing noise profile.
+  net::Prober make_prober(const net::ProberOptions& options,
+                          std::uint64_t seed) const;
+
+  /// The `n` caches nearest to the origin server by ground-truth RTT
+  /// (ascending) — the paper's "50 nearest caches" subset in Fig. 3.
+  std::vector<std::uint32_t> nearest_caches(std::size_t n) const;
+  /// The `n` caches farthest from the origin server (descending RTT).
+  std::vector<std::uint32_t> farthest_caches(std::size_t n) const;
+
+  const topology::TransitStubTopology& topology() const { return topo_; }
+  const topology::HostPlacement& placement() const { return placement_; }
+
+ private:
+  std::vector<std::uint32_t> caches_by_server_distance() const;
+
+  topology::TransitStubTopology topo_;
+  topology::HostPlacement placement_;
+  net::MatrixRttProvider provider_;
+  std::size_t cache_count_;
+};
+
+/// Build a network: generate topology, attach cache_count + 1 hosts (the
+/// extra host is the origin server), compute the RTT matrix.
+EdgeNetwork build_edge_network(const EdgeNetworkParams& params,
+                               std::uint64_t seed);
+
+/// Scale topology defaults so the router count comfortably exceeds the
+/// host count (keeps stub routers ≥ hosts for distinct attachment).
+topology::TransitStubParams scaled_topology_for(std::size_t cache_count);
+
+}  // namespace ecgf::core

@@ -1,0 +1,82 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace ecgf::core {
+
+model::LatencyModelParams calibrate_latency_model(
+    const Testbed& testbed, GfCoordinator& coordinator,
+    const workload::WorkloadParams& workload,
+    const sim::SimulationConfig& sim_config) {
+  const std::size_t n = testbed.network.cache_count();
+  ECGF_EXPECTS(n >= 10);
+
+  model::LatencyModelParams mp;
+  mp.catalog_docs = testbed.catalog.size();
+  mp.zipf_alpha = workload.zipf_alpha;
+  mp.requests_per_cache_per_s = workload.requests_per_cache_per_s;
+  mp.similarity = workload.similarity;
+  mp.capacity_docs = static_cast<double>(sim_config.cache_capacity_bytes) /
+                     testbed.catalog.mean_size_bytes();
+  mp.cost = sim_config.cost;
+  mp.mean_doc_bytes = testbed.catalog.mean_size_bytes();
+
+  double gen_total = 0.0;
+  double update_total = 0.0;
+  for (cache::DocId d = 0; d < testbed.catalog.size(); ++d) {
+    gen_total += testbed.catalog.info(d).generation_cost_ms;
+    update_total += testbed.catalog.info(d).update_rate;
+  }
+  mp.generation_ms = gen_total / static_cast<double>(testbed.catalog.size());
+  mp.mean_update_rate =
+      update_total / static_cast<double>(testbed.catalog.size());
+
+  // Fit g(s) = base + spread·(s/n)^γ from two measured SL groupings: a
+  // small-group setting (s ≈ 5) and the single full-network group.
+  SchemeConfig cfg;
+  cfg.num_landmarks = std::min<std::size_t>(25, n / 2);
+  const SlScheme scheme(cfg);
+  const std::size_t small_k = std::max<std::size_t>(2, n / 5);
+  const double g_small = coordinator.average_group_interaction_cost(
+      coordinator.run(scheme, small_k));
+  const double g_full = coordinator.average_group_interaction_cost(
+      coordinator.run(scheme, 1));
+  const double s_small =
+      static_cast<double>(n) / static_cast<double>(small_k);
+
+  constexpr double kGamma = 0.5;
+  const double x = std::pow(s_small / static_cast<double>(n), kGamma);
+  double spread = (g_full - g_small) / (1.0 - x);
+  double base = g_full - spread;
+  if (!(spread > 0.0)) {  // degenerate fit: flat geometry
+    spread = std::max(1e-3, g_full);
+    base = 0.0;
+  }
+  mp.intra_group_rtt_ms = model::power_law_rtt_curve(
+      std::max(0.0, base), spread, static_cast<double>(n), kGamma);
+  return mp;
+}
+
+std::size_t recommend_group_count(const model::LatencyModelParams& params,
+                                  std::size_t cache_count,
+                                  double mean_server_rtt_ms,
+                                  std::vector<double> candidate_sizes) {
+  ECGF_EXPECTS(cache_count >= 1);
+  if (candidate_sizes.empty()) {
+    // Geometric ladder from pairs up to the whole network.
+    for (double s = 2.0; s < static_cast<double>(cache_count); s *= 1.5) {
+      candidate_sizes.push_back(s);
+    }
+    candidate_sizes.push_back(static_cast<double>(cache_count));
+  }
+  const double s_star = model::optimal_group_size(
+      params, mean_server_rtt_ms, candidate_sizes);
+  const auto k = static_cast<std::size_t>(
+      std::lround(static_cast<double>(cache_count) / s_star));
+  return std::clamp<std::size_t>(k, 1, cache_count);
+}
+
+}  // namespace ecgf::core

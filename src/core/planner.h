@@ -1,0 +1,33 @@
+// Capacity planning: calibrate the analytical latency model against a
+// concrete testbed and recommend a group count — turning the paper's
+// "K is a pre-specified parameter" into a derived quantity. This is the
+// natural operational question the paper's Fig. 3 raises but leaves open.
+#pragma once
+
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "model/latency_model.h"
+
+namespace ecgf::core {
+
+/// Fit a LatencyModelParams to a testbed:
+///  * workload knobs copied from the testbed parameters,
+///  * capacity in documents from the simulator capacity & catalog sizes,
+///  * the intra-group RTT curve g(s) fitted (power law) from the measured
+///    geometry of SL groupings at a small and the full group size.
+/// Runs two scheme formations through `coordinator` (probing cost applies).
+model::LatencyModelParams calibrate_latency_model(
+    const Testbed& testbed, GfCoordinator& coordinator,
+    const workload::WorkloadParams& workload,
+    const sim::SimulationConfig& sim_config);
+
+/// Latency-optimal group count for a network of `cache_count` caches whose
+/// mean RTT to the origin is `mean_server_rtt_ms`: sweeps candidate
+/// average group sizes (divisors-ish ladder when `candidate_sizes` empty)
+/// and returns K = round(N / s*), clamped to [1, N].
+std::size_t recommend_group_count(const model::LatencyModelParams& params,
+                                  std::size_t cache_count,
+                                  double mean_server_rtt_ms,
+                                  std::vector<double> candidate_sizes = {});
+
+}  // namespace ecgf::core

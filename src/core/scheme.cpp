@@ -1,0 +1,164 @@
+#include "core/scheme.h"
+
+#include "coords/feature_vector.h"
+#include "util/expect.h"
+
+namespace ecgf::core {
+
+std::vector<std::vector<std::uint32_t>> GroupingResult::partition() const {
+  std::vector<std::vector<std::uint32_t>> out;
+  out.reserve(groups.size());
+  for (const CacheGroup& g : groups) out.push_back(g.members);
+  return out;
+}
+
+namespace {
+
+/// Output of the two scheme-independent steps (landmarks + positioning).
+struct PipelineOutput {
+  landmark::LandmarkSelection selection;
+  coords::PositionMap positions;
+  std::vector<double> server_distance_ms;
+  std::size_t probes_used = 0;
+};
+
+/// Steps 1–2 of both schemes: choose landmarks, position every host.
+PipelineOutput run_positioning(const SchemeConfig& config,
+                               std::size_t cache_count, net::HostId server,
+                               net::Prober& prober, util::Rng& rng) {
+  ECGF_EXPECTS(cache_count >= 2);
+  // Library-wide convention: hosts 0..N-1 are caches, host N the server.
+  ECGF_EXPECTS(server == cache_count);
+  const std::size_t host_count = cache_count + 1;
+
+  PipelineOutput out;
+  const std::size_t probes_before = prober.probes_sent();
+
+  auto selector = landmark::make_selector(config.selector, config.m_multiplier);
+  out.selection =
+      selector->select(cache_count, server, config.num_landmarks, prober, rng);
+
+  switch (config.positions) {
+    case PositionKind::kFeatureVector: {
+      out.positions = coords::build_feature_vectors(
+          host_count, out.selection.landmarks, prober);
+      // landmarks[0] is the origin server, so feature-vector component 0 is
+      // exactly the measured Dist(Ec_j, Os).
+      out.server_distance_ms.reserve(cache_count);
+      for (net::HostId c = 0; c < cache_count; ++c) {
+        out.server_distance_ms.push_back(out.positions.coords(c)[0]);
+      }
+      break;
+    }
+    case PositionKind::kGnp: {
+      util::Rng gnp_rng = rng.fork(0x67u);
+      auto embedding = coords::build_gnp_embedding(
+          host_count, out.selection.landmarks, prober, config.gnp, gnp_rng);
+      out.positions = std::move(embedding.positions);
+      out.server_distance_ms.reserve(cache_count);
+      for (net::HostId c = 0; c < cache_count; ++c) {
+        out.server_distance_ms.push_back(prober.measure_rtt_ms(c, server));
+      }
+      break;
+    }
+    case PositionKind::kVirtualLandmarks: {
+      auto embedding = coords::build_virtual_landmarks(
+          host_count, out.selection.landmarks, prober,
+          config.virtual_landmarks);
+      out.positions = std::move(embedding.positions);
+      out.server_distance_ms.reserve(cache_count);
+      for (net::HostId c = 0; c < cache_count; ++c) {
+        out.server_distance_ms.push_back(prober.measure_rtt_ms(c, server));
+      }
+      break;
+    }
+    case PositionKind::kVivaldi: {
+      // Vivaldi needs no landmarks (decentralised sampling), but keeps the
+      // selection for server-distance reporting parity with the others.
+      util::Rng viv_rng = rng.fork(0x76u);
+      auto embedding = coords::build_vivaldi_embedding(host_count, prober,
+                                                       config.vivaldi, viv_rng);
+      out.positions = std::move(embedding.positions);
+      out.server_distance_ms.reserve(cache_count);
+      for (net::HostId c = 0; c < cache_count; ++c) {
+        out.server_distance_ms.push_back(prober.measure_rtt_ms(c, server));
+      }
+      break;
+    }
+  }
+
+  out.probes_used = prober.probes_sent() - probes_before;
+  return out;
+}
+
+/// Step 3 shared tail: cluster cache points and package the result.
+GroupingResult cluster_and_package(const SchemeConfig& config,
+                                   std::size_t cache_count,
+                                   PipelineOutput pipeline, std::size_t k,
+                                   const cluster::InitStrategy& init,
+                                   util::Rng& rng) {
+  cluster::Points points;
+  points.reserve(cache_count);
+  for (net::HostId c = 0; c < cache_count; ++c) {
+    const auto span = pipeline.positions.coords(c);
+    points.emplace_back(span.begin(), span.end());
+  }
+
+  const cluster::KMeansResult km =
+      cluster::kmeans(points, k, init, rng, config.kmeans);
+
+  GroupingResult result;
+  result.landmarks = pipeline.selection.landmarks;
+  result.positions = std::move(pipeline.positions);
+  result.server_distance_ms = std::move(pipeline.server_distance_ms);
+  result.probes_used = pipeline.probes_used;
+  result.kmeans_iterations = km.iterations;
+  result.kmeans_converged = km.converged;
+
+  const auto groups = km.groups();
+  result.groups.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    CacheGroup cg;
+    cg.id = static_cast<std::uint32_t>(g);
+    cg.members.reserve(groups[g].size());
+    for (std::size_t m : groups[g]) {
+      cg.members.push_back(static_cast<net::HostId>(m));
+    }
+    result.groups.push_back(std::move(cg));
+  }
+  return result;
+}
+
+}  // namespace
+
+SlScheme::SlScheme(SchemeConfig config) : config_(std::move(config)) {}
+
+GroupingResult SlScheme::form_groups(std::size_t cache_count,
+                                     net::HostId server, std::size_t k,
+                                     net::Prober& prober,
+                                     util::Rng& rng) const {
+  ECGF_EXPECTS(k >= 1 && k <= cache_count);
+  PipelineOutput pipeline =
+      run_positioning(config_, cache_count, server, prober, rng);
+  const cluster::UniformCoverageInit init(config_.coverage);
+  return cluster_and_package(config_, cache_count, std::move(pipeline), k,
+                             init, rng);
+}
+
+SdslScheme::SdslScheme(SchemeConfig config) : config_(std::move(config)) {}
+
+GroupingResult SdslScheme::form_groups(std::size_t cache_count,
+                                       net::HostId server, std::size_t k,
+                                       net::Prober& prober,
+                                       util::Rng& rng) const {
+  ECGF_EXPECTS(k >= 1 && k <= cache_count);
+  PipelineOutput pipeline =
+      run_positioning(config_, cache_count, server, prober, rng);
+  const cluster::ServerDistanceWeightedInit init(pipeline.server_distance_ms,
+                                                 config_.theta,
+                                                 config_.coverage);
+  return cluster_and_package(config_, cache_count, std::move(pipeline), k,
+                             init, rng);
+}
+
+}  // namespace ecgf::core

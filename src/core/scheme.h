@@ -1,0 +1,108 @@
+// Group-formation schemes — the paper's contribution.
+//
+// A GroupingScheme partitions the N edge caches of a network into K
+// cooperative groups using only *measured* RTTs (through a Prober). The SL
+// scheme clusters on mutual cache proximity; the SDSL scheme additionally
+// biases cluster seeding by distance-to-origin-server (Pr ∝ 1/d^θ).
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "coords/gnp.h"
+#include "coords/position_map.h"
+#include "coords/virtual_landmarks.h"
+#include "coords/vivaldi.h"
+#include "landmark/factory.h"
+#include "net/prober.h"
+#include "util/rng.h"
+
+namespace ecgf::core {
+
+/// How node positions are represented before clustering (Fig. 7 knob).
+enum class PositionKind {
+  kFeatureVector,     ///< raw landmark-RTT vectors (the paper's choice)
+  kGnp,               ///< GNP Euclidean embedding (comparator)
+  kVivaldi,           ///< Vivaldi spring coordinates (decentralised; extension)
+  kVirtualLandmarks   ///< PCA-reduced feature vectors (Tang & Crovella)
+};
+
+/// Shared configuration of the landmark/positioning/clustering pipeline.
+struct SchemeConfig {
+  std::size_t num_landmarks = 25;                     ///< L
+  std::size_t m_multiplier = 2;                       ///< M (PLSet = M×(L-1))
+  landmark::SelectorKind selector = landmark::SelectorKind::kGreedy;
+  PositionKind positions = PositionKind::kFeatureVector;
+  coords::GnpOptions gnp{};          ///< used when positions == kGnp
+  coords::VivaldiOptions vivaldi{};  ///< used when positions == kVivaldi
+  coords::VirtualLandmarksOptions virtual_landmarks{};  ///< kVirtualLandmarks
+  cluster::KMeansOptions kmeans{};
+  cluster::CoverageGuard coverage{};
+  double theta = 2.0;  ///< SDSL server-distance sensitivity (ignored by SL)
+};
+
+/// One formed cooperative group.
+struct CacheGroup {
+  std::uint32_t id = 0;
+  std::vector<net::HostId> members;  ///< cache indices
+};
+
+/// Everything a scheme run produces, including cost accounting.
+struct GroupingResult {
+  std::vector<CacheGroup> groups;
+  std::vector<net::HostId> landmarks;     ///< landmarks[0] == origin server
+  coords::PositionMap positions;          ///< all hosts (caches + server)
+  std::vector<double> server_distance_ms; ///< measured Dist(Ec_j, Os) per cache
+  std::size_t probes_used = 0;            ///< total probe packets spent
+  std::size_t kmeans_iterations = 0;
+  bool kmeans_converged = false;
+
+  /// Plain partition view (member lists only), for cluster::quality and sim.
+  std::vector<std::vector<std::uint32_t>> partition() const;
+};
+
+class GroupingScheme {
+ public:
+  virtual ~GroupingScheme() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Partition caches 0..cache_count-1 into k groups. `prober` is the only
+  /// channel to network distances; `rng` drives all random choices.
+  virtual GroupingResult form_groups(std::size_t cache_count,
+                                     net::HostId server, std::size_t k,
+                                     net::Prober& prober,
+                                     util::Rng& rng) const = 0;
+};
+
+/// Selective Landmarks scheme (paper §3).
+class SlScheme final : public GroupingScheme {
+ public:
+  explicit SlScheme(SchemeConfig config = {});
+  std::string_view name() const override { return "SL"; }
+  GroupingResult form_groups(std::size_t cache_count, net::HostId server,
+                             std::size_t k, net::Prober& prober,
+                             util::Rng& rng) const override;
+  const SchemeConfig& config() const { return config_; }
+
+ private:
+  SchemeConfig config_;
+};
+
+/// Server Distance sensitive Selective Landmarks scheme (paper §4).
+class SdslScheme final : public GroupingScheme {
+ public:
+  explicit SdslScheme(SchemeConfig config = {});
+  std::string_view name() const override { return "SDSL"; }
+  GroupingResult form_groups(std::size_t cache_count, net::HostId server,
+                             std::size_t k, net::Prober& prober,
+                             util::Rng& rng) const override;
+  const SchemeConfig& config() const { return config_; }
+
+ private:
+  SchemeConfig config_;
+};
+
+}  // namespace ecgf::core

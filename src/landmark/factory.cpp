@@ -1,0 +1,42 @@
+#include "landmark/factory.h"
+
+#include "landmark/greedy_selector.h"
+#include "landmark/mindist_selector.h"
+#include "landmark/random_selector.h"
+#include "util/expect.h"
+
+namespace ecgf::landmark {
+
+std::string_view selector_kind_name(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kGreedy:
+      return "greedy";
+    case SelectorKind::kRandom:
+      return "random";
+    case SelectorKind::kMinDist:
+      return "mindist";
+  }
+  throw util::ContractViolation("unknown SelectorKind");
+}
+
+SelectorKind parse_selector_kind(std::string_view name) {
+  if (name == "greedy") return SelectorKind::kGreedy;
+  if (name == "random") return SelectorKind::kRandom;
+  if (name == "mindist") return SelectorKind::kMinDist;
+  throw util::ContractViolation("unknown selector name: " + std::string(name));
+}
+
+std::unique_ptr<LandmarkSelector> make_selector(SelectorKind kind,
+                                                std::size_t m_multiplier) {
+  switch (kind) {
+    case SelectorKind::kGreedy:
+      return std::make_unique<GreedyLandmarkSelector>(m_multiplier);
+    case SelectorKind::kRandom:
+      return std::make_unique<RandomLandmarkSelector>();
+    case SelectorKind::kMinDist:
+      return std::make_unique<MinDistLandmarkSelector>(m_multiplier);
+  }
+  throw util::ContractViolation("unknown SelectorKind");
+}
+
+}  // namespace ecgf::landmark

@@ -1,0 +1,26 @@
+// Construction of landmark selectors by name/enum — used by benches and the
+// experiment harness to sweep the three techniques of Figs. 4–6.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "landmark/selector.h"
+
+namespace ecgf::landmark {
+
+enum class SelectorKind { kGreedy, kRandom, kMinDist };
+
+/// Human-readable name matching LandmarkSelector::name().
+std::string_view selector_kind_name(SelectorKind kind);
+
+/// Parse a selector name ("greedy" | "random" | "mindist"); throws on
+/// unknown names.
+SelectorKind parse_selector_kind(std::string_view name);
+
+/// Create a selector. `m_multiplier` is the PLSet M parameter (ignored by
+/// the random selector).
+std::unique_ptr<LandmarkSelector> make_selector(SelectorKind kind,
+                                                std::size_t m_multiplier = 2);
+
+}  // namespace ecgf::landmark

@@ -1,0 +1,30 @@
+// The SL scheme's landmark selector (paper §3.1): an approximation-based
+// greedy strategy that maximises the minimum pairwise distance within the
+// landmark set, using only distances measured inside a small sampled PLSet.
+#pragma once
+
+#include "landmark/selector.h"
+
+namespace ecgf::landmark {
+
+/// Greedy max-min-dispersion selection over a sampled potential landmark
+/// set of size M×(L-1). Initialises LmSet = {Os}; each iteration adds the
+/// PLSet cache that maximises MinDist(LmSet).
+class GreedyLandmarkSelector final : public LandmarkSelector {
+ public:
+  /// `m_multiplier` is the paper's M parameter (PLSet = M×(L-1) caches).
+  explicit GreedyLandmarkSelector(std::size_t m_multiplier = 2);
+
+  std::string_view name() const override { return "greedy"; }
+
+  LandmarkSelection select(std::size_t num_caches, net::HostId server,
+                           std::size_t num_landmarks, net::Prober& prober,
+                           util::Rng& rng) override;
+
+  std::size_t m_multiplier() const { return m_multiplier_; }
+
+ private:
+  std::size_t m_multiplier_;
+};
+
+}  // namespace ecgf::landmark

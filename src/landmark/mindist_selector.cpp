@@ -1,0 +1,73 @@
+#include "landmark/mindist_selector.h"
+
+#include <limits>
+
+#include "util/expect.h"
+
+namespace ecgf::landmark {
+
+MinDistLandmarkSelector::MinDistLandmarkSelector(std::size_t m_multiplier)
+    : m_multiplier_(m_multiplier) {
+  ECGF_EXPECTS(m_multiplier >= 1);
+}
+
+LandmarkSelection MinDistLandmarkSelector::select(std::size_t num_caches,
+                                                  net::HostId server,
+                                                  std::size_t num_landmarks,
+                                                  net::Prober& prober,
+                                                  util::Rng& rng) {
+  ECGF_EXPECTS(num_landmarks >= 2);
+  ECGF_EXPECTS(num_landmarks <= num_caches + 1);
+
+  const std::size_t probes_before = prober.probes_sent();
+
+  std::vector<net::HostId> plset =
+      sample_plset(num_caches, num_landmarks, m_multiplier_, rng);
+  std::vector<net::HostId> pool = plset;
+  pool.push_back(server);
+
+  const std::size_t p = pool.size();
+  std::vector<std::vector<double>> dist(p, std::vector<double>(p, 0.0));
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = i + 1; j < p; ++j) {
+      dist[i][j] = dist[j][i] = prober.measure_rtt_ms(pool[i], pool[j]);
+    }
+  }
+
+  // Greedy min-dispersion: start at {Os}; each iteration adds the candidate
+  // whose minimum distance to the chosen set is smallest (clumping).
+  const std::size_t server_idx = p - 1;
+  std::vector<bool> chosen(p, false);
+  chosen[server_idx] = true;
+  std::vector<std::size_t> lmset{server_idx};
+  std::vector<double> min_to_set(p);
+  for (std::size_t i = 0; i < p; ++i) min_to_set[i] = dist[i][server_idx];
+
+  const std::size_t to_pick = std::min(num_landmarks - 1, plset.size());
+  for (std::size_t round = 0; round < to_pick; ++round) {
+    std::size_t best = p;
+    double best_val = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < p; ++i) {
+      if (chosen[i]) continue;
+      if (min_to_set[i] < best_val) {
+        best_val = min_to_set[i];
+        best = i;
+      }
+    }
+    ECGF_ASSERT(best < p);
+    chosen[best] = true;
+    lmset.push_back(best);
+    for (std::size_t i = 0; i < p; ++i) {
+      min_to_set[i] = std::min(min_to_set[i], dist[i][best]);
+    }
+  }
+
+  LandmarkSelection out;
+  out.landmarks.reserve(lmset.size());
+  for (std::size_t idx : lmset) out.landmarks.push_back(pool[idx]);
+  out.probes_used = prober.probes_sent() - probes_before;
+  ECGF_ENSURES(out.landmarks[0] == server);
+  return out;
+}
+
+}  // namespace ecgf::landmark

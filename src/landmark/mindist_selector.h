@@ -1,0 +1,26 @@
+// Adversarial baseline (paper §5.1, "Min-Dist landmarks technique"):
+// landmarks chosen so the distance between any two landmarks is
+// *minimised*, i.e. a maximally clumped — and therefore poorly dispersed —
+// frame of reference. Mirrors the greedy selector's PLSet machinery so the
+// two baselines differ only in the selection objective.
+#pragma once
+
+#include "landmark/selector.h"
+
+namespace ecgf::landmark {
+
+class MinDistLandmarkSelector final : public LandmarkSelector {
+ public:
+  explicit MinDistLandmarkSelector(std::size_t m_multiplier = 2);
+
+  std::string_view name() const override { return "mindist"; }
+
+  LandmarkSelection select(std::size_t num_caches, net::HostId server,
+                           std::size_t num_landmarks, net::Prober& prober,
+                           util::Rng& rng) override;
+
+ private:
+  std::size_t m_multiplier_;
+};
+
+}  // namespace ecgf::landmark

@@ -1,0 +1,23 @@
+#include "landmark/random_selector.h"
+
+#include "util/expect.h"
+
+namespace ecgf::landmark {
+
+LandmarkSelection RandomLandmarkSelector::select(std::size_t num_caches,
+                                                 net::HostId server,
+                                                 std::size_t num_landmarks,
+                                                 net::Prober& /*prober*/,
+                                                 util::Rng& rng) {
+  ECGF_EXPECTS(num_landmarks >= 2);
+  ECGF_EXPECTS(num_landmarks <= num_caches + 1);
+  LandmarkSelection out;
+  out.landmarks.push_back(server);
+  for (std::size_t i : rng.sample_indices(num_caches, num_landmarks - 1)) {
+    out.landmarks.push_back(static_cast<net::HostId>(i));
+  }
+  out.probes_used = 0;  // no measurements needed
+  return out;
+}
+
+}  // namespace ecgf::landmark

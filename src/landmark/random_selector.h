@@ -1,0 +1,18 @@
+// Baseline landmark selector (paper §5.1, "random landmarks scheme"):
+// L-1 caches drawn uniformly at random, plus the origin server.
+#pragma once
+
+#include "landmark/selector.h"
+
+namespace ecgf::landmark {
+
+class RandomLandmarkSelector final : public LandmarkSelector {
+ public:
+  std::string_view name() const override { return "random"; }
+
+  LandmarkSelection select(std::size_t num_caches, net::HostId server,
+                           std::size_t num_landmarks, net::Prober& prober,
+                           util::Rng& rng) override;
+};
+
+}  // namespace ecgf::landmark

@@ -1,0 +1,25 @@
+#include "landmark/selector.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace ecgf::landmark {
+
+std::vector<net::HostId> sample_plset(std::size_t num_caches,
+                                      std::size_t num_landmarks,
+                                      std::size_t m_multiplier,
+                                      util::Rng& rng) {
+  ECGF_EXPECTS(num_landmarks >= 2);
+  ECGF_EXPECTS(num_landmarks <= num_caches + 1);
+  ECGF_EXPECTS(m_multiplier >= 1);
+  const std::size_t want = m_multiplier * (num_landmarks - 1);
+  const std::size_t size = std::min(want, num_caches);
+  auto idx = rng.sample_indices(num_caches, size);
+  std::vector<net::HostId> plset;
+  plset.reserve(size);
+  for (std::size_t i : idx) plset.push_back(static_cast<net::HostId>(i));
+  return plset;
+}
+
+}  // namespace ecgf::landmark

@@ -1,0 +1,49 @@
+// Landmark selection — step 1 of both the SL and SDSL schemes.
+//
+// A selector chooses L landmark hosts that serve as the frame of reference
+// for positioning every node. The origin server is always a landmark (the
+// paper fixes this); the remaining L-1 are edge caches. Selectors that need
+// distance knowledge obtain it by probing (paying measurement cost), never
+// by reading the ground-truth matrix directly.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "net/prober.h"
+#include "util/rng.h"
+
+namespace ecgf::landmark {
+
+/// Result of landmark selection.
+struct LandmarkSelection {
+  /// Chosen landmark hosts. landmarks[0] is always the origin server.
+  std::vector<net::HostId> landmarks;
+  /// Probe packets spent choosing them (the scheme's measurement overhead).
+  std::size_t probes_used = 0;
+};
+
+/// Strategy interface for choosing the landmark set.
+class LandmarkSelector {
+ public:
+  virtual ~LandmarkSelector() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Choose `num_landmarks` landmarks for a network of `num_caches` caches
+  /// (hosts 0..num_caches-1) and origin server `server`.
+  /// Requires 2 <= num_landmarks <= num_caches + 1.
+  virtual LandmarkSelection select(std::size_t num_caches, net::HostId server,
+                                   std::size_t num_landmarks,
+                                   net::Prober& prober, util::Rng& rng) = 0;
+};
+
+/// Sample the potential landmark set (PLSet): m_multiplier × (L-1) distinct
+/// caches drawn uniformly, clamped to the cache population.
+std::vector<net::HostId> sample_plset(std::size_t num_caches,
+                                      std::size_t num_landmarks,
+                                      std::size_t m_multiplier,
+                                      util::Rng& rng);
+
+}  // namespace ecgf::landmark

@@ -1,0 +1,99 @@
+#include "model/che.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace ecgf::model {
+
+namespace {
+
+/// Expected occupancy at characteristic time t: Σ_i (1 − e^{−λ_i t}).
+double expected_occupancy(const std::vector<double>& rates, double t) {
+  double occ = 0.0;
+  for (double r : rates) occ += 1.0 - std::exp(-r * t);
+  return occ;
+}
+
+}  // namespace
+
+CheResult che_approximation(const CheInputs& inputs) {
+  const std::size_t n = inputs.request_rates.size();
+  ECGF_EXPECTS(n > 0);
+  ECGF_EXPECTS(inputs.capacity_docs > 0.0);
+  ECGF_EXPECTS(inputs.update_rates.empty() || inputs.update_rates.size() == n);
+  double total_rate = 0.0;
+  for (double r : inputs.request_rates) {
+    ECGF_EXPECTS(r >= 0.0);
+    total_rate += r;
+  }
+  ECGF_EXPECTS(total_rate > 0.0);
+  for (double u : inputs.update_rates) ECGF_EXPECTS(u >= 0.0);
+
+  CheResult result;
+  const bool everything_fits = inputs.capacity_docs >= static_cast<double>(n);
+
+  if (!everything_fits) {
+    // Bisection on t_C: occupancy is strictly increasing in t.
+    double lo = 0.0;
+    double hi = 1.0;
+    while (expected_occupancy(inputs.request_rates, hi) <
+           inputs.capacity_docs) {
+      hi *= 2.0;
+      ECGF_ASSERT(hi < 1e18);  // capacity < n guarantees a finite root
+    }
+    for (int iter = 0; iter < 200; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (expected_occupancy(inputs.request_rates, mid) <
+          inputs.capacity_docs) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    result.characteristic_time_s = 0.5 * (lo + hi);
+  } else {
+    result.characteristic_time_s = std::numeric_limits<double>::infinity();
+  }
+
+  result.per_doc_hit.resize(n);
+  double hit_mass = 0.0;
+  const double tc = result.characteristic_time_s;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lambda = inputs.request_rates[i];
+    const double mu = inputs.update_rates.empty() ? 0.0 : inputs.update_rates[i];
+    double h;
+    if (lambda <= 0.0) {
+      h = 0.0;
+    } else if (std::isinf(tc)) {
+      // No evictions: misses come only from invalidations.
+      h = lambda / (lambda + mu);
+    } else {
+      h = lambda / (lambda + mu) * (1.0 - std::exp(-(lambda + mu) * tc));
+    }
+    result.per_doc_hit[i] = h;
+    hit_mass += h * lambda;
+  }
+  result.hit_rate = hit_mass / total_rate;
+  ECGF_ENSURES(result.hit_rate >= 0.0 && result.hit_rate <= 1.0);
+  return result;
+}
+
+std::vector<double> zipf_rates(std::size_t n, double alpha,
+                               double total_rate) {
+  ECGF_EXPECTS(n > 0);
+  ECGF_EXPECTS(alpha >= 0.0);
+  ECGF_EXPECTS(total_rate > 0.0);
+  std::vector<double> rates(n);
+  double norm = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    rates[r] = 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    norm += rates[r];
+  }
+  for (double& r : rates) r *= total_rate / norm;
+  return rates;
+}
+
+}  // namespace ecgf::model

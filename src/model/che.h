@@ -1,0 +1,47 @@
+// Che approximation of cache hit rates (Che, Tung, Wang '02) — the
+// standard analytic model for an LRU-like cache under independent
+// reference (Zipf) traffic, extended with document expiry/invalidation:
+// a document that is both requested (rate λ_i) and invalidated (rate µ_i)
+// hits with probability
+//     h_i = λ_i / (λ_i + µ_i) × (1 − e^{−(λ_i+µ_i) t_C})
+// where the characteristic time t_C solves Σ_i (1 − e^{−λ_i t_C}) = C
+// (expected occupancy equals the capacity in documents).
+//
+// ECGF uses it to predict local and group hit rates analytically — a
+// cooperative group of s caches is approximated as one cache of capacity
+// s·C serving the aggregated request stream.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecgf::model {
+
+/// Inputs for one cache (or one cooperative group treated as a cache).
+struct CheInputs {
+  /// Per-document request rates λ_i (requests/s), any positive scale.
+  std::vector<double> request_rates;
+  /// Per-document invalidation rates µ_i (updates/s); empty = no updates.
+  std::vector<double> update_rates;
+  /// Capacity in documents.
+  double capacity_docs = 0.0;
+};
+
+struct CheResult {
+  double characteristic_time_s = 0.0;  ///< t_C
+  /// Request-weighted aggregate hit rate in [0, 1].
+  double hit_rate = 0.0;
+  /// Per-document hit probabilities.
+  std::vector<double> per_doc_hit;
+};
+
+/// Solve the Che fixed point by bisection. Requires at least one positive
+/// request rate and 0 < capacity_docs ≤ #documents (capacity ≥ #documents
+/// returns the no-eviction limit t_C = ∞ analytically).
+CheResult che_approximation(const CheInputs& inputs);
+
+/// Convenience: Zipf(α) request rates over n documents with total request
+/// rate `total_rate`, rank 0 most popular.
+std::vector<double> zipf_rates(std::size_t n, double alpha, double total_rate);
+
+}  // namespace ecgf::model

@@ -1,0 +1,122 @@
+#include "model/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace ecgf::model {
+
+namespace {
+
+/// Aggregate hit rate of one Che cache with `capacity` documents serving
+/// `rate` requests/s over a Zipf law flattened toward uniform by
+/// `uniform_weight` (the aggregate popularity of caches whose private
+/// rankings disagree: their union over the same catalog looks uniform).
+double che_hit_rate(std::size_t docs, double alpha, double rate,
+                    double capacity, double update_rate,
+                    double uniform_weight = 0.0) {
+  CheInputs inputs;
+  inputs.request_rates = zipf_rates(docs, alpha, rate * (1.0 - uniform_weight));
+  const double uniform_each =
+      rate * uniform_weight / static_cast<double>(docs);
+  for (double& r : inputs.request_rates) r += uniform_each;
+  if (update_rate > 0.0) {
+    inputs.update_rates.assign(docs, update_rate);
+  }
+  inputs.capacity_docs = capacity;
+  return che_approximation(inputs).hit_rate;
+}
+
+}  // namespace
+
+LatencyPrediction predict_latency(const LatencyModelParams& params, double s,
+                                  double server_rtt_ms) {
+  ECGF_EXPECTS(s >= 1.0);
+  ECGF_EXPECTS(server_rtt_ms >= 0.0);
+  ECGF_EXPECTS(params.catalog_docs > 0);
+  ECGF_EXPECTS(params.capacity_docs > 0.0);
+  ECGF_EXPECTS(params.similarity >= 0.0 && params.similarity <= 1.0);
+  ECGF_EXPECTS(params.intra_group_rtt_ms != nullptr);
+
+  LatencyPrediction out;
+
+  // Local hit rate: one cache, its own stream.
+  out.local_hit_rate = che_hit_rate(
+      params.catalog_docs, params.zipf_alpha, params.requests_per_cache_per_s,
+      params.capacity_docs, params.mean_update_rate);
+
+  // Group hit rate: the group as one cache of capacity η·s·C serving the
+  // aggregated stream. Two corrections to the naive union:
+  //  * popularity flattening — the (1−σ) dissimilar fraction of requests
+  //    follows per-cache private rankings whose aggregate over the same
+  //    catalog is near-uniform once several caches mix (weight scaled by
+  //    1 − 1/s so a singleton keeps its pure Zipf);
+  //  * replication dilution — score-gated cooperative placement still
+  //    replicates hot documents across members, so only a fraction η of
+  //    the aggregate capacity holds *distinct* documents. η shrinks with
+  //    local hit rate (hot docs everywhere) as η = 1 − ρ·h_local·(1−1/s).
+  const double uniform_weight =
+      (1.0 - params.similarity) * (1.0 - 1.0 / s);
+  const double dedup = 1.0 - params.replication_propensity *
+                                 out.local_hit_rate * (1.0 - 1.0 / s);
+  out.group_hit_rate = che_hit_rate(
+      params.catalog_docs, params.zipf_alpha,
+      params.requests_per_cache_per_s * s, params.capacity_docs * s * dedup,
+      params.mean_update_rate, uniform_weight);
+  // A cooperative group can never hit less than its own local cache.
+  out.group_hit_rate = std::max(out.group_hit_rate, out.local_hit_rate);
+
+  const double g = params.intra_group_rtt_ms(s);
+  ECGF_ASSERT(g >= 0.0);
+  const auto size = static_cast<std::uint64_t>(params.mean_doc_bytes);
+
+  const double p_local = out.local_hit_rate;
+  const double p_peer = out.group_hit_rate - out.local_hit_rate;
+  const double p_origin = 1.0 - out.group_hit_rate;
+
+  const double c_local = params.cost.local_hit_ms();
+  // All three pairwise RTTs on the peer path ≈ g(s); a singleton group
+  // pays no peer path at all (p_peer = 0 there anyway, g(1) ≈ 0).
+  const double c_peer = params.cost.group_hit_ms(g, g, g, size);
+  const double c_origin =
+      params.cost.origin_fetch_ms(g, server_rtt_ms, params.generation_ms, size);
+
+  out.expected_latency_ms =
+      p_local * c_local + p_peer * c_peer + p_origin * c_origin;
+  return out;
+}
+
+double optimal_group_size(const LatencyModelParams& params,
+                          double server_rtt_ms,
+                          const std::vector<double>& candidate_sizes) {
+  ECGF_EXPECTS(!candidate_sizes.empty());
+  double best_size = candidate_sizes.front();
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (double s : candidate_sizes) {
+    const double latency =
+        predict_latency(params, s, server_rtt_ms).expected_latency_ms;
+    if (latency < best_latency) {
+      best_latency = latency;
+      best_size = s;
+    }
+  }
+  return best_size;
+}
+
+std::function<double(double)> power_law_rtt_curve(double base_ms,
+                                                  double spread_ms,
+                                                  double network_size,
+                                                  double gamma) {
+  ECGF_EXPECTS(base_ms >= 0.0);
+  ECGF_EXPECTS(spread_ms >= 0.0);
+  ECGF_EXPECTS(network_size >= 1.0);
+  ECGF_EXPECTS(gamma > 0.0);
+  return [=](double s) {
+    if (s <= 1.0) return 0.0;
+    return base_ms + spread_ms * std::pow(s / network_size, gamma);
+  };
+}
+
+}  // namespace ecgf::model

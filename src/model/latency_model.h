@@ -1,0 +1,78 @@
+// Analytical expected-latency model for a cooperative cache group — the
+// theory behind the paper's Fig. 3 trade-off and the SDSL design rule.
+//
+// A group of s caches at mean intra-group RTT g(s) and server RTT D serves
+// a request:
+//   * locally           with prob  h_local            cost c_p
+//   * from a peer       with prob  h_group − h_local  cost c_p + 1.5·g(s) + tr
+//   * from the origin   with prob  1 − h_group        cost c_p + g(s) + D
+//                                                          + T_gen + tr
+// (the 1.5·g(s) is the beacon+holder control path plus the data half-RTT;
+// the g(s) on the origin path is the beacon "not found" round trip — both
+// straight from sim::CostModel with every pairwise RTT ≈ g(s)).
+//
+// Hit rates come from the Che approximation: the local cache has capacity
+// C and sees rate λ; the group is approximated as one cache of capacity
+// s·C seeing rate s·λ over a catalog diluted by the similarity knob.
+//
+// The model predicts (a) the U-shape of E[L](s) and (b) that the optimal
+// group size s*(D) grows with server distance D — precisely why SDSL
+// builds small groups near the origin and large ones far away.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "model/che.h"
+#include "sim/cost_model.h"
+
+namespace ecgf::model {
+
+struct LatencyModelParams {
+  // Workload.
+  std::size_t catalog_docs = 4000;
+  double zipf_alpha = 0.9;
+  double requests_per_cache_per_s = 2.0;
+  double similarity = 0.8;          ///< shared-ranking fraction, as in workload
+  double mean_update_rate = 0.0;    ///< catalog-average invalidation rate (/s)
+  // Cache.
+  double capacity_docs = 100.0;     ///< per-cache capacity in documents
+  /// How strongly hot documents replicate across group members despite
+  /// score-gated placement, in [0, 1); shrinks the group's *distinct*
+  /// capacity (see latency_model.cpp).
+  double replication_propensity = 0.5;
+  // Network & service costs.
+  sim::CostModel cost{};
+  double mean_doc_bytes = 20'000.0;
+  double generation_ms = 20.0;
+  /// Mean intra-group RTT as a function of group size s (from topology
+  /// measurements or a fitted curve).
+  std::function<double(double)> intra_group_rtt_ms;
+};
+
+struct LatencyPrediction {
+  double local_hit_rate = 0.0;
+  double group_hit_rate = 0.0;   ///< includes local hits
+  double expected_latency_ms = 0.0;
+};
+
+/// Expected request latency for a cache in a group of size `s` whose RTT
+/// to the origin server is `server_rtt_ms`.
+LatencyPrediction predict_latency(const LatencyModelParams& params, double s,
+                                  double server_rtt_ms);
+
+/// Optimal group size over a candidate list: argmin of expected latency.
+double optimal_group_size(const LatencyModelParams& params,
+                          double server_rtt_ms,
+                          const std::vector<double>& candidate_sizes);
+
+/// Default intra-group RTT growth curve: g(s) = base + spread·(s/n)^γ —
+/// groups covering a larger fraction of an n-cache network span wider
+/// network regions. Matches the transit-stub topology well (γ ≈ 0.5).
+std::function<double(double)> power_law_rtt_curve(double base_ms,
+                                                  double spread_ms,
+                                                  double network_size,
+                                                  double gamma = 0.5);
+
+}  // namespace ecgf::model

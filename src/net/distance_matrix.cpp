@@ -1,0 +1,29 @@
+#include "net/distance_matrix.h"
+
+#include <cmath>
+
+namespace ecgf::net {
+
+DistanceMatrix::DistanceMatrix(std::size_t n)
+    : n_(n), data_(n >= 2 ? n * (n - 1) / 2 : 0, 0.0) {
+  ECGF_EXPECTS(n > 0);
+}
+
+DistanceMatrix DistanceMatrix::from_full(
+    const std::vector<std::vector<double>>& full) {
+  const std::size_t n = full.size();
+  ECGF_EXPECTS(n > 0);
+  constexpr double kTol = 1e-9;
+  DistanceMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ECGF_EXPECTS(full[i].size() == n);
+    ECGF_EXPECTS(std::abs(full[i][i]) <= kTol);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      ECGF_EXPECTS(std::abs(full[i][j] - full[j][i]) <= kTol);
+      m.set(i, j, full[i][j]);
+    }
+  }
+  return m;
+}
+
+}  // namespace ecgf::net

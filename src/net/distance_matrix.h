@@ -1,0 +1,60 @@
+// Dense symmetric RTT matrix and the matrix-backed RttProvider.
+#pragma once
+
+#include <vector>
+
+#include "net/rtt_provider.h"
+#include "util/expect.h"
+
+namespace ecgf::net {
+
+/// Dense symmetric matrix of RTTs with a zero diagonal, stored triangularly.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n);
+
+  /// Build from a full square matrix (validates symmetry & zero diagonal
+  /// within a small tolerance).
+  static DistanceMatrix from_full(const std::vector<std::vector<double>>& full);
+
+  std::size_t size() const { return n_; }
+
+  double at(std::size_t i, std::size_t j) const {
+    ECGF_EXPECTS(i < n_ && j < n_);
+    if (i == j) return 0.0;
+    return data_[tri_index(i, j)];
+  }
+
+  void set(std::size_t i, std::size_t j, double value) {
+    ECGF_EXPECTS(i < n_ && j < n_);
+    ECGF_EXPECTS(i != j);
+    ECGF_EXPECTS(value >= 0.0);
+    data_[tri_index(i, j)] = value;
+  }
+
+ private:
+  std::size_t tri_index(std::size_t i, std::size_t j) const {
+    if (i < j) std::swap(i, j);
+    // row i (i>j): offset = i*(i-1)/2 + j
+    return i * (i - 1) / 2 + j;
+  }
+
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// RttProvider view over a DistanceMatrix (owned by value; cheap to move).
+class MatrixRttProvider final : public RttProvider {
+ public:
+  explicit MatrixRttProvider(DistanceMatrix matrix) : matrix_(std::move(matrix)) {}
+
+  std::size_t host_count() const override { return matrix_.size(); }
+  double rtt_ms(HostId a, HostId b) const override { return matrix_.at(a, b); }
+
+  const DistanceMatrix& matrix() const { return matrix_; }
+
+ private:
+  DistanceMatrix matrix_;
+};
+
+}  // namespace ecgf::net

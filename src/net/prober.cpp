@@ -1,0 +1,27 @@
+#include "net/prober.h"
+
+#include "util/expect.h"
+
+namespace ecgf::net {
+
+Prober::Prober(const RttProvider& provider, const ProberOptions& options,
+               util::Rng rng)
+    : provider_(provider), options_(options), rng_(std::move(rng)) {
+  ECGF_EXPECTS(options_.probes_per_measurement > 0);
+  ECGF_EXPECTS(options_.jitter_sigma >= 0.0);
+}
+
+double Prober::measure_rtt_ms(HostId a, HostId b) {
+  ECGF_EXPECTS(a < provider_.host_count());
+  ECGF_EXPECTS(b < provider_.host_count());
+  if (a == b) return 0.0;
+  const double truth = provider_.rtt_ms(a, b);
+  double sum = 0.0;
+  for (std::size_t p = 0; p < options_.probes_per_measurement; ++p) {
+    sum += truth * rng_.lognormal_jitter(options_.jitter_sigma);
+    ++probes_sent_;
+  }
+  return sum / static_cast<double>(options_.probes_per_measurement);
+}
+
+}  // namespace ecgf::net

@@ -1,0 +1,40 @@
+// Probing: how hosts actually *measure* RTTs in the schemes. Each probe of
+// the ground-truth RTT is perturbed by multiplicative log-normal jitter;
+// the prober reports the average of `probes_per_measurement` probes, as in
+// the paper ("probing them multiple times and recording the average RTT").
+#pragma once
+
+#include <cstddef>
+
+#include "net/rtt_provider.h"
+#include "util/rng.h"
+
+namespace ecgf::net {
+
+struct ProberOptions {
+  std::size_t probes_per_measurement = 5;
+  double jitter_sigma = 0.08;  ///< log-normal sigma; 0 = noise-free probing
+};
+
+/// Measures RTTs against an RttProvider with realistic probe noise.
+class Prober {
+ public:
+  Prober(const RttProvider& provider, const ProberOptions& options,
+         util::Rng rng);
+
+  /// Averaged multi-probe RTT estimate between two hosts (ms).
+  double measure_rtt_ms(HostId a, HostId b);
+
+  /// Number of individual probe packets issued so far (measurement cost).
+  std::size_t probes_sent() const { return probes_sent_; }
+
+  const ProberOptions& options() const { return options_; }
+
+ private:
+  const RttProvider& provider_;
+  ProberOptions options_;
+  util::Rng rng_;
+  std::size_t probes_sent_ = 0;
+};
+
+}  // namespace ecgf::net

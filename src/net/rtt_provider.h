@@ -1,0 +1,26 @@
+// Host-level RTT abstraction. Group-formation code only ever talks to an
+// RttProvider — the topology behind it is invisible, matching the paper's
+// setting where caches measure RTTs by probing.
+//
+// Host id convention across the library: hosts 0..N-1 are the edge caches
+// Ec_0..Ec_{N-1}; host N is the origin server Os.
+#pragma once
+
+#include <cstdint>
+
+namespace ecgf::net {
+
+using HostId = std::uint32_t;
+
+/// Source of ground-truth host-to-host round-trip times (milliseconds).
+class RttProvider {
+ public:
+  virtual ~RttProvider() = default;
+
+  virtual std::size_t host_count() const = 0;
+
+  /// Ground-truth RTT between two hosts in ms; 0 when a == b. Symmetric.
+  virtual double rtt_ms(HostId a, HostId b) const = 0;
+};
+
+}  // namespace ecgf::net

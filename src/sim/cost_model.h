@@ -1,0 +1,49 @@
+// Latency cost model of the cooperative-miss protocol (Cache Clouds).
+// Pure functions — unit-testable without a simulator instance.
+//
+// Paths charged to a request arriving at cache i for document d:
+//  * local fresh hit:   processing
+//  * group hit:         processing + ½RTT(i,beacon) + ½RTT(beacon,holder)
+//                       + ½RTT(holder,i) + transfer(size)
+//    (control hops i→beacon→holder, then data holder→i)
+//  * origin fetch:      processing + RTT(i,beacon) (beacon "not found"
+//                       round trip) + RTT(i,origin) + generation +
+//                       transfer(size)
+// When the requester is itself the document's beacon the beacon hops cost 0.
+#pragma once
+
+#include <cstdint>
+
+#include "util/expect.h"
+
+namespace ecgf::sim {
+
+struct CostModel {
+  double local_processing_ms = 0.5;
+  /// Last-hop data bandwidth; 1250 B/ms ≈ 10 Mbit/s.
+  double bandwidth_bytes_per_ms = 1250.0;
+
+  /// Serialisation delay of a document body.
+  double transfer_ms(std::uint64_t size_bytes) const {
+    ECGF_EXPECTS(bandwidth_bytes_per_ms > 0.0);
+    return static_cast<double>(size_bytes) / bandwidth_bytes_per_ms;
+  }
+
+  double local_hit_ms() const { return local_processing_ms; }
+
+  double group_hit_ms(double rtt_req_beacon, double rtt_beacon_holder,
+                      double rtt_holder_req, std::uint64_t size_bytes) const {
+    return local_processing_ms +
+           0.5 * (rtt_req_beacon + rtt_beacon_holder + rtt_holder_req) +
+           transfer_ms(size_bytes);
+  }
+
+  double origin_fetch_ms(double rtt_req_beacon, double rtt_req_origin,
+                         double generation_ms,
+                         std::uint64_t size_bytes) const {
+    return local_processing_ms + rtt_req_beacon + rtt_req_origin +
+           generation_ms + transfer_ms(size_bytes);
+  }
+};
+
+}  // namespace ecgf::sim

@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace ecgf::sim {
+
+void EventQueue::schedule(SimTime at_ms, Action action) {
+  ECGF_EXPECTS(at_ms >= now_);
+  ECGF_EXPECTS(action != nullptr);
+  heap_.push(Entry{at_ms, next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::run(SimTime until_ms) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().time <= until_ms) {
+    // Copy out before pop: the action may schedule new events.
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.time;
+    e.action(now_);
+    ++executed;
+  }
+  if (heap_.empty()) now_ = std::max(now_, until_ms);
+  return executed;
+}
+
+}  // namespace ecgf::sim

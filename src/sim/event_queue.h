@@ -1,0 +1,50 @@
+// Discrete event core: a time-ordered queue of closures. Ties are broken
+// by insertion sequence so simulation runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace ecgf::sim {
+
+using SimTime = double;  ///< milliseconds since simulation start
+
+/// Min-heap of (time, seq, action). Actions may schedule further events.
+class EventQueue {
+ public:
+  using Action = std::function<void(SimTime)>;
+
+  /// Schedule `action` at absolute time `at_ms` (must not be in the past
+  /// relative to the event currently executing).
+  void schedule(SimTime at_ms, Action action);
+
+  /// Run until the queue drains or `until_ms` is passed. Events scheduled
+  /// exactly at `until_ms` still run. Returns the number executed.
+  std::size_t run(SimTime until_ms);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  SimTime now() const { return now_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace ecgf::sim

@@ -1,0 +1,312 @@
+#include "sim/message_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.h"
+#include "util/stats.h"
+
+namespace ecgf::sim {
+
+namespace {
+
+/// The engine proper. One instance per run; everything lives on the stack
+/// of run_message_level.
+class MessageLevelSimulator {
+ public:
+  MessageLevelSimulator(const cache::Catalog& catalog,
+                        const net::RttProvider& rtt, net::HostId server,
+                        const MessageEngineConfig& config)
+      : catalog_(catalog), rtt_(rtt), server_(server), config_(config) {
+    const SimulationConfig& base = config_.base;
+    ECGF_EXPECTS(!base.groups.empty());
+    ECGF_EXPECTS(base.consistency == ConsistencyMode::kPushInvalidation);
+    ECGF_EXPECTS(base.failures.empty());
+    ECGF_EXPECTS(config_.cache_service_ms >= 0.0);
+    ECGF_EXPECTS(config_.origin_service_ms >= 0.0);
+
+    std::size_t n = 0;
+    for (const auto& g : base.groups) n += g.size();
+    ECGF_EXPECTS(n > 0 && n < rtt_.host_count());
+    cache_count_ = n;
+
+    group_of_.assign(n, std::numeric_limits<std::size_t>::max());
+    for (std::size_t g = 0; g < base.groups.size(); ++g) {
+      ECGF_EXPECTS(!base.groups[g].empty());
+      for (cache::CacheIndex c : base.groups[g]) {
+        ECGF_EXPECTS(c < n);
+        ECGF_EXPECTS(group_of_[c] == std::numeric_limits<std::size_t>::max());
+        group_of_[c] = g;
+      }
+    }
+    ECGF_EXPECTS(base.per_cache_capacity_bytes.empty() ||
+                 base.per_cache_capacity_bytes.size() == n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t capacity = base.per_cache_capacity_bytes.empty()
+                                         ? base.cache_capacity_bytes
+                                         : base.per_cache_capacity_bytes[i];
+      caches_.push_back(std::make_unique<cache::EdgeCache>(
+          capacity, catalog_,
+          cache::make_policy(base.policy, catalog_, base.utility_params)));
+    }
+    for (const auto& g : base.groups) {
+      directories_.push_back(
+          std::make_unique<cache::GroupDirectory>(g, base.beacons_per_group));
+    }
+    origin_ = std::make_unique<cache::OriginServer>(catalog_);
+    metrics_ = std::make_unique<MetricsCollector>(n);
+    cache_busy_until_.assign(n, 0.0);
+    ECGF_EXPECTS(config_.origin_concurrency >= 1);
+    origin_worker_busy_.assign(config_.origin_concurrency, 0.0);
+  }
+
+  MessageEngineReport run(const workload::Trace& trace);
+
+ private:
+  struct Request {
+    cache::CacheIndex cache;
+    cache::DocId doc;
+    SimTime arrival;
+  };
+
+  double control_travel(net::HostId a, net::HostId b) const {
+    if (a == b) return 0.0;
+    return 0.5 * rtt_.rtt_ms(a, b) +
+           static_cast<double>(config_.control_bytes) /
+               config_.base.cost.bandwidth_bytes_per_ms;
+  }
+
+  double data_travel(net::HostId a, net::HostId b, std::uint64_t bytes) const {
+    const double hop = a == b ? 0.0 : 0.5 * rtt_.rtt_ms(a, b);
+    return hop + config_.base.cost.transfer_ms(bytes);
+  }
+
+  /// FIFO service at a cache: the work closure runs at service completion.
+  void enqueue_cache(cache::CacheIndex c, SimTime arrival,
+                     EventQueue::Action work) {
+    ++messages_;
+    const SimTime start = std::max(arrival, cache_busy_until_[c]);
+    cache_queue_delay_.add(start - arrival);
+    cache_busy_until_[c] = start + config_.cache_service_ms;
+    queue_.schedule(cache_busy_until_[c], std::move(work));
+  }
+
+  /// Service at the origin's worker pool: a fetch grabs the earliest-free
+  /// worker for origin_service_ms + generation time.
+  void enqueue_origin(SimTime arrival, double generation_ms,
+                      EventQueue::Action work) {
+    ++messages_;
+    auto earliest = std::min_element(origin_worker_busy_.begin(),
+                                     origin_worker_busy_.end());
+    const SimTime start = std::max(arrival, *earliest);
+    origin_queue_delay_.add(start - arrival);
+    *earliest = start + config_.origin_service_ms + generation_ms;
+    queue_.schedule(*earliest, std::move(work));
+  }
+
+  void finish(const Request& req, SimTime now, Resolution how) {
+    metrics_->set_now(now);
+    metrics_->record(req.cache, now - req.arrival, how);
+  }
+
+  void store_copy(const Request& req, cache::Version version, SimTime now) {
+    if (origin_->version(req.doc) != version) return;  // already stale
+    std::vector<cache::DocId> evicted;
+    cache::GroupDirectory& home = *directories_[group_of_[req.cache]];
+    if (caches_[req.cache]->insert(req.doc, version, now, &evicted)) {
+      home.add_holder(req.doc, req.cache);
+    }
+    for (cache::DocId e : evicted) home.remove_holder(e, req.cache);
+  }
+
+  void handle_client_request(const Request& req);
+  void beacon_decide(const Request& req, cache::CacheIndex beacon,
+                     SimTime now);
+  void go_origin(const Request& req, SimTime now);
+  void handle_update(const workload::Update& update);
+
+  const cache::Catalog& catalog_;
+  const net::RttProvider& rtt_;
+  net::HostId server_;
+  MessageEngineConfig config_;
+  std::size_t cache_count_ = 0;
+
+  std::vector<std::unique_ptr<cache::EdgeCache>> caches_;
+  std::vector<std::unique_ptr<cache::GroupDirectory>> directories_;
+  std::vector<std::size_t> group_of_;
+  std::unique_ptr<cache::OriginServer> origin_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  EventQueue queue_;
+
+  std::vector<double> cache_busy_until_;
+  std::vector<double> origin_worker_busy_;
+  util::Accumulator cache_queue_delay_;
+  util::Accumulator origin_queue_delay_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+void MessageLevelSimulator::handle_client_request(const Request& req) {
+  enqueue_cache(req.cache, req.arrival, [this, req](SimTime now) {
+    const cache::Version version = origin_->version(req.doc);
+    const auto outcome = caches_[req.cache]->lookup(req.doc, version, now);
+    if (outcome == cache::LookupOutcome::kHitFresh) {
+      finish(req, now, Resolution::kLocalHit);
+      return;
+    }
+    const cache::GroupDirectory& dir = *directories_[group_of_[req.cache]];
+    const cache::CacheIndex beacon = dir.beacon_for(req.doc);
+    if (beacon == req.cache) {
+      // The requester owns the directory partition: decide in place.
+      beacon_decide(req, beacon, now);
+      return;
+    }
+    const SimTime arrival = now + control_travel(req.cache, beacon);
+    enqueue_cache(beacon, arrival, [this, req, beacon](SimTime t) {
+      beacon_decide(req, beacon, t);
+    });
+  });
+}
+
+void MessageLevelSimulator::beacon_decide(const Request& req,
+                                          cache::CacheIndex beacon,
+                                          SimTime now) {
+  const cache::GroupDirectory& dir = *directories_[group_of_[req.cache]];
+  const cache::Version version = origin_->version(req.doc);
+
+  // Nearest (to the requester) registered fresh holder.
+  cache::CacheIndex holder = req.cache;
+  double best = std::numeric_limits<double>::infinity();
+  for (cache::CacheIndex h : dir.holders(req.doc)) {
+    if (h == req.cache) continue;
+    if (!caches_[h]->has_fresh(req.doc, version)) continue;
+    const double r = rtt_.rtt_ms(req.cache, h);
+    if (r < best) {
+      best = r;
+      holder = h;
+    }
+  }
+
+  if (holder == req.cache) {
+    // Miss reply travels back to the requester, which then goes to the
+    // origin (no extra service round at the requester: the reply handler
+    // immediately issues the fetch).
+    const SimTime reply = now + control_travel(beacon, req.cache);
+    ++messages_;
+    queue_.schedule(reply, [this, req](SimTime t) { go_origin(req, t); });
+    return;
+  }
+
+  // Forward to the holder; the holder ships the document to the requester.
+  const SimTime at_holder = now + control_travel(beacon, holder);
+  enqueue_cache(holder, at_holder, [this, req, holder](SimTime t) {
+    const cache::Version v = origin_->version(req.doc);
+    if (!caches_[holder]->has_fresh(req.doc, v)) {
+      // Copy vanished between the beacon's decision and service here
+      // (eviction or invalidation in flight): fall through to the origin.
+      const SimTime reply = t + control_travel(holder, req.cache);
+      ++messages_;
+      queue_.schedule(reply, [this, req](SimTime t2) { go_origin(req, t2); });
+      return;
+    }
+    caches_[holder]->touch(req.doc, t);
+    const std::uint64_t size = catalog_.info(req.doc).size_bytes;
+    const SimTime at_requester = t + data_travel(holder, req.cache, size);
+    ++messages_;
+    queue_.schedule(at_requester, [this, req, v](SimTime t2) {
+      finish(req, t2, Resolution::kGroupHit);
+      store_copy(req, v, t2);
+    });
+  });
+}
+
+void MessageLevelSimulator::go_origin(const Request& req, SimTime now) {
+  const SimTime at_origin = now + control_travel(req.cache, server_);
+  const double generation = origin_->serve_ms(req.doc);
+  enqueue_origin(at_origin, generation, [this, req](SimTime t) {
+    const cache::Version version = origin_->version(req.doc);
+    const std::uint64_t size = catalog_.info(req.doc).size_bytes;
+    const SimTime at_requester = t + data_travel(server_, req.cache, size);
+    ++messages_;
+    queue_.schedule(at_requester, [this, req, version](SimTime t2) {
+      finish(req, t2, Resolution::kOriginFetch);
+      store_copy(req, version, t2);
+    });
+  });
+}
+
+void MessageLevelSimulator::handle_update(const workload::Update& update) {
+  origin_->apply_update(update.doc);
+  for (auto& dir : directories_) {
+    const std::vector<cache::CacheIndex> holders = dir->holders(update.doc);
+    for (cache::CacheIndex h : holders) {
+      if (caches_[h]->invalidate(update.doc)) ++invalidations_;
+      dir->remove_holder(update.doc, h);
+    }
+  }
+}
+
+MessageEngineReport MessageLevelSimulator::run(const workload::Trace& trace) {
+  trace.validate(cache_count_, catalog_.size());
+  metrics_->set_warmup_end(trace.duration_ms * config_.base.warmup_fraction);
+
+  std::size_t next_request = 0;
+  std::size_t next_update = 0;
+  std::function<void(SimTime)> pump_requests = [&](SimTime) {
+    if (next_request >= trace.requests.size()) return;
+    const workload::Request r = trace.requests[next_request++];
+    handle_client_request(Request{r.cache, r.doc, r.time_ms});
+    if (next_request < trace.requests.size()) {
+      queue_.schedule(trace.requests[next_request].time_ms, pump_requests);
+    }
+  };
+  std::function<void(SimTime)> pump_updates = [&](SimTime) {
+    if (next_update >= trace.updates.size()) return;
+    handle_update(trace.updates[next_update++]);
+    if (next_update < trace.updates.size()) {
+      queue_.schedule(trace.updates[next_update].time_ms, pump_updates);
+    }
+  };
+  if (!trace.requests.empty()) {
+    queue_.schedule(trace.requests.front().time_ms, pump_requests);
+  }
+  if (!trace.updates.empty()) {
+    queue_.schedule(trace.updates.front().time_ms, pump_updates);
+  }
+
+  MessageEngineReport report;
+  report.base.events_executed = queue_.run(trace.duration_ms + 120'000.0);
+
+  report.base.avg_latency_ms = metrics_->network_latency().mean();
+  report.base.p50_latency_ms = metrics_->latency_quantile(0.50);
+  report.base.p95_latency_ms = metrics_->latency_quantile(0.95);
+  report.base.p99_latency_ms = metrics_->latency_quantile(0.99);
+  report.base.per_cache_latency_ms.resize(cache_count_);
+  for (std::size_t c = 0; c < cache_count_; ++c) {
+    report.base.per_cache_latency_ms[c] =
+        metrics_->cache_latency(static_cast<std::uint32_t>(c)).mean();
+  }
+  report.base.counts = metrics_->counts();
+  report.base.origin_fetches = origin_->stats().fetches;
+  report.base.origin_updates = origin_->stats().updates;
+  report.base.invalidations_pushed = invalidations_;
+  report.base.requests_processed = trace.requests.size();
+  report.messages_sent = messages_;
+  report.mean_cache_queue_delay_ms = cache_queue_delay_.mean();
+  report.mean_origin_queue_delay_ms = origin_queue_delay_.mean();
+  report.max_origin_queue_delay_ms = origin_queue_delay_.max();
+  return report;
+}
+
+}  // namespace
+
+MessageEngineReport run_message_level(const cache::Catalog& catalog,
+                                      const net::RttProvider& rtt,
+                                      net::HostId server,
+                                      MessageEngineConfig config,
+                                      const workload::Trace& trace) {
+  MessageLevelSimulator sim(catalog, rtt, server, config);
+  return sim.run(trace);
+}
+
+}  // namespace ecgf::sim

@@ -1,0 +1,58 @@
+// Message-level protocol engine — the high-fidelity alternative to the
+// analytic latency composition in Simulator.
+//
+// Every protocol step is its own discrete event:
+//   client request → [queue] cache i → LOOKUP → [queue] beacon →
+//     FORWARD → [queue] holder → DATA → [queue] cache i → respond
+//   or beacon MISS → [queue] cache i → FETCH → [queue] origin (generation)
+//     → DATA → [queue] cache i → respond
+//
+// Caches and the origin process messages through FIFO service queues
+// (fixed per-message service time; generation time at the origin), so
+// hotspots and origin overload produce real queueing delay — effects the
+// analytic engine cannot express. Message travel time is ½·RTT plus
+// serialisation for document bodies.
+//
+// Scope: push-invalidation consistency, no failure injection (the
+// analytic engine covers those axes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace ecgf::sim {
+
+struct MessageEngineConfig {
+  /// Base simulation setup (groups, capacity, policy, beacons, cost —
+  /// consistency must be kPushInvalidation and failures must be empty).
+  SimulationConfig base{};
+  /// Service time a cache spends on any protocol message (ms).
+  double cache_service_ms = 0.15;
+  /// Origin-side fixed overhead per fetch on top of the document's
+  /// generation cost (ms).
+  double origin_service_ms = 0.5;
+  /// Concurrent fetches the origin can generate (worker pool size); each
+  /// fetch occupies one worker for origin_service_ms + generation time.
+  std::size_t origin_concurrency = 16;
+  /// Control-message size (bytes) — lookups, forwards, miss replies.
+  std::uint32_t control_bytes = 200;
+};
+
+struct MessageEngineReport {
+  SimulationReport base;
+  std::uint64_t messages_sent = 0;
+  double mean_cache_queue_delay_ms = 0.0;
+  double mean_origin_queue_delay_ms = 0.0;
+  double max_origin_queue_delay_ms = 0.0;
+};
+
+/// Run the trace through the message-level engine.
+MessageEngineReport run_message_level(const cache::Catalog& catalog,
+                                      const net::RttProvider& rtt,
+                                      net::HostId server,
+                                      MessageEngineConfig config,
+                                      const workload::Trace& trace);
+
+}  // namespace ecgf::sim

@@ -1,0 +1,67 @@
+#include "sim/metrics.h"
+
+#include "util/expect.h"
+
+namespace ecgf::sim {
+
+MetricsCollector::MetricsCollector(std::size_t cache_count,
+                                   std::size_t reservoir_capacity)
+    : per_cache_(cache_count),
+      per_cache_counts_(cache_count),
+      reservoir_(reservoir_capacity, /*seed=*/0x1CDC5u) {
+  ECGF_EXPECTS(cache_count > 0);
+}
+
+void MetricsCollector::record(std::uint32_t cache, double latency_ms,
+                              Resolution how) {
+  ECGF_EXPECTS(cache < per_cache_.size());
+  ECGF_EXPECTS(latency_ms >= 0.0);
+  auto bump = [&](ResolutionCounts& c) {
+    switch (how) {
+      case Resolution::kLocalHit:
+        ++c.local_hits;
+        break;
+      case Resolution::kGroupHit:
+        ++c.group_hits;
+        break;
+      case Resolution::kOriginFetch:
+        ++c.origin_fetches;
+        break;
+    }
+  };
+  bump(counts_);
+  bump(per_cache_counts_[cache]);
+  if (now_ms_ >= warmup_end_ms_) {
+    per_cache_[cache].add(latency_ms);
+    network_.add(latency_ms);
+    reservoir_.add(latency_ms);
+  }
+}
+
+const util::Accumulator& MetricsCollector::cache_latency(
+    std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < per_cache_.size());
+  return per_cache_[cache];
+}
+
+const ResolutionCounts& MetricsCollector::cache_counts(
+    std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < per_cache_counts_.size());
+  return per_cache_counts_[cache];
+}
+
+double MetricsCollector::subset_mean_latency(
+    const std::vector<std::uint32_t>& caches) const {
+  ECGF_EXPECTS(!caches.empty());
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::uint32_t c : caches) {
+    ECGF_EXPECTS(c < per_cache_.size());
+    if (per_cache_[c].count() == 0) continue;
+    total += per_cache_[c].mean();
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace ecgf::sim

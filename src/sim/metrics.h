@@ -1,0 +1,78 @@
+// Metrics collection for the cooperative edge cache network simulation.
+// Records per-cache and network-wide edge-cache latency (EcLatency, paper
+// §4) plus the request-resolution breakdown (local / group / origin).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace ecgf::sim {
+
+enum class Resolution : std::uint8_t {
+  kLocalHit,   ///< served from the receiving cache
+  kGroupHit,   ///< served by a cooperative group member
+  kOriginFetch ///< fell through to the origin server
+};
+
+struct ResolutionCounts {
+  std::uint64_t local_hits = 0;
+  std::uint64_t group_hits = 0;
+  std::uint64_t origin_fetches = 0;
+
+  std::uint64_t total() const {
+    return local_hits + group_hits + origin_fetches;
+  }
+  /// Fraction of requests resolved inside the group (local or peer).
+  double group_hit_rate() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(local_hits + group_hits) /
+                        static_cast<double>(t);
+  }
+  double local_hit_rate() const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(local_hits) / static_cast<double>(t);
+  }
+};
+
+class MetricsCollector {
+ public:
+  explicit MetricsCollector(std::size_t cache_count,
+                            std::size_t reservoir_capacity = 4096);
+
+  /// Record a completed request at `cache` with edge-cache latency
+  /// `latency_ms`, resolved via `how`. Requests before `warmup_end_ms`
+  /// update counters but are excluded from latency statistics.
+  void record(std::uint32_t cache, double latency_ms, Resolution how);
+
+  void set_warmup_end(double t_ms) { warmup_end_ms_ = t_ms; }
+  void set_now(double t_ms) { now_ms_ = t_ms; }
+
+  std::size_t cache_count() const { return per_cache_.size(); }
+  const util::Accumulator& cache_latency(std::uint32_t cache) const;
+  const util::Accumulator& network_latency() const { return network_; }
+  const ResolutionCounts& counts() const { return counts_; }
+  const ResolutionCounts& cache_counts(std::uint32_t cache) const;
+
+  /// Mean latency over a subset of caches, weighting caches equally (the
+  /// paper's "average latency of the 50 nearest caches" style metric).
+  double subset_mean_latency(const std::vector<std::uint32_t>& caches) const;
+
+  /// Network-wide latency quantile estimate (reservoir-sampled, post-warmup
+  /// requests only), q in [0, 1].
+  double latency_quantile(double q) const { return reservoir_.quantile(q); }
+
+ private:
+  std::vector<util::Accumulator> per_cache_;
+  std::vector<ResolutionCounts> per_cache_counts_;
+  util::Accumulator network_;
+  util::ReservoirSample reservoir_;
+  ResolutionCounts counts_;
+  double warmup_end_ms_ = 0.0;
+  double now_ms_ = 0.0;
+};
+
+}  // namespace ecgf::sim

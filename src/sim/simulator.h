@@ -1,0 +1,205 @@
+// Discrete event simulator of the cooperative edge cache network.
+//
+// Drives the caches from a request log and the origin server from an
+// update log (paper §5). Requests resolve through the cooperative-miss
+// protocol (local → group beacon/holder → origin); updates propagate as
+// push invalidations to every registered holder. Document insertion happens
+// at request *completion* time, so in-flight fetches genuinely interleave.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/bloom.h"
+#include "cache/catalog.h"
+#include "cache/directory.h"
+#include "cache/edge_cache.h"
+#include "cache/origin.h"
+#include "net/rtt_provider.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "workload/trace.h"
+
+namespace ecgf::sim {
+
+/// How cached copies are kept fresh with respect to the origin.
+enum class ConsistencyMode {
+  /// The origin pushes invalidations to every registered holder on each
+  /// update (Cache Clouds style — the paper's setting). Caches never serve
+  /// stale content, at the cost of consistency traffic.
+  kPushInvalidation,
+  /// Copies live for a fixed TTL and may be served stale within it —
+  /// the classic weak-consistency alternative; no update traffic at all.
+  kTtl
+};
+
+/// How a cache finds group peers holding a document.
+enum class DirectoryMode {
+  /// Hash-partitioned beacon points with exact holder registration
+  /// (Cache Clouds — the paper's substrate; the default).
+  kBeacon,
+  /// Summary-Cache style: each cache periodically publishes a Bloom-filter
+  /// summary of its contents; peers consult summaries locally (no lookup
+  /// hop) but pay wasted fetch attempts for false positives and summary
+  /// staleness.
+  kSummary
+};
+
+/// Parameters of the summary directory (DirectoryMode::kSummary).
+struct SummaryConfig {
+  std::size_t filter_bits = 4096;
+  std::size_t hash_count = 4;
+  double refresh_interval_ms = 10'000.0;
+  /// Fetch attempts on summary-positive peers before giving up and going
+  /// to the origin.
+  std::size_t max_probe_attempts = 2;
+};
+
+/// What a cache does with a document fetched from a group peer
+/// (cooperative resource management knob; origin fetches are always
+/// offered to the local store).
+enum class RemotePlacement {
+  /// Store only when the replacement policy scores the newcomer at least
+  /// as high as every eviction victim (Cache Clouds utility placement —
+  /// the default; bounds intra-group duplication).
+  kScoreGated,
+  /// Always store, evicting unconditionally (greedy replication).
+  kAlways,
+  /// Never store a peer-served document (strict single-copy-per-group).
+  kNever
+};
+
+struct SimulationConfig {
+  /// Partition of the caches into cooperative groups: every cache index in
+  /// [0, N) appears in exactly one group.
+  std::vector<std::vector<cache::CacheIndex>> groups;
+
+  std::uint64_t cache_capacity_bytes = 8ull << 20;  ///< 8 MB per cache
+  /// Optional heterogeneous capacities (one entry per cache); when
+  /// non-empty it overrides cache_capacity_bytes.
+  std::vector<std::uint64_t> per_cache_capacity_bytes;
+  cache::PolicyKind policy = cache::PolicyKind::kUtility;
+  cache::UtilityPolicyParams utility_params{};
+
+  /// Beacon points per group directory; 0 = every member is a beacon.
+  std::size_t beacons_per_group = 3;
+
+  CostModel cost{};
+
+  ConsistencyMode consistency = ConsistencyMode::kPushInvalidation;
+  /// Copy lifetime under ConsistencyMode::kTtl.
+  double ttl_ms = 30'000.0;
+
+  RemotePlacement remote_placement = RemotePlacement::kScoreGated;
+
+  DirectoryMode directory = DirectoryMode::kBeacon;
+  SummaryConfig summary{};  ///< used when directory == kSummary
+
+  /// Fraction of the trace duration treated as cache warm-up: requests in
+  /// the window count toward hit rates but not latency statistics.
+  double warmup_fraction = 0.2;
+
+  /// Failure injection: the named cache crashes at the given time and
+  /// stays down. Its directory registrations are purged; later requests
+  /// arriving at it fall back to the origin; peers route around it
+  /// (beacon failover pays one timeout RTT per dead beacon slot skipped).
+  struct CacheFailure {
+    cache::CacheIndex cache = 0;
+    double time_ms = 0.0;
+  };
+  std::vector<CacheFailure> failures;
+};
+
+struct SimulationReport {
+  /// Paper's "average cache latency": mean over post-warmup requests.
+  double avg_latency_ms = 0.0;
+  /// Latency distribution tail (reservoir-sampled, post-warmup).
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  /// Per-cache mean latencies (post-warmup), indexed by cache.
+  std::vector<double> per_cache_latency_ms;
+  ResolutionCounts counts;
+  std::uint64_t origin_fetches = 0;
+  std::uint64_t origin_updates = 0;
+  std::uint64_t invalidations_pushed = 0;
+  std::uint64_t requests_processed = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t failures_applied = 0;
+  std::uint64_t failover_lookups = 0;  ///< beacon slots skipped due to crashes
+  /// Requests served a copy older than the origin's (TTL mode only; always
+  /// 0 under push invalidation).
+  std::uint64_t stale_served = 0;
+  /// Summary mode: fetch attempts wasted on false-positive/stale peers.
+  std::uint64_t wasted_summary_probes = 0;
+  /// Summary mode: network-wide summary rebuild rounds executed.
+  std::uint64_t summary_rebuilds = 0;
+};
+
+/// The simulator. Construct, then run(trace). Reusable state queries are
+/// available after run() for tests (caches(), directories()).
+class Simulator {
+ public:
+  /// `rtt` must cover hosts 0..N (caches + origin); `server` is the origin's
+  /// host id (normally N). `groups` in `config` must partition [0, N).
+  Simulator(const cache::Catalog& catalog, const net::RttProvider& rtt,
+            net::HostId server, SimulationConfig config);
+
+  SimulationReport run(const workload::Trace& trace);
+
+  const cache::EdgeCache& edge_cache(cache::CacheIndex i) const;
+  const cache::GroupDirectory& directory_of(cache::CacheIndex i) const;
+  const cache::OriginServer& origin() const { return *origin_; }
+  const MetricsCollector& metrics() const { return *metrics_; }
+
+  bool is_down(cache::CacheIndex i) const;
+
+ private:
+  void handle_request(const workload::Request& request, SimTime now);
+  void handle_request_ttl(const workload::Request& request, SimTime now);
+  void handle_request_summary(const workload::Request& request, SimTime now);
+  void rebuild_summaries();
+  void handle_update(const workload::Update& update);
+  void handle_failure(cache::CacheIndex failed);
+  /// Shared beacon lookup with crash failover. Returns the live beacon (or
+  /// none) and accumulates timeout penalties into `penalty_ms`.
+  bool find_beacon(const cache::GroupDirectory& dir, cache::CacheIndex i,
+                   cache::DocId d, cache::CacheIndex& beacon,
+                   double& penalty_ms);
+  /// Completion-time placement of a fetched copy, honouring the configured
+  /// RemotePlacement and updating the group directory.
+  void store_fetched(cache::CacheIndex i, cache::DocId d,
+                     cache::Version version, SimTime t, Resolution how);
+
+  const cache::Catalog& catalog_;
+  const net::RttProvider& rtt_;
+  net::HostId server_;
+  SimulationConfig config_;
+  std::size_t cache_count_;
+
+  std::vector<std::unique_ptr<cache::EdgeCache>> caches_;
+  std::vector<std::unique_ptr<cache::GroupDirectory>> directories_;
+  std::vector<std::size_t> group_of_;  ///< cache → directory index
+  std::unique_ptr<cache::OriginServer> origin_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  EventQueue queue_;
+  std::vector<bool> down_;
+  /// Summary mode: per-cache content summaries + peers sorted by RTT.
+  std::vector<cache::BloomFilter> summaries_;
+  std::vector<std::vector<cache::CacheIndex>> sorted_peers_;
+  std::uint64_t invalidations_pushed_ = 0;
+  std::uint64_t failures_applied_ = 0;
+  std::uint64_t failover_lookups_ = 0;
+  std::uint64_t stale_served_ = 0;
+  std::uint64_t wasted_summary_probes_ = 0;
+  std::uint64_t summary_rebuilds_ = 0;
+};
+
+/// Convenience wrapper: build a simulator, run the trace, return the report.
+SimulationReport run_simulation(const cache::Catalog& catalog,
+                                const net::RttProvider& rtt,
+                                net::HostId server, SimulationConfig config,
+                                const workload::Trace& trace);
+
+}  // namespace ecgf::sim

@@ -1,0 +1,69 @@
+#include "topology/attachment.h"
+
+#include <unordered_map>
+
+#include "topology/shortest_paths.h"
+
+namespace ecgf::topology {
+
+HostPlacement place_hosts(const TransitStubTopology& topo,
+                          std::size_t host_count,
+                          const PlacementOptions& options, util::Rng& rng) {
+  ECGF_EXPECTS(host_count > 0);
+  ECGF_EXPECTS(options.last_mile_min_ms > 0.0);
+  ECGF_EXPECTS(options.last_mile_max_ms >= options.last_mile_min_ms);
+
+  std::vector<NodeId> stubs = topo.stub_nodes();
+  ECGF_EXPECTS(!stubs.empty());
+
+  HostPlacement placement;
+  placement.attach_node.reserve(host_count);
+  placement.last_mile_ms.reserve(host_count);
+
+  if (options.prefer_distinct_routers) {
+    rng.shuffle(stubs);
+    for (std::size_t i = 0; i < host_count; ++i) {
+      placement.attach_node.push_back(stubs[i % stubs.size()]);
+      if ((i + 1) % stubs.size() == 0) rng.shuffle(stubs);
+    }
+  } else {
+    for (std::size_t i = 0; i < host_count; ++i) {
+      placement.attach_node.push_back(stubs[rng.index(stubs.size())]);
+    }
+  }
+  for (std::size_t i = 0; i < host_count; ++i) {
+    placement.last_mile_ms.push_back(
+        options.last_mile_max_ms == options.last_mile_min_ms
+            ? options.last_mile_min_ms
+            : rng.uniform(options.last_mile_min_ms, options.last_mile_max_ms));
+  }
+  ECGF_ENSURES(placement.host_count() == host_count);
+  return placement;
+}
+
+std::vector<std::vector<double>> host_rtt_matrix(
+    const Graph& graph, const HostPlacement& placement) {
+  const std::size_t n = placement.host_count();
+  ECGF_EXPECTS(n > 0);
+
+  // One Dijkstra per distinct attachment router, shared across hosts.
+  std::unordered_map<NodeId, std::vector<double>> router_dist;
+  for (NodeId a : placement.attach_node) {
+    if (!router_dist.contains(a)) router_dist.emplace(a, dijkstra(graph, a));
+  }
+
+  std::vector<std::vector<double>> rtt(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& dist_i = router_dist.at(placement.attach_node[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double path = dist_i[placement.attach_node[j]];
+      ECGF_ASSERT(path != kUnreachable);
+      const double one_way =
+          placement.last_mile_ms[i] + path + placement.last_mile_ms[j];
+      rtt[i][j] = rtt[j][i] = 2.0 * one_way;
+    }
+  }
+  return rtt;
+}
+
+}  // namespace ecgf::topology

@@ -1,0 +1,39 @@
+// Host attachment: edge caches and the origin server are hosts hanging off
+// stub routers with a short last-mile link. Host-to-host RTT is
+// 2 × (last-mile + shortest router path + last-mile).
+#pragma once
+
+#include <vector>
+
+#include "topology/transit_stub.h"
+#include "util/rng.h"
+
+namespace ecgf::topology {
+
+/// Where each host sits: its stub router and its last-mile one-way latency.
+struct HostPlacement {
+  std::vector<NodeId> attach_node;   ///< one stub router per host
+  std::vector<double> last_mile_ms;  ///< one-way last-mile latency per host
+
+  std::size_t host_count() const { return attach_node.size(); }
+};
+
+struct PlacementOptions {
+  double last_mile_min_ms = 0.3;  ///< uniform last-mile latency range
+  double last_mile_max_ms = 1.5;
+  /// Prefer distinct stub routers; when hosts outnumber stub routers the
+  /// remainder re-uses routers round-robin over a reshuffled order.
+  bool prefer_distinct_routers = true;
+};
+
+/// Attach `host_count` hosts to stub routers of `topo`.
+HostPlacement place_hosts(const TransitStubTopology& topo,
+                          std::size_t host_count,
+                          const PlacementOptions& options, util::Rng& rng);
+
+/// Dense symmetric host-to-host RTT matrix (ms). rtt[i][i] == 0.
+/// Cost: one Dijkstra per distinct attachment router.
+std::vector<std::vector<double>> host_rtt_matrix(const Graph& graph,
+                                                 const HostPlacement& placement);
+
+}  // namespace ecgf::topology

@@ -1,0 +1,62 @@
+#include "topology/barabasi_albert.h"
+
+#include <algorithm>
+
+namespace ecgf::topology {
+
+BarabasiAlbertTopology generate_barabasi_albert(
+    const BarabasiAlbertParams& params, util::Rng& rng) {
+  const std::size_t n = params.node_count;
+  const std::size_t m = params.edges_per_node;
+  ECGF_EXPECTS(n >= m + 1);
+  ECGF_EXPECTS(m >= 1);
+  ECGF_EXPECTS(params.plane_size > 0.0);
+  ECGF_EXPECTS(params.ms_per_unit > 0.0);
+
+  BarabasiAlbertTopology topo{Graph(n), {}};
+  topo.positions.resize(n);
+  for (auto& p : topo.positions) {
+    p = {rng.uniform(0.0, params.plane_size),
+         rng.uniform(0.0, params.plane_size)};
+  }
+
+  auto latency = [&](NodeId u, NodeId v) {
+    return std::max(0.05, plane_distance(topo.positions[u],
+                                         topo.positions[v]) *
+                              params.ms_per_unit);
+  };
+
+  // `targets` holds one entry per edge endpoint: sampling uniformly from
+  // it is sampling proportional to degree (the preferential attachment).
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(2 * n * m);
+
+  // Seed clique over the first m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      topo.graph.add_edge(u, v, latency(u, v));
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+
+  for (NodeId u = static_cast<NodeId>(m + 1); u < n; ++u) {
+    std::vector<NodeId> chosen;
+    while (chosen.size() < m) {
+      const NodeId t = endpoint_pool[rng.index(endpoint_pool.size())];
+      if (t == u) continue;
+      if (std::find(chosen.begin(), chosen.end(), t) != chosen.end()) continue;
+      chosen.push_back(t);
+    }
+    for (NodeId t : chosen) {
+      topo.graph.add_edge(u, t, latency(u, t));
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(t);
+    }
+  }
+
+  ECGF_ENSURES(topo.graph.connected());
+  return topo;
+}
+
+}  // namespace ecgf::topology

@@ -1,0 +1,30 @@
+// Barabási–Albert preferential-attachment topology — the scale-free
+// alternative to the transit-stub model, used to check that the grouping
+// schemes' behaviour is not an artifact of hierarchical topology. Nodes
+// are plane-embedded so link latency remains distance-derived.
+#pragma once
+
+#include "topology/graph.h"
+#include "topology/waxman.h"
+#include "util/rng.h"
+
+namespace ecgf::topology {
+
+struct BarabasiAlbertParams {
+  std::size_t node_count = 600;
+  std::size_t edges_per_node = 2;   ///< m: edges each new node brings
+  double plane_size = 1000.0;
+  double ms_per_unit = 0.05;
+};
+
+struct BarabasiAlbertTopology {
+  Graph graph;
+  std::vector<Point> positions;
+};
+
+/// Generate a connected BA graph with latencies proportional to plane
+/// distance. The first m+1 nodes start as a clique.
+BarabasiAlbertTopology generate_barabasi_albert(
+    const BarabasiAlbertParams& params, util::Rng& rng);
+
+}  // namespace ecgf::topology

@@ -1,0 +1,60 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ecgf::topology {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {
+  ECGF_EXPECTS(node_count > 0);
+}
+
+void Graph::add_edge(NodeId u, NodeId v, double latency_ms) {
+  ECGF_EXPECTS(u < adjacency_.size());
+  ECGF_EXPECTS(v < adjacency_.size());
+  ECGF_EXPECTS(u != v);
+  ECGF_EXPECTS(latency_ms > 0.0);
+  ECGF_EXPECTS(!has_edge(u, v));
+  adjacency_[u].push_back({v, latency_ms});
+  adjacency_[v].push_back({u, latency_ms});
+  edges_.push_back({u, v, latency_ms});
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  ECGF_EXPECTS(u < adjacency_.size());
+  ECGF_EXPECTS(v < adjacency_.size());
+  const auto& adj = adjacency_[u];
+  return std::any_of(adj.begin(), adj.end(),
+                     [v](const Neighbor& n) { return n.node == v; });
+}
+
+double Graph::edge_latency(NodeId u, NodeId v) const {
+  ECGF_EXPECTS(u < adjacency_.size());
+  for (const Neighbor& n : adjacency_[u]) {
+    if (n.node == v) return n.latency_ms;
+  }
+  throw util::ContractViolation("edge_latency: no such edge");
+}
+
+bool Graph::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Neighbor& n : adjacency_[u]) {
+      if (!seen[n.node]) {
+        seen[n.node] = true;
+        ++visited;
+        frontier.push(n.node);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace ecgf::topology

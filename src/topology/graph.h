@@ -1,0 +1,65 @@
+// Undirected weighted graph used as the physical network substrate.
+// Edge weights are one-way link latencies in milliseconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace ecgf::topology {
+
+using NodeId = std::uint32_t;
+
+/// A single undirected edge with a one-way latency in milliseconds.
+struct Edge {
+  NodeId u;
+  NodeId v;
+  double latency_ms;
+};
+
+/// Adjacency entry as seen from one endpoint.
+struct Neighbor {
+  NodeId node;
+  double latency_ms;
+};
+
+/// Undirected weighted graph with O(1) neighbor iteration.
+///
+/// Nodes are dense ids [0, node_count). Parallel edges are rejected;
+/// self-loops are rejected. The graph is append-only: experiments build a
+/// topology once and then treat it as immutable.
+class Graph {
+ public:
+  explicit Graph(std::size_t node_count);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+
+  /// Add an undirected edge u—v with the given positive latency.
+  /// Requires u != v, both in range, and no existing u—v edge.
+  void add_edge(NodeId u, NodeId v, double latency_ms);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Latency of edge u—v; throws if absent.
+  double edge_latency(NodeId u, NodeId v) const;
+
+  std::span<const Neighbor> neighbors(NodeId u) const {
+    ECGF_EXPECTS(u < adjacency_.size());
+    return adjacency_[u];
+  }
+
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// True when every node can reach every other node.
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ecgf::topology

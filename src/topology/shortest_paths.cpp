@@ -1,0 +1,38 @@
+#include "topology/shortest_paths.h"
+
+#include <queue>
+#include <utility>
+
+namespace ecgf::topology {
+
+std::vector<double> dijkstra(const Graph& graph, NodeId source) {
+  ECGF_EXPECTS(source < graph.node_count());
+  std::vector<double> dist(graph.node_count(), kUnreachable);
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Neighbor& n : graph.neighbors(u)) {
+      const double nd = d + n.latency_ms;
+      if (nd < dist[n.node]) {
+        dist[n.node] = nd;
+        heap.emplace(nd, n.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<double>> multi_source_shortest_paths(
+    const Graph& graph, const std::vector<NodeId>& sources) {
+  std::vector<std::vector<double>> out;
+  out.reserve(sources.size());
+  for (NodeId s : sources) out.push_back(dijkstra(graph, s));
+  return out;
+}
+
+}  // namespace ecgf::topology

@@ -1,0 +1,23 @@
+// Shortest-path latency computation over the router graph.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace ecgf::topology {
+
+/// Sentinel for unreachable nodes.
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest path latencies (Dijkstra, binary heap).
+/// Returns one distance per node; kUnreachable where no path exists.
+std::vector<double> dijkstra(const Graph& graph, NodeId source);
+
+/// All-pairs shortest-path latencies from each node in `sources`.
+/// Row i holds dijkstra(graph, sources[i]).
+std::vector<std::vector<double>> multi_source_shortest_paths(
+    const Graph& graph, const std::vector<NodeId>& sources);
+
+}  // namespace ecgf::topology

@@ -1,0 +1,158 @@
+#include "topology/transit_stub.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ecgf::topology {
+
+namespace {
+
+/// A point uniformly inside a disc of `radius` around `centre`, clamped to
+/// the plane square.
+Point scatter(const Point& centre, double radius, double plane,
+              util::Rng& rng) {
+  const double angle = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double r = radius * std::sqrt(rng.uniform01());
+  Point p{centre.x + r * std::cos(angle), centre.y + r * std::sin(angle)};
+  p.x = std::clamp(p.x, 0.0, plane);
+  p.y = std::clamp(p.y, 0.0, plane);
+  return p;
+}
+
+}  // namespace
+
+std::size_t TransitStubTopology::stub_domain_count() const {
+  return static_cast<std::size_t>(params.transit_domains) *
+         params.transit_nodes_per_domain * params.stub_domains_per_transit_node;
+}
+
+std::vector<NodeId> TransitStubTopology::stub_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].level == NodeLevel::kStub) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<NodeId> TransitStubTopology::transit_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].level == NodeLevel::kTransit) out.push_back(i);
+  }
+  return out;
+}
+
+TransitStubTopology generate_transit_stub(const TransitStubParams& params,
+                                          util::Rng& rng) {
+  ECGF_EXPECTS(params.transit_domains >= 1);
+  ECGF_EXPECTS(params.transit_nodes_per_domain >= 1);
+  ECGF_EXPECTS(params.stub_domains_per_transit_node >= 1);
+  ECGF_EXPECTS(params.stub_nodes_per_domain >= 1);
+  ECGF_EXPECTS(params.plane_size > 0.0);
+  ECGF_EXPECTS(params.ms_per_unit > 0.0);
+
+  const std::uint32_t t_nodes =
+      params.transit_domains * params.transit_nodes_per_domain;
+  const std::uint32_t s_domains =
+      t_nodes * params.stub_domains_per_transit_node;
+  const std::size_t total =
+      t_nodes + static_cast<std::size_t>(s_domains) * params.stub_nodes_per_domain;
+
+  Graph graph(total);
+  std::vector<NodeInfo> nodes(total);
+  std::vector<Point> positions(total);
+
+  // --- Transit domains: centres spread across the plane. Place them on a
+  // jittered grid so domains do not collapse onto each other.
+  const auto td = params.transit_domains;
+  const std::uint32_t grid =
+      static_cast<std::uint32_t>(std::ceil(std::sqrt(static_cast<double>(td))));
+  std::vector<Point> domain_centres(td);
+  for (std::uint32_t d = 0; d < td; ++d) {
+    const double cell = params.plane_size / static_cast<double>(grid);
+    const double cx = (static_cast<double>(d % grid) + 0.5) * cell;
+    const double cy = (static_cast<double>(d / grid) + 0.5) * cell;
+    domain_centres[d] = scatter({cx, cy}, cell * 0.2, params.plane_size, rng);
+  }
+
+  // --- Transit routers.
+  NodeId next = 0;
+  std::vector<std::vector<NodeId>> transit_members(td);
+  for (std::uint32_t d = 0; d < td; ++d) {
+    for (std::uint32_t i = 0; i < params.transit_nodes_per_domain; ++i) {
+      positions[next] = scatter(domain_centres[d], params.transit_domain_radius,
+                                params.plane_size, rng);
+      nodes[next] = {NodeLevel::kTransit, d, 0, positions[next]};
+      transit_members[d].push_back(next);
+      ++next;
+    }
+  }
+
+  // --- Stub domains hang off transit routers.
+  std::vector<std::vector<NodeId>> stub_members(s_domains);
+  std::vector<NodeId> stub_gateway_transit(s_domains);
+  std::uint32_t sd = 0;
+  for (std::uint32_t d = 0; d < td; ++d) {
+    for (NodeId t : transit_members[d]) {
+      for (std::uint32_t s = 0; s < params.stub_domains_per_transit_node; ++s) {
+        const Point centre = scatter(positions[t], params.stub_domain_offset,
+                                     params.plane_size, rng);
+        for (std::uint32_t i = 0; i < params.stub_nodes_per_domain; ++i) {
+          positions[next] = scatter(centre, params.stub_domain_radius,
+                                    params.plane_size, rng);
+          nodes[next] = {NodeLevel::kStub, d, sd, positions[next]};
+          stub_members[sd].push_back(next);
+          ++next;
+        }
+        stub_gateway_transit[sd] = t;
+        ++sd;
+      }
+    }
+  }
+  ECGF_ASSERT(next == total);
+
+  const double mpu = params.ms_per_unit;
+  auto latency = [&](NodeId u, NodeId v) {
+    return std::max(0.05, plane_distance(positions[u], positions[v]) * mpu);
+  };
+
+  // Intra-transit-domain Waxman edges.
+  for (std::uint32_t d = 0; d < td; ++d) {
+    add_waxman_edges(graph, positions, transit_members[d],
+                     params.transit_waxman, mpu, rng);
+  }
+
+  // Inter-domain edges: one guaranteed edge per domain pair (random router
+  // pair), plus extras with configurable probability.
+  for (std::uint32_t a = 0; a < td; ++a) {
+    for (std::uint32_t b = a + 1; b < td; ++b) {
+      const auto& ma = transit_members[a];
+      const auto& mb = transit_members[b];
+      const NodeId u = ma[rng.index(ma.size())];
+      const NodeId v = mb[rng.index(mb.size())];
+      if (!graph.has_edge(u, v)) graph.add_edge(u, v, latency(u, v));
+      if (rng.bernoulli(params.extra_interdomain_edge_prob)) {
+        const NodeId u2 = ma[rng.index(ma.size())];
+        const NodeId v2 = mb[rng.index(mb.size())];
+        if (!graph.has_edge(u2, v2)) graph.add_edge(u2, v2, latency(u2, v2));
+      }
+    }
+  }
+
+  // Stub domains: Waxman internally + gateway edge to the owning transit
+  // router from a random stub router.
+  for (std::uint32_t s = 0; s < s_domains; ++s) {
+    add_waxman_edges(graph, positions, stub_members[s], params.stub_waxman,
+                     mpu, rng);
+    const NodeId gw = stub_members[s][rng.index(stub_members[s].size())];
+    const NodeId t = stub_gateway_transit[s];
+    if (!graph.has_edge(gw, t)) graph.add_edge(gw, t, latency(gw, t));
+  }
+
+  TransitStubTopology topo{std::move(graph), std::move(nodes), params};
+  ECGF_ENSURES(topo.graph.connected());
+  return topo;
+}
+
+}  // namespace ecgf::topology

@@ -1,0 +1,70 @@
+// GT-ITM-style hierarchical transit-stub topology generator
+// (Zegura, Calvert, Bhattacharjee — INFOCOM '96), reimplemented as the
+// network substrate for the edge-cache experiments.
+//
+// Structure: T transit domains, each a Waxman graph of transit routers;
+// every pair of transit domains is connected; each transit router hosts S
+// stub domains, each a Waxman graph of stub routers with a gateway link to
+// its transit router. All nodes are embedded in a plane; link latency is
+// proportional to plane distance, so the latency structure is hierarchical
+// (intra-stub ≪ intra-transit ≪ inter-domain).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.h"
+#include "topology/waxman.h"
+#include "util/rng.h"
+
+namespace ecgf::topology {
+
+enum class NodeLevel : std::uint8_t { kTransit, kStub };
+
+/// Per-node placement metadata.
+struct NodeInfo {
+  NodeLevel level = NodeLevel::kStub;
+  std::uint32_t transit_domain = 0;  ///< owning transit domain
+  std::uint32_t stub_domain = 0;     ///< dense stub-domain id; unused for transit nodes
+  Point position;
+};
+
+/// Generator parameters. Defaults produce ~600 routers whose host-to-host
+/// RTTs span roughly 2–200 ms — the regime of the paper's experiments.
+struct TransitStubParams {
+  std::uint32_t transit_domains = 4;
+  std::uint32_t transit_nodes_per_domain = 4;
+  std::uint32_t stub_domains_per_transit_node = 3;
+  std::uint32_t stub_nodes_per_domain = 12;
+
+  double plane_size = 1000.0;          ///< side of the embedding square
+  double transit_domain_radius = 90.0; ///< transit routers scatter radius
+  double stub_domain_offset = 70.0;    ///< stub-domain centre distance from its transit router
+  double stub_domain_radius = 18.0;    ///< stub routers scatter radius
+
+  WaxmanParams transit_waxman{0.7, 0.6};
+  WaxmanParams stub_waxman{0.5, 0.6};
+
+  double ms_per_unit = 0.05;           ///< latency per plane unit, all links
+  /// Expected number of extra transit-transit edges beyond the connecting
+  /// clique spanning structure, as a fraction of domain pairs.
+  double extra_interdomain_edge_prob = 0.35;
+};
+
+/// A generated topology: the router graph plus per-node metadata.
+struct TransitStubTopology {
+  Graph graph;
+  std::vector<NodeInfo> nodes;
+  TransitStubParams params;
+
+  std::size_t stub_domain_count() const;
+  /// All stub-router node ids (hosts attach only to these).
+  std::vector<NodeId> stub_nodes() const;
+  std::vector<NodeId> transit_nodes() const;
+};
+
+/// Generate a transit-stub topology. The result is always connected.
+TransitStubTopology generate_transit_stub(const TransitStubParams& params,
+                                          util::Rng& rng);
+
+}  // namespace ecgf::topology

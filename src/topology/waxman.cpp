@@ -1,0 +1,66 @@
+#include "topology/waxman.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecgf::topology {
+
+double plane_distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void add_waxman_edges(Graph& graph, const std::vector<Point>& positions,
+                      const std::vector<NodeId>& members,
+                      const WaxmanParams& params, double ms_per_unit,
+                      util::Rng& rng) {
+  ECGF_EXPECTS(!members.empty());
+  ECGF_EXPECTS(params.alpha > 0.0 && params.alpha <= 1.0);
+  ECGF_EXPECTS(params.beta > 0.0 && params.beta <= 1.0);
+  ECGF_EXPECTS(ms_per_unit > 0.0);
+  for (NodeId m : members) ECGF_EXPECTS(m < positions.size());
+
+  const std::size_t n = members.size();
+  if (n == 1) return;
+
+  auto latency = [&](NodeId u, NodeId v) {
+    // Enforce a small positive floor so co-located nodes still get a
+    // non-zero link latency.
+    return std::max(0.05, plane_distance(positions[u], positions[v]) * ms_per_unit);
+  };
+
+  // Random spanning tree first: guarantees connectivity of the member set.
+  std::vector<NodeId> order = members;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId u = order[i];
+    const NodeId v = order[rng.index(i)];
+    if (!graph.has_edge(u, v)) graph.add_edge(u, v, latency(u, v));
+  }
+
+  // Largest pairwise distance within the member set.
+  double d_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      d_max = std::max(d_max,
+                       plane_distance(positions[members[i]], positions[members[j]]));
+    }
+  }
+  if (d_max <= 0.0) d_max = 1.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const NodeId u = members[i];
+      const NodeId v = members[j];
+      if (graph.has_edge(u, v)) continue;
+      const double d = plane_distance(positions[u], positions[v]);
+      const double p = params.alpha * std::exp(-d / (params.beta * d_max));
+      if (rng.bernoulli(std::min(1.0, p))) {
+        graph.add_edge(u, v, latency(u, v));
+      }
+    }
+  }
+}
+
+}  // namespace ecgf::topology

@@ -1,0 +1,38 @@
+// Waxman random-graph edges over plane-embedded nodes — the intra-domain
+// edge model of the GT-ITM transit-stub generator (Zegura et al., '96).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace ecgf::topology {
+
+/// 2-D position of a node on the embedding plane (arbitrary distance units).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two plane points.
+double plane_distance(const Point& a, const Point& b);
+
+/// Parameters of the Waxman model: P(edge u,v) = alpha * exp(-d(u,v) /
+/// (beta * d_max)), where d_max is the largest pairwise distance.
+struct WaxmanParams {
+  double alpha = 0.4;  ///< overall edge density, (0, 1]
+  double beta = 0.5;   ///< distance sensitivity, (0, 1]
+};
+
+/// Generate Waxman edges among `members` (indices into `positions`) and add
+/// them to `graph`, with edge latency = plane distance × ms_per_unit.
+/// A random spanning tree over the members is added first so the induced
+/// subgraph is always connected.
+void add_waxman_edges(Graph& graph, const std::vector<Point>& positions,
+                      const std::vector<NodeId>& members,
+                      const WaxmanParams& params, double ms_per_unit,
+                      util::Rng& rng);
+
+}  // namespace ecgf::topology

@@ -1,0 +1,50 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Violations throw ecgf::util::ContractViolation so
+// that tests can assert on misuse and long-running experiments fail loudly
+// instead of corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ecgf::util {
+
+/// Thrown when a precondition, postcondition, or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace ecgf::util
+
+/// Precondition check: argument/state requirements at function entry.
+#define ECGF_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ecgf::util::detail::contract_fail("precondition", #cond, __FILE__, \
+                                          __LINE__);                       \
+  } while (0)
+
+/// Postcondition check: guarantees established before returning.
+#define ECGF_ENSURES(cond)                                                  \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::ecgf::util::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                          __LINE__);                        \
+  } while (0)
+
+/// Invariant check inside algorithms.
+#define ECGF_ASSERT(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::ecgf::util::detail::contract_fail("invariant", #cond, __FILE__, \
+                                          __LINE__);                     \
+  } while (0)

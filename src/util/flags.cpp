@@ -1,0 +1,116 @@
+#include "util/flags.h"
+
+#include <sstream>
+
+#include "util/expect.h"
+
+namespace ecgf::util {
+
+void Flags::define(const std::string& name, const std::string& description,
+                   const std::string& default_value) {
+  ECGF_EXPECTS(!name.empty());
+  ECGF_EXPECTS(!specs_.contains(name));
+  specs_[name] = Spec{description, default_value, false};
+}
+
+void Flags::define_bool(const std::string& name,
+                        const std::string& description) {
+  ECGF_EXPECTS(!name.empty());
+  ECGF_EXPECTS(!specs_.contains(name));
+  specs_[name] = Spec{description, "false", true};
+}
+
+const Flags::Spec& Flags::spec_of(const std::string& name) const {
+  const auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    throw ContractViolation("unknown flag: --" + name);
+  }
+  return it->second;
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    if (arg == "help") return false;
+
+    std::string name = arg;
+    std::optional<std::string> value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    const Spec& spec = spec_of(name);
+    if (spec.is_bool) {
+      values_[name] = value.value_or("true");
+      continue;
+    }
+    if (!value.has_value()) {
+      if (i + 1 >= argc) {
+        throw ContractViolation("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    values_[name] = *value;
+  }
+  return true;
+}
+
+bool Flags::has(const std::string& name) const {
+  spec_of(name);  // validates the name
+  return values_.contains(name);
+}
+
+std::string Flags::get(const std::string& name) const {
+  const Spec& spec = spec_of(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? spec.default_value : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t consumed = 0;
+  const std::int64_t out = std::stoll(v, &consumed);
+  if (consumed != v.size()) {
+    throw ContractViolation("flag --" + name + " is not an integer: " + v);
+  }
+  return out;
+}
+
+double Flags::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  std::size_t consumed = 0;
+  const double out = std::stod(v, &consumed);
+  if (consumed != v.size()) {
+    throw ContractViolation("flag --" + name + " is not a number: " + v);
+  }
+  return out;
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw ContractViolation("flag --" + name + " is not a boolean: " + v);
+}
+
+std::string Flags::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, spec] : specs_) {
+    os << "  --" << name;
+    if (!spec.is_bool) os << "=<value>";
+    os << "\n      " << spec.description;
+    if (!spec.is_bool && !spec.default_value.empty()) {
+      os << " (default: " << spec.default_value << ")";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ecgf::util

@@ -1,0 +1,54 @@
+// Minimal command-line flag parser for the examples and tools:
+// --key=value and --key value forms, boolean switches, typed getters with
+// defaults, and generated --help text. Unknown flags are an error so typos
+// fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ecgf::util {
+
+class Flags {
+ public:
+  /// Declare flags before parse(). `description` feeds help().
+  void define(const std::string& name, const std::string& description,
+              const std::string& default_value);
+  void define_bool(const std::string& name,
+                   const std::string& description = "");
+
+  /// Parse argv. Returns false (after printing help to stderr) when
+  /// --help was requested. Throws ContractViolation on unknown flags or a
+  /// missing value.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted help text from the declarations.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Spec {
+    std::string description;
+    std::string default_value;
+    bool is_bool = false;
+  };
+
+  const Spec& spec_of(const std::string& name) const;
+
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ecgf::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Benches and examples use INFO for progress;
+// library code only logs at DEBUG so that experiment output stays clean.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ecgf::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn so
+/// library internals stay silent unless a caller opts in.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}
+
+/// Stream-style one-shot log statement: Logger(kInfo) << "x=" << x;
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level) {}
+  ~Logger() {
+    if (level_ >= log_level()) detail::log_write(level_, stream_.str());
+  }
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ecgf::util
+
+#define ECGF_LOG_DEBUG ::ecgf::util::Logger(::ecgf::util::LogLevel::kDebug)
+#define ECGF_LOG_INFO ::ecgf::util::Logger(::ecgf::util::LogLevel::kInfo)
+#define ECGF_LOG_WARN ::ecgf::util::Logger(::ecgf::util::LogLevel::kWarn)
+#define ECGF_LOG_ERROR ::ecgf::util::Logger(::ecgf::util::LogLevel::kError)

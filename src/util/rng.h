@@ -1,0 +1,162 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in ECGF takes an explicit seed (or an Rng&),
+// never a global generator, so that a figure bench re-run bit-reproduces
+// its table. Rng wraps std::mt19937_64 with the handful of draw shapes the
+// library needs (uniform ints/reals, log-normal jitter, shuffles, weighted
+// sampling without replacement).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace ecgf::util {
+
+/// Seeded pseudo-random generator used across the library.
+class Rng {
+ public:
+  using result_type = std::mt19937_64::result_type;
+
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent child generator; `salt` distinguishes siblings.
+  Rng fork(std::uint64_t salt) {
+    return Rng(engine_() ^ (salt * 0x9E3779B97F4A7C15ULL));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    ECGF_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    ECGF_EXPECTS(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi) {
+    ECGF_EXPECTS(lo < hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() { return uniform(0.0, 1.0); }
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    ECGF_EXPECTS(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponential inter-arrival draw with the given rate (> 0).
+  double exponential(double rate) {
+    ECGF_EXPECTS(rate > 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Log-normal multiplicative jitter centred on 1.0 with spread sigma >= 0.
+  /// sigma == 0 returns exactly 1.0 (noise-free probing).
+  double lognormal_jitter(double sigma) {
+    ECGF_EXPECTS(sigma >= 0.0);
+    if (sigma == 0.0) return 1.0;
+    // mu = -sigma^2/2 makes the mean of the distribution equal to 1.
+    return std::lognormal_distribution<double>(-0.5 * sigma * sigma, sigma)(engine_);
+  }
+
+  /// Gaussian draw.
+  double normal(double mean, double stddev) {
+    ECGF_EXPECTS(stddev >= 0.0);
+    if (stddev == 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Sample k distinct indices uniformly from [0, n). Requires k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+    ECGF_EXPECTS(k <= n);
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    // Partial Fisher-Yates: first k slots end up a uniform k-subset.
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + index(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+  /// Weighted sampling of k distinct indices without replacement.
+  /// weights[i] >= 0; at least k strictly positive weights are required
+  /// unless fewer exist, in which case the remainder is drawn uniformly
+  /// from the unchosen indices.
+  std::vector<std::size_t> weighted_sample_without_replacement(
+      std::span<const double> weights, std::size_t k);
+
+  /// Access the raw engine (for std distributions not wrapped above).
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+inline std::vector<std::size_t> Rng::weighted_sample_without_replacement(
+    std::span<const double> weights, std::size_t k) {
+  const std::size_t n = weights.size();
+  ECGF_EXPECTS(k <= n);
+  std::vector<double> w(weights.begin(), weights.end());
+  for (double x : w) ECGF_EXPECTS(x >= 0.0);
+  std::vector<bool> chosen(n, false);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t round = 0; round < k; ++round) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!chosen[i]) total += w[i];
+    if (total <= 0.0) {
+      // All remaining weight exhausted: fall back to uniform over the rest.
+      std::vector<std::size_t> rest;
+      for (std::size_t i = 0; i < n; ++i)
+        if (!chosen[i]) rest.push_back(i);
+      const std::size_t pick = rest[index(rest.size())];
+      chosen[pick] = true;
+      out.push_back(pick);
+      continue;
+    }
+    double r = uniform01() * total;
+    std::size_t pick = n;  // sentinel
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chosen[i]) continue;
+      r -= w[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == n) {  // numeric tail: take last unchosen
+      for (std::size_t i = n; i-- > 0;)
+        if (!chosen[i]) {
+          pick = i;
+          break;
+        }
+    }
+    chosen[pick] = true;
+    out.push_back(pick);
+  }
+  ECGF_ENSURES(out.size() == k);
+  return out;
+}
+
+}  // namespace ecgf::util

@@ -1,0 +1,141 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace ecgf::util {
+
+void Accumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - m_;
+  m_ += delta / static_cast<double>(count_);
+  s_ += delta * (x - m_);
+  if (count_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.m_ - m_;
+  const double n = n1 + n2;
+  m_ += delta * n2 / n;
+  s_ += other.s_ + delta * delta * n1 * n2 / n;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return s_ / static_cast<double>(count_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  ECGF_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), state_(seed | 1) {
+  ECGF_EXPECTS(capacity > 0);
+  sample_.reserve(capacity);
+}
+
+void ReservoirSample::add(double x) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(x);
+    return;
+  }
+  // xorshift64: cheap deterministic replacement index in [0, seen).
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+  const std::size_t j = static_cast<std::size_t>(state_ % seen_);
+  if (j < capacity_) sample_[j] = x;
+}
+
+double ReservoirSample::quantile(double q) const {
+  return util::quantile(sample_, q);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ECGF_EXPECTS(lo < hi);
+  ECGF_EXPECTS(bins > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double pos = (x - lo_) / width;
+  std::size_t bin;
+  if (pos < 0.0) {
+    bin = 0;
+  } else {
+    bin = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  ECGF_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  ECGF_EXPECTS(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  ECGF_EXPECTS(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin + 1);
+}
+
+}  // namespace ecgf::util

@@ -1,0 +1,96 @@
+// Summary statistics used by the metrics collectors and the figure benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ecgf::util {
+
+/// Incremental accumulator: count / mean / variance (Welford) / min / max.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : m_; }
+  /// Population variance; 0 when fewer than 2 observations.
+  double variance() const;
+  double stddev() const;
+  /// Smallest observation; 0 when empty.
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  /// Largest observation; 0 when empty.
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double m_ = 0.0;   // running mean
+  double s_ = 0.0;   // sum of squared deviations
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sequence; 0 when empty.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 when fewer than 2 elements.
+double stddev(std::span<const double> xs);
+
+/// Quantile via linear interpolation on the sorted copy, q in [0, 1].
+/// Returns 0 when empty.
+double quantile(std::span<const double> xs, double q);
+
+/// Median shorthand.
+double median(std::span<const double> xs);
+
+/// Fixed-size uniform reservoir sample (Vitter's algorithm R) for
+/// percentile estimation over unbounded streams — the latency collectors
+/// use it to report p50/p95/p99 without storing every observation.
+class ReservoirSample {
+ public:
+  /// `capacity` samples retained; `seed` drives replacement decisions so
+  /// runs stay reproducible.
+  ReservoirSample(std::size_t capacity, std::uint64_t seed);
+
+  void add(double x);
+
+  std::size_t seen() const { return seen_; }
+  std::size_t size() const { return sample_.size(); }
+
+  /// Quantile estimate from the current sample, q in [0, 1]; 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t state_;  // xorshift64 state; cheap + deterministic
+  std::size_t seen_ = 0;
+  std::vector<double> sample_;
+};
+
+/// Histogram with fixed-width bins over [lo, hi); values outside are clamped
+/// into the first/last bin. Used by trace_explorer and tests.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ecgf::util

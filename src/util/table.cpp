@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/expect.h"
+
+namespace ecgf::util {
+
+namespace {
+
+std::string cell_to_string(const Cell& c) {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* d = std::get_if<double>(&c)) return format_fixed(*d, 3);
+  return std::to_string(std::get<long long>(c));
+}
+
+}  // namespace
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  ECGF_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  ECGF_EXPECTS(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+double Table::number_at(std::size_t row, std::size_t col) const {
+  ECGF_EXPECTS(row < rows_.size());
+  ECGF_EXPECTS(col < header_.size());
+  const Cell& c = rows_[row][col];
+  if (const auto* d = std::get_if<double>(&c)) return *d;
+  if (const auto* i = std::get_if<long long>(&c)) return static_cast<double>(*i);
+  ECGF_ASSERT(false && "number_at on a text cell");
+  return 0.0;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(cell_to_string(row[c]));
+      widths[c] = std::max(widths[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << cells[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rendered) emit(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](auto&& to_str, const auto& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << to_str(cells[c]);
+    }
+    os << '\n';
+  };
+  emit([](const std::string& s) { return s; }, header_);
+  for (const auto& row : rows_) {
+    emit([](const Cell& c) { return cell_to_string(c); }, row);
+  }
+}
+
+}  // namespace ecgf::util

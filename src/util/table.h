@@ -1,0 +1,44 @@
+// Table/CSV emission for figure benches: every bench prints the paper's
+// series as an aligned table plus machine-readable CSV lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ecgf::util {
+
+/// A cell is either text or a number (printed with fixed precision).
+using Cell = std::variant<std::string, double, long long>;
+
+/// Simple column-aligned table with an optional title, printable as both
+/// human-aligned text and CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void add_row(std::vector<Cell> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+  /// Numeric value of a cell; throws ContractViolation for text cells.
+  double number_at(std::size_t row, std::size_t col) const;
+
+  /// Aligned human-readable rendering.
+  void print(std::ostream& os) const;
+  /// RFC-4180-ish CSV rendering (no quoting of commas needed for our data).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Format a double with `digits` decimal places.
+std::string format_fixed(double value, int digits);
+
+}  // namespace ecgf::util

@@ -1,0 +1,50 @@
+// Synthetic workload generator — the stand-in for the paper's IBM 2000
+// Sydney Olympics trace (proprietary; see DESIGN.md substitutions).
+//
+// Requests: per-cache Poisson arrivals; each request draws a document from
+// a Zipf popularity law. A `similarity` knob blends a shared global
+// popularity ranking with a per-cache private ranking, reproducing the
+// paper's assumption that "the request patterns of the edge caches exhibit
+// considerable degree of similarity".
+//
+// Updates: per-document Poisson processes at the catalog's update rates.
+#pragma once
+
+#include "cache/catalog.h"
+#include "workload/trace.h"
+#include "workload/zipf.h"
+
+namespace ecgf::workload {
+
+/// A flash crowd: for a window of the trace, every cache receives an
+/// additional burst of traffic concentrated on a small set of suddenly-hot
+/// documents — the signature behaviour of the sporting-event site whose
+/// trace the paper used.
+struct FlashCrowd {
+  double start_ms = 0.0;
+  double duration_ms = 60'000.0;
+  /// Burst intensity: extra requests per cache per second *on top of* the
+  /// base rate, all directed at the hot set.
+  double extra_rate_per_cache_per_s = 10.0;
+  std::size_t hot_docs = 20;      ///< size of the suddenly-hot set
+  double hot_zipf_alpha = 1.0;    ///< skew inside the hot set
+};
+
+struct WorkloadParams {
+  std::size_t cache_count = 100;
+  double duration_ms = 300'000.0;        ///< 5 simulated minutes
+  double requests_per_cache_per_s = 2.0; ///< Poisson arrival rate per cache
+  double zipf_alpha = 0.9;               ///< popularity skew
+  /// Probability a request follows the global ranking instead of the
+  /// cache's private one, in [0, 1]. 1.0 = identical patterns everywhere.
+  double similarity = 0.8;
+  /// Optional flash-crowd event (enabled when engaged = true).
+  bool flash_crowd_enabled = false;
+  FlashCrowd flash_crowd{};
+};
+
+/// Generate a complete trace against `catalog`. Deterministic given rng.
+Trace generate_trace(const WorkloadParams& params,
+                     const cache::Catalog& catalog, util::Rng& rng);
+
+}  // namespace ecgf::workload

@@ -1,0 +1,95 @@
+#include "workload/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/expect.h"
+
+namespace ecgf::workload {
+
+void Trace::validate(std::size_t cache_count,
+                     std::size_t document_count) const {
+  ECGF_EXPECTS(duration_ms >= 0.0);
+  double prev = 0.0;
+  for (const Request& r : requests) {
+    ECGF_EXPECTS(r.time_ms >= prev);
+    ECGF_EXPECTS(r.time_ms <= duration_ms);
+    ECGF_EXPECTS(r.cache < cache_count);
+    ECGF_EXPECTS(r.doc < document_count);
+    prev = r.time_ms;
+  }
+  prev = 0.0;
+  for (const Update& u : updates) {
+    ECGF_EXPECTS(u.time_ms >= prev);
+    ECGF_EXPECTS(u.time_ms <= duration_ms);
+    ECGF_EXPECTS(u.doc < document_count);
+    prev = u.time_ms;
+  }
+}
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  // max_digits10 keeps timestamps exact across a write/read round trip.
+  os.precision(17);
+  os << "ecgf-trace v1 " << trace.duration_ms << '\n';
+  // Emit in merged time order so the file reads like a single log.
+  std::size_t ri = 0, ui = 0;
+  while (ri < trace.requests.size() || ui < trace.updates.size()) {
+    const bool take_request =
+        ui >= trace.updates.size() ||
+        (ri < trace.requests.size() &&
+         trace.requests[ri].time_ms <= trace.updates[ui].time_ms);
+    if (take_request) {
+      const Request& r = trace.requests[ri++];
+      os << "R " << r.time_ms << ' ' << r.cache << ' ' << r.doc << '\n';
+    } else {
+      const Update& u = trace.updates[ui++];
+      os << "U " << u.time_ms << ' ' << u.doc << '\n';
+    }
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  std::istringstream hs(header);
+  std::string magic, version;
+  Trace trace;
+  hs >> magic >> version >> trace.duration_ms;
+  if (magic != "ecgf-trace" || version != "v1" || hs.fail()) {
+    throw util::ContractViolation("read_trace: bad header: " + header);
+  }
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'R') {
+      Request r;
+      ls >> r.time_ms >> r.cache >> r.doc;
+      if (ls.fail()) {
+        throw util::ContractViolation("read_trace: bad R record at line " +
+                                      std::to_string(line_no));
+      }
+      trace.requests.push_back(r);
+    } else if (kind == 'U') {
+      Update u;
+      ls >> u.time_ms >> u.doc;
+      if (ls.fail()) {
+        throw util::ContractViolation("read_trace: bad U record at line " +
+                                      std::to_string(line_no));
+      }
+      trace.updates.push_back(u);
+    } else {
+      throw util::ContractViolation("read_trace: unknown record at line " +
+                                    std::to_string(line_no));
+    }
+  }
+  return trace;
+}
+
+}  // namespace ecgf::workload

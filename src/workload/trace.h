@@ -1,0 +1,45 @@
+// Trace types: the request logs that drive the edge caches and the update
+// log the origin server replays (paper §5: "caches ... are driven by
+// request-log files, while origin server reads continuously from an update
+// log file"). Includes a plain-text (de)serialisation so traces can be
+// stored and replayed like the paper's log files.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "cache/document.h"
+
+namespace ecgf::workload {
+
+/// One client request arriving at an edge cache.
+struct Request {
+  double time_ms = 0.0;
+  std::uint32_t cache = 0;     ///< receiving edge cache (0..N-1)
+  cache::DocId doc = 0;
+};
+
+/// One origin-side document update.
+struct Update {
+  double time_ms = 0.0;
+  cache::DocId doc = 0;
+};
+
+/// A complete workload: both logs, time-sorted.
+struct Trace {
+  std::vector<Request> requests;
+  std::vector<Update> updates;
+  double duration_ms = 0.0;
+
+  /// Validate ordering/ranges; throws ContractViolation when malformed.
+  void validate(std::size_t cache_count, std::size_t document_count) const;
+};
+
+/// Plain-text round-trip: one record per line,
+///   R <time_ms> <cache> <doc>   |   U <time_ms> <doc>
+/// preceded by a header line `ecgf-trace v1 <duration_ms>`.
+void write_trace(std::ostream& os, const Trace& trace);
+Trace read_trace(std::istream& is);
+
+}  // namespace ecgf::workload

@@ -1,0 +1,35 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace ecgf::workload {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
+  ECGF_EXPECTS(n > 0);
+  ECGF_EXPECTS(alpha >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), alpha);
+    cdf_[r] = acc;
+  }
+  const double inv = 1.0 / acc;
+  for (double& x : cdf_) x *= inv;
+  cdf_.back() = 1.0;  // exact top end despite rounding
+}
+
+std::size_t ZipfSampler::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min(static_cast<std::size_t>(it - cdf_.begin()), cdf_.size() - 1);
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  ECGF_EXPECTS(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace ecgf::workload

@@ -1,0 +1,32 @@
+// Zipf(α) sampler over ranks 0..n-1 (rank 0 most popular) — the standard
+// web-trace popularity model; the paper's IBM Sydney-Olympics trace is
+// heavily skewed in exactly this way.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ecgf::workload {
+
+class ZipfSampler {
+ public:
+  /// n items, exponent alpha >= 0 (alpha = 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draw a rank in [0, n). Rank r has probability ∝ 1/(r+1)^α.
+  std::size_t sample(util::Rng& rng) const;
+
+  /// Probability mass of a rank (for tests).
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // normalised cumulative masses
+};
+
+}  // namespace ecgf::workload

@@ -1,0 +1,120 @@
+// Tests for complete-link agglomerative clustering and the BA topology.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/agglomerative.h"
+#include "cluster/quality.h"
+#include "topology/barabasi_albert.h"
+#include "topology/shortest_paths.h"
+#include "util/expect.h"
+
+namespace ecgf {
+namespace {
+
+TEST(Agglomerative, RecoversSeparatedBlobs) {
+  // Three 1-D blobs at 0, 100, 200 (offsets < 5).
+  std::vector<double> xs;
+  util::Rng rng(1);
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 10; ++i) {
+      xs.push_back(100.0 * b + rng.uniform(0.0, 5.0));
+    }
+  }
+  const cluster::DistanceFn dist = [&](std::size_t a, std::size_t b) {
+    return std::abs(xs[a] - xs[b]);
+  };
+  const auto result = cluster::agglomerative(xs.size(), 3, dist);
+  EXPECT_EQ(result.merges, 27u);  // 30 items → 3 clusters
+  for (int b = 0; b < 3; ++b) {
+    std::set<std::uint32_t> ids;
+    for (int i = 0; i < 10; ++i) ids.insert(result.assignment[b * 10 + i]);
+    EXPECT_EQ(ids.size(), 1u) << "blob " << b;
+  }
+  std::set<std::uint32_t> all(result.assignment.begin(),
+                              result.assignment.end());
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Agglomerative, CompleteLinkMergeOrder) {
+  // Items at 0, 1, 10, 12: first merge {0,1} (d=1), then {10,12} (d=2);
+  // complete link keeps the two pairs apart (max-distance 12 vs 2).
+  std::vector<double> xs{0.0, 1.0, 10.0, 12.0};
+  const cluster::DistanceFn dist = [&](std::size_t a, std::size_t b) {
+    return std::abs(xs[a] - xs[b]);
+  };
+  const auto result = cluster::agglomerative(4, 2, dist);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  EXPECT_EQ(result.assignment[2], result.assignment[3]);
+  EXPECT_NE(result.assignment[0], result.assignment[2]);
+}
+
+TEST(Agglomerative, EdgeCases) {
+  const cluster::DistanceFn dist = [](std::size_t a, std::size_t b) {
+    return std::abs(static_cast<double>(a) - static_cast<double>(b));
+  };
+  // k = n: no merges.
+  const auto all = cluster::agglomerative(4, 4, dist);
+  EXPECT_EQ(all.merges, 0u);
+  std::set<std::uint32_t> ids(all.assignment.begin(), all.assignment.end());
+  EXPECT_EQ(ids.size(), 4u);
+  // k = 1: everything merged.
+  const auto one = cluster::agglomerative(4, 1, dist);
+  for (auto a : one.assignment) EXPECT_EQ(a, 0u);
+  // Bad k.
+  EXPECT_THROW(cluster::agglomerative(4, 0, dist), util::ContractViolation);
+  EXPECT_THROW(cluster::agglomerative(4, 5, dist), util::ContractViolation);
+}
+
+TEST(Agglomerative, GroupsViewConsistent) {
+  const cluster::DistanceFn dist = [](std::size_t a, std::size_t b) {
+    return std::abs(static_cast<double>(a) - static_cast<double>(b));
+  };
+  const auto result = cluster::agglomerative(10, 3, dist);
+  const auto groups = result.groups(3);
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(BarabasiAlbert, ConnectedWithExpectedEdgeCount) {
+  topology::BarabasiAlbertParams params;
+  params.node_count = 200;
+  params.edges_per_node = 2;
+  util::Rng rng(5);
+  const auto topo = topology::generate_barabasi_albert(params, rng);
+  EXPECT_TRUE(topo.graph.connected());
+  // clique(3) = 3 edges + 197 nodes × 2 edges = 397.
+  EXPECT_EQ(topo.graph.edge_count(), 3u + 197u * 2u);
+}
+
+TEST(BarabasiAlbert, DegreeDistributionHeavyTailed) {
+  topology::BarabasiAlbertParams params;
+  params.node_count = 500;
+  params.edges_per_node = 2;
+  util::Rng rng(6);
+  const auto topo = topology::generate_barabasi_albert(params, rng);
+  std::size_t max_degree = 0;
+  std::size_t min_degree = 1u << 20;
+  for (topology::NodeId u = 0; u < 500; ++u) {
+    const std::size_t deg = topo.graph.neighbors(u).size();
+    max_degree = std::max(max_degree, deg);
+    min_degree = std::min(min_degree, deg);
+  }
+  EXPECT_GE(min_degree, params.edges_per_node);
+  // Preferential attachment produces hubs far above the minimum.
+  EXPECT_GT(max_degree, 10u * params.edges_per_node);
+}
+
+TEST(BarabasiAlbert, ShortestPathsFiniteEverywhere) {
+  topology::BarabasiAlbertParams params;
+  params.node_count = 120;
+  util::Rng rng(7);
+  const auto topo = topology::generate_barabasi_albert(params, rng);
+  const auto d = topology::dijkstra(topo.graph, 0);
+  for (double x : d) EXPECT_NE(x, topology::kUnreachable);
+}
+
+}  // namespace
+}  // namespace ecgf

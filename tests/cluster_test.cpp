@@ -1,0 +1,314 @@
+// Tests for clustering: K-means, init strategies, K-medoids, quality metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cluster/init.h"
+#include "cluster/kmeans.h"
+#include "cluster/kmedoids.h"
+#include "cluster/quality.h"
+#include "util/expect.h"
+
+namespace ecgf::cluster {
+namespace {
+
+/// Three well-separated 2-D blobs of `per` points each.
+Points three_blobs(std::size_t per, util::Rng& rng) {
+  Points points;
+  const double centres[3][2] = {{0.0, 0.0}, {100.0, 0.0}, {50.0, 100.0}};
+  for (int b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per; ++i) {
+      points.push_back({centres[b][0] + rng.normal(0.0, 2.0),
+                        centres[b][1] + rng.normal(0.0, 2.0)});
+    }
+  }
+  return points;
+}
+
+TEST(Points, ValidateRejectsRagged) {
+  Points ok{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(validate_points(ok), 2u);
+  Points ragged{{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(validate_points(ragged), util::ContractViolation);
+  EXPECT_THROW(validate_points(Points{}), util::ContractViolation);
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  util::Rng rng(1);
+  const Points points = three_blobs(20, rng);
+  const UniformCoverageInit init;
+  const auto result = kmeans(points, 3, init, rng);
+
+  // Every blob must map to a single cluster id.
+  for (int b = 0; b < 3; ++b) {
+    std::set<std::uint32_t> ids;
+    for (std::size_t i = 0; i < 20; ++i) {
+      ids.insert(result.assignment[b * 20 + i]);
+    }
+    EXPECT_EQ(ids.size(), 1u) << "blob " << b << " split across clusters";
+  }
+  // And the three blobs map to three distinct ids.
+  std::set<std::uint32_t> blob_ids{result.assignment[0], result.assignment[20],
+                                   result.assignment[40]};
+  EXPECT_EQ(blob_ids.size(), 3u);
+}
+
+TEST(KMeans, AllClustersNonEmpty) {
+  util::Rng rng(2);
+  Points points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  const UniformCoverageInit init;
+  const auto result = kmeans(points, 8, init, rng);
+  const auto groups = result.groups();
+  ASSERT_EQ(groups.size(), 8u);
+  for (const auto& g : groups) EXPECT_FALSE(g.empty());
+}
+
+TEST(KMeans, DeterministicForSameSeed) {
+  Points points;
+  util::Rng gen(3);
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({gen.uniform(0.0, 50.0), gen.uniform(0.0, 50.0)});
+  }
+  const UniformCoverageInit init;
+  util::Rng r1(9), r2(9);
+  EXPECT_EQ(kmeans(points, 5, init, r1).assignment,
+            kmeans(points, 5, init, r2).assignment);
+}
+
+TEST(KMeans, KEqualsOneAndKEqualsN) {
+  util::Rng rng(4);
+  Points points{{0.0}, {1.0}, {2.0}, {10.0}};
+  const UniformCoverageInit init;
+  const auto one = kmeans(points, 1, init, rng);
+  EXPECT_EQ(one.cluster_count(), 1u);
+  for (auto a : one.assignment) EXPECT_EQ(a, 0u);
+
+  const auto all = kmeans(points, 4, init, rng);
+  const auto groups = all.groups();
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(KMeans, AssignmentIsNearestCenter) {
+  util::Rng rng(5);
+  const Points points = three_blobs(15, rng);
+  const UniformCoverageInit init;
+  const auto result = kmeans(points, 3, init, rng);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double own = squared_l2(points[i], result.centers[result.assignment[i]]);
+    for (std::size_t c = 0; c < result.centers.size(); ++c) {
+      EXPECT_LE(own, squared_l2(points[i], result.centers[c]) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeans, WcssNoWorseThanSingleCluster) {
+  util::Rng rng(6);
+  const Points points = three_blobs(10, rng);
+  const UniformCoverageInit init;
+  const auto k3 = kmeans(points, 3, init, rng);
+  const auto k1 = kmeans(points, 1, init, rng);
+  EXPECT_LT(within_cluster_ss(points, k3), within_cluster_ss(points, k1));
+}
+
+TEST(KMeans, RejectsBadK) {
+  Points points{{0.0}, {1.0}};
+  const UniformCoverageInit init;
+  util::Rng rng(7);
+  EXPECT_THROW(kmeans(points, 0, init, rng), util::ContractViolation);
+  EXPECT_THROW(kmeans(points, 3, init, rng), util::ContractViolation);
+}
+
+TEST(UniformInit, DistinctIndicesCoveringRegions) {
+  util::Rng rng(8);
+  const Points points = three_blobs(10, rng);
+  const UniformCoverageInit init;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto seeds = init.choose(points, 3, rng);
+    std::set<std::size_t> uniq(seeds.begin(), seeds.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    for (std::size_t s : seeds) EXPECT_LT(s, points.size());
+  }
+}
+
+TEST(UniformInit, CoverageGuardSpreadsSeeds) {
+  // With three tight blobs and k=3, the coverage guard should place the
+  // three initial centres in three different blobs nearly always.
+  util::Rng rng(9);
+  const Points points = three_blobs(10, rng);
+  const UniformCoverageInit init;
+  int covered = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto seeds = init.choose(points, 3, rng);
+    std::set<std::size_t> blobs;
+    for (std::size_t s : seeds) blobs.insert(s / 10);
+    if (blobs.size() == 3) ++covered;
+  }
+  EXPECT_GT(covered, 40);
+}
+
+TEST(WeightedInit, BiasesTowardNearServerPoints) {
+  // 100 points; first 50 "near" (distance 5), last 50 "far" (distance 100).
+  // θ=2 ⇒ near points are 400× likelier per draw.
+  Points points;
+  std::vector<double> dist;
+  util::Rng gen(10);
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({gen.uniform(0.0, 1000.0), gen.uniform(0.0, 1000.0)});
+    dist.push_back(i < 50 ? 5.0 : 100.0);
+  }
+  CoverageGuard guard;
+  guard.min_separation_fraction = 0.0;  // isolate the weighting effect
+  const ServerDistanceWeightedInit init(dist, 2.0, guard);
+  util::Rng rng(11);
+  int near_picks = 0, total = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    for (std::size_t s : init.choose(points, 10, rng)) {
+      if (s < 50) ++near_picks;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(near_picks) / total, 0.85);
+}
+
+TEST(WeightedInit, ThetaZeroIsUniform) {
+  Points points;
+  std::vector<double> dist;
+  util::Rng gen(12);
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({gen.uniform(0.0, 1000.0), gen.uniform(0.0, 1000.0)});
+    dist.push_back(i < 50 ? 5.0 : 100.0);
+  }
+  CoverageGuard guard;
+  guard.min_separation_fraction = 0.0;
+  const ServerDistanceWeightedInit init(dist, 0.0, guard);
+  util::Rng rng(13);
+  int near_picks = 0, total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (std::size_t s : init.choose(points, 10, rng)) {
+      if (s < 50) ++near_picks;
+      ++total;
+    }
+  }
+  const double frac = static_cast<double>(near_picks) / total;
+  EXPECT_GT(frac, 0.40);
+  EXPECT_LT(frac, 0.60);
+}
+
+TEST(WeightedInit, RejectsMismatchedSizes) {
+  Points points{{0.0}, {1.0}};
+  const ServerDistanceWeightedInit init({1.0}, 2.0);
+  util::Rng rng(14);
+  EXPECT_THROW(init.choose(points, 1, rng), util::ContractViolation);
+}
+
+TEST(WeightedInit, HandlesZeroDistanceCache) {
+  // A cache co-located with the server (distance 0) must not break the
+  // weighting (floor applies) and should be strongly preferred.
+  Points points{{0.0}, {1.0}, {2.0}, {3.0}};
+  CoverageGuard guard;
+  guard.min_separation_fraction = 0.0;
+  const ServerDistanceWeightedInit init({0.0, 50.0, 50.0, 50.0}, 2.0, guard);
+  util::Rng rng(15);
+  int zero_first = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (init.choose(points, 1, rng)[0] == 0) ++zero_first;
+  }
+  EXPECT_GT(zero_first, 90);
+}
+
+TEST(KMedoids, RecoversBlobsUnderCallbackDistance) {
+  util::Rng gen(16);
+  const Points points = three_blobs(12, gen);
+  const DistanceFn dist = [&](std::size_t a, std::size_t b) {
+    return std::sqrt(squared_l2(points[a], points[b]));
+  };
+  util::Rng rng(17);
+  const auto result = kmedoids(points.size(), 3, dist, rng);
+  EXPECT_TRUE(result.converged);
+  for (int b = 0; b < 3; ++b) {
+    std::set<std::uint32_t> ids;
+    for (std::size_t i = 0; i < 12; ++i) ids.insert(result.assignment[b * 12 + i]);
+    EXPECT_EQ(ids.size(), 1u);
+  }
+  // Medoids are actual member points of their own cluster.
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(result.assignment[result.medoids[c]], c);
+  }
+}
+
+TEST(KMedoids, WeightedSeedingBias) {
+  util::Rng gen(18);
+  const Points points = three_blobs(10, gen);
+  const DistanceFn dist = [&](std::size_t a, std::size_t b) {
+    return std::sqrt(squared_l2(points[a], points[b]));
+  };
+  std::vector<double> weights(points.size(), 1e-6);
+  weights[0] = 1e6;  // index 0 nearly certain to seed
+  util::Rng rng(19);
+  int first = 0;
+  for (int t = 0; t < 50; ++t) {
+    // max_iterations = 0: seeding only, no Voronoi medoid update — we are
+    // testing the weighted *initialisation*, not convergence.
+    const auto result = kmedoids(points.size(), 1, dist, rng, weights,
+                                 KMedoidsOptions{.max_iterations = 0});
+    if (result.medoids[0] == 0) ++first;
+  }
+  EXPECT_GT(first, 45);
+}
+
+TEST(Quality, HandComputedGroupCost) {
+  // Distances: d(0,1)=2, d(0,2)=4, d(1,2)=6.
+  const DistanceFn dist = [](std::size_t a, std::size_t b) {
+    const double m[3][3] = {{0, 2, 4}, {2, 0, 6}, {4, 6, 0}};
+    return m[a][b];
+  };
+  EXPECT_DOUBLE_EQ(group_interaction_cost({0, 1, 2}, dist), 4.0);
+  EXPECT_DOUBLE_EQ(group_interaction_cost({0, 1}, dist), 2.0);
+  EXPECT_DOUBLE_EQ(group_interaction_cost({0}, dist), 0.0);
+}
+
+TEST(Quality, AverageSkipsSingletons) {
+  const DistanceFn dist = [](std::size_t, std::size_t) { return 10.0; };
+  const std::vector<std::vector<std::size_t>> groups{{0, 1}, {2}, {3, 4, 5}};
+  EXPECT_DOUBLE_EQ(average_group_interaction_cost(groups, dist), 10.0);
+  EXPECT_DOUBLE_EQ(
+      average_group_interaction_cost({{0}, {1}}, dist), 0.0);
+}
+
+TEST(Quality, PairWeightedMatchesWhenGroupsEqualSize) {
+  const DistanceFn dist = [](std::size_t a, std::size_t b) {
+    return static_cast<double>(a + b);
+  };
+  const std::vector<std::vector<std::size_t>> groups{{0, 1}, {2, 3}};
+  // Equal pair counts per group ⇒ both averages agree.
+  EXPECT_DOUBLE_EQ(average_group_interaction_cost(groups, dist),
+                   pair_weighted_interaction_cost(groups, dist));
+}
+
+// Property: K-means with more clusters never increases WCSS on the same
+// data (monotone objective), across seeds.
+class KMeansMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KMeansMonotone, WcssDecreasesWithK) {
+  util::Rng gen(GetParam());
+  Points points;
+  for (int i = 0; i < 80; ++i) {
+    points.push_back({gen.uniform(0.0, 100.0), gen.uniform(0.0, 100.0)});
+  }
+  const UniformCoverageInit init;
+  util::Rng r1(GetParam() + 1), r2(GetParam() + 1);
+  const double w2 = within_cluster_ss(points, kmeans(points, 2, init, r1));
+  const double w16 = within_cluster_ss(points, kmeans(points, 16, init, r2));
+  EXPECT_LT(w16, w2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansMonotone,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace ecgf::cluster

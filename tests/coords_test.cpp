@@ -1,0 +1,199 @@
+// Tests for position representations: feature vectors, Nelder–Mead, GNP
+// embedding, Vivaldi.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coords/feature_vector.h"
+#include "coords/gnp.h"
+#include "coords/nelder_mead.h"
+#include "coords/position_map.h"
+#include "coords/vivaldi.h"
+#include "net/distance_matrix.h"
+#include "util/expect.h"
+
+namespace ecgf::coords {
+namespace {
+
+/// Provider whose hosts sit on a 2-D grid: RTT = Euclidean distance. A
+/// perfectly embeddable metric, ideal for validating GNP / Vivaldi.
+net::MatrixRttProvider grid_provider(std::size_t side, double spacing) {
+  const std::size_t n = side * side;
+  net::DistanceMatrix m(n);
+  auto pos = [&](std::size_t i) {
+    return std::pair<double, double>{
+        spacing * static_cast<double>(i % side),
+        spacing * static_cast<double>(i / side)};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto [xi, yi] = pos(i);
+      const auto [xj, yj] = pos(j);
+      m.set(i, j, std::hypot(xi - xj, yi - yj));
+    }
+  }
+  return net::MatrixRttProvider(std::move(m));
+}
+
+net::Prober exact_prober(const net::RttProvider& p, std::uint64_t seed = 1) {
+  net::ProberOptions opts;
+  opts.jitter_sigma = 0.0;
+  return net::Prober(p, opts, util::Rng(seed));
+}
+
+TEST(PositionMap, StoresAndRetrieves) {
+  PositionMap map(3, 2);
+  map.set_coords(1, std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(map.host_count(), 3u);
+  EXPECT_EQ(map.dimension(), 2u);
+  EXPECT_DOUBLE_EQ(map.coords(1)[0], 1.0);
+  EXPECT_DOUBLE_EQ(map.coords(1)[1], 2.0);
+  EXPECT_DOUBLE_EQ(map.coords(0)[0], 0.0);  // zero-initialised
+}
+
+TEST(PositionMap, DefaultMapRejectsAccess) {
+  PositionMap map;
+  EXPECT_EQ(map.host_count(), 0u);
+  EXPECT_THROW(map.coords(0), util::ContractViolation);
+}
+
+TEST(PositionMap, L2Distance) {
+  std::vector<double> a{0.0, 3.0};
+  std::vector<double> b{4.0, 0.0};
+  EXPECT_DOUBLE_EQ(l2_distance(a, b), 5.0);
+  std::vector<double> c{1.0};
+  EXPECT_THROW(l2_distance(a, c), util::ContractViolation);
+}
+
+TEST(FeatureVector, EqualsMeasuredRttsWhenNoiseFree) {
+  const auto provider = grid_provider(3, 10.0);  // 9 hosts
+  auto prober = exact_prober(provider);
+  const std::vector<net::HostId> landmarks{8, 0, 4};
+  const auto map = build_feature_vectors(9, landmarks, prober);
+  EXPECT_EQ(map.dimension(), 3u);
+  for (net::HostId h = 0; h < 9; ++h) {
+    for (std::size_t l = 0; l < landmarks.size(); ++l) {
+      EXPECT_DOUBLE_EQ(map.coords(h)[l], provider.rtt_ms(h, landmarks[l]));
+    }
+  }
+  // A landmark's own component is zero.
+  EXPECT_DOUBLE_EQ(map.coords(8)[0], 0.0);
+  EXPECT_DOUBLE_EQ(map.coords(0)[1], 0.0);
+}
+
+TEST(FeatureVector, IdenticalHostsGetIdenticalVectors) {
+  // Two hosts equidistant to every landmark must coincide in feature space.
+  net::DistanceMatrix m(4);
+  m.set(0, 1, 6.0);
+  m.set(0, 2, 10.0);
+  m.set(0, 3, 10.0);
+  m.set(1, 2, 8.0);
+  m.set(1, 3, 8.0);
+  m.set(2, 3, 4.0);
+  net::MatrixRttProvider provider(std::move(m));
+  auto prober = exact_prober(provider);
+  const auto map = build_feature_vectors(4, {0, 1}, prober);
+  EXPECT_DOUBLE_EQ(l2_distance(map.coords(2), map.coords(3)), 0.0);
+}
+
+TEST(NelderMead, MinimisesQuadraticBowl) {
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 2.0) * (x[1] + 2.0);
+      },
+      {0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 3.0, 1e-3);
+  EXPECT_NEAR(result.x[1], -2.0, 1e-3);
+  EXPECT_NEAR(result.value, 0.0, 1e-5);
+}
+
+TEST(NelderMead, HandlesRosenbrock) {
+  NelderMeadOptions opts;
+  opts.max_iterations = 20000;
+  opts.tolerance = 1e-12;
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.0, 1.0}, opts);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-2);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-2);
+}
+
+TEST(NelderMead, RespectsIterationBudget) {
+  NelderMeadOptions opts;
+  opts.max_iterations = 5;
+  const auto result = nelder_mead(
+      [](const std::vector<double>& x) { return x[0] * x[0]; }, {100.0}, opts);
+  EXPECT_LE(result.iterations, 5u);
+}
+
+TEST(Gnp, RecoversEmbeddableMetric) {
+  // 16 hosts on a grid, 5 landmarks, D = 2: predicted distances should
+  // track true distances closely for non-landmark pairs.
+  const auto provider = grid_provider(4, 10.0);
+  auto prober = exact_prober(provider, 3);
+  const std::vector<net::HostId> landmarks{0, 3, 12, 15, 5};
+  GnpOptions opts;
+  opts.dimension = 2;
+  util::Rng rng(4);
+  const auto embedding = build_gnp_embedding(16, landmarks, prober, opts, rng);
+  EXPECT_LT(embedding.landmark_fit_error, 0.05);
+
+  double rel_err_sum = 0.0;
+  int pairs = 0;
+  for (net::HostId a = 0; a < 16; ++a) {
+    for (net::HostId b = a + 1; b < 16; ++b) {
+      const double truth = provider.rtt_ms(a, b);
+      const double pred =
+          l2_distance(embedding.positions.coords(a), embedding.positions.coords(b));
+      rel_err_sum += std::abs(pred - truth) / truth;
+      ++pairs;
+    }
+  }
+  EXPECT_LT(rel_err_sum / pairs, 0.15);
+}
+
+TEST(Gnp, RequiresDimensionBelowLandmarkCount) {
+  const auto provider = grid_provider(3, 10.0);
+  auto prober = exact_prober(provider);
+  GnpOptions opts;
+  opts.dimension = 3;
+  util::Rng rng(5);
+  EXPECT_THROW(build_gnp_embedding(9, {0, 1, 2}, prober, opts, rng),
+               util::ContractViolation);
+}
+
+TEST(Vivaldi, ConvergesOnEmbeddableMetric) {
+  const auto provider = grid_provider(4, 10.0);
+  VivaldiOptions opts;
+  opts.dimension = 2;
+  opts.rounds = 60;
+  util::Rng rng(6);
+  auto prober = exact_prober(provider, 7);
+  const auto embedding = build_vivaldi_embedding(16, prober, opts, rng);
+
+  double rel_err_sum = 0.0;
+  int pairs = 0;
+  for (net::HostId a = 0; a < 16; ++a) {
+    for (net::HostId b = a + 1; b < 16; ++b) {
+      const double truth = provider.rtt_ms(a, b);
+      const double pred =
+          l2_distance(embedding.positions.coords(a), embedding.positions.coords(b));
+      rel_err_sum += std::abs(pred - truth) / truth;
+      ++pairs;
+    }
+  }
+  // Vivaldi is iterative/decentralised: looser tolerance than GNP.
+  EXPECT_LT(rel_err_sum / pairs, 0.3);
+  // Confidence estimates should have tightened well below the initial 1.0.
+  double mean_err = 0.0;
+  for (double e : embedding.local_error) mean_err += e;
+  EXPECT_LT(mean_err / 16.0, 0.5);
+}
+
+}  // namespace
+}  // namespace ecgf::coords

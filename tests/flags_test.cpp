@@ -1,0 +1,110 @@
+// Tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "util/expect.h"
+#include "util/flags.h"
+
+namespace ecgf::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(Flags, DefaultsApplyWhenUnset) {
+  Flags flags;
+  flags.define("count", "a count", "42");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(flags.has("count"));
+  EXPECT_EQ(flags.get_int("count"), 42);
+}
+
+TEST(Flags, EqualsAndSpaceForms) {
+  Flags flags;
+  flags.define("a", "", "");
+  flags.define("b", "", "");
+  const auto argv = argv_of({"--a=hello", "--b", "world"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get("a"), "hello");
+  EXPECT_EQ(flags.get("b"), "world");
+  EXPECT_TRUE(flags.has("a"));
+}
+
+TEST(Flags, TypedGetters) {
+  Flags flags;
+  flags.define("n", "", "0");
+  flags.define("x", "", "0");
+  flags.define_bool("v");
+  const auto argv = argv_of({"--n=-5", "--x=2.5", "--v"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get_int("n"), -5);
+  EXPECT_DOUBLE_EQ(flags.get_double("x"), 2.5);
+  EXPECT_TRUE(flags.get_bool("v"));
+}
+
+TEST(Flags, BoolDefaultsFalseAndAcceptsExplicit) {
+  Flags flags;
+  flags.define_bool("on");
+  flags.define_bool("off");
+  const auto argv = argv_of({"--on", "--off=false"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.get_bool("on"));
+  EXPECT_FALSE(flags.get_bool("off"));
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  Flags flags;
+  flags.define("k", "", "");
+  const auto argv = argv_of({"input.txt", "--k=3", "output.txt"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(Flags, HelpRequestedReturnsFalse) {
+  Flags flags;
+  flags.define("k", "the k", "1");
+  const auto argv = argv_of({"--help"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  const std::string help = flags.help("prog");
+  EXPECT_NE(help.find("--k"), std::string::npos);
+  EXPECT_NE(help.find("the k"), std::string::npos);
+}
+
+TEST(Flags, ErrorsOnMisuse) {
+  Flags flags;
+  flags.define("k", "", "1");
+  {
+    const auto argv = argv_of({"--unknown=1"});
+    EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+                 ContractViolation);
+  }
+  {
+    Flags f2;
+    f2.define("k", "", "1");
+    const auto argv = argv_of({"--k"});  // missing value
+    EXPECT_THROW(f2.parse(static_cast<int>(argv.size()), argv.data()),
+                 ContractViolation);
+  }
+  {
+    Flags f3;
+    f3.define("k", "", "abc");
+    const auto argv = argv_of({});
+    ASSERT_TRUE(f3.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_THROW(f3.get_int("k"), std::exception);
+  }
+  EXPECT_THROW(flags.get("nope"), ContractViolation);
+}
+
+TEST(Flags, DuplicateDefinitionRejected) {
+  Flags flags;
+  flags.define("k", "", "1");
+  EXPECT_THROW(flags.define("k", "", "2"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ecgf::util

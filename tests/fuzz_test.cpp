@@ -1,0 +1,250 @@
+// Randomised (fuzz) tests: long random operation sequences checked against
+// simple reference models and invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cache/directory.h"
+#include "cache/edge_cache.h"
+#include "core/experiment.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace ecgf {
+namespace {
+
+TEST(FuzzEdgeCache, MirrorsReferenceModelUnderRandomOps) {
+  for (const auto policy : {cache::PolicyKind::kLru, cache::PolicyKind::kUtility}) {
+    std::vector<cache::DocumentInfo> infos(50);
+    util::Rng size_rng(1);
+    for (auto& d : infos) {
+      d = {static_cast<std::uint32_t>(size_rng.uniform_int(100, 3000)), 10.0,
+           0.01};
+    }
+    const cache::Catalog catalog(std::move(infos));
+    cache::EdgeCache ec(8000, catalog, cache::make_policy(policy, catalog));
+
+    // Reference model mirrors membership via the cache's own reports.
+    std::map<cache::DocId, cache::Version> model;
+    auto model_bytes = [&]() {
+      std::uint64_t total = 0;
+      for (const auto& [doc, v] : model) total += catalog.info(doc).size_bytes;
+      return total;
+    };
+
+    util::Rng rng(42 + static_cast<int>(policy));
+    double now = 0.0;
+    for (int step = 0; step < 5000; ++step) {
+      now += rng.uniform(0.0, 50.0);
+      const auto doc = static_cast<cache::DocId>(rng.index(50));
+      const int op = static_cast<int>(rng.index(10));
+      if (op < 5) {  // lookup
+        const cache::Version v = 1 + static_cast<cache::Version>(rng.index(3));
+        const auto outcome = ec.lookup(doc, v, now);
+        const auto it = model.find(doc);
+        if (it == model.end()) {
+          EXPECT_EQ(outcome, cache::LookupOutcome::kMiss);
+        } else if (it->second == v) {
+          EXPECT_EQ(outcome, cache::LookupOutcome::kHitFresh);
+        } else {
+          EXPECT_EQ(outcome, cache::LookupOutcome::kHitStale);
+        }
+      } else if (op < 8) {  // insert
+        const cache::Version v = 1 + static_cast<cache::Version>(rng.index(3));
+        std::vector<cache::DocId> evicted;
+        const bool force = rng.bernoulli(0.3);
+        const bool stored = ec.insert(doc, v, now, &evicted, force);
+        for (cache::DocId e : evicted) {
+          EXPECT_EQ(model.erase(e), 1u) << "evicted unknown doc";
+        }
+        if (stored) {
+          model[doc] = v;
+        } else {
+          EXPECT_FALSE(model.contains(doc));
+        }
+      } else if (op < 9) {  // invalidate
+        const bool dropped = ec.invalidate(doc);
+        EXPECT_EQ(dropped, model.erase(doc) == 1u);
+      } else {  // demand note
+        ec.record_demand(doc, now);
+      }
+
+      // Invariants after every operation.
+      ASSERT_EQ(ec.resident_count(), model.size());
+      ASSERT_EQ(ec.used_bytes(), model_bytes());
+      ASSERT_LE(ec.used_bytes(), ec.capacity_bytes());
+      const auto probe = static_cast<cache::DocId>(rng.index(50));
+      ASSERT_EQ(ec.contains(probe), model.contains(probe));
+    }
+  }
+}
+
+TEST(FuzzDirectory, MirrorsReferenceModel) {
+  std::vector<cache::CacheIndex> members{3, 7, 11, 20, 31};
+  cache::GroupDirectory dir(members, 3);
+  std::map<cache::DocId, std::set<cache::CacheIndex>> model;
+
+  util::Rng rng(7);
+  for (int step = 0; step < 20000; ++step) {
+    const auto doc = static_cast<cache::DocId>(rng.index(40));
+    const cache::CacheIndex holder = members[rng.index(members.size())];
+    const int op = static_cast<int>(rng.index(10));
+    if (op < 5) {
+      dir.add_holder(doc, holder);
+      model[doc].insert(holder);
+    } else if (op < 9) {
+      dir.remove_holder(doc, holder);
+      if (auto it = model.find(doc); it != model.end()) {
+        it->second.erase(holder);
+        if (it->second.empty()) model.erase(it);
+      }
+    } else {
+      const std::size_t dropped = dir.remove_all_for_holder(holder);
+      std::size_t expected = 0;
+      for (auto it = model.begin(); it != model.end();) {
+        expected += it->second.erase(holder);
+        it = it->second.empty() ? model.erase(it) : std::next(it);
+      }
+      ASSERT_EQ(dropped, expected);
+    }
+
+    // Spot-check state equivalence.
+    const auto probe_doc = static_cast<cache::DocId>(rng.index(40));
+    const auto& holders = dir.holders(probe_doc);
+    const auto it = model.find(probe_doc);
+    const std::size_t expected_count = it == model.end() ? 0 : it->second.size();
+    ASSERT_EQ(holders.size(), expected_count);
+    for (cache::CacheIndex h : holders) {
+      ASSERT_TRUE(it != model.end() && it->second.contains(h));
+    }
+    std::size_t total = 0;
+    for (const auto& [d, hs] : model) total += hs.size();
+    ASSERT_EQ(dir.registration_count(), total);
+  }
+}
+
+TEST(FuzzEventQueue, ExecutionOrderAlwaysNondecreasing) {
+  sim::EventQueue q;
+  util::Rng rng(13);
+  std::vector<double> executed;
+  int scheduled = 0;
+
+  // Seed events; each executed event may schedule up to 2 more in the
+  // future, up to a cap.
+  std::function<void(sim::SimTime)> action = [&](sim::SimTime t) {
+    executed.push_back(t);
+    if (scheduled < 3000) {
+      const int extra = static_cast<int>(rng.index(3));
+      for (int e = 0; e < extra; ++e) {
+        ++scheduled;
+        q.schedule(t + rng.uniform(0.0, 20.0), action);
+      }
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    ++scheduled;
+    q.schedule(rng.uniform(0.0, 100.0), action);
+  }
+  q.run(1e12);
+
+  ASSERT_FALSE(executed.empty());
+  for (std::size_t i = 1; i < executed.size(); ++i) {
+    ASSERT_GE(executed[i], executed[i - 1]);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FuzzWeightedSampling, AlwaysDistinctAndPositiveFirst) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t n = 1 + rng.index(20);
+    std::vector<double> weights(n);
+    std::size_t positives = 0;
+    for (double& w : weights) {
+      w = rng.bernoulli(0.7) ? rng.uniform(0.001, 10.0) : 0.0;
+      if (w > 0.0) ++positives;
+    }
+    const std::size_t k = 1 + rng.index(n);
+    const auto sample = rng.weighted_sample_without_replacement(weights, k);
+    ASSERT_EQ(sample.size(), k);
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    ASSERT_EQ(uniq.size(), k);
+    for (std::size_t s : sample) ASSERT_LT(s, n);
+    // Zero-weight items may only appear after every positive-weight item
+    // has been taken: the first zero-weight pick can be no earlier than
+    // position min(positives, k).
+    std::size_t first_zero = k;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      if (weights[sample[i]] == 0.0) {
+        first_zero = i;
+        break;
+      }
+    }
+    if (first_zero < k) {
+      ASSERT_GE(first_zero, std::min(positives, k));
+    }
+  }
+}
+
+// Simulator conservation invariants across random parameter draws.
+class SimulatorConservation : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimulatorConservation, CountsAlwaysBalance) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+
+  core::TestbedParams params;
+  params.cache_count = 10 + rng.index(30);
+  params.workload.duration_ms = 20'000.0 + rng.uniform(0.0, 40'000.0);
+  params.workload.requests_per_cache_per_s = rng.uniform(0.5, 4.0);
+  params.workload.zipf_alpha = rng.uniform(0.3, 1.3);
+  params.workload.similarity = rng.uniform01();
+  params.catalog.document_count = 200 + rng.index(800);
+  const auto testbed = core::make_testbed(params, seed * 31 + 1);
+
+  const std::size_t k = 1 + rng.index(params.cache_count);
+  util::Rng part_rng(seed * 17 + 3);
+  const auto partition =
+      core::random_partition(params.cache_count, k, part_rng);
+
+  sim::SimulationConfig config;
+  config.cache_capacity_bytes = (1ull << 19) + rng.index(1 << 21);
+  config.policy = rng.bernoulli(0.5) ? cache::PolicyKind::kUtility
+                                     : cache::PolicyKind::kLru;
+  if (rng.bernoulli(0.3)) {
+    config.consistency = sim::ConsistencyMode::kTtl;
+    config.ttl_ms = rng.uniform(5'000.0, 60'000.0);
+  }
+  if (rng.bernoulli(0.3)) {
+    const std::size_t fails = rng.index(params.cache_count / 2 + 1);
+    for (std::size_t idx : rng.sample_indices(params.cache_count, fails)) {
+      config.failures.push_back({static_cast<cache::CacheIndex>(idx),
+                                 rng.uniform(0.0, params.workload.duration_ms)});
+    }
+  }
+
+  const auto report = core::simulate_partition(testbed, partition, config);
+
+  // Every request resolves exactly once.
+  EXPECT_EQ(report.counts.total(), testbed.trace.requests.size());
+  EXPECT_EQ(report.counts.local_hits + report.counts.group_hits +
+                report.counts.origin_fetches,
+            report.counts.total());
+  // Origin fetch accounting matches the origin server's own counter.
+  EXPECT_EQ(report.counts.origin_fetches, report.origin_fetches);
+  // Updates all applied.
+  EXPECT_EQ(report.origin_updates, testbed.trace.updates.size());
+  // Failures: all requested crash events applied at most once each.
+  EXPECT_LE(report.failures_applied, config.failures.size());
+  // Latency sanity.
+  EXPECT_GE(report.avg_latency_ms, 0.0);
+  EXPECT_GE(report.p99_latency_ms, report.p50_latency_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorConservation,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ecgf

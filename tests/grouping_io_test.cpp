@@ -1,0 +1,77 @@
+// Tests for grouping persistence (save/load of formed partitions).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/coordinator.h"
+#include "core/grouping_io.h"
+#include "core/network_builder.h"
+
+namespace ecgf::core {
+namespace {
+
+TEST(GroupingIo, RoundTripsFormedGrouping) {
+  EdgeNetworkParams params;
+  params.cache_count = 30;
+  const auto network = build_edge_network(params, 3);
+  GfCoordinator coordinator(network, net::ProberOptions{}, 4);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 6;
+  const SlScheme scheme(cfg);
+  const auto result = coordinator.run(scheme, 4);
+
+  std::stringstream ss;
+  write_grouping(ss, result);
+  const auto back = read_grouping(ss);
+
+  EXPECT_EQ(back.landmarks, result.landmarks);
+  ASSERT_EQ(back.groups.size(), result.groups.size());
+  for (std::size_t g = 0; g < back.groups.size(); ++g) {
+    EXPECT_EQ(back.groups[g].id, result.groups[g].id);
+    EXPECT_EQ(back.groups[g].members, result.groups[g].members);
+  }
+  EXPECT_NO_THROW(back.validate(30));
+}
+
+TEST(GroupingIo, SavedGroupingRoundTrip) {
+  SavedGrouping saved;
+  saved.landmarks = {10, 0, 5};
+  saved.groups = {{0, {0, 1, 2}}, {1, {3, 4}}};
+  std::stringstream ss;
+  write_grouping(ss, saved);
+  const auto back = read_grouping(ss);
+  EXPECT_EQ(back.landmarks, saved.landmarks);
+  EXPECT_EQ(back.partition(), saved.partition());
+  EXPECT_NO_THROW(back.validate(5));
+}
+
+TEST(GroupingIo, ValidateCatchesBadPartitions) {
+  SavedGrouping missing;
+  missing.groups = {{0, {0, 1}}};
+  EXPECT_THROW(missing.validate(3), util::ContractViolation);
+
+  SavedGrouping dup;
+  dup.groups = {{0, {0, 1}}, {1, {1, 2}}};
+  EXPECT_THROW(dup.validate(3), util::ContractViolation);
+
+  SavedGrouping out_of_range;
+  out_of_range.groups = {{0, {0, 7}}};
+  EXPECT_THROW(out_of_range.validate(3), util::ContractViolation);
+}
+
+TEST(GroupingIo, RejectsMalformedInput) {
+  std::stringstream bad1("not-groups\n");
+  EXPECT_THROW(read_grouping(bad1), util::ContractViolation);
+
+  std::stringstream bad2("ecgf-groups v1\nwat 1 2\n");
+  EXPECT_THROW(read_grouping(bad2), util::ContractViolation);
+
+  std::stringstream bad3("ecgf-groups v1\ngroup 0\n");  // empty group
+  EXPECT_THROW(read_grouping(bad3), util::ContractViolation);
+
+  std::stringstream bad4("ecgf-groups v1\nlandmarks 1 2\n");  // no groups
+  EXPECT_THROW(read_grouping(bad4), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ecgf::core

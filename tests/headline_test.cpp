@@ -1,0 +1,101 @@
+// Headline-result guards: small-scale, deterministic versions of the
+// paper's two main findings, so `ctest` itself fails if a change breaks
+// the reproduction (the full-scale versions live in bench/).
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core/experiment.h"
+
+namespace ecgf::core {
+namespace {
+
+/// Shared testbed: 120 caches, paper-style workload, fixed seed.
+const Testbed& shared_testbed() {
+  static const Testbed testbed = [] {
+    TestbedParams params;
+    params.cache_count = 120;
+    params.catalog.document_count = 2000;
+    params.workload.duration_ms = 120'000.0;
+    params.workload.requests_per_cache_per_s = 2.0;
+    return make_testbed(params, 2006);
+  }();
+  return testbed;
+}
+
+sim::SimulationConfig paper_sim() {
+  sim::SimulationConfig config;
+  config.cache_capacity_bytes = 2ull << 20;
+  return config;
+}
+
+TEST(Headline, SdslBeatsSlOnLatency) {
+  // The paper's central claim (Figs. 8–9), averaged over three formation
+  // runs at K = 10%·N for stability.
+  const auto& testbed = shared_testbed();
+  GfCoordinator coordinator(testbed.network, net::ProberOptions{}, 17);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 25;
+  const SlScheme sl(cfg);
+  const SdslScheme sdsl(cfg);
+
+  double sl_total = 0.0;
+  double sdsl_total = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    sl_total += simulate_partition(testbed, coordinator.run(sl, 12).partition(),
+                                   paper_sim())
+                    .avg_latency_ms;
+    sdsl_total += simulate_partition(
+                      testbed, coordinator.run(sdsl, 12).partition(),
+                      paper_sim())
+                      .avg_latency_ms;
+  }
+  EXPECT_LT(sdsl_total, sl_total);
+}
+
+TEST(Headline, LatencyIsUShapedInGroupSize) {
+  // Fig. 3's shape: endpoints of the sweep are worse than the middle.
+  const auto& testbed = shared_testbed();
+  GfCoordinator coordinator(testbed.network, net::ProberOptions{}, 19);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 25;
+  const SlScheme scheme(cfg);
+
+  auto latency_at = [&](std::size_t k) {
+    return simulate_partition(testbed, coordinator.run(scheme, k).partition(),
+                              paper_sim())
+        .avg_latency_ms;
+  };
+  const double tiny_groups = latency_at(60);   // avg size 2
+  const double mid_groups = latency_at(6);     // avg size 20
+  const double one_group = latency_at(1);      // avg size 120
+  EXPECT_LT(mid_groups, tiny_groups);
+  EXPECT_LT(mid_groups, one_group);
+}
+
+TEST(Headline, FarCachesSufferMoreWithoutCooperation) {
+  // The observation motivating SDSL: with tiny groups, far caches pay far
+  // more than near caches; large groups compress that spread.
+  const auto& testbed = shared_testbed();
+  GfCoordinator coordinator(testbed.network, net::ProberOptions{}, 23);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 25;
+  const SlScheme scheme(cfg);
+
+  const auto near20 = testbed.network.nearest_caches(20);
+  const auto far20 = testbed.network.farthest_caches(20);
+
+  const auto tiny = simulate_partition(
+      testbed, coordinator.run(scheme, 60).partition(), paper_sim());
+  const double near_tiny = subset_mean_latency(tiny, near20);
+  const double far_tiny = subset_mean_latency(tiny, far20);
+  EXPECT_GT(far_tiny, near_tiny * 1.5);
+
+  const auto big = simulate_partition(
+      testbed, coordinator.run(scheme, 2).partition(), paper_sim());
+  const double near_big = subset_mean_latency(big, near20);
+  const double far_big = subset_mean_latency(big, far20);
+  EXPECT_LT(far_big / near_big, far_tiny / near_tiny);
+}
+
+}  // namespace
+}  // namespace ecgf::core

@@ -1,0 +1,153 @@
+// Integration tests: the full pipeline (topology → landmarks → positions →
+// clustering → simulation) at small scale, asserting the paper's
+// qualitative results statistically over seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "landmark/factory.h"
+
+namespace ecgf::core {
+namespace {
+
+/// Average GICost of a selector variant over several runs.
+double mean_gicost(const EdgeNetwork& network, landmark::SelectorKind selector,
+                   std::size_t k, int runs, std::uint64_t seed) {
+  SchemeConfig config;
+  config.num_landmarks = 12;
+  config.selector = selector;
+  const SlScheme scheme(config);
+  GfCoordinator coordinator(network, net::ProberOptions{}, seed);
+  double total = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    total += coordinator.average_group_interaction_cost(
+        coordinator.run(scheme, k));
+  }
+  return total / runs;
+}
+
+TEST(Integration, GreedyLandmarksBeatMinDistOnGicost) {
+  EdgeNetworkParams params;
+  params.cache_count = 80;
+  const auto network = build_edge_network(params, 21);
+  const double greedy =
+      mean_gicost(network, landmark::SelectorKind::kGreedy, 8, 6, 31);
+  const double mindist =
+      mean_gicost(network, landmark::SelectorKind::kMinDist, 8, 6, 31);
+  EXPECT_LT(greedy, mindist);
+}
+
+TEST(Integration, ClusteredGroupsBeatRandomPartition) {
+  EdgeNetworkParams params;
+  params.cache_count = 80;
+  const auto network = build_edge_network(params, 22);
+  GfCoordinator coordinator(network, net::ProberOptions{}, 23);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 12;
+  const SlScheme scheme(cfg);
+  const auto result = coordinator.run(scheme, 8);
+  const double clustered = coordinator.average_group_interaction_cost(result);
+
+  // Random partitions of the same shape.
+  util::Rng rng(24);
+  double random_total = 0.0;
+  const auto icost = [&](std::size_t a, std::size_t b) {
+    return network.rtt_ms(static_cast<net::HostId>(a),
+                          static_cast<net::HostId>(b));
+  };
+  for (int r = 0; r < 6; ++r) {
+    const auto partition = random_partition(80, 8, rng);
+    std::vector<std::vector<std::size_t>> groups;
+    for (const auto& g : partition) {
+      groups.emplace_back(g.begin(), g.end());
+    }
+    random_total += cluster::average_group_interaction_cost(groups, icost);
+  }
+  EXPECT_LT(clustered, (random_total / 6) * 0.8)
+      << "proximity clustering should clearly beat random grouping";
+}
+
+TEST(Integration, FullPipelineWithSimulation) {
+  TestbedParams params;
+  params.cache_count = 40;
+  params.workload.duration_ms = 60'000.0;
+  params.workload.requests_per_cache_per_s = 2.0;
+  params.catalog.document_count = 400;
+  const auto testbed = make_testbed(params, 77);
+
+  GfCoordinator coordinator(testbed.network, net::ProberOptions{}, 78);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 10;
+  const SlScheme scheme(cfg);
+  const auto result = coordinator.run(scheme, 4);
+
+  sim::SimulationConfig sim_config;
+  const auto report = simulate_partition(testbed, result.partition(), sim_config);
+
+  EXPECT_EQ(report.counts.total(), testbed.trace.requests.size());
+  EXPECT_GT(report.counts.group_hit_rate(), 0.1)
+      << "cooperation should resolve a noticeable share of requests";
+  EXPECT_GT(report.avg_latency_ms, 0.0);
+  EXPECT_GT(report.invalidations_pushed, 0u);
+}
+
+TEST(Integration, CooperationBeatsIsolation) {
+  // The same workload run with K=4 cooperative groups and with every cache
+  // isolated (K=N): cooperative groups must produce a higher combined hit
+  // rate (the whole point of cache clouds).
+  TestbedParams params;
+  params.cache_count = 30;
+  params.workload.duration_ms = 60'000.0;
+  params.workload.requests_per_cache_per_s = 2.0;
+  params.catalog.document_count = 600;
+  const auto testbed = make_testbed(params, 88);
+
+  GfCoordinator coordinator(testbed.network, net::ProberOptions{}, 89);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 8;
+  const SlScheme scheme(cfg);
+  const auto grouped = coordinator.run(scheme, 4);
+
+  std::vector<std::vector<std::uint32_t>> isolated(30);
+  for (std::uint32_t c = 0; c < 30; ++c) isolated[c] = {c};
+
+  const auto coop_report = simulate_partition(testbed, grouped.partition());
+  const auto iso_report = simulate_partition(testbed, isolated);
+
+  EXPECT_GT(coop_report.counts.group_hit_rate(),
+            iso_report.counts.group_hit_rate());
+  EXPECT_LT(coop_report.counts.origin_fetches,
+            iso_report.counts.origin_fetches);
+}
+
+TEST(Integration, ProbeNoiseDegradesGracefully) {
+  // Clustering accuracy under heavy probe noise should be worse than (or at
+  // best equal to) noise-free accuracy, but the pipeline must not fall over.
+  EdgeNetworkParams params;
+  params.cache_count = 60;
+  const auto network = build_edge_network(params, 33);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 10;
+  const SlScheme scheme(cfg);
+
+  auto run_with_noise = [&](double sigma) {
+    net::ProberOptions probing;
+    probing.jitter_sigma = sigma;
+    GfCoordinator coordinator(network, probing, 34);
+    double total = 0.0;
+    for (int r = 0; r < 5; ++r) {
+      total += coordinator.average_group_interaction_cost(
+          coordinator.run(scheme, 6));
+    }
+    return total / 5;
+  };
+
+  const double clean = run_with_noise(0.0);
+  const double noisy = run_with_noise(1.0);  // extreme jitter
+  EXPECT_GT(noisy, clean * 0.9);
+}
+
+}  // namespace
+}  // namespace ecgf::core

@@ -1,0 +1,214 @@
+// Tests for landmark selection: PLSet sampling, greedy max-min dispersion,
+// random and MinDist baselines, factory.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "landmark/factory.h"
+#include "landmark/greedy_selector.h"
+#include "landmark/mindist_selector.h"
+#include "landmark/random_selector.h"
+#include "net/distance_matrix.h"
+#include "util/expect.h"
+
+namespace ecgf::landmark {
+namespace {
+
+/// Hosts on a line at positions 0,10,20,...; server at the end. RTT =
+/// |a-b|×10. Dispersion structure is obvious by construction.
+net::MatrixRttProvider line_provider(std::size_t hosts) {
+  net::DistanceMatrix m(hosts);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    for (std::size_t j = i + 1; j < hosts; ++j) {
+      m.set(i, j, 10.0 * static_cast<double>(j - i));
+    }
+  }
+  return net::MatrixRttProvider(std::move(m));
+}
+
+net::Prober exact_prober(const net::RttProvider& provider,
+                         std::uint64_t seed = 1) {
+  net::ProberOptions opts;
+  opts.jitter_sigma = 0.0;
+  return net::Prober(provider, opts, util::Rng(seed));
+}
+
+double min_pairwise(const std::vector<net::HostId>& landmarks,
+                    const net::RttProvider& provider) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < landmarks.size(); ++i) {
+    for (std::size_t j = i + 1; j < landmarks.size(); ++j) {
+      best = std::min(best, provider.rtt_ms(landmarks[i], landmarks[j]));
+    }
+  }
+  return best;
+}
+
+TEST(PlSet, SizeIsMTimesLMinusOne) {
+  util::Rng rng(1);
+  const auto set = sample_plset(/*caches=*/100, /*L=*/6, /*M=*/3, rng);
+  EXPECT_EQ(set.size(), 15u);
+  std::set<net::HostId> uniq(set.begin(), set.end());
+  EXPECT_EQ(uniq.size(), set.size());
+  for (auto h : set) EXPECT_LT(h, 100u);
+}
+
+TEST(PlSet, ClampsToPopulation) {
+  util::Rng rng(2);
+  const auto set = sample_plset(/*caches=*/10, /*L=*/6, /*M=*/4, rng);
+  EXPECT_EQ(set.size(), 10u);  // 4×5 = 20 wanted, clamped to 10
+}
+
+TEST(PlSet, RejectsBadArguments) {
+  util::Rng rng(3);
+  EXPECT_THROW(sample_plset(10, 1, 2, rng), util::ContractViolation);
+  EXPECT_THROW(sample_plset(10, 12, 2, rng), util::ContractViolation);
+  EXPECT_THROW(sample_plset(10, 4, 0, rng), util::ContractViolation);
+}
+
+TEST(Greedy, ServerIsAlwaysFirstLandmark) {
+  const auto provider = line_provider(12);
+  auto prober = exact_prober(provider);
+  util::Rng rng(4);
+  GreedyLandmarkSelector sel(4);
+  const auto result = sel.select(11, /*server=*/11, 4, prober, rng);
+  ASSERT_EQ(result.landmarks.size(), 4u);
+  EXPECT_EQ(result.landmarks[0], 11u);
+}
+
+TEST(Greedy, LandmarksAreDistinct) {
+  const auto provider = line_provider(20);
+  auto prober = exact_prober(provider);
+  util::Rng rng(5);
+  GreedyLandmarkSelector sel(3);
+  const auto result = sel.select(19, 19, 6, prober, rng);
+  std::set<net::HostId> uniq(result.landmarks.begin(), result.landmarks.end());
+  EXPECT_EQ(uniq.size(), result.landmarks.size());
+}
+
+TEST(Greedy, FullPlSetPicksMaximallyDispersed) {
+  // With M large enough that the PLSet is the whole population, the greedy
+  // max-min choice on the line 0..9 with server 10 (position 100) must pick
+  // cache 0 first (farthest from the server).
+  const auto provider = line_provider(11);
+  auto prober = exact_prober(provider);
+  util::Rng rng(6);
+  GreedyLandmarkSelector sel(10);  // PLSet = everything
+  const auto result = sel.select(10, 10, 3, prober, rng);
+  ASSERT_EQ(result.landmarks.size(), 3u);
+  EXPECT_EQ(result.landmarks[0], 10u);
+  EXPECT_EQ(result.landmarks[1], 0u);  // maximises distance to server
+  // Third pick maximises min distance to {10, 0}: the midpoint 5.
+  EXPECT_EQ(result.landmarks[2], 5u);
+}
+
+TEST(Greedy, BetterDispersionThanMinDist) {
+  const auto provider = line_provider(40);
+  util::Rng rng_g(7), rng_m(7);
+  auto prober_g = exact_prober(provider, 10);
+  auto prober_m = exact_prober(provider, 10);
+  GreedyLandmarkSelector greedy(4);
+  MinDistLandmarkSelector mindist(4);
+  const auto g = greedy.select(39, 39, 6, prober_g, rng_g);
+  const auto m = mindist.select(39, 39, 6, prober_m, rng_m);
+  EXPECT_GT(min_pairwise(g.landmarks, provider),
+            min_pairwise(m.landmarks, provider));
+}
+
+TEST(Greedy, CountsProbeOverhead) {
+  const auto provider = line_provider(30);
+  auto prober = exact_prober(provider);
+  util::Rng rng(8);
+  GreedyLandmarkSelector sel(2);
+  const auto result = sel.select(29, 29, 5, prober, rng);
+  // PLSet = 2×4 = 8 caches + server = 9 pool nodes → C(9,2) = 36 pairs ×
+  // probes_per_measurement (default 5).
+  EXPECT_EQ(result.probes_used, 36u * 5u);
+}
+
+TEST(Random, NoProbingNeeded) {
+  const auto provider = line_provider(30);
+  auto prober = exact_prober(provider);
+  util::Rng rng(9);
+  RandomLandmarkSelector sel;
+  const auto result = sel.select(29, 29, 8, prober, rng);
+  EXPECT_EQ(result.probes_used, 0u);
+  EXPECT_EQ(prober.probes_sent(), 0u);
+  EXPECT_EQ(result.landmarks[0], 29u);
+  std::set<net::HostId> uniq(result.landmarks.begin(), result.landmarks.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(MinDist, ClumpsLandmarks) {
+  // On the line with full PLSet, min-dispersion from the server at one end
+  // should pick the server's neighbours — tiny pairwise distances.
+  const auto provider = line_provider(21);
+  auto prober = exact_prober(provider);
+  util::Rng rng(10);
+  MinDistLandmarkSelector sel(20);  // PLSet = everything
+  const auto result = sel.select(20, 20, 4, prober, rng);
+  EXPECT_DOUBLE_EQ(min_pairwise(result.landmarks, provider), 10.0);
+  // All chosen caches hug the server end of the line.
+  for (std::size_t i = 1; i < result.landmarks.size(); ++i) {
+    EXPECT_GE(result.landmarks[i], 17u);
+  }
+}
+
+TEST(Selectors, DeterministicGivenSeeds) {
+  const auto provider = line_provider(25);
+  for (int kind_i = 0; kind_i < 3; ++kind_i) {
+    const auto kind = static_cast<SelectorKind>(kind_i);
+    auto s1 = make_selector(kind, 3);
+    auto s2 = make_selector(kind, 3);
+    auto p1 = exact_prober(provider, 42);
+    auto p2 = exact_prober(provider, 42);
+    util::Rng r1(5), r2(5);
+    EXPECT_EQ(s1->select(24, 24, 5, p1, r1).landmarks,
+              s2->select(24, 24, 5, p2, r2).landmarks)
+        << selector_kind_name(kind);
+  }
+}
+
+TEST(Factory, NamesRoundTrip) {
+  for (const auto kind : {SelectorKind::kGreedy, SelectorKind::kRandom,
+                          SelectorKind::kMinDist}) {
+    const auto sel = make_selector(kind);
+    EXPECT_EQ(sel->name(), selector_kind_name(kind));
+    EXPECT_EQ(parse_selector_kind(selector_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_selector_kind("bogus"), util::ContractViolation);
+}
+
+TEST(Selectors, LandmarkCountClampedByPopulation) {
+  const auto provider = line_provider(5);
+  auto prober = exact_prober(provider);
+  util::Rng rng(11);
+  GreedyLandmarkSelector sel(1);  // PLSet = min(1×(L-1), 4)
+  const auto result = sel.select(4, 4, 5, prober, rng);
+  EXPECT_EQ(result.landmarks.size(), 5u);  // server + all 4 caches
+}
+
+// Property sweep: greedy never yields worse dispersion than mindist, for
+// the same PLSet conditions, across seeds.
+class Dispersal : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Dispersal, GreedyAtLeastAsDispersedAsMinDist) {
+  const auto provider = line_provider(50);
+  util::Rng rng_g(GetParam()), rng_m(GetParam());
+  auto prober_g = exact_prober(provider, GetParam());
+  auto prober_m = exact_prober(provider, GetParam());
+  GreedyLandmarkSelector greedy(3);
+  MinDistLandmarkSelector mindist(3);
+  const auto g = greedy.select(49, 49, 8, prober_g, rng_g);
+  const auto m = mindist.select(49, 49, 8, prober_m, rng_m);
+  EXPECT_GE(min_pairwise(g.landmarks, provider),
+            min_pairwise(m.landmarks, provider));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Dispersal,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ecgf::landmark

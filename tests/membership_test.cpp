@@ -1,0 +1,182 @@
+// Tests for membership dynamics: Rand index, join/leave, centroid
+// maintenance, and re-formation stability end to end.
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "core/membership.h"
+
+namespace ecgf::core {
+namespace {
+
+TEST(RandIndex, IdenticalPartitionsScoreOne) {
+  const std::vector<std::vector<std::uint32_t>> p{{0, 1}, {2, 3}};
+  EXPECT_DOUBLE_EQ(rand_index(p, p, 4), 1.0);
+}
+
+TEST(RandIndex, OrderAndIdsIrrelevant) {
+  const std::vector<std::vector<std::uint32_t>> a{{0, 1}, {2, 3}};
+  const std::vector<std::vector<std::uint32_t>> b{{3, 2}, {1, 0}};
+  EXPECT_DOUBLE_EQ(rand_index(a, b, 4), 1.0);
+}
+
+TEST(RandIndex, DisagreementLowersScore) {
+  const std::vector<std::vector<std::uint32_t>> a{{0, 1}, {2, 3}};
+  const std::vector<std::vector<std::uint32_t>> b{{0, 2}, {1, 3}};
+  // Pairs: (0,1),(2,3) together only in a; (0,2),(1,3) only in b;
+  // (0,3),(1,2) apart in both → 2 of 6 agree.
+  EXPECT_NEAR(rand_index(a, b, 4), 2.0 / 6.0, 1e-12);
+}
+
+TEST(RandIndex, ValidatesCoverage) {
+  const std::vector<std::vector<std::uint32_t>> bad{{0, 1}};  // misses 2,3
+  const std::vector<std::vector<std::uint32_t>> ok{{0, 1}, {2, 3}};
+  EXPECT_THROW(rand_index(bad, ok, 4), util::ContractViolation);
+  const std::vector<std::vector<std::uint32_t>> dup{{0, 1}, {1, 2, 3}};
+  EXPECT_THROW(rand_index(dup, ok, 4), util::ContractViolation);
+}
+
+/// A formation result over a tiny hand-made feature space: caches 0,1 near
+/// the origin of the space, caches 2,3 far away, in two groups.
+GroupingResult tiny_result() {
+  GroupingResult result;
+  result.positions = coords::PositionMap(5, 2);  // 4 caches + server
+  result.positions.set_coords(0, std::vector<double>{0.0, 0.0});
+  result.positions.set_coords(1, std::vector<double>{1.0, 0.0});
+  result.positions.set_coords(2, std::vector<double>{100.0, 0.0});
+  result.positions.set_coords(3, std::vector<double>{101.0, 0.0});
+  CacheGroup g0{0, {0, 1}};
+  CacheGroup g1{1, {2, 3}};
+  result.groups = {g0, g1};
+  return result;
+}
+
+TEST(Membership, InitialStateMatchesFormation) {
+  const auto base = tiny_result();
+  MembershipManager mm(base, 4);
+  EXPECT_EQ(mm.group_count(), 2u);
+  EXPECT_EQ(mm.active_caches(), 4u);
+  EXPECT_EQ(mm.group_of(0), 0u);
+  EXPECT_EQ(mm.group_of(3), 1u);
+  EXPECT_EQ(mm.active_partition().size(), 2u);
+}
+
+TEST(Membership, LeaveAndRejoinReturnsToNearestGroup) {
+  const auto base = tiny_result();
+  MembershipManager mm(base, 4);
+  mm.leave(2);
+  EXPECT_FALSE(mm.is_member(2));
+  EXPECT_EQ(mm.active_caches(), 3u);
+  // Cache 2's position (100,0) is far closer to group 1's centroid.
+  EXPECT_EQ(mm.join(2), 1u);
+  EXPECT_TRUE(mm.is_member(2));
+  EXPECT_EQ(mm.active_caches(), 4u);
+}
+
+TEST(Membership, EmptyGroupOmittedFromPartitionAndRejoinable) {
+  const auto base = tiny_result();
+  MembershipManager mm(base, 4);
+  mm.leave(2);
+  mm.leave(3);
+  const auto partition = mm.active_partition();
+  ASSERT_EQ(partition.size(), 1u);
+  EXPECT_EQ(partition[0].size(), 2u);
+  // Rejoining: group 1 has no centroid, so cache 3 lands in group 0.
+  EXPECT_EQ(mm.join(3), 0u);
+  // Cache 2 now sees group 0's centroid dragged toward (34,0) — still
+  // closer to it than nothing; it must join *some* group.
+  const auto g = mm.join(2);
+  EXPECT_LT(g, 2u);
+}
+
+TEST(Membership, MisuseThrows) {
+  const auto base = tiny_result();
+  MembershipManager mm(base, 4);
+  EXPECT_THROW(mm.join(0), util::ContractViolation);   // still a member
+  mm.leave(0);
+  EXPECT_THROW(mm.leave(0), util::ContractViolation);  // already gone
+  EXPECT_THROW(mm.group_of(0), util::ContractViolation);
+  EXPECT_THROW(mm.leave(9), util::ContractViolation);  // out of range
+}
+
+TEST(Membership, ChurnPreservesPartitionIntegrity) {
+  EdgeNetworkParams params;
+  params.cache_count = 60;
+  const auto network = build_edge_network(params, 17);
+  GfCoordinator coordinator(network, net::ProberOptions{}, 18);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 10;
+  const SlScheme scheme(cfg);
+  const auto base = coordinator.run(scheme, 6);
+
+  MembershipManager mm(base, 60);
+  util::Rng rng(19);
+  std::vector<std::uint32_t> departed;
+  for (int step = 0; step < 500; ++step) {
+    if (!departed.empty() && rng.bernoulli(0.5)) {
+      const std::size_t pick = rng.index(departed.size());
+      mm.join(departed[pick]);
+      departed.erase(departed.begin() + static_cast<long>(pick));
+    } else if (mm.active_caches() > 1) {
+      std::uint32_t c;
+      do {
+        c = static_cast<std::uint32_t>(rng.index(60));
+      } while (!mm.is_member(c));
+      mm.leave(c);
+      departed.push_back(c);
+    }
+  }
+  // Everyone returns.
+  for (std::uint32_t c : departed) mm.join(c);
+  EXPECT_EQ(mm.active_caches(), 60u);
+  const auto partition = mm.active_partition();
+  std::vector<int> seen(60, 0);
+  for (const auto& g : partition) {
+    for (auto c : g) ++seen[c];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Membership, RejoinAfterChurnStaysProximityCoherent) {
+  // After full churn and return, the grouping should still resemble the
+  // original formation (high Rand index): centroids are stable anchors.
+  EdgeNetworkParams params;
+  params.cache_count = 50;
+  const auto network = build_edge_network(params, 23);
+  GfCoordinator coordinator(network, net::ProberOptions{}, 24);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 10;
+  const SlScheme scheme(cfg);
+  const auto base = coordinator.run(scheme, 5);
+  const auto original = base.partition();
+
+  MembershipManager mm(base, 50);
+  util::Rng rng(25);
+  // A third of the caches leave and rejoin, one at a time.
+  for (int round = 0; round < 16; ++round) {
+    const auto c = static_cast<std::uint32_t>(rng.index(50));
+    if (!mm.is_member(c)) continue;
+    mm.leave(c);
+    mm.join(c);
+  }
+  const auto after = mm.active_partition();
+  EXPECT_GT(rand_index(original, after, 50), 0.9);
+}
+
+TEST(Membership, ReformationStabilityMeasurable) {
+  // Two independent formations of the same network should agree far more
+  // than chance — rand_index is the re-formation stability metric.
+  EdgeNetworkParams params;
+  params.cache_count = 60;
+  const auto network = build_edge_network(params, 29);
+  GfCoordinator coordinator(network, net::ProberOptions{}, 30);
+  SchemeConfig cfg;
+  cfg.num_landmarks = 12;
+  const SlScheme scheme(cfg);
+  const auto first = coordinator.run(scheme, 6).partition();
+  const auto second = coordinator.run(scheme, 6).partition();
+  EXPECT_GT(rand_index(first, second, 60), 0.7);
+}
+
+}  // namespace
+}  // namespace ecgf::core

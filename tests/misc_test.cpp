@@ -1,0 +1,132 @@
+// Coverage for the remaining small surfaces: logging, grouping-result
+// views, origin/cache odds and ends, beacon slots, message-engine
+// holder-lost interleaving, waxman/transit-stub parameter validation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/scheme.h"
+#include "net/distance_matrix.h"
+#include "sim/message_engine.h"
+#include "topology/transit_stub.h"
+#include "topology/waxman.h"
+#include "util/log.h"
+
+namespace ecgf {
+namespace {
+
+TEST(Log, LevelGateWorks) {
+  const auto old = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  // Below-threshold logs are dropped without side effects (no crash,
+  // stream still usable).
+  ECGF_LOG_DEBUG << "invisible " << 42;
+  ECGF_LOG_INFO << "also invisible";
+  util::set_log_level(util::LogLevel::kOff);
+  ECGF_LOG_ERROR << "even errors gated when off";
+  util::set_log_level(old);
+}
+
+TEST(GroupingResult, PartitionViewMatchesGroups) {
+  core::GroupingResult result;
+  result.groups = {{0, {2, 5}}, {1, {1}}, {2, {0, 3, 4}}};
+  const auto partition = result.partition();
+  ASSERT_EQ(partition.size(), 3u);
+  EXPECT_EQ(partition[0], (std::vector<std::uint32_t>{2, 5}));
+  EXPECT_EQ(partition[2], (std::vector<std::uint32_t>{0, 3, 4}));
+}
+
+TEST(Waxman, RejectsBadParameters) {
+  topology::Graph g(3);
+  std::vector<topology::Point> pos{{0, 0}, {1, 0}, {0, 1}};
+  std::vector<topology::NodeId> members{0, 1, 2};
+  util::Rng rng(1);
+  EXPECT_THROW(topology::add_waxman_edges(g, pos, members, {0.0, 0.5}, 1.0, rng),
+               util::ContractViolation);
+  EXPECT_THROW(topology::add_waxman_edges(g, pos, members, {0.5, 1.5}, 1.0, rng),
+               util::ContractViolation);
+  EXPECT_THROW(topology::add_waxman_edges(g, pos, members, {0.5, 0.5}, 0.0, rng),
+               util::ContractViolation);
+  EXPECT_THROW(topology::add_waxman_edges(g, pos, {}, {0.5, 0.5}, 1.0, rng),
+               util::ContractViolation);
+}
+
+TEST(TransitStub, RejectsDegenerateParameters) {
+  util::Rng rng(2);
+  topology::TransitStubParams p;
+  p.transit_domains = 0;
+  EXPECT_THROW(topology::generate_transit_stub(p, rng),
+               util::ContractViolation);
+  p = topology::TransitStubParams{};
+  p.ms_per_unit = 0.0;
+  EXPECT_THROW(topology::generate_transit_stub(p, rng),
+               util::ContractViolation);
+}
+
+TEST(TransitStub, SingleDomainMinimalNetworkWorks) {
+  util::Rng rng(3);
+  topology::TransitStubParams p;
+  p.transit_domains = 1;
+  p.transit_nodes_per_domain = 1;
+  p.stub_domains_per_transit_node = 1;
+  p.stub_nodes_per_domain = 1;
+  const auto topo = topology::generate_transit_stub(p, rng);
+  EXPECT_EQ(topo.graph.node_count(), 2u);  // 1 transit + 1 stub
+  EXPECT_TRUE(topo.graph.connected());
+}
+
+// Message engine: the holder loses its copy between the beacon decision
+// and the holder's service — the request must fall through to the origin
+// (an interleaving unique to the message engine).
+TEST(MessageEngineInterleaving, HolderLosesCopyMidFlight) {
+  net::DistanceMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 100.0);
+  m.set(1, 2, 100.0);
+  net::MatrixRttProvider provider(std::move(m));
+
+  std::vector<cache::DocumentInfo> infos(4);
+  for (auto& d : infos) d = {1000, 20.0, 0.0};
+  const cache::Catalog catalog(std::move(infos));
+
+  sim::MessageEngineConfig config;
+  config.base.groups = {{0, 1}};
+  config.base.cache_capacity_bytes = 100'000;
+  config.base.policy = cache::PolicyKind::kLru;
+  config.base.cost.bandwidth_bytes_per_ms = 1000.0;
+  config.base.warmup_fraction = 0.0;
+  config.cache_service_ms = 1.0;
+  config.origin_concurrency = 4;
+
+  workload::Trace trace;
+  trace.duration_ms = 30'000.0;
+  // Cache 0 warms doc 0 (completes ~t=324). Cache 1 requests it at
+  // t=10'000; the lookup hop + beacon service put the holder's service at
+  // ~t=10'008. The update at t=10'007.5 invalidates the copy after the
+  // beacon's decision but before the holder serves — fall through.
+  trace.requests = {{100.0, 0, 0}, {10'000.0, 1, 0}};
+  trace.updates = {{10'007.5, 0}};
+
+  const auto report =
+      sim::run_message_level(catalog, provider, 2, config, trace);
+  EXPECT_EQ(report.base.counts.group_hits, 0u);
+  EXPECT_EQ(report.base.counts.origin_fetches, 2u);
+}
+
+TEST(CostModel, TransferRequiresPositiveBandwidth) {
+  sim::CostModel cm;
+  cm.bandwidth_bytes_per_ms = 0.0;
+  EXPECT_THROW(cm.transfer_ms(1000), util::ContractViolation);
+}
+
+TEST(DirectorySlots, AllSlotsReachable) {
+  cache::GroupDirectory dir({1, 2, 3, 4, 5}, 5);
+  std::set<std::size_t> slots;
+  for (cache::DocId d = 0; d < 200; ++d) slots.insert(dir.beacon_slot(d));
+  EXPECT_EQ(slots.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ecgf

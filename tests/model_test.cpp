@@ -1,0 +1,186 @@
+// Tests for the analytical model: Che approximation and the expected-
+// latency model (U-shape, optimal group size growth with server distance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/che.h"
+#include "model/latency_model.h"
+#include "util/expect.h"
+
+namespace ecgf::model {
+namespace {
+
+TEST(Che, ZipfRatesNormalisedAndSkewed) {
+  const auto rates = zipf_rates(100, 1.0, 50.0);
+  double total = 0.0;
+  for (double r : rates) total += r;
+  EXPECT_NEAR(total, 50.0, 1e-9);
+  EXPECT_GT(rates[0], rates[99]);
+  // α = 0: uniform.
+  const auto flat = zipf_rates(10, 0.0, 10.0);
+  for (double r : flat) EXPECT_NEAR(r, 1.0, 1e-12);
+}
+
+TEST(Che, OccupancyFixedPointUniformTraffic) {
+  // Uniform popularity: all docs identical, so hit rate has a clean form
+  // h = 1 − e^{−λ t_C} with occupancy n·h = C ⇒ h = C/n.
+  CheInputs inputs;
+  inputs.request_rates.assign(1000, 0.5);
+  inputs.capacity_docs = 250.0;
+  const auto result = che_approximation(inputs);
+  EXPECT_NEAR(result.hit_rate, 0.25, 1e-6);
+  for (double h : result.per_doc_hit) EXPECT_NEAR(h, 0.25, 1e-6);
+}
+
+TEST(Che, SkewedTrafficBeatsUniformHitRate) {
+  CheInputs uniform;
+  uniform.request_rates = zipf_rates(1000, 0.0, 100.0);
+  uniform.capacity_docs = 100.0;
+  CheInputs skewed;
+  skewed.request_rates = zipf_rates(1000, 1.0, 100.0);
+  skewed.capacity_docs = 100.0;
+  EXPECT_GT(che_approximation(skewed).hit_rate,
+            che_approximation(uniform).hit_rate + 0.1);
+}
+
+TEST(Che, HitRateMonotoneInCapacity) {
+  double prev = 0.0;
+  for (double cap : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    CheInputs inputs;
+    inputs.request_rates = zipf_rates(1000, 0.9, 100.0);
+    inputs.capacity_docs = cap;
+    const double h = che_approximation(inputs).hit_rate;
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Che, PopularDocsHitMore) {
+  CheInputs inputs;
+  inputs.request_rates = zipf_rates(500, 1.0, 100.0);
+  inputs.capacity_docs = 50.0;
+  const auto result = che_approximation(inputs);
+  EXPECT_GT(result.per_doc_hit[0], result.per_doc_hit[499]);
+  EXPECT_GT(result.per_doc_hit[0], 0.9);
+}
+
+TEST(Che, UpdatesDepressHitRate) {
+  CheInputs calm;
+  calm.request_rates = zipf_rates(500, 0.9, 100.0);
+  calm.capacity_docs = 100.0;
+
+  CheInputs churny = calm;
+  churny.update_rates.assign(500, 0.5);
+
+  EXPECT_GT(che_approximation(calm).hit_rate,
+            che_approximation(churny).hit_rate + 0.05);
+}
+
+TEST(Che, InfiniteCapacityLimit) {
+  // Capacity ≥ n: only invalidations cause misses.
+  CheInputs inputs;
+  inputs.request_rates.assign(100, 1.0);
+  inputs.update_rates.assign(100, 1.0);
+  inputs.capacity_docs = 100.0;
+  const auto result = che_approximation(inputs);
+  EXPECT_TRUE(std::isinf(result.characteristic_time_s));
+  EXPECT_NEAR(result.hit_rate, 0.5, 1e-9);  // λ/(λ+µ) with λ = µ
+}
+
+TEST(Che, RejectsBadInputs) {
+  CheInputs inputs;
+  EXPECT_THROW(che_approximation(inputs), util::ContractViolation);
+  inputs.request_rates = {0.0};
+  inputs.capacity_docs = 1.0;
+  EXPECT_THROW(che_approximation(inputs), util::ContractViolation);  // no traffic
+  inputs.request_rates = {1.0};
+  inputs.update_rates = {1.0, 2.0};  // size mismatch
+  EXPECT_THROW(che_approximation(inputs), util::ContractViolation);
+}
+
+LatencyModelParams default_params() {
+  LatencyModelParams params;
+  params.catalog_docs = 4000;
+  params.zipf_alpha = 0.9;
+  params.requests_per_cache_per_s = 2.0;
+  params.similarity = 0.8;
+  params.capacity_docs = 100.0;
+  params.mean_doc_bytes = 20'000.0;
+  params.generation_ms = 20.0;
+  params.cost.local_processing_ms = 0.5;
+  params.intra_group_rtt_ms = power_law_rtt_curve(4.0, 60.0, 500.0);
+  return params;
+}
+
+TEST(LatencyModel, GroupHitRateGrowsWithSize) {
+  const auto params = default_params();
+  double prev = 0.0;
+  for (double s : {1.0, 5.0, 20.0, 100.0, 500.0}) {
+    const auto p = predict_latency(params, s, 80.0);
+    EXPECT_GE(p.group_hit_rate, prev);
+    EXPECT_GE(p.group_hit_rate, p.local_hit_rate);
+    prev = p.group_hit_rate;
+  }
+}
+
+TEST(LatencyModel, PredictsUShape) {
+  const auto params = default_params();
+  const std::vector<double> sizes{2, 5, 10, 20, 50, 100, 250, 500};
+  std::vector<double> latency;
+  for (double s : sizes) {
+    latency.push_back(predict_latency(params, s, 80.0).expected_latency_ms);
+  }
+  // The minimum is strictly interior.
+  const auto min_it = std::min_element(latency.begin(), latency.end());
+  EXPECT_NE(min_it, latency.begin());
+  EXPECT_NE(min_it, latency.end() - 1);
+}
+
+TEST(LatencyModel, FarCachesPreferLargerGroups) {
+  // The paper's Fig. 3 insight, analytically: s*(D) is nondecreasing in D
+  // and strictly larger for genuinely far caches. Capacity small enough
+  // that hit rates do not saturate across the sweep.
+  auto params = default_params();
+  params.capacity_docs = 50.0;
+  const std::vector<double> sizes{2, 5, 10, 20, 50, 100, 250, 500};
+  const double near = optimal_group_size(params, 2.0, sizes);
+  const double mid = optimal_group_size(params, 80.0, sizes);
+  const double far = optimal_group_size(params, 400.0, sizes);
+  EXPECT_LE(near, mid);
+  EXPECT_LE(mid, far);
+  EXPECT_LT(near, far);
+}
+
+TEST(LatencyModel, LowerSimilarityWeakensCooperation) {
+  // Capacity-limited regime (group capacity < catalog): flattening the
+  // aggregate popularity law must cost hit rate.
+  auto shared = default_params();
+  shared.similarity = 1.0;
+  shared.capacity_docs = 40.0;
+  auto disjoint = shared;
+  disjoint.similarity = 0.0;
+  const auto ps = predict_latency(shared, 20.0, 80.0);
+  const auto pd = predict_latency(disjoint, 20.0, 80.0);
+  EXPECT_GT(ps.group_hit_rate, pd.group_hit_rate);
+}
+
+TEST(LatencyModel, PowerLawCurveProperties) {
+  const auto g = power_law_rtt_curve(4.0, 60.0, 500.0);
+  EXPECT_DOUBLE_EQ(g(1.0), 0.0);            // singleton: no peer RTT
+  EXPECT_GT(g(10.0), 0.0);
+  EXPECT_LT(g(10.0), g(100.0));             // growing
+  EXPECT_NEAR(g(500.0), 64.0, 1e-9);        // base + spread at full size
+}
+
+TEST(LatencyModel, RejectsBadArguments) {
+  auto params = default_params();
+  EXPECT_THROW(predict_latency(params, 0.5, 80.0), util::ContractViolation);
+  params.intra_group_rtt_ms = nullptr;
+  EXPECT_THROW(predict_latency(params, 2.0, 80.0), util::ContractViolation);
+  EXPECT_THROW(optimal_group_size(default_params(), 10.0, {}),
+               util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ecgf::model

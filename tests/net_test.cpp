@@ -1,0 +1,114 @@
+// Tests for the net layer: distance matrix, RTT provider, prober.
+#include <gtest/gtest.h>
+
+#include "net/distance_matrix.h"
+#include "net/prober.h"
+#include "util/expect.h"
+
+namespace ecgf::net {
+namespace {
+
+DistanceMatrix small_matrix() {
+  DistanceMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 20.0);
+  m.set(1, 2, 5.0);
+  return m;
+}
+
+TEST(DistanceMatrix, SymmetricStorage) {
+  const auto m = small_matrix();
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(DistanceMatrix, RejectsDiagonalWrites) {
+  DistanceMatrix m(2);
+  EXPECT_THROW(m.set(1, 1, 3.0), util::ContractViolation);
+  EXPECT_THROW(m.set(0, 1, -1.0), util::ContractViolation);
+  EXPECT_THROW(m.at(0, 2), util::ContractViolation);
+}
+
+TEST(DistanceMatrix, FromFullValidates) {
+  std::vector<std::vector<double>> good{{0, 1}, {1, 0}};
+  EXPECT_NO_THROW(DistanceMatrix::from_full(good));
+
+  std::vector<std::vector<double>> asym{{0, 1}, {2, 0}};
+  EXPECT_THROW(DistanceMatrix::from_full(asym), util::ContractViolation);
+
+  std::vector<std::vector<double>> diag{{1, 1}, {1, 0}};
+  EXPECT_THROW(DistanceMatrix::from_full(diag), util::ContractViolation);
+
+  std::vector<std::vector<double>> ragged{{0, 1}, {1}};
+  EXPECT_THROW(DistanceMatrix::from_full(ragged), util::ContractViolation);
+}
+
+TEST(MatrixRttProvider, ExposesMatrix) {
+  MatrixRttProvider p(small_matrix());
+  EXPECT_EQ(p.host_count(), 3u);
+  EXPECT_DOUBLE_EQ(p.rtt_ms(0, 2), 20.0);
+  EXPECT_DOUBLE_EQ(p.rtt_ms(2, 0), 20.0);
+}
+
+TEST(Prober, NoiseFreeReturnsTruth) {
+  MatrixRttProvider provider(small_matrix());
+  ProberOptions opts;
+  opts.jitter_sigma = 0.0;
+  Prober prober(provider, opts, util::Rng(1));
+  EXPECT_DOUBLE_EQ(prober.measure_rtt_ms(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(prober.measure_rtt_ms(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(prober.measure_rtt_ms(2, 2), 0.0);
+}
+
+TEST(Prober, CountsProbes) {
+  MatrixRttProvider provider(small_matrix());
+  ProberOptions opts;
+  opts.probes_per_measurement = 4;
+  Prober prober(provider, opts, util::Rng(1));
+  prober.measure_rtt_ms(0, 1);
+  prober.measure_rtt_ms(1, 2);
+  EXPECT_EQ(prober.probes_sent(), 8u);
+  prober.measure_rtt_ms(1, 1);  // self-measurement costs nothing
+  EXPECT_EQ(prober.probes_sent(), 8u);
+}
+
+TEST(Prober, JitteredMeasurementsAverageToTruth) {
+  MatrixRttProvider provider(small_matrix());
+  ProberOptions opts;
+  opts.jitter_sigma = 0.2;
+  opts.probes_per_measurement = 1;
+  Prober prober(provider, opts, util::Rng(7));
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += prober.measure_rtt_ms(0, 1);
+  EXPECT_NEAR(sum / kN, 10.0, 0.15);
+}
+
+TEST(Prober, MoreProbesReduceVariance) {
+  MatrixRttProvider provider(small_matrix());
+  auto spread = [&](std::size_t probes) {
+    ProberOptions opts;
+    opts.jitter_sigma = 0.3;
+    opts.probes_per_measurement = probes;
+    Prober prober(provider, opts, util::Rng(11));
+    double sq = 0.0;
+    constexpr int kN = 3000;
+    for (int i = 0; i < kN; ++i) {
+      const double e = prober.measure_rtt_ms(0, 1) - 10.0;
+      sq += e * e;
+    }
+    return sq / kN;
+  };
+  EXPECT_LT(spread(10), spread(1) * 0.5);
+}
+
+TEST(Prober, RejectsOutOfRangeHosts) {
+  MatrixRttProvider provider(small_matrix());
+  Prober prober(provider, ProberOptions{}, util::Rng(1));
+  EXPECT_THROW(prober.measure_rtt_ms(0, 3), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ecgf::net

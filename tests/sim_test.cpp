@@ -1,0 +1,271 @@
+// Tests for the discrete event simulator: event queue, cost model, metrics,
+// and end-to-end protocol behaviour on hand-constructed scenarios.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/distance_matrix.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+#include "util/expect.h"
+
+namespace ecgf::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](SimTime) { order.push_back(3); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(2.0, [&](SimTime) { order.push_back(2); });
+  EXPECT_EQ(q.run(10.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](SimTime) { order.push_back(10); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(20); });
+  q.run(2.0);
+  EXPECT_EQ(order, (std::vector<int>{10, 20}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule(1.0, [&](SimTime t) {
+    times.push_back(t);
+    q.schedule(t + 1.0, [&](SimTime t2) { times.push_back(t2); });
+  });
+  q.run(10.0);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, RunHonoursHorizon) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule(1.0, [&](SimTime) { ++ran; });
+  q.schedule(5.0, [&](SimTime) { ++ran; });
+  EXPECT_EQ(q.run(3.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run(5.0), 1u);  // boundary-inclusive
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule(5.0, [&](SimTime) {
+    EXPECT_THROW(q.schedule(1.0, [](SimTime) {}), util::ContractViolation);
+  });
+  q.run(10.0);
+}
+
+TEST(CostModel, Arithmetic) {
+  CostModel cm;
+  cm.local_processing_ms = 1.0;
+  cm.bandwidth_bytes_per_ms = 1000.0;
+  EXPECT_DOUBLE_EQ(cm.local_hit_ms(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.transfer_ms(5000), 5.0);
+  // group hit: 1 + 0.5*(10+20+30) + 5 = 36
+  EXPECT_DOUBLE_EQ(cm.group_hit_ms(10.0, 20.0, 30.0, 5000), 36.0);
+  // origin: 1 + 10 + 40 + 7 + 5 = 63
+  EXPECT_DOUBLE_EQ(cm.origin_fetch_ms(10.0, 40.0, 7.0, 5000), 63.0);
+}
+
+TEST(Metrics, RecordsAndBucketsByResolution) {
+  MetricsCollector m(2);
+  m.set_now(10.0);
+  m.record(0, 5.0, Resolution::kLocalHit);
+  m.record(1, 15.0, Resolution::kGroupHit);
+  m.record(1, 25.0, Resolution::kOriginFetch);
+  EXPECT_EQ(m.counts().local_hits, 1u);
+  EXPECT_EQ(m.counts().group_hits, 1u);
+  EXPECT_EQ(m.counts().origin_fetches, 1u);
+  EXPECT_DOUBLE_EQ(m.network_latency().mean(), 15.0);
+  EXPECT_DOUBLE_EQ(m.cache_latency(1).mean(), 20.0);
+  EXPECT_NEAR(m.counts().group_hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, WarmupExcludedFromLatency) {
+  MetricsCollector m(1);
+  m.set_warmup_end(100.0);
+  m.set_now(50.0);
+  m.record(0, 999.0, Resolution::kLocalHit);  // warm-up: counted, not timed
+  m.set_now(150.0);
+  m.record(0, 5.0, Resolution::kLocalHit);
+  EXPECT_EQ(m.counts().local_hits, 2u);
+  EXPECT_EQ(m.network_latency().count(), 1u);
+  EXPECT_DOUBLE_EQ(m.network_latency().mean(), 5.0);
+}
+
+TEST(Metrics, SubsetMeanLatency) {
+  MetricsCollector m(3);
+  m.record(0, 10.0, Resolution::kLocalHit);
+  m.record(1, 30.0, Resolution::kLocalHit);
+  EXPECT_DOUBLE_EQ(m.subset_mean_latency({0, 1}), 20.0);
+  EXPECT_DOUBLE_EQ(m.subset_mean_latency({0, 2}), 10.0);  // 2 has no data
+}
+
+// ----------------------------------------------------------------------
+// End-to-end simulator scenarios on a tiny hand-built network.
+// Hosts: caches 0,1 plus origin server 2. RTTs: 0↔1 = 10, 0↔2 = 100,
+// 1↔2 = 100.
+// ----------------------------------------------------------------------
+
+net::MatrixRttProvider tiny_provider() {
+  net::DistanceMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 100.0);
+  m.set(1, 2, 100.0);
+  return net::MatrixRttProvider(std::move(m));
+}
+
+cache::Catalog tiny_catalog(std::size_t docs = 4) {
+  std::vector<cache::DocumentInfo> infos(docs);
+  for (auto& d : infos) d = {1000, 20.0, 0.0};
+  return cache::Catalog(std::move(infos));
+}
+
+SimulationConfig tiny_config(std::vector<std::vector<std::uint32_t>> groups) {
+  SimulationConfig config;
+  config.groups = std::move(groups);
+  config.cache_capacity_bytes = 100'000;
+  config.policy = cache::PolicyKind::kLru;
+  config.cost.local_processing_ms = 1.0;
+  config.cost.bandwidth_bytes_per_ms = 1000.0;
+  config.warmup_fraction = 0.0;
+  return config;
+}
+
+TEST(Simulator, FirstRequestGoesToOriginSecondHitsLocally) {
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 10'000.0;
+  trace.requests = {{100.0, 0, 0}, {5000.0, 0, 0}};
+
+  Simulator sim(catalog, provider, 2, tiny_config({{0}, {1}}));
+  const auto report = sim.run(trace);
+
+  EXPECT_EQ(report.counts.origin_fetches, 1u);
+  EXPECT_EQ(report.counts.local_hits, 1u);
+  EXPECT_EQ(report.origin_fetches, 1u);
+  // Origin fetch latency: processing 1 + beacon 0 (self, singleton group)
+  // + RTT 100 + generation 20 + transfer 1 = 122. Local hit: 1.
+  EXPECT_NEAR(report.per_cache_latency_ms[0], (122.0 + 1.0) / 2.0, 1e-9);
+}
+
+TEST(Simulator, GroupPeerServesSecondRequest) {
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 10'000.0;
+  // Cache 0 fetches doc 0 from origin; later cache 1 wants it.
+  trace.requests = {{100.0, 0, 0}, {5000.0, 1, 0}};
+
+  Simulator sim(catalog, provider, 2, tiny_config({{0, 1}}));
+  const auto report = sim.run(trace);
+
+  EXPECT_EQ(report.counts.origin_fetches, 1u);
+  EXPECT_EQ(report.counts.group_hits, 1u);
+  EXPECT_EQ(report.counts.local_hits, 0u);
+  // The group hit must be far cheaper than an origin fetch (10 ms peer vs
+  // 100 ms origin RTT).
+  EXPECT_LT(report.per_cache_latency_ms[1], 30.0);
+}
+
+TEST(Simulator, InFlightDocumentNotVisibleToPeers) {
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 10'000.0;
+  // Second request arrives 1 ms after the first: the fetch (≥121 ms) is
+  // still in flight, so cache 1 must also go to the origin.
+  trace.requests = {{100.0, 0, 0}, {101.0, 1, 0}};
+
+  Simulator sim(catalog, provider, 2, tiny_config({{0, 1}}));
+  const auto report = sim.run(trace);
+  EXPECT_EQ(report.counts.origin_fetches, 2u);
+  EXPECT_EQ(report.counts.group_hits, 0u);
+}
+
+TEST(Simulator, UpdateInvalidatesCachedCopies) {
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 20'000.0;
+  trace.requests = {{100.0, 0, 0}, {10'000.0, 0, 0}};
+  trace.updates = {{5'000.0, 0}};  // between the two requests
+
+  Simulator sim(catalog, provider, 2, tiny_config({{0, 1}}));
+  const auto report = sim.run(trace);
+  EXPECT_EQ(report.counts.origin_fetches, 2u);  // second request re-fetches
+  EXPECT_EQ(report.counts.local_hits, 0u);
+  EXPECT_EQ(report.invalidations_pushed, 1u);
+  EXPECT_EQ(report.origin_updates, 1u);
+}
+
+TEST(Simulator, UpdateOfUncachedDocIsHarmless) {
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 10'000.0;
+  trace.updates = {{5'000.0, 3}};
+
+  Simulator sim(catalog, provider, 2, tiny_config({{0, 1}}));
+  const auto report = sim.run(trace);
+  EXPECT_EQ(report.invalidations_pushed, 0u);
+  EXPECT_EQ(report.origin_updates, 1u);
+}
+
+TEST(Simulator, StaleCopyRefetchedAfterMidFlightUpdate) {
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 20'000.0;
+  // Update lands while the fetch is in flight (fetch spans ~122 ms from
+  // t=100): the fetched copy must NOT be stored.
+  trace.requests = {{100.0, 0, 0}, {10'000.0, 0, 0}};
+  trace.updates = {{150.0, 0}};
+
+  Simulator sim(catalog, provider, 2, tiny_config({{0, 1}}));
+  const auto report = sim.run(trace);
+  EXPECT_EQ(report.counts.origin_fetches, 2u);
+  EXPECT_EQ(report.counts.local_hits, 0u);
+}
+
+TEST(Simulator, GroupsMustPartitionCaches) {
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  EXPECT_THROW(Simulator(catalog, provider, 2, tiny_config({{0, 0}})),
+               util::ContractViolation);  // duplicate
+  EXPECT_THROW(Simulator(catalog, provider, 2, tiny_config({{0, 1, 2}})),
+               util::ContractViolation);  // 2 is the origin, not a cache
+}
+
+TEST(Simulator, ReportTalliesConsistent) {
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 50'000.0;
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    trace.requests.push_back({100.0 + i * 200.0,
+                              static_cast<std::uint32_t>(rng.index(2)),
+                              static_cast<cache::DocId>(rng.index(4))});
+  }
+  Simulator sim(catalog, provider, 2, tiny_config({{0, 1}}));
+  const auto report = sim.run(trace);
+  EXPECT_EQ(report.counts.total(), 200u);
+  EXPECT_EQ(report.requests_processed, 200u);
+  EXPECT_EQ(report.counts.origin_fetches, report.origin_fetches);
+  EXPECT_GT(report.counts.local_hits + report.counts.group_hits, 0u);
+  EXPECT_GT(report.avg_latency_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace ecgf::sim

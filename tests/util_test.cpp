@@ -1,0 +1,221 @@
+// Tests for util: contracts, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/expect.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace ecgf::util {
+namespace {
+
+TEST(Expect, ThrowsOnViolation) {
+  EXPECT_THROW(ECGF_EXPECTS(false), ContractViolation);
+  EXPECT_NO_THROW(ECGF_EXPECTS(true));
+  EXPECT_THROW(ECGF_ENSURES(1 == 2), ContractViolation);
+  EXPECT_THROW(ECGF_ASSERT(false), ContractViolation);
+}
+
+TEST(Expect, MessageNamesKindAndExpression) {
+  try {
+    ECGF_EXPECTS(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkedChildrenAreIndependent) {
+  Rng parent(7);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.uniform_int(0, 1'000'000) == c2.uniform_int(0, 1'000'000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, UniformRejectsBadRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), ContractViolation);
+  EXPECT_THROW(rng.uniform_int(5, 4), ContractViolation);
+  EXPECT_THROW(rng.index(0), ContractViolation);
+}
+
+TEST(Rng, LognormalJitterMeanNearOne) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.lognormal_jitter(0.1);
+  EXPECT_NEAR(sum / kN, 1.0, 0.01);
+}
+
+TEST(Rng, LognormalJitterZeroSigmaIsExact) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(rng.lognormal_jitter(0.0), 1.0);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(11);
+  auto s = rng.sample_indices(50, 20);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (std::size_t i : s) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleIndicesFullPopulation) {
+  Rng rng(11);
+  auto s = rng.sample_indices(10, 10);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Rng, WeightedSampleWithoutReplacementRespectsWeights) {
+  Rng rng(13);
+  // Index 0 has overwhelming weight: it should be drawn first nearly always.
+  std::vector<double> w{1000.0, 1.0, 1.0, 1.0};
+  int first_is_zero = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto s = rng.weighted_sample_without_replacement(w, 2);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_NE(s[0], s[1]);
+    if (s[0] == 0) ++first_is_zero;
+  }
+  EXPECT_GT(first_is_zero, 180);
+}
+
+TEST(Rng, WeightedSampleHandlesZeroWeightTail) {
+  Rng rng(17);
+  std::vector<double> w{1.0, 0.0, 0.0};
+  auto s = rng.weighted_sample_without_replacement(w, 3);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 3u);  // zero-weight items drawn uniformly at the end
+  EXPECT_EQ(s[0], 0u);         // the only positive weight goes first
+}
+
+TEST(Rng, WeightedSampleRejectsNegativeWeight) {
+  Rng rng(17);
+  std::vector<double> w{1.0, -0.5};
+  EXPECT_THROW(rng.weighted_sample_without_replacement(w, 1),
+               ContractViolation);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator a, b, all;
+  Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 1.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-5.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(Table, AlignsAndRoundTripsNumbers) {
+  Table t({"k", "value"});
+  t.set_title("demo");
+  t.add_row({std::string("a"), 1.5});
+  t.add_row({std::string("b"), 2.25});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.number_at(0, 1), 1.5);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("demo"), std::string::npos);
+  std::ostringstream csv;
+  t.print_csv(csv);
+  EXPECT_NE(csv.str().find("k,value"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), ContractViolation);
+}
+
+TEST(Table, NumberAtOnTextCellThrows) {
+  Table t({"a"});
+  t.add_row({std::string("text")});
+  EXPECT_THROW(t.number_at(0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ecgf::util

@@ -1,0 +1,156 @@
+// Tests for Virtual Landmarks: the Jacobi eigensolver and the PCA
+// projection of feature vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "coords/virtual_landmarks.h"
+#include "core/coordinator.h"
+#include "core/experiment.h"
+#include "net/distance_matrix.h"
+
+namespace ecgf::coords {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrixTrivial) {
+  const auto eigen = jacobi_eigen({{3.0, 0.0}, {0.0, 5.0}});
+  ASSERT_EQ(eigen.eigenvalues.size(), 2u);
+  EXPECT_NEAR(eigen.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(eigen.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(JacobiEigen, KnownSymmetricMatrix) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1 with vectors (1,1)/√2, (1,-1)/√2.
+  const auto eigen = jacobi_eigen({{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(eigen.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eigen.eigenvalues[1], 1.0, 1e-10);
+  const auto& v0 = eigen.eigenvectors[0];
+  EXPECT_NEAR(std::abs(v0[0]), std::abs(v0[1]), 1e-10);
+  EXPECT_NEAR(v0[0] * v0[0] + v0[1] * v0[1], 1.0, 1e-10);  // unit length
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  // A = Σ λ_k v_k v_kᵀ must reproduce the input.
+  const std::vector<std::vector<double>> a{
+      {4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}};
+  const auto eigen = jacobi_eigen(a);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        sum += eigen.eigenvalues[k] * eigen.eigenvectors[k][i] *
+               eigen.eigenvectors[k][j];
+      }
+      EXPECT_NEAR(sum, a[i][j], 1e-8) << i << "," << j;
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsOrthogonal) {
+  const auto eigen = jacobi_eigen(
+      {{5.0, 2.0, 1.0}, {2.0, 4.0, 0.5}, {1.0, 0.5, 3.0}});
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) {
+        dot += eigen.eigenvectors[a][k] * eigen.eigenvectors[b][k];
+      }
+      EXPECT_NEAR(dot, 0.0, 1e-8);
+    }
+  }
+}
+
+/// Hosts on a line: RTT(a, b) = 10·|a−b|. The feature matrix has
+/// essentially one significant principal component (the line position).
+net::MatrixRttProvider line_provider(std::size_t hosts) {
+  net::DistanceMatrix m(hosts);
+  for (std::size_t i = 0; i < hosts; ++i) {
+    for (std::size_t j = i + 1; j < hosts; ++j) {
+      m.set(i, j, 10.0 * static_cast<double>(j - i));
+    }
+  }
+  return net::MatrixRttProvider(std::move(m));
+}
+
+TEST(VirtualLandmarks, LineTopologyIsRankOne) {
+  const auto provider = line_provider(20);
+  net::ProberOptions opts;
+  opts.jitter_sigma = 0.0;
+  net::Prober prober(provider, opts, util::Rng(1));
+  VirtualLandmarksOptions vl;
+  vl.dimension = 1;
+  const auto embedding =
+      build_virtual_landmarks(20, {0, 10, 19}, prober, vl);
+  // One component dominates for a line. (Not quite rank-1: the |x − lm|
+  // kinks in the feature map contribute a genuine second component.)
+  EXPECT_GT(embedding.explained_variance, 0.85);
+  // Projected coordinates are monotone along the line (up to sign).
+  const double direction = embedding.positions.coords(1)[0] -
+                           embedding.positions.coords(0)[0];
+  for (net::HostId h = 1; h < 20; ++h) {
+    const double step = embedding.positions.coords(h)[0] -
+                        embedding.positions.coords(h - 1)[0];
+    EXPECT_GT(step * direction, 0.0) << "host " << h;
+  }
+}
+
+TEST(VirtualLandmarks, PreservesProximityStructure) {
+  // Neighbours on the line must stay closer in PCA space than far pairs.
+  const auto provider = line_provider(30);
+  net::ProberOptions opts;
+  opts.jitter_sigma = 0.0;
+  net::Prober prober(provider, opts, util::Rng(2));
+  VirtualLandmarksOptions vl;
+  vl.dimension = 2;
+  const auto embedding =
+      build_virtual_landmarks(30, {0, 7, 15, 22, 29}, prober, vl);
+  const double near = l2_distance(embedding.positions.coords(10),
+                                  embedding.positions.coords(11));
+  const double far = l2_distance(embedding.positions.coords(0),
+                                 embedding.positions.coords(29));
+  EXPECT_LT(near * 5.0, far);
+}
+
+TEST(VirtualLandmarks, RejectsBadDimensions) {
+  const auto provider = line_provider(10);
+  net::ProberOptions opts;
+  net::Prober prober(provider, opts, util::Rng(3));
+  VirtualLandmarksOptions vl;
+  vl.dimension = 4;  // > landmark count
+  EXPECT_THROW(build_virtual_landmarks(10, {0, 5, 9}, prober, vl),
+               util::ContractViolation);
+}
+
+TEST(VirtualLandmarksScheme, FormsValidGroupsAndClustersWell) {
+  core::EdgeNetworkParams params;
+  params.cache_count = 60;
+  const auto network = core::build_edge_network(params, 44);
+  core::GfCoordinator coordinator(network, net::ProberOptions{}, 45);
+
+  core::SchemeConfig fv_cfg;
+  fv_cfg.num_landmarks = 10;
+  core::SchemeConfig vl_cfg = fv_cfg;
+  vl_cfg.positions = core::PositionKind::kVirtualLandmarks;
+  vl_cfg.virtual_landmarks.dimension = 4;
+
+  const core::SlScheme fv_scheme(fv_cfg);
+  const core::SlScheme vl_scheme(vl_cfg);
+
+  double fv_total = 0.0, vl_total = 0.0;
+  for (int r = 0; r < 4; ++r) {
+    fv_total += coordinator.average_group_interaction_cost(
+        coordinator.run(fv_scheme, 6));
+    const auto result = coordinator.run(vl_scheme, 6);
+    std::vector<int> seen(60, 0);
+    for (const auto& g : result.groups) {
+      for (auto m : g.members) ++seen[m];
+    }
+    for (int s : seen) ASSERT_EQ(s, 1);
+    vl_total += coordinator.average_group_interaction_cost(result);
+  }
+  // PCA-reduced vectors should cluster about as well as raw vectors.
+  EXPECT_LT(vl_total, fv_total * 1.25);
+}
+
+}  // namespace
+}  // namespace ecgf::coords

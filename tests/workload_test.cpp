@@ -1,0 +1,207 @@
+// Tests for the workload generator: Zipf sampling, trace generation,
+// trace (de)serialisation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "workload/generator.h"
+#include "workload/trace.h"
+#include "workload/zipf.h"
+
+namespace ecgf::workload {
+namespace {
+
+TEST(Zipf, PmfNormalisedAndMonotone) {
+  const ZipfSampler zipf(100, 0.9);
+  double total = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) {
+    total += zipf.pmf(r);
+    if (r > 0) EXPECT_LE(zipf.pmf(r), zipf.pmf(r - 1));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(zipf.pmf(r), 0.1, 1e-12);
+  }
+}
+
+TEST(Zipf, SampleFrequenciesTrackPmf) {
+  const ZipfSampler zipf(20, 1.0);
+  util::Rng rng(1);
+  std::map<std::size_t, int> counts;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r : {0u, 1u, 5u, 19u}) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kN), zipf.pmf(r), 0.01)
+        << "rank " << r;
+  }
+}
+
+TEST(Zipf, HigherAlphaMoreSkewed) {
+  const ZipfSampler mild(50, 0.5);
+  const ZipfSampler steep(50, 1.5);
+  EXPECT_GT(steep.pmf(0), mild.pmf(0));
+  EXPECT_LT(steep.pmf(49), mild.pmf(49));
+}
+
+cache::Catalog test_catalog(std::size_t docs, double update_rate = 0.01) {
+  std::vector<cache::DocumentInfo> infos(docs);
+  for (auto& d : infos) d = {2048, 10.0, update_rate};
+  return cache::Catalog(std::move(infos));
+}
+
+TEST(Generator, TraceWellFormed) {
+  const auto catalog = test_catalog(200);
+  WorkloadParams params;
+  params.cache_count = 10;
+  params.duration_ms = 30'000.0;
+  util::Rng rng(2);
+  const Trace trace = generate_trace(params, catalog, rng);
+  EXPECT_NO_THROW(trace.validate(10, 200));
+  EXPECT_FALSE(trace.requests.empty());
+  EXPECT_FALSE(trace.updates.empty());
+}
+
+TEST(Generator, RequestVolumeMatchesRate) {
+  const auto catalog = test_catalog(100, 0.0);
+  WorkloadParams params;
+  params.cache_count = 20;
+  params.duration_ms = 60'000.0;
+  params.requests_per_cache_per_s = 3.0;
+  util::Rng rng(3);
+  const Trace trace = generate_trace(params, catalog, rng);
+  const double expected = 20 * 3.0 * 60.0;  // caches × rate × seconds
+  EXPECT_NEAR(static_cast<double>(trace.requests.size()), expected,
+              expected * 0.1);
+}
+
+TEST(Generator, UpdateVolumeMatchesCatalogRates) {
+  const auto catalog = test_catalog(100, 0.05);
+  WorkloadParams params;
+  params.cache_count = 5;
+  params.duration_ms = 120'000.0;
+  util::Rng rng(4);
+  const Trace trace = generate_trace(params, catalog, rng);
+  const double expected = 100 * 0.05 * 120.0;  // docs × rate × seconds
+  EXPECT_NEAR(static_cast<double>(trace.updates.size()), expected,
+              expected * 0.15);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto catalog = test_catalog(50);
+  WorkloadParams params;
+  params.cache_count = 4;
+  params.duration_ms = 10'000.0;
+  util::Rng r1(5), r2(5);
+  const Trace t1 = generate_trace(params, catalog, r1);
+  const Trace t2 = generate_trace(params, catalog, r2);
+  ASSERT_EQ(t1.requests.size(), t2.requests.size());
+  for (std::size_t i = 0; i < t1.requests.size(); ++i) {
+    EXPECT_EQ(t1.requests[i].doc, t2.requests[i].doc);
+    EXPECT_DOUBLE_EQ(t1.requests[i].time_ms, t2.requests[i].time_ms);
+  }
+}
+
+/// Top-document overlap between two caches' request streams.
+double top_doc_overlap(const Trace& trace, std::uint32_t c1, std::uint32_t c2,
+                       std::size_t top = 10) {
+  auto top_docs = [&](std::uint32_t c) {
+    std::map<cache::DocId, int> counts;
+    for (const auto& r : trace.requests) {
+      if (r.cache == c) ++counts[r.doc];
+    }
+    std::vector<std::pair<int, cache::DocId>> ranked;
+    for (auto [d, n] : counts) ranked.emplace_back(n, d);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::set<cache::DocId> out;
+    for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+      out.insert(ranked[i].second);
+    }
+    return out;
+  };
+  const auto a = top_docs(c1);
+  const auto b = top_docs(c2);
+  int common = 0;
+  for (auto d : a) {
+    if (b.contains(d)) ++common;
+  }
+  return static_cast<double>(common) / static_cast<double>(top);
+}
+
+TEST(Generator, SimilarityKnobControlsOverlap) {
+  const auto catalog = test_catalog(500, 0.0);
+  WorkloadParams params;
+  params.cache_count = 2;
+  params.duration_ms = 400'000.0;
+  params.requests_per_cache_per_s = 5.0;
+  params.zipf_alpha = 1.0;
+
+  params.similarity = 1.0;
+  util::Rng r1(6);
+  const Trace same = generate_trace(params, catalog, r1);
+
+  params.similarity = 0.0;
+  util::Rng r2(6);
+  const Trace diff = generate_trace(params, catalog, r2);
+
+  EXPECT_GT(top_doc_overlap(same, 0, 1), 0.7);
+  EXPECT_LT(top_doc_overlap(diff, 0, 1), 0.4);
+}
+
+TEST(TraceIo, RoundTrips) {
+  const auto catalog = test_catalog(30);
+  WorkloadParams params;
+  params.cache_count = 3;
+  params.duration_ms = 5'000.0;
+  util::Rng rng(7);
+  const Trace trace = generate_trace(params, catalog, rng);
+
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const Trace back = read_trace(ss);
+
+  ASSERT_EQ(back.requests.size(), trace.requests.size());
+  ASSERT_EQ(back.updates.size(), trace.updates.size());
+  EXPECT_DOUBLE_EQ(back.duration_ms, trace.duration_ms);
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(back.requests[i].cache, trace.requests[i].cache);
+    EXPECT_EQ(back.requests[i].doc, trace.requests[i].doc);
+    EXPECT_NEAR(back.requests[i].time_ms, trace.requests[i].time_ms, 1e-6);
+  }
+  EXPECT_NO_THROW(back.validate(3, 30));
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream bad1("not-a-trace\n");
+  EXPECT_THROW(read_trace(bad1), util::ContractViolation);
+  std::stringstream bad2("ecgf-trace v1 100\nX 1 2 3\n");
+  EXPECT_THROW(read_trace(bad2), util::ContractViolation);
+  std::stringstream bad3("ecgf-trace v1 100\nR oops\n");
+  EXPECT_THROW(read_trace(bad3), util::ContractViolation);
+}
+
+TEST(TraceValidate, CatchesViolations) {
+  Trace t;
+  t.duration_ms = 100.0;
+  t.requests = {{50.0, 0, 0}, {25.0, 0, 0}};  // out of order
+  EXPECT_THROW(t.validate(1, 1), util::ContractViolation);
+
+  Trace t2;
+  t2.duration_ms = 100.0;
+  t2.requests = {{50.0, 5, 0}};  // cache out of range
+  EXPECT_THROW(t2.validate(1, 1), util::ContractViolation);
+
+  Trace t3;
+  t3.duration_ms = 100.0;
+  t3.updates = {{150.0, 0}};  // past the end
+  EXPECT_THROW(t3.validate(1, 1), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace ecgf::workload

@@ -3,7 +3,11 @@
 // θ = 0 degenerates to SL's uniform seeding; the paper predicts higher θ
 // means more server-distance sensitivity. This sweep locates the useful
 // regime and shows the effect is not an artifact of one θ choice.
+//
+// The 6 θ points share one testbed and run in parallel via the
+// SweepRunner.
 #include "bench_common.h"
+#include "core/sweep.h"
 
 using namespace ecgf;
 
@@ -11,12 +15,24 @@ int main() {
   constexpr std::size_t kCaches = 500;
   constexpr std::size_t kGroups = 50;
   constexpr std::uint64_t kSeed = 2006;
+  const double thetas[] = {0.0, 0.5, 1.0, 2.0, 3.0, 4.0};
 
   std::cout << "Ablation — SDSL theta sweep (N=500, K=50)\n";
-  const auto testbed =
-      core::make_testbed(bench::paper_testbed_params(kCaches), kSeed);
-  core::GfCoordinator coordinator(testbed.network, net::ProberOptions{},
-                                  kSeed + 1);
+
+  std::vector<core::SweepPoint> points;
+  for (std::size_t i = 0; i < std::size(thetas); ++i) {
+    core::SweepPoint p;
+    p.testbed = bench::paper_testbed_params(kCaches);
+    p.testbed_seed = kSeed;
+    p.coordinator_seed = kSeed + 1 + i;
+    p.scheme = core::SchemeKind::kSdsl;
+    p.config = bench::paper_scheme_config();
+    p.config.theta = thetas[i];
+    p.group_count = kGroups;
+    p.sim = bench::paper_sim_config();
+    points.push_back(std::move(p));
+  }
+  const auto results = core::SweepRunner().run(points);
 
   util::Table table(
       {"theta", "latency_ms", "gicost_ms", "group_hit_rate"});
@@ -24,17 +40,12 @@ int main() {
 
   double theta0_latency = 0.0;
   double best_latency = 0.0;
-  for (const double theta : {0.0, 0.5, 1.0, 2.0, 3.0, 4.0}) {
-    core::SchemeConfig config = bench::paper_scheme_config();
-    config.theta = theta;
-    const core::SdslScheme scheme(config);
-    const auto result = coordinator.run(scheme, kGroups);
-    const auto report = core::simulate_partition(testbed, result.partition(),
-                                                 bench::paper_sim_config());
-    table.add_row({theta, report.avg_latency_ms,
-                   coordinator.average_group_interaction_cost(result),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& report = results[i].report;
+    table.add_row({thetas[i], report.avg_latency_ms,
+                   results[i].gicost_ms.mean(),
                    report.counts.group_hit_rate()});
-    if (theta == 0.0) theta0_latency = report.avg_latency_ms;
+    if (thetas[i] == 0.0) theta0_latency = report.avg_latency_ms;
     if (best_latency == 0.0 || report.avg_latency_ms < best_latency) {
       best_latency = report.avg_latency_ms;
     }

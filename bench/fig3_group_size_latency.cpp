@@ -8,23 +8,40 @@
 // then interaction costs dominate), and the far-cache curve attains its
 // minimum at a LARGER group size than the near-cache curve — the
 // observation that motivates SDSL.
+//
+// The 8 K-points share one testbed and run through the SweepRunner.
 #include "bench_common.h"
+#include "core/sweep.h"
 
 using namespace ecgf;
 
 int main() {
   constexpr std::size_t kCaches = 500;
   constexpr std::uint64_t kSeed = 2006;
+  const std::size_t k_values[] = {250, 100, 50, 25, 10, 5, 2, 1};
 
   std::cout << "Fig. 3 — avg latency vs avg group size (N=500, SL scheme)\n";
-  const auto testbed =
-      core::make_testbed(bench::paper_testbed_params(kCaches), kSeed);
-  core::GfCoordinator coordinator(testbed.network, net::ProberOptions{},
-                                  kSeed + 1);
-  const core::SlScheme scheme(bench::paper_scheme_config());
+  const core::TestbedParams params = bench::paper_testbed_params(kCaches);
 
-  const auto near50 = testbed.network.nearest_caches(50);
-  const auto far50 = testbed.network.farthest_caches(50);
+  std::vector<core::SweepPoint> points;
+  for (const std::size_t k : k_values) {
+    core::SweepPoint p;
+    p.testbed = params;
+    p.testbed_seed = kSeed;
+    p.coordinator_seed = kSeed + 1 + k;
+    p.scheme = core::SchemeKind::kSl;
+    p.config = bench::paper_scheme_config();
+    p.group_count = k;
+    p.sim = bench::paper_sim_config();
+    points.push_back(std::move(p));
+  }
+  const auto results = core::SweepRunner().run(points);
+
+  // Near/far subsets come from the same network the sweep built (equal
+  // params + seed ⇒ identical placement).
+  const core::EdgeNetwork network = core::make_testbed_network(params, kSeed);
+  const auto near50 = network.nearest_caches(50);
+  const auto far50 = network.farthest_caches(50);
 
   util::Table table({"avg_group_size", "K", "all_ms", "nearest50_ms",
                      "farthest50_ms", "group_hit_rate"});
@@ -36,10 +53,9 @@ int main() {
   };
   std::vector<Row> rows;
 
-  for (const std::size_t k : {250, 100, 50, 25, 10, 5, 2, 1}) {
-    const auto result = coordinator.run(scheme, k);
-    const auto report = core::simulate_partition(testbed, result.partition(),
-                                                 bench::paper_sim_config());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::size_t k = k_values[i];
+    const auto& report = results[i].report;
     const double avg_size =
         static_cast<double>(kCaches) / static_cast<double>(k);
     const double all = report.avg_latency_ms;

@@ -3,45 +3,59 @@
 //
 // Expected shape: SDSL ≤ SL at every K (the server-distance-sensitive
 // seeding overcomes the uniform trade-off of pure proximity grouping).
+//
+// The 10 (K, scheme) points share one testbed and run through the
+// SweepRunner in parallel.
 #include "bench_common.h"
+#include "core/sweep.h"
 
 using namespace ecgf;
 
 int main() {
   constexpr std::size_t kCaches = 500;
   constexpr std::uint64_t kSeed = 2006;
+  const std::size_t k_values[] = {10, 25, 50, 75, 100};
 
   std::cout << "Fig. 9 — SL vs SDSL latency vs number of groups (N=500)\n";
-  const auto testbed =
-      core::make_testbed(bench::paper_testbed_params(kCaches), kSeed);
-  core::GfCoordinator coordinator(testbed.network, net::ProberOptions{},
-                                  kSeed + 1);
-  const core::SlScheme sl(bench::paper_scheme_config());
-  const core::SdslScheme sdsl(bench::paper_scheme_config());
+
+  // SL and SDSL at one K share the coordinator seed → same probe noise.
+  std::vector<core::SweepPoint> points;
+  for (const std::size_t k : k_values) {
+    for (const core::SchemeKind kind :
+         {core::SchemeKind::kSl, core::SchemeKind::kSdsl}) {
+      core::SweepPoint p;
+      p.testbed = bench::paper_testbed_params(kCaches);
+      p.testbed_seed = kSeed;
+      p.coordinator_seed = kSeed + 1 + k;
+      p.scheme = kind;
+      p.config = bench::paper_scheme_config();
+      p.group_count = k;
+      p.sim = bench::paper_sim_config();
+      points.push_back(std::move(p));
+    }
+  }
+  const auto results = core::SweepRunner().run(points);
 
   util::Table table({"K", "SL_ms", "SDSL_ms", "improvement_pct"});
   table.set_title("Figure 9");
 
   int sdsl_wins = 0;
-  int points = 0;
-  for (const std::size_t k : {10, 25, 50, 75, 100}) {
-    const auto sl_groups = coordinator.run(sl, k);
-    const auto sdsl_groups = coordinator.run(sdsl, k);
-    const auto sl_report = core::simulate_partition(
-        testbed, sl_groups.partition(), bench::paper_sim_config());
-    const auto sdsl_report = core::simulate_partition(
-        testbed, sdsl_groups.partition(), bench::paper_sim_config());
+  int count = 0;
+  for (std::size_t i = 0; i < std::size(k_values); ++i) {
+    const auto& sl_report = results[i * 2].report;
+    const auto& sdsl_report = results[i * 2 + 1].report;
     const double improvement =
         100.0 * (sl_report.avg_latency_ms - sdsl_report.avg_latency_ms) /
         sl_report.avg_latency_ms;
-    table.add_row({static_cast<long long>(k), sl_report.avg_latency_ms,
-                   sdsl_report.avg_latency_ms, improvement});
+    table.add_row({static_cast<long long>(k_values[i]),
+                   sl_report.avg_latency_ms, sdsl_report.avg_latency_ms,
+                   improvement});
     if (sdsl_report.avg_latency_ms < sl_report.avg_latency_ms) ++sdsl_wins;
-    ++points;
+    ++count;
   }
   bench::print_table(table);
 
   bench::shape_check("SDSL yields lower latency than SL at most K values",
-                     sdsl_wins * 2 > points);
+                     sdsl_wins * 2 > count);
   return 0;
 }

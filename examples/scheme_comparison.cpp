@@ -3,13 +3,20 @@
 // Euclidean (GNP) variant, the two degraded landmark selectors, and a
 // random partition strawman.
 //
-// Usage: scheme_comparison [cache_count] [groups] [seed]
+// The five scheme variants run as one SweepRunner sweep, fanned across
+// the thread pool (--threads or ECGF_THREADS; 1 = serial). Output is
+// identical at every thread count.
+//
+// Usage: scheme_comparison [--caches N] [--groups K] [--seed S] [--threads T]
 #include <iostream>
 #include <string>
 
 #include "core/coordinator.h"
 #include "core/experiment.h"
+#include "core/sweep.h"
+#include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace ecgf;
 
@@ -24,9 +31,20 @@ struct Variant {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t cache_count = argc > 1 ? std::stoul(argv[1]) : 200;
-  const std::size_t groups = argc > 2 ? std::stoul(argv[2]) : 20;
-  const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 11;
+  util::Flags flags;
+  flags.define("caches", "number of edge caches", "200");
+  flags.define("groups", "number of cooperative groups", "20");
+  flags.define("seed", "testbed seed", "11");
+  flags.define("threads", "worker threads (0 = ECGF_THREADS/auto)", "0");
+  if (!flags.parse(argc, argv)) return 0;
+
+  const std::size_t cache_count =
+      static_cast<std::size_t>(flags.get_int("caches"));
+  const std::size_t groups = static_cast<std::size_t>(flags.get_int("groups"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  if (const std::int64_t threads = flags.get_int("threads"); threads > 0) {
+    util::set_configured_threads(static_cast<std::size_t>(threads));
+  }
 
   std::cout << "Comparing grouping strategies on one workload: "
             << cache_count << " caches, " << groups << " groups\n\n";
@@ -35,9 +53,6 @@ int main(int argc, char** argv) {
   params.cache_count = cache_count;
   params.catalog.document_count = 3000;
   params.workload.duration_ms = 180'000.0;
-  const auto testbed = core::make_testbed(params, seed);
-  core::GfCoordinator coordinator(testbed.network, net::ProberOptions{},
-                                  seed + 1);
 
   core::SchemeConfig base;
   base.num_landmarks = 25;
@@ -65,26 +80,40 @@ int main(int argc, char** argv) {
     variants.push_back({"SL + mindist landmarks", core::SchemeKind::kSl, c});
   }
 
+  sim::SimulationConfig sim_config;
+  sim_config.cache_capacity_bytes = 2ull << 20;
+
+  std::vector<core::SweepPoint> points;
+  for (const Variant& v : variants) {
+    core::SweepPoint p;
+    p.testbed = params;
+    p.testbed_seed = seed;
+    p.coordinator_seed = seed + 1;
+    p.scheme = v.kind;
+    p.config = v.config;
+    p.group_count = groups;
+    p.sim = sim_config;
+    points.push_back(std::move(p));
+  }
+  const auto results = core::SweepRunner().run(points);
+
   util::Table table({"strategy", "gicost_ms", "latency_ms", "group_hit_pct",
                      "probes"});
   table.set_title("Strategy comparison");
 
-  sim::SimulationConfig sim_config;
-  sim_config.cache_capacity_bytes = 2ull << 20;
-
-  for (const Variant& v : variants) {
-    const auto scheme = core::make_scheme(v.kind, v.config);
-    const auto result = coordinator.run(*scheme, groups);
-    const auto report =
-        core::simulate_partition(testbed, result.partition(), sim_config);
-    table.add_row({v.name, coordinator.average_group_interaction_cost(result),
-                   report.avg_latency_ms,
-                   100.0 * report.counts.group_hit_rate(),
-                   static_cast<long long>(result.probes_used)});
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({variants[i].name, r.gicost_ms.mean(),
+                   r.report.avg_latency_ms,
+                   100.0 * r.report.counts.group_hit_rate(),
+                   static_cast<long long>(r.grouping.probes_used)});
   }
 
-  // Random partition strawman (no scheme at all).
+  // Random partition strawman (no scheme at all). Needs the concrete
+  // testbed for ground-truth RTTs; equal params + seed rebuild exactly the
+  // network the sweep evaluated.
   {
+    const auto testbed = core::make_testbed(params, seed);
     util::Rng rng(seed + 99);
     const auto partition = core::random_partition(cache_count, groups, rng);
     const auto report =

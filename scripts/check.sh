@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run every test, run every bench, and
 # fail if any test fails or any bench prints a failing shape check.
+# Optionally re-runs the threading tests under ThreadSanitizer when the
+# toolchain supports it (skip with ECGF_SKIP_TSAN=1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja for speed, but fall back to CMake's default generator
+# (usually Unix Makefiles) where ninja isn't installed. An existing build
+# tree keeps whatever generator it was configured with — CMake refuses to
+# switch generators in place.
+generator=()
+if command -v ninja >/dev/null 2>&1 && [[ ! -f build/CMakeCache.txt ]]; then
+  generator=(-G Ninja)
+fi
+
+cmake -B build "${generator[@]}"
+cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 fail=0
@@ -17,4 +28,29 @@ for b in build/bench/*; do
     fail=1
   fi
 done
+
+# ThreadSanitizer pass over the parallel layers: builds the threading test
+# in a separate tree with -DECGF_SANITIZE=thread and runs the determinism
+# suite under TSan. Probe compiler support first — some toolchains ship
+# without the TSan runtime.
+if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
+  tsan_probe="$(mktemp -d)"
+  trap 'rm -rf "$tsan_probe"' EXIT
+  echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
+  if c++ -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" \
+       >/dev/null 2>&1 && "$tsan_probe/probe"; then
+    echo "== ThreadSanitizer pass (threading_test) =="
+    tsan_generator=()
+    if command -v ninja >/dev/null 2>&1 && [[ ! -f build-tsan/CMakeCache.txt ]]; then
+      tsan_generator=(-G Ninja)
+    fi
+    cmake -B build-tsan "${tsan_generator[@]}" -DECGF_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-tsan -j"$(nproc)" --target threading_test
+    ECGF_THREADS=8 ./build-tsan/tests/threading_test || fail=1
+  else
+    echo "== ThreadSanitizer unsupported by this toolchain; skipping =="
+  fi
+fi
+
 exit "$fail"

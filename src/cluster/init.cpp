@@ -4,15 +4,21 @@
 #include <cmath>
 #include <limits>
 
+#include "util/log.h"
+
 namespace ecgf::cluster {
 
 namespace {
 
 /// Shared rejection-sampling loop: draw candidates via `draw`, enforce the
-/// coverage guard, fall back to the last candidate when attempts run out.
+/// coverage guard. When attempts run out, fall back to the unchosen
+/// candidate the strategy itself rates highest (`weight_of`; nullptr =
+/// uniform, i.e. lowest index) so a weighted init keeps its bias even in
+/// the degenerate tail (e.g. k close to n).
 std::vector<std::size_t> choose_with_guard(
     const Points& points, std::size_t k, const CoverageGuard& guard,
-    util::Rng& rng, const std::function<std::size_t()>& draw) {
+    util::Rng& rng, const std::function<std::size_t()>& draw,
+    const std::function<double(std::size_t)>& weight_of = nullptr) {
   validate_points(points);
   const std::size_t n = points.size();
   ECGF_EXPECTS(k >= 1);
@@ -27,6 +33,7 @@ std::vector<std::size_t> choose_with_guard(
   centres.reserve(k);
   while (centres.size() < k) {
     std::size_t candidate = n;
+    bool guard_satisfied = false;
     for (std::size_t attempt = 0; attempt < guard.max_attempts_per_centre;
          ++attempt) {
       const std::size_t c = draw();
@@ -39,16 +46,45 @@ std::vector<std::size_t> choose_with_guard(
           break;
         }
       }
-      if (!too_close) break;
+      if (!too_close) {
+        guard_satisfied = true;
+        break;
+      }
     }
     if (candidate == n || chosen[candidate]) {
-      // Degenerate tail (e.g. k close to n): take the first unchosen index.
+      // Every draw attempt landed on an already chosen index. Prefer a
+      // guard-satisfying unchosen candidate; among equals (or when none
+      // satisfies the guard) take the highest-weight one, ties toward the
+      // lower index — a uniform strategy degenerates to "first unchosen".
+      double best_weight = -1.0;
+      bool best_satisfies = false;
       for (std::size_t i = 0; i < n; ++i) {
-        if (!chosen[i]) {
+        if (chosen[i]) continue;
+        bool satisfies = true;
+        for (std::size_t prev : centres) {
+          if (squared_l2(points[i], points[prev]) < min_sep_sq) {
+            satisfies = false;
+            break;
+          }
+        }
+        const double w = weight_of ? weight_of(i) : 1.0;
+        if (candidate == n || (satisfies && !best_satisfies) ||
+            (satisfies == best_satisfies && w > best_weight)) {
           candidate = i;
-          break;
+          best_weight = w;
+          best_satisfies = satisfies;
         }
       }
+      guard_satisfied = best_satisfies;
+      ECGF_LOG_DEBUG << "coverage guard fallback: centre " << centres.size()
+                     << "/" << k << " picked deterministically (index "
+                     << candidate << ", guard "
+                     << (guard_satisfied ? "satisfied" : "abandoned") << ")";
+    } else if (!guard_satisfied) {
+      ECGF_LOG_DEBUG << "coverage guard abandoned for centre "
+                     << centres.size() << "/" << k << " after "
+                     << guard.max_attempts_per_centre
+                     << " attempts (keeping index " << candidate << ")";
     }
     chosen[candidate] = true;
     centres.push_back(candidate);
@@ -128,7 +164,10 @@ std::vector<std::size_t> ServerDistanceWeightedInit::choose(
     return std::min(static_cast<std::size_t>(it - cdf.begin()),
                     cdf.size() - 1);
   };
-  return choose_with_guard(points, k, guard_, rng, draw);
+  // The fallback inherits the θ-weighting, so even the degenerate tail
+  // prefers caches near the origin server.
+  return choose_with_guard(points, k, guard_, rng, draw,
+                           [&](std::size_t i) { return weights[i]; });
 }
 
 }  // namespace ecgf::cluster

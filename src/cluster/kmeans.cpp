@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace ecgf::cluster {
 
 std::vector<std::vector<std::size_t>> KMeansResult::groups() const {
@@ -139,17 +141,30 @@ KMeansResult kmeans(const Points& points, std::size_t k,
   ECGF_EXPECTS(options.max_iterations >= 1);
   ECGF_EXPECTS(options.restarts >= 1);
 
-  KMeansResult best;
-  double best_wcss = 0.0;
+  // Fork one child RNG per restart up front (sequential, so the fork
+  // stream is independent of how the restarts are later scheduled), fan
+  // the restarts across the pool, then reduce serially with a fixed
+  // lowest-index tie-break: bit-identical output at any thread count.
+  std::vector<util::Rng> run_rngs;
+  run_rngs.reserve(options.restarts);
   for (std::size_t run = 0; run < options.restarts; ++run) {
-    KMeansResult candidate = kmeans_single(points, k, init, rng, options);
-    const double wcss = within_cluster_ss(points, candidate);
-    if (run == 0 || wcss < best_wcss) {
-      best_wcss = wcss;
-      best = std::move(candidate);
-    }
+    run_rngs.push_back(rng.fork(run + 1));
   }
-  return best;
+
+  std::vector<KMeansResult> candidates(options.restarts);
+  std::vector<double> wcss(options.restarts, 0.0);
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : util::global_pool();
+  pool.parallel_for(options.restarts, [&](std::size_t run) {
+    candidates[run] = kmeans_single(points, k, init, run_rngs[run], options);
+    wcss[run] = within_cluster_ss(points, candidates[run]);
+  });
+
+  std::size_t best = 0;
+  for (std::size_t run = 1; run < options.restarts; ++run) {
+    if (wcss[run] < wcss[best]) best = run;
+  }
+  return std::move(candidates[best]);
 }
 
 double within_cluster_ss(const Points& points, const KMeansResult& result) {

@@ -10,6 +10,10 @@
 #include "cluster/points.h"
 #include "util/rng.h"
 
+namespace ecgf::util {
+class ThreadPool;
+}
+
 namespace ecgf::cluster {
 
 struct KMeansOptions {
@@ -21,6 +25,11 @@ struct KMeansOptions {
   /// within-cluster sum of squares wins. Shields the schemes from K-means'
   /// sensitivity to initial centres.
   std::size_t restarts = 3;
+  /// Pool the restarts fan out on; nullptr = the process-wide pool
+  /// (ECGF_THREADS). Each restart runs on a deterministically forked RNG
+  /// and the best-WCSS reduction breaks ties toward the lowest restart
+  /// index, so the result is identical at every thread count.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct KMeansResult {

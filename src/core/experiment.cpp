@@ -17,17 +17,26 @@ std::unique_ptr<GroupingScheme> make_scheme(SchemeKind kind,
   throw util::ContractViolation("unknown SchemeKind");
 }
 
-Testbed make_testbed(const TestbedParams& params, std::uint64_t seed) {
-  ECGF_EXPECTS(params.cache_count >= 2);
-  util::Rng rng(seed);
+namespace {
 
+/// Network construction shared by make_testbed and make_testbed_network;
+/// advances `rng` identically in both so the derived seeds line up.
+EdgeNetwork build_testbed_network(const TestbedParams& params,
+                                  util::Rng& rng) {
+  ECGF_EXPECTS(params.cache_count >= 2);
   EdgeNetworkParams net_params = params.network;
   net_params.cache_count = params.cache_count;
   if (params.auto_scale_topology) {
     net_params.topo = scaled_topology_for(params.cache_count);
   }
-  EdgeNetwork network =
-      build_edge_network(net_params, rng.fork(11).uniform_int(0, 1 << 30));
+  return build_edge_network(net_params, rng.fork(11).uniform_int(0, 1 << 30));
+}
+
+}  // namespace
+
+Testbed make_testbed(const TestbedParams& params, std::uint64_t seed) {
+  util::Rng rng(seed);
+  EdgeNetwork network = build_testbed_network(params, rng);
 
   util::Rng catalog_rng = rng.fork(12);
   cache::Catalog catalog = cache::Catalog::generate(params.catalog, catalog_rng);
@@ -38,6 +47,12 @@ Testbed make_testbed(const TestbedParams& params, std::uint64_t seed) {
   workload::Trace trace = workload::generate_trace(wl, catalog, trace_rng);
 
   return Testbed{std::move(network), std::move(catalog), std::move(trace)};
+}
+
+EdgeNetwork make_testbed_network(const TestbedParams& params,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  return build_testbed_network(params, rng);
 }
 
 sim::SimulationReport simulate_partition(

@@ -40,6 +40,12 @@ struct TestbedParams {
 /// Build a deterministic testbed from a single seed.
 Testbed make_testbed(const TestbedParams& params, std::uint64_t seed);
 
+/// Build only the network of the testbed `make_testbed(params, seed)`
+/// would produce (identical topology/placement/RTTs) — for sweep points
+/// that evaluate formation quality without simulating a workload.
+EdgeNetwork make_testbed_network(const TestbedParams& params,
+                                 std::uint64_t seed);
+
 /// Run the simulator over a partition of the testbed's caches.
 sim::SimulationReport simulate_partition(
     const Testbed& testbed,

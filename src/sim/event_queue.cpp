@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ecgf::sim {
@@ -7,15 +8,18 @@ namespace ecgf::sim {
 void EventQueue::schedule(SimTime at_ms, Action action) {
   ECGF_EXPECTS(at_ms >= now_);
   ECGF_EXPECTS(action != nullptr);
-  heap_.push(Entry{at_ms, next_seq_++, std::move(action)});
+  heap_.push_back(Entry{at_ms, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 std::size_t EventQueue::run(SimTime until_ms) {
   std::size_t executed = 0;
-  while (!heap_.empty() && heap_.top().time <= until_ms) {
-    // Copy out before pop: the action may schedule new events.
-    Entry e = std::move(const_cast<Entry&>(heap_.top()));
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().time <= until_ms) {
+    // pop_heap legitimately moves the minimum entry to the back; take it
+    // out before running, since the action may schedule new events.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
     now_ = e.time;
     e.action(now_);
     ++executed;

@@ -4,7 +4,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/expect.h"
@@ -42,7 +41,10 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Binary min-heap maintained with std::push_heap/std::pop_heap over a
+  /// plain vector (not std::priority_queue, whose top() is const-only and
+  /// would force a const_cast to move the action out — UB-adjacent).
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
   SimTime now_ = 0.0;
 };

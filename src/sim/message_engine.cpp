@@ -287,6 +287,7 @@ MessageEngineReport MessageLevelSimulator::run(const workload::Trace& trace) {
         metrics_->cache_latency(static_cast<std::uint32_t>(c)).mean();
   }
   report.base.counts = metrics_->counts();
+  report.base.raw_counts = metrics_->raw_counts();
   report.base.origin_fetches = origin_->stats().fetches;
   report.base.origin_updates = origin_->stats().updates;
   report.base.invalidations_pushed = invalidations_;

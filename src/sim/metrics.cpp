@@ -29,9 +29,13 @@ void MetricsCollector::record(std::uint32_t cache, double latency_ms,
         break;
     }
   };
-  bump(counts_);
-  bump(per_cache_counts_[cache]);
+  bump(raw_counts_);
+  // Warm-up requests only feed the raw totals: the resolution counters and
+  // the latency accumulators must describe the same window, or hit ratios
+  // and latencies diverge (the pre-fix bug).
   if (now_ms_ >= warmup_end_ms_) {
+    bump(counts_);
+    bump(per_cache_counts_[cache]);
     per_cache_[cache].add(latency_ms);
     network_.add(latency_ms);
     reservoir_.add(latency_ms);

@@ -45,7 +45,9 @@ class MetricsCollector {
 
   /// Record a completed request at `cache` with edge-cache latency
   /// `latency_ms`, resolved via `how`. Requests before `warmup_end_ms`
-  /// update counters but are excluded from latency statistics.
+  /// update only raw_counts(): counts() and the latency statistics cover
+  /// the same post-warm-up window, so hit ratios and latencies are
+  /// directly comparable.
   void record(std::uint32_t cache, double latency_ms, Resolution how);
 
   void set_warmup_end(double t_ms) { warmup_end_ms_ = t_ms; }
@@ -54,7 +56,12 @@ class MetricsCollector {
   std::size_t cache_count() const { return per_cache_.size(); }
   const util::Accumulator& cache_latency(std::uint32_t cache) const;
   const util::Accumulator& network_latency() const { return network_; }
+  /// Post-warm-up resolution counts (same window as the latency stats).
   const ResolutionCounts& counts() const { return counts_; }
+  /// Lifetime resolution counts including the warm-up window — use for
+  /// conservation checks (raw_counts().total() == requests fed in).
+  const ResolutionCounts& raw_counts() const { return raw_counts_; }
+  /// Post-warm-up per-cache resolution counts.
   const ResolutionCounts& cache_counts(std::uint32_t cache) const;
 
   /// Mean latency over a subset of caches, weighting caches equally (the
@@ -70,7 +77,8 @@ class MetricsCollector {
   std::vector<ResolutionCounts> per_cache_counts_;
   util::Accumulator network_;
   util::ReservoirSample reservoir_;
-  ResolutionCounts counts_;
+  ResolutionCounts counts_;      ///< post-warm-up window only
+  ResolutionCounts raw_counts_;  ///< every recorded request
   double warmup_end_ms_ = 0.0;
   double now_ms_ = 0.0;
 };

@@ -499,6 +499,7 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
         metrics_->cache_latency(static_cast<std::uint32_t>(c)).mean();
   }
   report.counts = metrics_->counts();
+  report.raw_counts = metrics_->raw_counts();
   report.origin_fetches = origin_->stats().fetches;
   report.origin_updates = origin_->stats().updates;
   report.invalidations_pushed = invalidations_pushed_;

@@ -120,7 +120,12 @@ struct SimulationReport {
   double p99_latency_ms = 0.0;
   /// Per-cache mean latencies (post-warmup), indexed by cache.
   std::vector<double> per_cache_latency_ms;
+  /// Post-warmup resolution breakdown — the same window as the latency
+  /// statistics, so hit ratios and latencies are directly comparable.
   ResolutionCounts counts;
+  /// Lifetime resolution breakdown including warm-up; use for conservation
+  /// checks (raw_counts.total() == requests_processed).
+  ResolutionCounts raw_counts;
   std::uint64_t origin_fetches = 0;
   std::uint64_t origin_updates = 0;
   std::uint64_t invalidations_pushed = 0;

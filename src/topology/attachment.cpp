@@ -46,15 +46,19 @@ std::vector<std::vector<double>> host_rtt_matrix(
   const std::size_t n = placement.host_count();
   ECGF_EXPECTS(n > 0);
 
-  // One Dijkstra per distinct attachment router, shared across hosts.
-  std::unordered_map<NodeId, std::vector<double>> router_dist;
+  // One Dijkstra per distinct attachment router, shared across hosts and
+  // fanned across the thread pool (first-appearance order keeps the
+  // source list — and therefore the result — deterministic).
+  std::unordered_map<NodeId, std::size_t> router_row;
+  std::vector<NodeId> distinct;
   for (NodeId a : placement.attach_node) {
-    if (!router_dist.contains(a)) router_dist.emplace(a, dijkstra(graph, a));
+    if (router_row.emplace(a, distinct.size()).second) distinct.push_back(a);
   }
+  const auto router_dist = multi_source_shortest_paths(graph, distinct);
 
   std::vector<std::vector<double>> rtt(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& dist_i = router_dist.at(placement.attach_node[i]);
+    const auto& dist_i = router_dist[router_row.at(placement.attach_node[i])];
     for (std::size_t j = i + 1; j < n; ++j) {
       const double path = dist_i[placement.attach_node[j]];
       ECGF_ASSERT(path != kUnreachable);

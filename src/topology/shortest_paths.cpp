@@ -3,6 +3,8 @@
 #include <queue>
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace ecgf::topology {
 
 std::vector<double> dijkstra(const Graph& graph, NodeId source) {
@@ -28,10 +30,13 @@ std::vector<double> dijkstra(const Graph& graph, NodeId source) {
 }
 
 std::vector<std::vector<double>> multi_source_shortest_paths(
-    const Graph& graph, const std::vector<NodeId>& sources) {
-  std::vector<std::vector<double>> out;
-  out.reserve(sources.size());
-  for (NodeId s : sources) out.push_back(dijkstra(graph, s));
+    const Graph& graph, const std::vector<NodeId>& sources,
+    util::ThreadPool* pool) {
+  std::vector<std::vector<double>> out(sources.size());
+  if (pool == nullptr) pool = &util::global_pool();
+  pool->parallel_for(sources.size(), [&](std::size_t i) {
+    out[i] = dijkstra(graph, sources[i]);
+  });
   return out;
 }
 

@@ -6,6 +6,10 @@
 
 #include "topology/graph.h"
 
+namespace ecgf::util {
+class ThreadPool;
+}
+
 namespace ecgf::topology {
 
 /// Sentinel for unreachable nodes.
@@ -16,8 +20,12 @@ inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
 std::vector<double> dijkstra(const Graph& graph, NodeId source);
 
 /// All-pairs shortest-path latencies from each node in `sources`.
-/// Row i holds dijkstra(graph, sources[i]).
+/// Row i holds dijkstra(graph, sources[i]). Sources run in parallel on
+/// `pool` (nullptr = the process-wide pool; ECGF_THREADS=1 keeps it
+/// serial); rows are returned in input order, so the result is identical
+/// at every thread count.
 std::vector<std::vector<double>> multi_source_shortest_paths(
-    const Graph& graph, const std::vector<NodeId>& sources);
+    const Graph& graph, const std::vector<NodeId>& sources,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace ecgf::topology

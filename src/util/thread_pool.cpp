@@ -1,0 +1,146 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace ecgf::util {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+std::atomic<std::size_t> g_thread_override{0};
+std::atomic<bool> g_pool_created{false};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : queue_capacity_(queue_capacity) {
+  ECGF_EXPECTS(queue_capacity >= 1);
+  if (threads <= 1) return;  // serial pool: helpers run inline
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::submit(std::function<void()> task) {
+  ECGF_EXPECTS(task != nullptr);
+  if (workers_.empty()) {  // serial pool: run immediately
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return queue_.size() < queue_capacity_ || stopping_;
+    });
+    ECGF_EXPECTS(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Shared dispatch state. The wait below is on *runner* completion, not
+  // item completion, so no runner can touch this after it is destroyed.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t runners_finished = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+
+  const std::size_t helpers = std::min(workers_.size(), n - 1);
+  auto runner = [state, &body, n]() {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1);
+      if (i >= n) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+    }
+    std::unique_lock<std::mutex> lock(state->mutex);
+    ++state->runners_finished;
+    state->done.notify_all();
+  };
+
+  for (std::size_t t = 0; t < helpers; ++t) submit(runner);
+  runner();  // the calling thread participates
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] {
+    return state->runners_finished == helpers + 1;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+std::size_t configured_threads() {
+  const std::size_t override = g_thread_override.load();
+  if (override > 0) return override;
+  if (const char* env = std::getenv("ECGF_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void set_configured_threads(std::size_t threads) {
+  ECGF_EXPECTS(threads >= 1);
+  ECGF_EXPECTS(!g_pool_created.load());
+  g_thread_override.store(threads);
+}
+
+ThreadPool& global_pool() {
+  static const std::size_t threads =
+      (g_pool_created.store(true), configured_threads());
+  static ThreadPool pool(threads);
+  return pool;
+}
+
+}  // namespace ecgf::util

@@ -1,0 +1,101 @@
+// Fixed-size thread pool with a bounded task queue, plus the fork/join
+// helpers (parallel_for / parallel_map) the sweep and clustering layers
+// build on.
+//
+// Determinism contract: the helpers only distribute *independent* work
+// items — body(i) may touch shared state only through its own slot i — and
+// results are always collected in input order, so output is bit-identical
+// at any thread count. Nested calls from inside a worker run inline
+// (serially) rather than re-entering the queue, which both avoids
+// deadlock on the bounded queue and keeps one level of parallelism the
+// unit of scheduling.
+//
+// The process-wide pool is sized by the ECGF_THREADS environment variable
+// (default: hardware concurrency); ECGF_THREADS=1 keeps every helper on
+// the calling thread — today's serial behaviour, useful for debugging and
+// as the determinism baseline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace ecgf::util {
+
+class ThreadPool {
+ public:
+  /// `threads` ≤ 1 creates a pool with no workers: every helper runs
+  /// inline on the caller. `queue_capacity` bounds the pending task queue;
+  /// submit() blocks while it is full.
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 means fully serial).
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  static bool on_worker_thread();
+
+  /// Enqueue a task. Blocks while the queue is at capacity. Tasks must not
+  /// block waiting on other queued tasks (parallel_for handles the one
+  /// sanctioned join pattern).
+  void submit(std::function<void()> task);
+
+  /// Run body(0) … body(n-1), in parallel across the workers plus the
+  /// calling thread, and return when all have finished. The first
+  /// exception thrown by a body is rethrown here (remaining indices still
+  /// drain). Serial when the pool has no workers, when n ≤ 1, or when
+  /// called from inside a worker.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Order-preserving map: out[i] = fn(items[i]). Same execution and
+  /// exception rules as parallel_for.
+  template <typename T, typename Fn>
+  auto parallel_map(const std::vector<T>& items, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, const T&>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, const T&>>;
+    std::vector<std::optional<R>> slots(items.size());
+    parallel_for(items.size(),
+                 [&](std::size_t i) { slots[i].emplace(fn(items[i])); });
+    std::vector<R> out;
+    out.reserve(items.size());
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t queue_capacity_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Thread count the process-wide pool uses: the ECGF_THREADS environment
+/// variable when set to a positive integer, otherwise hardware
+/// concurrency (at least 1).
+std::size_t configured_threads();
+
+/// Override the process-wide thread count (e.g. from a --threads flag).
+/// Must be called before the first global_pool() use.
+void set_configured_threads(std::size_t threads);
+
+/// Lazily constructed process-wide pool sized by configured_threads().
+ThreadPool& global_pool();
+
+}  // namespace ecgf::util

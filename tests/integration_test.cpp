@@ -86,7 +86,7 @@ TEST(Integration, FullPipelineWithSimulation) {
   sim::SimulationConfig sim_config;
   const auto report = simulate_partition(testbed, result.partition(), sim_config);
 
-  EXPECT_EQ(report.counts.total(), testbed.trace.requests.size());
+  EXPECT_EQ(report.raw_counts.total(), testbed.trace.requests.size());
   EXPECT_GT(report.counts.group_hit_rate(), 0.1)
       << "cooperation should resolve a noticeable share of requests";
   EXPECT_GT(report.avg_latency_ms, 0.0);

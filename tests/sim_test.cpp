@@ -33,6 +33,31 @@ TEST(EventQueue, TiesBreakByScheduleOrder) {
   EXPECT_EQ(order, (std::vector<int>{10, 20}));
 }
 
+TEST(EventQueue, ManySameTimestampEventsStayFifo) {
+  // Stress the (time, seq) tie-break: hundreds of events at identical
+  // timestamps, interleaved across two instants and including events
+  // scheduled from inside a handler at the current time.
+  EventQueue q;
+  std::vector<int> order;
+  constexpr int kPerInstant = 200;
+  for (int i = 0; i < kPerInstant; ++i) {
+    q.schedule(1.0, [&order, i](SimTime) { order.push_back(i); });
+    q.schedule(2.0, [&order, i](SimTime) { order.push_back(1000 + i); });
+  }
+  q.schedule(1.0, [&](SimTime t) {
+    // Scheduled at the same instant from within a handler: must run after
+    // everything already queued for t=1.0, still before t=2.0.
+    q.schedule(t, [&order](SimTime) { order.push_back(500); });
+  });
+  EXPECT_EQ(q.run(3.0), 2u * kPerInstant + 2u);
+  ASSERT_EQ(order.size(), 2u * kPerInstant + 1u);
+  for (int i = 0; i < kPerInstant; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_EQ(order[kPerInstant], 500);
+  for (int i = 0; i < kPerInstant; ++i) {
+    EXPECT_EQ(order[kPerInstant + 1 + i], 1000 + i);
+  }
+}
+
 TEST(EventQueue, EventsCanScheduleEvents) {
   EventQueue q;
   std::vector<double> times;
@@ -90,14 +115,18 @@ TEST(Metrics, RecordsAndBucketsByResolution) {
   EXPECT_NEAR(m.counts().group_hit_rate(), 2.0 / 3.0, 1e-12);
 }
 
-TEST(Metrics, WarmupExcludedFromLatency) {
+TEST(Metrics, WarmupExcludedFromCountsAndLatency) {
   MetricsCollector m(1);
   m.set_warmup_end(100.0);
   m.set_now(50.0);
-  m.record(0, 999.0, Resolution::kLocalHit);  // warm-up: counted, not timed
+  m.record(0, 999.0, Resolution::kLocalHit);  // warm-up: raw-counted only
   m.set_now(150.0);
   m.record(0, 5.0, Resolution::kLocalHit);
-  EXPECT_EQ(m.counts().local_hits, 2u);
+  // counts() and the latency stats cover the same post-warm-up window;
+  // raw_counts() keeps the lifetime totals for conservation checks.
+  EXPECT_EQ(m.counts().local_hits, 1u);
+  EXPECT_EQ(m.cache_counts(0).local_hits, 1u);
+  EXPECT_EQ(m.raw_counts().local_hits, 2u);
   EXPECT_EQ(m.network_latency().count(), 1u);
   EXPECT_DOUBLE_EQ(m.network_latency().mean(), 5.0);
 }

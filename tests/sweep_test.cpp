@@ -146,10 +146,10 @@ TEST_P(MessageEngineSweep, ConservationHolds) {
       sim::run_message_level(testbed.catalog, testbed.network.rtt(),
                              testbed.network.server(), config, testbed.trace);
 
-  EXPECT_EQ(report.base.counts.total(), testbed.trace.requests.size());
-  EXPECT_EQ(report.base.counts.origin_fetches, report.base.origin_fetches);
+  EXPECT_EQ(report.base.raw_counts.total(), testbed.trace.requests.size());
+  EXPECT_EQ(report.base.raw_counts.origin_fetches, report.base.origin_fetches);
   EXPECT_EQ(report.base.origin_updates, testbed.trace.updates.size());
-  EXPECT_GE(report.messages_sent, report.base.counts.total());
+  EXPECT_GE(report.messages_sent, report.base.raw_counts.total());
   EXPECT_GE(report.base.p99_latency_ms, report.base.p50_latency_ms);
   EXPECT_GE(report.mean_cache_queue_delay_ms, 0.0);
 }

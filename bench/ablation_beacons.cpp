@@ -10,7 +10,9 @@
 
 using namespace ecgf;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
   constexpr std::size_t kCaches = 200;
   constexpr std::size_t kGroups = 10;  // larger groups → beacon placement matters
   constexpr std::uint64_t kSeed = 2006;

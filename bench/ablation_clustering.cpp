@@ -63,7 +63,9 @@ double gicost_of(const core::EdgeNetwork& network,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
   constexpr std::size_t kCaches = 300;  // K-medoids measures all N² pairs
   constexpr std::size_t kGroups = 30;
   constexpr std::uint64_t kSeed = 2006;

@@ -6,7 +6,9 @@
 
 using namespace ecgf;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
   constexpr std::size_t kCaches = 200;
   constexpr std::size_t kGroups = 20;
   constexpr std::uint64_t kSeed = 2006;

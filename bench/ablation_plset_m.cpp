@@ -7,7 +7,9 @@
 
 using namespace ecgf;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
   constexpr std::size_t kCaches = 500;
   constexpr std::size_t kGroups = 50;
   constexpr std::size_t kLandmarks = 10;

@@ -55,7 +55,9 @@ BaTestbed make_ba_testbed(std::size_t cache_count, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
   constexpr std::size_t kCaches = 200;
   constexpr std::uint64_t kSeed = 2006;
 

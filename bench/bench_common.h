@@ -11,6 +11,7 @@
 
 #include "core/coordinator.h"
 #include "core/experiment.h"
+#include "obs/session.h"
 #include "util/table.h"
 
 namespace ecgf::bench {

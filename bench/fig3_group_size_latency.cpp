@@ -15,7 +15,9 @@
 
 using namespace ecgf;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
   constexpr std::size_t kCaches = 500;
   constexpr std::uint64_t kSeed = 2006;
   const std::size_t k_values[] = {250, 100, 50, 25, 10, 5, 2, 1};

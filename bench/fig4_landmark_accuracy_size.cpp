@@ -31,7 +31,9 @@ double mean_gicost(core::GfCoordinator& coordinator,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
   constexpr std::uint64_t kSeed = 2006;
   constexpr int kRuns = 30;
 

@@ -13,7 +13,9 @@
 
 using namespace ecgf;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
   constexpr std::uint64_t kSeed = 2006;
   const std::size_t sizes[] = {100, 200, 300, 400, 500};
   const int pcts[] = {10, 20};

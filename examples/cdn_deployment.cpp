@@ -5,23 +5,33 @@
 // bands, directory/consistency traffic.
 //
 // Usage: cdn_deployment [cache_count] [groups] [seed]
+//                       [--trace-out=FILE] [--prof-out=FILE]
 #include <algorithm>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/planner.h"
+#include "obs/session.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 using namespace ecgf;
 
 int main(int argc, char** argv) {
-  const std::size_t cache_count =
-      argc > 1 ? std::stoul(argv[1]) : 200;
-  const std::size_t groups = argc > 2 ? std::stoul(argv[2]) : cache_count / 10;
-  const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 7;
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs;
+  // anything not starting with "--" is a positional argument.
+  obs::ObsSession obs_session(argc, argv);
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) != 0) pos.emplace_back(argv[i]);
+  }
+  const std::size_t cache_count = pos.size() > 0 ? std::stoul(pos[0]) : 200;
+  const std::size_t groups =
+      pos.size() > 1 ? std::stoul(pos[1]) : cache_count / 10;
+  const std::uint64_t seed = pos.size() > 2 ? std::stoull(pos[2]) : 7;
 
   std::cout << "Deploying an edge cache network: " << cache_count
             << " caches, " << groups << " cooperative groups (seed " << seed

@@ -1,11 +1,14 @@
 // Quickstart: reproduces the paper's worked example (Figs. 1–2) — a 6-cache
 // network partitioned into K=3 groups with L=3 landmarks and M=2 — then
 // shows the same pipeline on a generated 100-cache network.
+//
+// Usage: quickstart [--trace-out FILE] [--prof-out FILE]
 #include <iostream>
 
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "net/distance_matrix.h"
+#include "obs/session.h"
 #include "util/table.h"
 
 using namespace ecgf;
@@ -92,7 +95,9 @@ void run_generated_network() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  obs::ObsSession obs_session(argc, argv);
   run_paper_example();
   run_generated_network();
   return 0;

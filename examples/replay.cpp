@@ -16,6 +16,8 @@
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/grouping_io.h"
+#include "obs/export.h"
+#include "obs/session.h"
 #include "sim/message_engine.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -49,11 +51,18 @@ int main(int argc, char** argv) {
                "forming one", "");
   flags.define("save-trace", "write the generated trace to this file", "");
   flags.define("load-trace", "read the trace from this file", "");
+  flags.define("trace-out", "write the structured event trace (JSONL)", "");
+  flags.define("prof-out", "write per-phase wall-time stats (JSON)", "");
+  flags.define("metrics-out", "write the report as one JSONL record", "");
+  flags.define("cache-csv", "write per-cache results as CSV", "");
+  flags.define("group-csv", "write per-group summaries as CSV", "");
 
   if (!flags.parse(argc, argv)) {
     std::cerr << flags.help(argv[0]);
     return 2;
   }
+
+  obs::ObsSession obs_session(flags.get("trace-out"), flags.get("prof-out"));
 
   const auto cache_count = static_cast<std::size_t>(flags.get_int("caches"));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
@@ -195,5 +204,27 @@ int main(int argc, char** argv) {
   table.add_row({std::string("failover lookups"),
                  static_cast<long long>(report.failover_lookups)});
   table.print(std::cout);
+
+  // --- Exporters.
+  const auto export_to = [&](const std::string& flag, auto writer) {
+    const std::string path = flags.get(flag);
+    if (path.empty()) return;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open --" << flag << " file: " << path << '\n';
+      return;
+    }
+    writer(out);
+    std::cout << "wrote --" << flag << " -> " << path << '\n';
+  };
+  export_to("metrics-out", [&](std::ostream& out) {
+    obs::write_report_jsonl(out, report, "replay");
+  });
+  export_to("cache-csv", [&](std::ostream& out) {
+    obs::write_cache_csv(out, report);
+  });
+  export_to("group-csv", [&](std::ostream& out) {
+    obs::write_group_csv(out, report, partition);
+  });
   return 0;
 }

@@ -8,12 +8,16 @@
 // identical at every thread count.
 //
 // Usage: scheme_comparison [--caches N] [--groups K] [--seed S] [--threads T]
+//                          [--trace-out F] [--prof-out F] [--metrics-out F]
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "obs/export.h"
+#include "obs/session.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -36,7 +40,13 @@ int main(int argc, char** argv) {
   flags.define("groups", "number of cooperative groups", "20");
   flags.define("seed", "testbed seed", "11");
   flags.define("threads", "worker threads (0 = ECGF_THREADS/auto)", "0");
+  flags.define("trace-out", "write the structured event trace (JSONL)", "");
+  flags.define("prof-out", "write per-phase wall-time stats (JSON)", "");
+  flags.define("metrics-out", "write one JSONL metrics record per strategy",
+               "");
   if (!flags.parse(argc, argv)) return 0;
+
+  obs::ObsSession obs_session(flags.get("trace-out"), flags.get("prof-out"));
 
   const std::size_t cache_count =
       static_cast<std::size_t>(flags.get_int("caches"));
@@ -129,6 +139,18 @@ int main(int argc, char** argv) {
                    report.avg_latency_ms,
                    100.0 * report.counts.group_hit_rate(),
                    static_cast<long long>(0)});
+  }
+
+  if (const std::string path = flags.get("metrics-out"); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open --metrics-out file: " << path << "\n";
+      return 1;
+    }
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      obs::write_report_jsonl(out, results[i].report, variants[i].name);
+    }
+    std::cout << "\nwrote metrics JSONL -> " << path << "\n";
   }
 
   table.print(std::cout);

@@ -1,10 +1,44 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, run every test, run every bench, and
-# fail if any test fails or any bench prints a failing shape check.
-# Optionally re-runs the threading tests under ThreadSanitizer when the
-# toolchain supports it (skip with ECGF_SKIP_TSAN=1).
+# Full verification: lint the docs, configure, build, run every test, run
+# every bench, and fail if any test fails or any bench prints a failing
+# shape check. Optionally re-runs the threading and observability tests
+# under ThreadSanitizer when the toolchain supports it (skip with
+# ECGF_SKIP_TSAN=1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# --- Docs lint: every relative markdown link must resolve, and every
+# ECGF_* name the docs mention must exist somewhere in the sources or
+# build scripts (catches docs going stale when a flag is renamed).
+docs_fail=0
+while IFS= read -r md; do
+  dir="$(dirname "$md")"
+  while IFS= read -r link; do
+    target="${link%%#*}"             # drop the #anchor part
+    [[ -z "$target" ]] && continue   # pure anchor link
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [[ ! -e "$dir/$target" ]]; then
+      echo "!! broken link in $md: $link" >&2
+      docs_fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+  while IFS= read -r name; do
+    if ! grep -rq --include='*.h' --include='*.cpp' --include='*.sh' \
+         --include='CMakeLists.txt' --include='*.cmake' -- "$name" \
+         src tests bench examples scripts CMakeLists.txt; then
+      echo "!! stale name in $md: $name not found in sources" >&2
+      docs_fail=1
+    fi
+  done < <(grep -ohE 'ECGF_[A-Z0-9_]+' "$md" | sort -u)
+done < <(find . -path ./build -prune -o -path ./build-tsan -prune -o \
+         -name '*.md' -print)
+if [[ "$docs_fail" != "0" ]]; then
+  echo "!! docs lint failed" >&2
+  exit 1
+fi
+echo "== docs lint OK =="
 
 # Prefer Ninja for speed, but fall back to CMake's default generator
 # (usually Unix Makefiles) where ninja isn't installed. An existing build
@@ -21,6 +55,8 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 fail=0
 for b in build/bench/*; do
+  # Makefiles build trees keep CMake droppings next to the binaries.
+  [[ -f "$b" && -x "$b" ]] || continue
   out="$("$b")" || fail=1
   echo "$out"
   if grep -q "shape-check: FAIL" <<<"$out"; then
@@ -39,15 +75,16 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
   if c++ -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" \
        >/dev/null 2>&1 && "$tsan_probe/probe"; then
-    echo "== ThreadSanitizer pass (threading_test) =="
+    echo "== ThreadSanitizer pass (threading_test, obs_test) =="
     tsan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-tsan/CMakeCache.txt ]]; then
       tsan_generator=(-G Ninja)
     fi
     cmake -B build-tsan "${tsan_generator[@]}" -DECGF_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j"$(nproc)" --target threading_test
+    cmake --build build-tsan -j"$(nproc)" --target threading_test obs_test
     ECGF_THREADS=8 ./build-tsan/tests/threading_test || fail=1
+    ECGF_THREADS=8 ./build-tsan/tests/obs_test || fail=1
   else
     echo "== ThreadSanitizer unsupported by this toolchain; skipping =="
   fi

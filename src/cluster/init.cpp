@@ -18,7 +18,8 @@ namespace {
 std::vector<std::size_t> choose_with_guard(
     const Points& points, std::size_t k, const CoverageGuard& guard,
     util::Rng& rng, const std::function<std::size_t()>& draw,
-    const std::function<double(std::size_t)>& weight_of = nullptr) {
+    const std::function<double(std::size_t)>& weight_of = nullptr,
+    obs::TraceContext* trace = nullptr) {
   validate_points(points);
   const std::size_t n = points.size();
   ECGF_EXPECTS(k >= 1);
@@ -86,6 +87,15 @@ std::vector<std::size_t> choose_with_guard(
                      << guard.max_attempts_per_centre
                      << " attempts (keeping index " << candidate << ")";
     }
+    if (trace != nullptr) {
+      if (!guard_satisfied) {
+        trace->emit(obs::TraceEvent::guard_abandoned(
+            centres.size(), guard.max_attempts_per_centre, candidate));
+      }
+      trace->emit(obs::TraceEvent::center_chosen(
+          centres.size(), candidate, guard_satisfied,
+          weight_of ? weight_of(candidate) : 1.0));
+    }
     chosen[candidate] = true;
     centres.push_back(candidate);
   }
@@ -115,11 +125,12 @@ double estimate_spread(const Points& points, util::Rng& rng,
   return mean > 0.0 ? mean : 1.0;
 }
 
-std::vector<std::size_t> UniformCoverageInit::choose(const Points& points,
-                                                     std::size_t k,
-                                                     util::Rng& rng) const {
+std::vector<std::size_t> UniformCoverageInit::choose(
+    const Points& points, std::size_t k, util::Rng& rng,
+    obs::TraceContext* trace) const {
   return choose_with_guard(points, k, guard_, rng,
-                           [&]() { return rng.index(points.size()); });
+                           [&]() { return rng.index(points.size()); },
+                           nullptr, trace);
 }
 
 ServerDistanceWeightedInit::ServerDistanceWeightedInit(
@@ -130,7 +141,8 @@ ServerDistanceWeightedInit::ServerDistanceWeightedInit(
 }
 
 std::vector<std::size_t> ServerDistanceWeightedInit::choose(
-    const Points& points, std::size_t k, util::Rng& rng) const {
+    const Points& points, std::size_t k, util::Rng& rng,
+    obs::TraceContext* trace) const {
   ECGF_EXPECTS(server_distance_.size() == points.size());
 
   // Pr(i) ∝ 1 / max(dist, floor)^θ. The floor prevents a cache co-located
@@ -167,7 +179,7 @@ std::vector<std::size_t> ServerDistanceWeightedInit::choose(
   // The fallback inherits the θ-weighting, so even the degenerate tail
   // prefers caches near the origin server.
   return choose_with_guard(points, k, guard_, rng, draw,
-                           [&](std::size_t i) { return weights[i]; });
+                           [&](std::size_t i) { return weights[i]; }, trace);
 }
 
 }  // namespace ecgf::cluster

@@ -15,17 +15,22 @@
 #include <vector>
 
 #include "cluster/points.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace ecgf::cluster {
 
 /// Strategy interface: pick k distinct point indices as initial centres.
+/// `trace` (optional) receives one `center_chosen` event per accepted
+/// centre and a `guard_abandoned` event whenever the coverage guard gives
+/// up on a centre.
 class InitStrategy {
  public:
   virtual ~InitStrategy() = default;
   virtual std::string_view name() const = 0;
-  virtual std::vector<std::size_t> choose(const Points& points, std::size_t k,
-                                          util::Rng& rng) const = 0;
+  virtual std::vector<std::size_t> choose(
+      const Points& points, std::size_t k, util::Rng& rng,
+      obs::TraceContext* trace = nullptr) const = 0;
 };
 
 struct CoverageGuard {
@@ -40,8 +45,9 @@ class UniformCoverageInit final : public InitStrategy {
  public:
   explicit UniformCoverageInit(CoverageGuard guard = {}) : guard_(guard) {}
   std::string_view name() const override { return "uniform"; }
-  std::vector<std::size_t> choose(const Points& points, std::size_t k,
-                                  util::Rng& rng) const override;
+  std::vector<std::size_t> choose(
+      const Points& points, std::size_t k, util::Rng& rng,
+      obs::TraceContext* trace = nullptr) const override;
 
  private:
   CoverageGuard guard_;
@@ -54,8 +60,9 @@ class ServerDistanceWeightedInit final : public InitStrategy {
   ServerDistanceWeightedInit(std::vector<double> server_distance, double theta,
                              CoverageGuard guard = {});
   std::string_view name() const override { return "server-distance"; }
-  std::vector<std::size_t> choose(const Points& points, std::size_t k,
-                                  util::Rng& rng) const override;
+  std::vector<std::size_t> choose(
+      const Points& points, std::size_t k, util::Rng& rng,
+      obs::TraceContext* trace = nullptr) const override;
 
   double theta() const { return theta_; }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/profile.h"
 #include "util/thread_pool.h"
 
 namespace ecgf::cluster {
@@ -84,14 +85,16 @@ void repair_empty_clusters(const Points& points,
 
 namespace {
 
-/// One full K-means run (init → iterate → terminate).
+/// One full K-means run (init → iterate → terminate). `restart` and
+/// `trace` only feed the trace events.
 KMeansResult kmeans_single(const Points& points, std::size_t k,
                            const InitStrategy& init, util::Rng& rng,
-                           const KMeansOptions& options) {
+                           const KMeansOptions& options, std::size_t restart,
+                           obs::TraceContext* trace) {
   const std::size_t n = points.size();
 
   // --- Initialisation phase.
-  const std::vector<std::size_t> seeds = init.choose(points, k, rng);
+  const std::vector<std::size_t> seeds = init.choose(points, k, rng, trace);
   ECGF_ASSERT(seeds.size() == k);
   KMeansResult result;
   result.centers.reserve(k);
@@ -118,6 +121,10 @@ KMeansResult kmeans_single(const Points& points, std::size_t k,
       }
     }
     repair_empty_clusters(points, result.assignment, result.centers);
+    if (trace != nullptr) {
+      trace->emit(obs::TraceEvent::kmeans_iteration(restart, result.iterations,
+                                                    reassigned));
+    }
     if (reassigned <= reassignment_floor) {
       result.converged = true;
       ++result.iterations;
@@ -141,14 +148,21 @@ KMeansResult kmeans(const Points& points, std::size_t k,
   ECGF_EXPECTS(options.max_iterations >= 1);
   ECGF_EXPECTS(options.restarts >= 1);
 
-  // Fork one child RNG per restart up front (sequential, so the fork
-  // stream is independent of how the restarts are later scheduled), fan
-  // the restarts across the pool, then reduce serially with a fixed
-  // lowest-index tie-break: bit-identical output at any thread count.
+  ECGF_PROF_SCOPE("cluster.kmeans");
+
+  // Fork one child RNG (and one child trace stream) per restart up front
+  // (sequential, so the fork stream is independent of how the restarts are
+  // later scheduled), fan the restarts across the pool, then reduce
+  // serially with a fixed lowest-index tie-break: bit-identical output at
+  // any thread count.
   std::vector<util::Rng> run_rngs;
   run_rngs.reserve(options.restarts);
   for (std::size_t run = 0; run < options.restarts; ++run) {
     run_rngs.push_back(rng.fork(run + 1));
+  }
+  std::vector<obs::TraceContext> run_traces(options.restarts);
+  if (options.trace != nullptr) {
+    for (auto& t : run_traces) t = options.trace->child();
   }
 
   std::vector<KMeansResult> candidates(options.restarts);
@@ -156,8 +170,16 @@ KMeansResult kmeans(const Points& points, std::size_t k,
   util::ThreadPool& pool =
       options.pool != nullptr ? *options.pool : util::global_pool();
   pool.parallel_for(options.restarts, [&](std::size_t run) {
-    candidates[run] = kmeans_single(points, k, init, run_rngs[run], options);
+    obs::TraceContext* trace =
+        options.trace != nullptr ? &run_traces[run] : nullptr;
+    candidates[run] =
+        kmeans_single(points, k, init, run_rngs[run], options, run, trace);
     wcss[run] = within_cluster_ss(points, candidates[run]);
+    if (trace != nullptr) {
+      trace->emit(obs::TraceEvent::kmeans_restart(
+          run, candidates[run].iterations, candidates[run].converged,
+          wcss[run]));
+    }
   });
 
   std::size_t best = 0;

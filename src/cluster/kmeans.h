@@ -8,6 +8,7 @@
 
 #include "cluster/init.h"
 #include "cluster/points.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace ecgf::util {
@@ -30,6 +31,12 @@ struct KMeansOptions {
   /// and the best-WCSS reduction breaks ties toward the lowest restart
   /// index, so the result is identical at every thread count.
   util::ThreadPool* pool = nullptr;
+  /// Optional trace stream. Each restart gets a deterministically derived
+  /// child stream (forked serially, like the RNGs), so trace files stay
+  /// bit-identical at every thread count. Events: `kmeans_iteration` per
+  /// Lloyd step, `kmeans_restart` per finished restart, plus the init
+  /// strategy's `center_chosen`/`guard_abandoned`.
+  obs::TraceContext* trace = nullptr;
 };
 
 struct KMeansResult {

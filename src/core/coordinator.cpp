@@ -6,16 +6,20 @@ namespace ecgf::core {
 
 GfCoordinator::GfCoordinator(const EdgeNetwork& network,
                              net::ProberOptions probing, std::uint64_t seed)
-    : network_(network), probing_(probing), rng_(seed) {}
+    : network_(network),
+      probing_(probing),
+      rng_(seed),
+      ambient_(obs::TraceContext::root(obs::global_tracer(), 0)) {}
 
-GroupingResult GfCoordinator::run(const GroupingScheme& scheme,
-                                  std::size_t k) {
+GroupingResult GfCoordinator::run(const GroupingScheme& scheme, std::size_t k,
+                                  obs::TraceContext* trace) {
   ++runs_;
+  if (trace == nullptr && ambient_.active()) trace = &ambient_;
   net::Prober prober =
       network_.make_prober(probing_, rng_.fork(runs_).uniform_int(0, 1 << 30));
   util::Rng scheme_rng = rng_.fork(runs_ * 7919);
   return scheme.form_groups(network_.cache_count(), network_.server(), k,
-                            prober, scheme_rng);
+                            prober, scheme_rng, trace);
 }
 
 double GfCoordinator::average_group_interaction_cost(

@@ -19,8 +19,11 @@ class GfCoordinator {
 
   /// Execute a scheme end-to-end: returns the formed groups plus cost
   /// accounting. Each call uses a fresh prober and a forked RNG, so
-  /// repeated runs are independent but deterministic.
-  GroupingResult run(const GroupingScheme& scheme, std::size_t k);
+  /// repeated runs are independent but deterministic. `trace` receives the
+  /// formation-phase events; nullptr falls back to the ambient stream of
+  /// the global tracer (a no-op when none is installed).
+  GroupingResult run(const GroupingScheme& scheme, std::size_t k,
+                     obs::TraceContext* trace = nullptr);
 
   /// Paper §2 metric: average group interaction cost of a partition in ms,
   /// evaluated on ground-truth RTTs. `transfer_ms` is the document-transfer
@@ -35,6 +38,9 @@ class GfCoordinator {
   net::ProberOptions probing_;
   util::Rng rng_;
   std::uint64_t runs_ = 0;
+  /// Ambient trace stream used when run() is not handed an explicit one
+  /// (bound to the global tracer at construction time).
+  obs::TraceContext ambient_;
 };
 
 }  // namespace ecgf::core

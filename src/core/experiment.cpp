@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "obs/profile.h"
 #include "util/expect.h"
 
 namespace ecgf::core {
@@ -35,6 +36,7 @@ EdgeNetwork build_testbed_network(const TestbedParams& params,
 }  // namespace
 
 Testbed make_testbed(const TestbedParams& params, std::uint64_t seed) {
+  ECGF_PROF_SCOPE("core.make_testbed");
   util::Rng rng(seed);
   EdgeNetwork network = build_testbed_network(params, rng);
 

@@ -1,6 +1,7 @@
 #include "core/scheme.h"
 
 #include "coords/feature_vector.h"
+#include "obs/profile.h"
 #include "util/expect.h"
 
 namespace ecgf::core {
@@ -25,7 +26,9 @@ struct PipelineOutput {
 /// Steps 1–2 of both schemes: choose landmarks, position every host.
 PipelineOutput run_positioning(const SchemeConfig& config,
                                std::size_t cache_count, net::HostId server,
-                               net::Prober& prober, util::Rng& rng) {
+                               net::Prober& prober, util::Rng& rng,
+                               obs::TraceContext* trace) {
+  ECGF_PROF_SCOPE("core.positioning");
   ECGF_EXPECTS(cache_count >= 2);
   // Library-wide convention: hosts 0..N-1 are caches, host N the server.
   ECGF_EXPECTS(server == cache_count);
@@ -33,10 +36,11 @@ PipelineOutput run_positioning(const SchemeConfig& config,
 
   PipelineOutput out;
   const std::size_t probes_before = prober.probes_sent();
+  prober.set_trace(trace);
 
   auto selector = landmark::make_selector(config.selector, config.m_multiplier);
-  out.selection =
-      selector->select(cache_count, server, config.num_landmarks, prober, rng);
+  out.selection = selector->select(cache_count, server, config.num_landmarks,
+                                   prober, rng, trace);
 
   switch (config.positions) {
     case PositionKind::kFeatureVector: {
@@ -87,6 +91,7 @@ PipelineOutput run_positioning(const SchemeConfig& config,
     }
   }
 
+  prober.set_trace(nullptr);
   out.probes_used = prober.probes_sent() - probes_before;
   return out;
 }
@@ -96,7 +101,7 @@ GroupingResult cluster_and_package(const SchemeConfig& config,
                                    std::size_t cache_count,
                                    PipelineOutput pipeline, std::size_t k,
                                    const cluster::InitStrategy& init,
-                                   util::Rng& rng) {
+                                   util::Rng& rng, obs::TraceContext* trace) {
   cluster::Points points;
   points.reserve(cache_count);
   for (net::HostId c = 0; c < cache_count; ++c) {
@@ -104,8 +109,10 @@ GroupingResult cluster_and_package(const SchemeConfig& config,
     points.emplace_back(span.begin(), span.end());
   }
 
+  cluster::KMeansOptions kmeans_options = config.kmeans;
+  kmeans_options.trace = trace;
   const cluster::KMeansResult km =
-      cluster::kmeans(points, k, init, rng, config.kmeans);
+      cluster::kmeans(points, k, init, rng, kmeans_options);
 
   GroupingResult result;
   result.landmarks = pipeline.selection.landmarks;
@@ -135,30 +142,30 @@ SlScheme::SlScheme(SchemeConfig config) : config_(std::move(config)) {}
 
 GroupingResult SlScheme::form_groups(std::size_t cache_count,
                                      net::HostId server, std::size_t k,
-                                     net::Prober& prober,
-                                     util::Rng& rng) const {
+                                     net::Prober& prober, util::Rng& rng,
+                                     obs::TraceContext* trace) const {
   ECGF_EXPECTS(k >= 1 && k <= cache_count);
   PipelineOutput pipeline =
-      run_positioning(config_, cache_count, server, prober, rng);
+      run_positioning(config_, cache_count, server, prober, rng, trace);
   const cluster::UniformCoverageInit init(config_.coverage);
   return cluster_and_package(config_, cache_count, std::move(pipeline), k,
-                             init, rng);
+                             init, rng, trace);
 }
 
 SdslScheme::SdslScheme(SchemeConfig config) : config_(std::move(config)) {}
 
 GroupingResult SdslScheme::form_groups(std::size_t cache_count,
                                        net::HostId server, std::size_t k,
-                                       net::Prober& prober,
-                                       util::Rng& rng) const {
+                                       net::Prober& prober, util::Rng& rng,
+                                       obs::TraceContext* trace) const {
   ECGF_EXPECTS(k >= 1 && k <= cache_count);
   PipelineOutput pipeline =
-      run_positioning(config_, cache_count, server, prober, rng);
+      run_positioning(config_, cache_count, server, prober, rng, trace);
   const cluster::ServerDistanceWeightedInit init(pipeline.server_distance_ms,
                                                  config_.theta,
                                                  config_.coverage);
   return cluster_and_package(config_, cache_count, std::move(pipeline), k,
-                             init, rng);
+                             init, rng, trace);
 }
 
 }  // namespace ecgf::core

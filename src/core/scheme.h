@@ -71,10 +71,14 @@ class GroupingScheme {
 
   /// Partition caches 0..cache_count-1 into k groups. `prober` is the only
   /// channel to network distances; `rng` drives all random choices.
+  /// `trace` (optional) receives the formation-phase events
+  /// (`landmark_selected`, `probe`, `center_chosen`, `guard_abandoned`,
+  /// `kmeans_iteration`, `kmeans_restart`).
   virtual GroupingResult form_groups(std::size_t cache_count,
                                      net::HostId server, std::size_t k,
-                                     net::Prober& prober,
-                                     util::Rng& rng) const = 0;
+                                     net::Prober& prober, util::Rng& rng,
+                                     obs::TraceContext* trace = nullptr)
+      const = 0;
 };
 
 /// Selective Landmarks scheme (paper §3).
@@ -84,7 +88,8 @@ class SlScheme final : public GroupingScheme {
   std::string_view name() const override { return "SL"; }
   GroupingResult form_groups(std::size_t cache_count, net::HostId server,
                              std::size_t k, net::Prober& prober,
-                             util::Rng& rng) const override;
+                             util::Rng& rng,
+                             obs::TraceContext* trace = nullptr) const override;
   const SchemeConfig& config() const { return config_; }
 
  private:
@@ -98,7 +103,8 @@ class SdslScheme final : public GroupingScheme {
   std::string_view name() const override { return "SDSL"; }
   GroupingResult form_groups(std::size_t cache_count, net::HostId server,
                              std::size_t k, net::Prober& prober,
-                             util::Rng& rng) const override;
+                             util::Rng& rng,
+                             obs::TraceContext* trace = nullptr) const override;
   const SchemeConfig& config() const { return config_; }
 
  private:

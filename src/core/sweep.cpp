@@ -4,12 +4,14 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/profile.h"
 #include "util/expect.h"
 #include "util/thread_pool.h"
 
 namespace ecgf::core {
 
-SweepRunner::SweepRunner(util::ThreadPool* pool) : pool_(pool) {}
+SweepRunner::SweepRunner(util::ThreadPool* pool, obs::Tracer* tracer)
+    : pool_(pool), tracer_(tracer) {}
 
 namespace {
 
@@ -38,6 +40,17 @@ std::vector<SweepPointResult> SweepRunner::run(
   }
 
   util::ThreadPool& pool = pool_ != nullptr ? *pool_ : util::global_pool();
+  obs::Tracer* tracer =
+      tracer_ != nullptr ? tracer_ : obs::global_tracer();
+
+  // One trace stream per point, keyed by point index (stream i+1; 0 is the
+  // ambient stream) — created serially, so trace output is independent of
+  // how the points are later scheduled across threads.
+  std::vector<obs::TraceContext> traces;
+  traces.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    traces.push_back(obs::TraceContext::root(tracer, i + 1));
+  }
 
   // Deduplicate testbeds by seed, in first-appearance order so slot
   // indices (and thus the builds) are independent of thread count.
@@ -53,6 +66,7 @@ std::vector<SweepPointResult> SweepRunner::run(
   }
 
   pool.parallel_for(slots.size(), [&](std::size_t i) {
+    ECGF_PROF_SCOPE("sweep.testbed");
     TestbedSlot& slot = slots[i];
     if (slot.needs_workload) {
       slot.full = make_testbed(slot.exemplar->testbed,
@@ -64,9 +78,12 @@ std::vector<SweepPointResult> SweepRunner::run(
   });
 
   pool.parallel_for(points.size(), [&](std::size_t i) {
+    ECGF_PROF_SCOPE("sweep.point");
     const SweepPoint& p = points[i];
     const TestbedSlot& slot = slots[slot_of.at(p.testbed_seed)];
     SweepPointResult& out = results[i];
+    obs::TraceContext& trace = traces[i];
+    trace.emit(obs::TraceEvent::sweep_point(i, p.group_count));
 
     // Fresh coordinator per point: GfCoordinator carries RNG state across
     // run() calls, so sharing one between points would make results depend
@@ -75,13 +92,15 @@ std::vector<SweepPointResult> SweepRunner::run(
     const std::unique_ptr<GroupingScheme> scheme =
         make_scheme(p.scheme, p.config);
     for (std::size_t run = 0; run < p.formation_runs; ++run) {
-      out.grouping = coordinator.run(*scheme, p.group_count);
+      out.grouping = coordinator.run(*scheme, p.group_count, &trace);
       out.gicost_ms.add(coordinator.average_group_interaction_cost(
           out.grouping, p.gicost_transfer_ms));
     }
     if (p.simulate) {
+      sim::SimulationConfig sim = p.sim;
+      sim.trace = trace;
       out.report =
-          simulate_partition(*slot.full, out.grouping.partition(), p.sim);
+          simulate_partition(*slot.full, out.grouping.partition(), sim);
     }
   });
 

@@ -11,6 +11,12 @@
 // shared between points (equal testbed_seed) are built once, keyed by
 // seed. Output is bit-identical at any thread count — ECGF_THREADS=1
 // reproduces the serial run byte for byte.
+//
+// Observability: when a tracer is attached (explicitly or via the global
+// tracer), point i emits on trace stream i+1 — a `sweep_point` event
+// followed by the point's formation and simulation events. Streams are
+// keyed by point index, never by thread, so trace files inherit the same
+// bit-identical-at-any-thread-count guarantee as the results.
 #pragma once
 
 #include <cstdint>
@@ -75,14 +81,21 @@ SweepSummary summarize(const std::vector<SweepPointResult>& results);
 
 class SweepRunner {
  public:
-  /// nullptr = the process-wide pool (ECGF_THREADS).
-  explicit SweepRunner(util::ThreadPool* pool = nullptr);
+  /// `pool`: nullptr = the process-wide pool (ECGF_THREADS).
+  /// `tracer`: nullptr = the global tracer (obs::install_global_tracer),
+  /// which is itself null unless observability was wired up — so the
+  /// default is traced exactly when the process asked for tracing.
+  explicit SweepRunner(util::ThreadPool* pool = nullptr,
+                       obs::Tracer* tracer = nullptr);
 
   /// Evaluate every point; results[i] corresponds to points[i].
+  /// Thread-safe for distinct runners; a single runner may be reused for
+  /// sequential run() calls (trace streams restart at 1 each call).
   std::vector<SweepPointResult> run(const std::vector<SweepPoint>& points) const;
 
  private:
   util::ThreadPool* pool_;
+  obs::Tracer* tracer_;
 };
 
 }  // namespace ecgf::core

@@ -12,11 +12,9 @@ GreedyLandmarkSelector::GreedyLandmarkSelector(std::size_t m_multiplier)
   ECGF_EXPECTS(m_multiplier >= 1);
 }
 
-LandmarkSelection GreedyLandmarkSelector::select(std::size_t num_caches,
-                                                 net::HostId server,
-                                                 std::size_t num_landmarks,
-                                                 net::Prober& prober,
-                                                 util::Rng& rng) {
+LandmarkSelection GreedyLandmarkSelector::select(
+    std::size_t num_caches, net::HostId server, std::size_t num_landmarks,
+    net::Prober& prober, util::Rng& rng, obs::TraceContext* trace) {
   ECGF_EXPECTS(num_landmarks >= 2);
   ECGF_EXPECTS(num_landmarks <= num_caches + 1);
 
@@ -72,6 +70,11 @@ LandmarkSelection GreedyLandmarkSelector::select(std::size_t num_caches,
   for (std::size_t idx : lmset) out.landmarks.push_back(pool[idx]);
   out.probes_used = prober.probes_sent() - probes_before;
   ECGF_ENSURES(out.landmarks[0] == server);
+  if (trace != nullptr) {
+    for (std::size_t r = 0; r < out.landmarks.size(); ++r) {
+      trace->emit(obs::TraceEvent::landmark_selected(r, out.landmarks[r]));
+    }
+  }
   return out;
 }
 

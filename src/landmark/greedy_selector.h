@@ -19,7 +19,8 @@ class GreedyLandmarkSelector final : public LandmarkSelector {
 
   LandmarkSelection select(std::size_t num_caches, net::HostId server,
                            std::size_t num_landmarks, net::Prober& prober,
-                           util::Rng& rng) override;
+                           util::Rng& rng,
+                           obs::TraceContext* trace = nullptr) override;
 
   std::size_t m_multiplier() const { return m_multiplier_; }
 

@@ -17,7 +17,8 @@ class MinDistLandmarkSelector final : public LandmarkSelector {
 
   LandmarkSelection select(std::size_t num_caches, net::HostId server,
                            std::size_t num_landmarks, net::Prober& prober,
-                           util::Rng& rng) override;
+                           util::Rng& rng,
+                           obs::TraceContext* trace = nullptr) override;
 
  private:
   std::size_t m_multiplier_;

@@ -4,11 +4,9 @@
 
 namespace ecgf::landmark {
 
-LandmarkSelection RandomLandmarkSelector::select(std::size_t num_caches,
-                                                 net::HostId server,
-                                                 std::size_t num_landmarks,
-                                                 net::Prober& /*prober*/,
-                                                 util::Rng& rng) {
+LandmarkSelection RandomLandmarkSelector::select(
+    std::size_t num_caches, net::HostId server, std::size_t num_landmarks,
+    net::Prober& /*prober*/, util::Rng& rng, obs::TraceContext* trace) {
   ECGF_EXPECTS(num_landmarks >= 2);
   ECGF_EXPECTS(num_landmarks <= num_caches + 1);
   LandmarkSelection out;
@@ -17,6 +15,11 @@ LandmarkSelection RandomLandmarkSelector::select(std::size_t num_caches,
     out.landmarks.push_back(static_cast<net::HostId>(i));
   }
   out.probes_used = 0;  // no measurements needed
+  if (trace != nullptr) {
+    for (std::size_t r = 0; r < out.landmarks.size(); ++r) {
+      trace->emit(obs::TraceEvent::landmark_selected(r, out.landmarks[r]));
+    }
+  }
   return out;
 }
 

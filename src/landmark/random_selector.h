@@ -12,7 +12,8 @@ class RandomLandmarkSelector final : public LandmarkSelector {
 
   LandmarkSelection select(std::size_t num_caches, net::HostId server,
                            std::size_t num_landmarks, net::Prober& prober,
-                           util::Rng& rng) override;
+                           util::Rng& rng,
+                           obs::TraceContext* trace = nullptr) override;
 };
 
 }  // namespace ecgf::landmark

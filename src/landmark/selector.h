@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/prober.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace ecgf::landmark {
@@ -34,9 +35,12 @@ class LandmarkSelector {
   /// Choose `num_landmarks` landmarks for a network of `num_caches` caches
   /// (hosts 0..num_caches-1) and origin server `server`.
   /// Requires 2 <= num_landmarks <= num_caches + 1.
+  /// `trace` (optional) receives one `landmark_selected` event per chosen
+  /// landmark, in rank order.
   virtual LandmarkSelection select(std::size_t num_caches, net::HostId server,
                                    std::size_t num_landmarks,
-                                   net::Prober& prober, util::Rng& rng) = 0;
+                                   net::Prober& prober, util::Rng& rng,
+                                   obs::TraceContext* trace = nullptr) = 0;
 };
 
 /// Sample the potential landmark set (PLSet): m_multiplier × (L-1) distinct

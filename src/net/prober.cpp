@@ -21,7 +21,12 @@ double Prober::measure_rtt_ms(HostId a, HostId b) {
     sum += truth * rng_.lognormal_jitter(options_.jitter_sigma);
     ++probes_sent_;
   }
-  return sum / static_cast<double>(options_.probes_per_measurement);
+  const double avg = sum / static_cast<double>(options_.probes_per_measurement);
+  if (trace_ != nullptr) {
+    trace_->emit(
+        obs::TraceEvent::probe(a, b, avg, options_.probes_per_measurement));
+  }
+  return avg;
 }
 
 }  // namespace ecgf::net

@@ -7,6 +7,7 @@
 #include <cstddef>
 
 #include "net/rtt_provider.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace ecgf::net {
@@ -30,11 +31,17 @@ class Prober {
 
   const ProberOptions& options() const { return options_; }
 
+  /// Attach a trace stream: each measurement then emits one `probe` event
+  /// (averaged RTT + probe count). `trace` must outlive the prober's use;
+  /// nullptr detaches.
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+
  private:
   const RttProvider& provider_;
   ProberOptions options_;
   util::Rng rng_;
   std::size_t probes_sent_ = 0;
+  obs::TraceContext* trace_ = nullptr;
 };
 
 }  // namespace ecgf::net

@@ -1,0 +1,176 @@
+#include "obs/export.h"
+
+#include <cassert>
+#include <charconv>
+#include <ostream>
+#include <system_error>
+
+namespace ecgf::obs {
+
+namespace {
+
+// Shortest round-trip decimal form (same determinism story as the tracer:
+// iostream formatting depends on locale/precision state, to_chars does not).
+void append_number(std::string& out, double value) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  assert(res.ec == std::errc{});
+  out.append(buf, res.ptr);
+}
+
+void append_integer(std::string& out, std::int64_t value) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  assert(res.ec == std::errc{});
+  out.append(buf, res.ptr);
+}
+
+void num_field(std::string& out, std::string_view key, double value) {
+  out.push_back('"');
+  out.append(key);
+  out.append("\":");
+  append_number(out, value);
+  out.push_back(',');
+}
+
+void int_field(std::string& out, std::string_view key, std::uint64_t value) {
+  out.push_back('"');
+  out.append(key);
+  out.append("\":");
+  append_integer(out, static_cast<std::int64_t>(value));
+  out.push_back(',');
+}
+
+void open_record(std::string& out, std::string_view label) {
+  out.push_back('{');
+  if (!label.empty()) {
+    out.append("\"label\":\"");
+    out.append(label);
+    out.append("\",");
+  }
+}
+
+void close_record(std::string& out) {
+  if (out.back() == ',') out.pop_back();
+  out.append("}\n");
+}
+
+void counts_fields(std::string& out, std::string_view prefix,
+                   const sim::ResolutionCounts& counts) {
+  int_field(out, std::string(prefix) + "local_hits", counts.local_hits);
+  int_field(out, std::string(prefix) + "group_hits", counts.group_hits);
+  int_field(out, std::string(prefix) + "origin_fetches",
+            counts.origin_fetches);
+}
+
+}  // namespace
+
+void write_report_jsonl(std::ostream& os, const sim::SimulationReport& report,
+                        std::string_view label) {
+  std::string out;
+  open_record(out, label);
+  num_field(out, "avg_latency_ms", report.avg_latency_ms);
+  num_field(out, "p50_latency_ms", report.p50_latency_ms);
+  num_field(out, "p95_latency_ms", report.p95_latency_ms);
+  num_field(out, "p99_latency_ms", report.p99_latency_ms);
+  counts_fields(out, "", report.counts);
+  num_field(out, "group_hit_rate", report.counts.group_hit_rate());
+  num_field(out, "local_hit_rate", report.counts.local_hit_rate());
+  counts_fields(out, "raw_", report.raw_counts);
+  int_field(out, "requests_processed", report.requests_processed);
+  int_field(out, "events_executed", report.events_executed);
+  // "origin_fetches" (post-warmup) already came from counts_fields; this
+  // is the lifetime tally.
+  int_field(out, "origin_fetches_total", report.origin_fetches);
+  int_field(out, "origin_updates", report.origin_updates);
+  int_field(out, "invalidations_pushed", report.invalidations_pushed);
+  int_field(out, "failures_applied", report.failures_applied);
+  int_field(out, "failover_lookups", report.failover_lookups);
+  int_field(out, "stale_served", report.stale_served);
+  int_field(out, "wasted_summary_probes", report.wasted_summary_probes);
+  int_field(out, "summary_rebuilds", report.summary_rebuilds);
+  close_record(out);
+  os << out;
+}
+
+void write_metrics_jsonl(std::ostream& os, const sim::MetricsCollector& metrics,
+                         std::string_view label) {
+  std::string out;
+  open_record(out, label);
+  num_field(out, "mean_latency_ms", metrics.network_latency().mean());
+  num_field(out, "p50_latency_ms", metrics.latency_quantile(0.50));
+  num_field(out, "p95_latency_ms", metrics.latency_quantile(0.95));
+  num_field(out, "p99_latency_ms", metrics.latency_quantile(0.99));
+  counts_fields(out, "", metrics.counts());
+  num_field(out, "group_hit_rate", metrics.counts().group_hit_rate());
+  counts_fields(out, "raw_", metrics.raw_counts());
+  int_field(out, "caches", metrics.cache_count());
+  close_record(out);
+  os << out;
+}
+
+void write_cache_csv(std::ostream& os, const sim::SimulationReport& report) {
+  os << "cache,mean_latency_ms,local_hits,group_hits,origin_fetches\n";
+  const std::size_t n = report.per_cache_latency_ms.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::ResolutionCounts counts =
+        i < report.per_cache_counts.size() ? report.per_cache_counts[i]
+                                           : sim::ResolutionCounts{};
+    std::string row;
+    append_integer(row, static_cast<std::int64_t>(i));
+    row.push_back(',');
+    append_number(row, report.per_cache_latency_ms[i]);
+    row.push_back(',');
+    append_integer(row, static_cast<std::int64_t>(counts.local_hits));
+    row.push_back(',');
+    append_integer(row, static_cast<std::int64_t>(counts.group_hits));
+    row.push_back(',');
+    append_integer(row, static_cast<std::int64_t>(counts.origin_fetches));
+    row.push_back('\n');
+    os << row;
+  }
+}
+
+void write_group_csv(
+    std::ostream& os, const sim::SimulationReport& report,
+    const std::vector<std::vector<cache::CacheIndex>>& groups) {
+  os << "group,size,local_hits,group_hits,origin_fetches,group_hit_rate,"
+        "mean_latency_ms\n";
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    sim::ResolutionCounts counts;
+    double latency_sum = 0.0;
+    std::size_t latency_n = 0;
+    for (const cache::CacheIndex i : groups[g]) {
+      if (i < report.per_cache_counts.size()) {
+        const sim::ResolutionCounts& c = report.per_cache_counts[i];
+        counts.local_hits += c.local_hits;
+        counts.group_hits += c.group_hits;
+        counts.origin_fetches += c.origin_fetches;
+      }
+      if (i < report.per_cache_latency_ms.size()) {
+        latency_sum += report.per_cache_latency_ms[i];
+        ++latency_n;
+      }
+    }
+    std::string row;
+    append_integer(row, static_cast<std::int64_t>(g));
+    row.push_back(',');
+    append_integer(row, static_cast<std::int64_t>(groups[g].size()));
+    row.push_back(',');
+    append_integer(row, static_cast<std::int64_t>(counts.local_hits));
+    row.push_back(',');
+    append_integer(row, static_cast<std::int64_t>(counts.group_hits));
+    row.push_back(',');
+    append_integer(row, static_cast<std::int64_t>(counts.origin_fetches));
+    row.push_back(',');
+    append_number(row, counts.group_hit_rate());
+    row.push_back(',');
+    append_number(row, latency_n == 0 ? 0.0
+                                      : latency_sum /
+                                            static_cast<double>(latency_n));
+    row.push_back('\n');
+    os << row;
+  }
+}
+
+}  // namespace ecgf::obs

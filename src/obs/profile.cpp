@@ -1,0 +1,66 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.h"
+
+namespace ecgf::obs {
+
+ProfileRegistry& ProfileRegistry::global() {
+  static ProfileRegistry registry;
+  return registry;
+}
+
+void ProfileRegistry::add(std::string_view name, double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    stats_.emplace(std::string(name),
+                   ProfileStat{1, elapsed_ms, elapsed_ms, elapsed_ms});
+    return;
+  }
+  ProfileStat& stat = it->second;
+  ++stat.calls;
+  stat.total_ms += elapsed_ms;
+  stat.min_ms = std::min(stat.min_ms, elapsed_ms);
+  stat.max_ms = std::max(stat.max_ms, elapsed_ms);
+}
+
+std::vector<std::pair<std::string, ProfileStat>> ProfileRegistry::snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {stats_.begin(), stats_.end()};  // std::map iterates name-sorted
+}
+
+void ProfileRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.clear();
+}
+
+void ProfileRegistry::print_table(std::ostream& os) const {
+  util::Table table(
+      {"scope", "calls", "total_ms", "mean_ms", "min_ms", "max_ms"});
+  table.set_title("Profile (wall time per scope)");
+  for (const auto& [name, stat] : snapshot()) {
+    table.add_row({name, static_cast<long long>(stat.calls), stat.total_ms,
+                   stat.mean_ms(), stat.min_ms, stat.max_ms});
+  }
+  table.print(os);
+}
+
+void ProfileRegistry::write_json(std::ostream& os) const {
+  os << "{\"scopes\":[";
+  bool first = true;
+  for (const auto& [name, stat] : snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << name << "\",\"calls\":" << stat.calls
+       << ",\"total_ms\":" << stat.total_ms << ",\"mean_ms\":" << stat.mean_ms()
+       << ",\"min_ms\":" << stat.min_ms << ",\"max_ms\":" << stat.max_ms
+       << '}';
+  }
+  os << "]}\n";
+}
+
+}  // namespace ecgf::obs

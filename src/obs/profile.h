@@ -1,0 +1,104 @@
+// Profiling scopes — coarse per-phase wall-time accounting.
+//
+// Drop `ECGF_PROF_SCOPE("cluster.kmeans");` at the top of a phase and the
+// scope's wall time is accumulated into the process-wide ProfileRegistry
+// under that name. Scopes are RAII (exception-safe) and hierarchically
+// named by convention ("layer.phase").
+//
+// Cost model: when `util::prof_enabled()` (env ECGF_PROF, or --prof-out)
+// is off, a scope is one cached atomic load and a branch — cheap enough to
+// leave in release builds. When on, entry/exit take one steady_clock
+// reading each and exit takes a short mutex-protected map update, so scopes
+// belong around *phases* (a Dijkstra sweep, a K-means call, a simulation
+// run), not around per-request work.
+//
+// Thread-safety: ProfileRegistry is fully thread-safe; scopes may open and
+// close concurrently on any thread. Wall times are wall times — they vary
+// run to run and are NOT part of the determinism contract (trace files
+// are; profile reports are diagnostics).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+
+namespace ecgf::obs {
+
+/// Accumulated statistics of one named scope. All times in milliseconds.
+struct ProfileStat {
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+
+  double mean_ms() const {
+    return calls == 0 ? 0.0 : total_ms / static_cast<double>(calls);
+  }
+};
+
+/// Process-wide registry of scope statistics (name → ProfileStat).
+class ProfileRegistry {
+ public:
+  /// The singleton every ECGF_PROF_SCOPE reports into.
+  static ProfileRegistry& global();
+
+  /// Fold one sample into `name`'s stats. Thread-safe.
+  void add(std::string_view name, double elapsed_ms);
+
+  /// Name-sorted copy of all stats. Thread-safe.
+  std::vector<std::pair<std::string, ProfileStat>> snapshot() const;
+
+  /// Drop all stats (tests and repeated experiment phases). Thread-safe.
+  void reset();
+
+  /// Aligned human-readable table of the snapshot (one row per scope).
+  void print_table(std::ostream& os) const;
+
+  /// JSON export: {"scopes":[{"name":...,"calls":...,"total_ms":...,
+  /// "mean_ms":...,"min_ms":...,"max_ms":...},...]}, name-sorted.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, ProfileStat, std::less<>> stats_;
+};
+
+/// RAII timer feeding ProfileRegistry::global(). `name` must outlive the
+/// scope (string literals only — that is what the macro enforces).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name)
+      : name_(name), enabled_(util::prof_enabled()) {
+    if (enabled_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ProfileScope() {
+    if (!enabled_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    ProfileRegistry::global().add(
+        name_,
+        std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  const char* name_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ecgf::obs
+
+#define ECGF_PROF_CONCAT_INNER(a, b) a##b
+#define ECGF_PROF_CONCAT(a, b) ECGF_PROF_CONCAT_INNER(a, b)
+/// Time the rest of the enclosing block under `name` (a string literal).
+#define ECGF_PROF_SCOPE(name) \
+  ::ecgf::obs::ProfileScope ECGF_PROF_CONCAT(ecgf_prof_scope_, __LINE__)(name)

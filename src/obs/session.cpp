@@ -1,0 +1,74 @@
+#include "obs/session.h"
+
+#include <fstream>
+#include <iostream>
+#include <string_view>
+
+#include "obs/profile.h"
+#include "util/flags.h"
+
+namespace ecgf::obs {
+
+namespace {
+
+// Extract the value of `--NAME=VALUE` / `--NAME VALUE` from argv, if present.
+std::string scan_flag(int argc, const char* const* argv,
+                      std::string_view name) {
+  const std::string eq_prefix = "--" + std::string(name) + "=";
+  const std::string bare = "--" + std::string(name);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(eq_prefix, 0) == 0) {
+      return std::string(arg.substr(eq_prefix.size()));
+    }
+    if (arg == bare && i + 1 < argc) return argv[i + 1];
+  }
+  return {};
+}
+
+}  // namespace
+
+ObsSession::ObsSession(int argc, const char* const* argv) {
+  open(scan_flag(argc, argv, "trace-out"), scan_flag(argc, argv, "prof-out"));
+}
+
+ObsSession::ObsSession(const std::string& trace_path,
+                       const std::string& prof_path) {
+  open(trace_path, prof_path);
+}
+
+void ObsSession::open(const std::string& trace_path,
+                      const std::string& prof_path) {
+  trace_path_ = trace_path;
+  prof_path_ = prof_path;
+  if (!trace_path_.empty()) {
+    tracer_ = std::make_unique<Tracer>(
+        std::make_unique<JsonlTraceSink>(trace_path_));
+    util::set_trace_enabled(true);
+    install_global_tracer(tracer_.get());
+  }
+  if (!prof_path_.empty()) util::set_prof_enabled(true);
+}
+
+ObsSession::~ObsSession() {
+  if (tracer_ != nullptr) {
+    tracer_->flush();
+    if (global_tracer() == tracer_.get()) install_global_tracer(nullptr);
+    std::cerr << "[obs] trace: " << tracer_->recorded() << " events -> "
+              << trace_path_ << "\n";
+  }
+  if (util::prof_enabled()) {
+    ProfileRegistry::global().print_table(std::cerr);
+    if (!prof_path_.empty()) {
+      std::ofstream out(prof_path_);
+      if (out) {
+        ProfileRegistry::global().write_json(out);
+        std::cerr << "[obs] profile -> " << prof_path_ << "\n";
+      } else {
+        std::cerr << "[obs] profile: cannot open " << prof_path_ << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace ecgf::obs

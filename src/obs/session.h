@@ -1,0 +1,50 @@
+// ObsSession — one-line observability wiring for the benches and examples.
+//
+//   int main(int argc, char** argv) {
+//     ecgf::obs::ObsSession obs(argc, argv);   // --trace-out / --prof-out
+//     ...
+//   }  // ← flushes the trace, prints/writes the profile report
+//
+// Construction installs a process-global JSONL tracer when a trace path is
+// given (and force-enables ECGF_TRACE) and enables profiling when a
+// profile path is given (ECGF_PROF alone also works: the table then goes
+// to stderr only). Destruction flushes the trace file, uninstalls the
+// global tracer, prints the profile table to stderr, and writes the
+// profile JSON. Exactly one ObsSession should exist per process.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace ecgf::obs {
+
+class ObsSession {
+ public:
+  /// Scan argv for `--trace-out=PATH` / `--trace-out PATH` (and the same
+  /// for --prof-out). Unrecognized arguments are ignored, so benches that
+  /// do their own argument handling can pass argv straight through.
+  ObsSession(int argc, const char* const* argv);
+
+  /// Explicit paths (the examples resolve them through util::Flags first).
+  /// Empty string = that output is off.
+  ObsSession(const std::string& trace_path, const std::string& prof_path);
+
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// The installed tracer (nullptr when --trace-out was not given).
+  Tracer* tracer() const { return tracer_.get(); }
+
+ private:
+  void open(const std::string& trace_path, const std::string& prof_path);
+
+  std::unique_ptr<Tracer> tracer_;
+  std::string trace_path_;
+  std::string prof_path_;
+};
+
+}  // namespace ecgf::obs

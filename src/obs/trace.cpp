@@ -1,0 +1,393 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/expect.h"
+#include "util/flags.h"
+
+namespace ecgf::obs {
+
+namespace {
+
+double u64_to_double(std::uint64_t v) { return static_cast<double>(v); }
+
+/// Append a shortest-round-trip number; integral values print without a
+/// decimal point (std::to_chars gives "5", "12.5", "1e+30" — deterministic).
+void append_number(std::string& out, double value) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  ECGF_ASSERT(ec == std::errc{});
+  out.append(buf, end);
+}
+
+void append_integer(std::string& out, double value) {
+  char buf[24];
+  const auto [end, ec] =
+      std::to_chars(buf, buf + sizeof(buf), static_cast<std::int64_t>(value));
+  ECGF_ASSERT(ec == std::errc{});
+  out.append(buf, end);
+}
+
+void append_field_name(std::string& out, std::string_view key) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+}
+
+void append_int_field(std::string& out, std::string_view key, double value) {
+  append_field_name(out, key);
+  append_integer(out, value);
+}
+
+void append_num_field(std::string& out, std::string_view key, double value) {
+  append_field_name(out, key);
+  append_number(out, value);
+}
+
+void append_str_field(std::string& out, std::string_view key,
+                      std::string_view value) {
+  append_field_name(out, key);
+  out += '"';
+  out += value;
+  out += '"';
+}
+
+std::string_view resolution_name(int how) {
+  switch (how) {
+    case 0: return "local";
+    case 1: return "group";
+    case 2: return "origin";
+    default: return "unknown";
+  }
+}
+
+}  // namespace
+
+std::string_view event_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSweepPoint: return "sweep_point";
+    case EventKind::kLandmarkSelected: return "landmark_selected";
+    case EventKind::kProbe: return "probe";
+    case EventKind::kCenterChosen: return "center_chosen";
+    case EventKind::kGuardAbandoned: return "guard_abandoned";
+    case EventKind::kKmeansRestart: return "kmeans_restart";
+    case EventKind::kKmeansIteration: return "kmeans_iteration";
+    case EventKind::kRequest: return "request";
+    case EventKind::kDirLookup: return "dir_lookup";
+    case EventKind::kResolution: return "resolution";
+    case EventKind::kInvalidation: return "invalidation";
+    case EventKind::kCacheFailure: return "cache_failure";
+  }
+  return "unknown";
+}
+
+TraceEvent TraceEvent::sweep_point(std::size_t point, std::size_t groups) {
+  return {0.0, 0, 0, EventKind::kSweepPoint,
+          u64_to_double(point), u64_to_double(groups), 0.0, 0.0};
+}
+
+TraceEvent TraceEvent::landmark_selected(std::size_t rank,
+                                         std::uint64_t host) {
+  return {0.0, 0, 0, EventKind::kLandmarkSelected,
+          u64_to_double(rank), u64_to_double(host), 0.0, 0.0};
+}
+
+TraceEvent TraceEvent::probe(std::uint64_t src, std::uint64_t dst,
+                             double rtt_ms, std::size_t probes) {
+  return {0.0, 0, 0, EventKind::kProbe,
+          u64_to_double(src), u64_to_double(dst), rtt_ms,
+          u64_to_double(probes)};
+}
+
+TraceEvent TraceEvent::center_chosen(std::size_t rank, std::size_t point,
+                                     bool guard_ok, double weight) {
+  return {0.0, 0, 0, EventKind::kCenterChosen,
+          u64_to_double(rank), u64_to_double(point), guard_ok ? 1.0 : 0.0,
+          weight};
+}
+
+TraceEvent TraceEvent::guard_abandoned(std::size_t rank, std::size_t attempts,
+                                       std::size_t point) {
+  return {0.0, 0, 0, EventKind::kGuardAbandoned,
+          u64_to_double(rank), u64_to_double(attempts), u64_to_double(point),
+          0.0};
+}
+
+TraceEvent TraceEvent::kmeans_restart(std::size_t restart,
+                                      std::size_t iterations, bool converged,
+                                      double wcss) {
+  return {0.0, 0, 0, EventKind::kKmeansRestart,
+          u64_to_double(restart), u64_to_double(iterations),
+          converged ? 1.0 : 0.0, wcss};
+}
+
+TraceEvent TraceEvent::kmeans_iteration(std::size_t restart,
+                                        std::size_t iteration,
+                                        std::size_t reassigned) {
+  return {0.0, 0, 0, EventKind::kKmeansIteration,
+          u64_to_double(restart), u64_to_double(iteration),
+          u64_to_double(reassigned), 0.0};
+}
+
+TraceEvent TraceEvent::request(double time_ms, std::uint32_t cache,
+                               std::uint64_t doc) {
+  return {time_ms, 0, 0, EventKind::kRequest,
+          u64_to_double(cache), u64_to_double(doc), 0.0, 0.0};
+}
+
+TraceEvent TraceEvent::dir_lookup(double time_ms, std::uint32_t cache,
+                                  std::uint32_t beacon, std::uint64_t doc,
+                                  std::size_t holders) {
+  return {time_ms, 0, 0, EventKind::kDirLookup,
+          u64_to_double(cache), u64_to_double(beacon), u64_to_double(doc),
+          u64_to_double(holders)};
+}
+
+TraceEvent TraceEvent::resolution(double time_ms, std::uint32_t cache,
+                                  std::uint64_t doc, int how,
+                                  double latency_ms) {
+  return {time_ms, 0, 0, EventKind::kResolution,
+          u64_to_double(cache), u64_to_double(doc), static_cast<double>(how),
+          latency_ms};
+}
+
+TraceEvent TraceEvent::invalidation(double time_ms, std::uint64_t doc,
+                                    std::size_t holders) {
+  return {time_ms, 0, 0, EventKind::kInvalidation,
+          u64_to_double(doc), u64_to_double(holders), 0.0, 0.0};
+}
+
+TraceEvent TraceEvent::cache_failure(double time_ms, std::uint32_t cache) {
+  return {time_ms, 0, 0, EventKind::kCacheFailure,
+          u64_to_double(cache), 0.0, 0.0, 0.0};
+}
+
+std::string serialize_event(const TraceEvent& event) {
+  std::string out;
+  out.reserve(128);
+  out += "{\"t\":";
+  append_number(out, event.time_ms);
+  append_int_field(out, "stream", static_cast<double>(event.stream));
+  append_int_field(out, "seq", static_cast<double>(event.seq));
+  append_str_field(out, "event", event_name(event.kind));
+  switch (event.kind) {
+    case EventKind::kSweepPoint:
+      append_int_field(out, "point", event.a);
+      append_int_field(out, "groups", event.b);
+      break;
+    case EventKind::kLandmarkSelected:
+      append_int_field(out, "rank", event.a);
+      append_int_field(out, "host", event.b);
+      break;
+    case EventKind::kProbe:
+      append_int_field(out, "src", event.a);
+      append_int_field(out, "dst", event.b);
+      append_num_field(out, "rtt_ms", event.c);
+      append_int_field(out, "probes", event.d);
+      break;
+    case EventKind::kCenterChosen:
+      append_int_field(out, "rank", event.a);
+      append_int_field(out, "point", event.b);
+      append_int_field(out, "guard_ok", event.c);
+      append_num_field(out, "weight", event.d);
+      break;
+    case EventKind::kGuardAbandoned:
+      append_int_field(out, "rank", event.a);
+      append_int_field(out, "attempts", event.b);
+      append_int_field(out, "point", event.c);
+      break;
+    case EventKind::kKmeansRestart:
+      append_int_field(out, "restart", event.a);
+      append_int_field(out, "iterations", event.b);
+      append_int_field(out, "converged", event.c);
+      append_num_field(out, "wcss", event.d);
+      break;
+    case EventKind::kKmeansIteration:
+      append_int_field(out, "restart", event.a);
+      append_int_field(out, "iteration", event.b);
+      append_int_field(out, "reassigned", event.c);
+      break;
+    case EventKind::kRequest:
+      append_int_field(out, "cache", event.a);
+      append_int_field(out, "doc", event.b);
+      break;
+    case EventKind::kDirLookup:
+      append_int_field(out, "cache", event.a);
+      append_int_field(out, "beacon", event.b);
+      append_int_field(out, "doc", event.c);
+      append_int_field(out, "holders", event.d);
+      break;
+    case EventKind::kResolution:
+      append_int_field(out, "cache", event.a);
+      append_int_field(out, "doc", event.b);
+      append_str_field(out, "how",
+                       resolution_name(static_cast<int>(event.c)));
+      append_num_field(out, "latency_ms", event.d);
+      break;
+    case EventKind::kInvalidation:
+      append_int_field(out, "doc", event.a);
+      append_int_field(out, "holders", event.b);
+      break;
+    case EventKind::kCacheFailure:
+      append_int_field(out, "cache", event.a);
+      break;
+  }
+  out += '}';
+  return out;
+}
+
+std::optional<std::string> json_field(std::string_view line,
+                                      std::string_view key) {
+  std::string needle = "\"";
+  needle += key;
+  needle += "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t start = pos + needle.size();
+  if (start >= line.size()) return std::nullopt;
+  if (line[start] == '"') {
+    ++start;
+    const std::size_t end = line.find('"', start);
+    if (end == std::string_view::npos) return std::nullopt;
+    return std::string(line.substr(start, end - start));
+  }
+  std::size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return std::string(line.substr(start, end - start));
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (!*file) {
+    throw util::ContractViolation("cannot open trace output file: " + path);
+  }
+  owned_ = std::move(file);
+  out_ = owned_.get();
+}
+
+JsonlTraceSink::~JsonlTraceSink() = default;
+
+void JsonlTraceSink::write_line(std::string_view line) {
+  out_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  out_->put('\n');
+}
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+}  // namespace
+
+Tracer* global_tracer() { return g_tracer.load(std::memory_order_acquire); }
+
+void install_global_tracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+Tracer::Tracer(std::unique_ptr<TraceSink> sink)
+    : id_(next_tracer_id()), sink_(std::move(sink)) {
+  ECGF_EXPECTS(sink_ != nullptr);
+}
+
+Tracer::~Tracer() { flush(); }
+
+Tracer::Buffer& Tracer::local_buffer() {
+  // Tracer ids are process-unique and never reused, so a stale cache entry
+  // from a destroyed tracer can never be looked up again.
+  thread_local std::unordered_map<std::uint64_t, Buffer*> cache;
+  const auto it = cache.find(id_);
+  if (it != cache.end()) return *it->second;
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<Buffer>());
+  Buffer* buffer = buffers_.back().get();
+  cache.emplace(id_, buffer);
+  return *buffer;
+}
+
+void Tracer::record(const TraceEvent& event) {
+  if (!util::trace_enabled()) return;
+  local_buffer().events.push_back(event);
+}
+
+void Tracer::flush() {
+  // Serialize first, then sort with the line text as the final tie-break:
+  // a total order over (key, content) pairs, independent of which thread
+  // buffered which event.
+  struct Line {
+    std::uint64_t stream;
+    double time_ms;
+    std::uint64_t seq;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& buffer : buffers_) total += buffer->events.size();
+    lines.reserve(total);
+    for (const auto& buffer : buffers_) {
+      for (const TraceEvent& event : buffer->events) {
+        lines.push_back({event.stream, event.time_ms, event.seq,
+                         serialize_event(event)});
+      }
+      buffer->events.clear();
+    }
+  }
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (a.stream != b.stream) return a.stream < b.stream;
+    if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.text < b.text;
+  });
+  for (const Line& line : lines) sink_->write_line(line.text);
+  flushed_ += lines.size();
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = flushed_;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  return total;
+}
+
+TraceContext TraceContext::root(Tracer* tracer, std::uint64_t stream) {
+  return TraceContext(tracer, stream);
+}
+
+bool TraceContext::active() const {
+  return tracer_ != nullptr && util::trace_enabled();
+}
+
+TraceContext TraceContext::child() {
+  // Deterministic child stream id: a splitmix-style mix of (parent stream,
+  // child ordinal). Collisions across unrelated parents are tolerable —
+  // the flush-time sort falls back to line content, so output order stays
+  // deterministic regardless.
+  ++children_;
+  std::uint64_t h = stream_ * 0x9E3779B97F4A7C15ULL + children_;
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  return TraceContext(tracer_, h | 0x8000000000000000ULL);
+}
+
+void TraceContext::emit(TraceEvent event) {
+  if (tracer_ == nullptr) return;
+  event.stream = stream_;
+  event.seq = seq_++;
+  tracer_->record(event);
+}
+
+}  // namespace ecgf::obs

@@ -1,0 +1,227 @@
+// Structured event tracing — the "why did this run behave that way" layer.
+//
+// The simulator, the formation pipeline, and the sweep engine emit typed
+// TraceEvents through TraceContext handles. Events are buffered per thread
+// (no locks on the hot path) and merged deterministically at flush time, so
+// trace files are bit-identical at any ECGF_THREADS setting.
+//
+// Determinism contract: every event carries a (stream, time, seq) key.
+// Stream ids are assigned by *logical* work unit (sweep point, K-means
+// restart), never by thread; seq numbers come from the emitting context's
+// own counter, which only serial code advances. The flush-time merge sorts
+// by (stream, time, seq) with the serialized line as the final tie-break,
+// which is a total order independent of thread scheduling.
+//
+// Tracing is off unless `util::trace_enabled()` (env ECGF_TRACE, or the
+// --trace-out flag of the benches/examples) is set AND a Tracer is
+// reachable; the disabled path is a null-pointer check plus one cached
+// atomic load.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecgf::obs {
+
+/// Every trace event type the library emits. The JSONL name and field
+/// schema of each kind is documented in docs/observability.md and
+/// implemented by serialize_event().
+enum class EventKind : std::uint8_t {
+  // Sweep engine.
+  kSweepPoint,        ///< a sweep point started: {point, groups}
+  // Formation phase.
+  kLandmarkSelected,  ///< one landmark chosen: {rank, host}
+  kProbe,             ///< one averaged RTT measurement: {src, dst, rtt_ms, probes}
+  kCenterChosen,      ///< K-means init accepted a centre: {rank, point, guard_ok, weight}
+  kGuardAbandoned,    ///< coverage guard gave up: {rank, attempts, point}
+  kKmeansRestart,     ///< one restart finished: {restart, iterations, converged, wcss}
+  kKmeansIteration,   ///< one Lloyd iteration: {restart, iteration, reassigned}
+  // Simulation phase.
+  kRequest,           ///< request arrival: {cache, doc}
+  kDirLookup,         ///< beacon directory consulted: {cache, beacon, doc, holders}
+  kResolution,        ///< request completed: {cache, doc, how, latency_ms}
+  kInvalidation,      ///< origin update pushed: {doc, holders}
+  kCacheFailure,      ///< cache crashed: {cache}
+};
+
+/// JSONL event name of a kind (e.g. "resolution").
+std::string_view event_name(EventKind kind);
+
+/// One trace record. `time_ms` is simulation time for simulator events and
+/// 0 for formation-phase events (which are ordered by seq alone); the
+/// payload slots a..d are interpreted per kind (see the factories below).
+struct TraceEvent {
+  double time_ms = 0.0;
+  std::uint64_t stream = 0;  ///< logical stream id (stamped by TraceContext)
+  std::uint64_t seq = 0;     ///< per-stream sequence (stamped by TraceContext)
+  EventKind kind = EventKind::kSweepPoint;
+  double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
+
+  // Typed factories — the only supported way to build events, so call
+  // sites stay self-documenting and the payload slots stay consistent
+  // with the serialized schema.
+  static TraceEvent sweep_point(std::size_t point, std::size_t groups);
+  static TraceEvent landmark_selected(std::size_t rank, std::uint64_t host);
+  static TraceEvent probe(std::uint64_t src, std::uint64_t dst, double rtt_ms,
+                          std::size_t probes);
+  static TraceEvent center_chosen(std::size_t rank, std::size_t point,
+                                  bool guard_ok, double weight);
+  static TraceEvent guard_abandoned(std::size_t rank, std::size_t attempts,
+                                    std::size_t point);
+  static TraceEvent kmeans_restart(std::size_t restart, std::size_t iterations,
+                                   bool converged, double wcss);
+  static TraceEvent kmeans_iteration(std::size_t restart, std::size_t iteration,
+                                     std::size_t reassigned);
+  static TraceEvent request(double time_ms, std::uint32_t cache,
+                            std::uint64_t doc);
+  static TraceEvent dir_lookup(double time_ms, std::uint32_t cache,
+                               std::uint32_t beacon, std::uint64_t doc,
+                               std::size_t holders);
+  /// `how`: 0 = local hit, 1 = group hit, 2 = origin fetch (matches
+  /// sim::Resolution's underlying values; serialized as a string).
+  static TraceEvent resolution(double time_ms, std::uint32_t cache,
+                               std::uint64_t doc, int how, double latency_ms);
+  static TraceEvent invalidation(double time_ms, std::uint64_t doc,
+                                 std::size_t holders);
+  static TraceEvent cache_failure(double time_ms, std::uint32_t cache);
+};
+
+/// One JSONL line (no trailing newline) for an event. Numbers use
+/// std::to_chars shortest round-trip formatting, so serialization is
+/// deterministic across runs and thread counts.
+std::string serialize_event(const TraceEvent& event);
+
+/// Minimal JSONL field scanner for tests and tooling: the raw text of
+/// `"key":<value>` in `line` (string values without quotes), or nullopt.
+std::optional<std::string> json_field(std::string_view line,
+                                      std::string_view key);
+
+/// Where serialized trace lines go. Sinks are driven only from flush()
+/// (single-threaded); implementations need no locking.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Consume one serialized JSONL line (no trailing newline).
+  virtual void write_line(std::string_view line) = 0;
+};
+
+/// Discards everything — for measuring tracing overhead in isolation and
+/// as a placeholder when no output is wanted.
+class NullTraceSink final : public TraceSink {
+ public:
+  void write_line(std::string_view) override {}
+};
+
+/// Writes one JSON object per line to a stream or file.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Non-owning: `out` must outlive the sink.
+  explicit JsonlTraceSink(std::ostream& out);
+  /// Owning: opens (truncates) `path`; throws util::ContractViolation when
+  /// the file cannot be opened.
+  explicit JsonlTraceSink(const std::string& path);
+  ~JsonlTraceSink() override;
+
+  void write_line(std::string_view line) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_;
+};
+
+/// Collects events from any number of threads into per-thread buffers and
+/// merges them into the sink in the deterministic (stream, time, seq)
+/// order. record() is safe to call concurrently; flush() must only run
+/// while no thread is recording (e.g. after the thread pool joined).
+class Tracer {
+ public:
+  explicit Tracer(std::unique_ptr<TraceSink> sink);
+  ~Tracer();  ///< flushes any unflushed events
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Append an event (already stamped with stream/seq by a TraceContext)
+  /// to the calling thread's buffer. Drops the event when tracing is
+  /// disabled (util::trace_enabled() is the master switch).
+  void record(const TraceEvent& event);
+
+  /// Serialize and emit every buffered event in deterministic order, then
+  /// clear the buffers. Not thread-safe; call after parallel work joined.
+  void flush();
+
+  /// Events recorded (buffered + already flushed). Approximate while other
+  /// threads are actively recording.
+  std::uint64_t recorded() const;
+
+ private:
+  struct Buffer {
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer& local_buffer();
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::unique_ptr<TraceSink> sink_;
+  std::uint64_t flushed_ = 0;
+};
+
+/// Process-wide tracer used by components that were not handed an explicit
+/// context (standalone Simulator / GfCoordinator runs). Returns nullptr
+/// when none is installed. install_global_tracer(nullptr) uninstalls; the
+/// caller keeps ownership and must uninstall before destroying the tracer.
+Tracer* global_tracer();
+void install_global_tracer(Tracer* tracer);
+
+/// A handle on one logical event stream: a tracer pointer, the stream id,
+/// and the next sequence number. Value type, cheap to copy; a copy
+/// continues the sequence from the point of copying (deterministic as long
+/// as copies are made by serial code).
+///
+/// Thread-safety: a TraceContext must only be used from one thread at a
+/// time. Parallel code derives one child() per work item *before* fanning
+/// out (the derivation order, and thus the child stream ids, are then
+/// thread-independent).
+class TraceContext {
+ public:
+  /// Inactive context: emit() is a no-op costing one branch.
+  TraceContext() = default;
+
+  /// Root context for stream `stream`. `tracer` may be nullptr (inactive).
+  /// Stream 0 is the "ambient" stream used by components that picked up
+  /// the global tracer; explicit orchestration (SweepRunner) uses 1..N.
+  static TraceContext root(Tracer* tracer, std::uint64_t stream);
+
+  /// True when events will actually be recorded.
+  bool active() const;
+
+  Tracer* tracer() const { return tracer_; }
+  std::uint64_t stream() const { return stream_; }
+
+  /// Derive a child context with its own stream and a fresh sequence.
+  /// Children created in serial code get deterministic stream ids; the
+  /// n-th child of a given context always gets the same id.
+  TraceContext child();
+
+  /// Stamp `event` with this stream and the next seq, and record it.
+  void emit(TraceEvent event);
+
+ private:
+  TraceContext(Tracer* tracer, std::uint64_t stream)
+      : tracer_(tracer), stream_(stream) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t stream_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t children_ = 0;
+};
+
+}  // namespace ecgf::obs

@@ -10,12 +10,18 @@
 
 namespace ecgf::sim {
 
+/// How a request was ultimately served. The underlying values (0/1/2)
+/// are stable — obs trace events serialize them as "local"/"group"/
+/// "origin" and TraceEvent::resolution takes the raw int.
 enum class Resolution : std::uint8_t {
   kLocalHit,   ///< served from the receiving cache
   kGroupHit,   ///< served by a cooperative group member
   kOriginFetch ///< fell through to the origin server
 };
 
+/// Tally of requests by resolution path. Used both for a whole network
+/// and per cache (SimulationReport::per_cache_counts, the obs CSV
+/// exporters).
 struct ResolutionCounts {
   std::uint64_t local_hits = 0;
   std::uint64_t group_hits = 0;
@@ -38,8 +44,17 @@ struct ResolutionCounts {
   }
 };
 
+/// Accumulates the simulation's measurements: per-cache and network-wide
+/// latency, resolution tallies, and reservoir-sampled percentiles.
+///
+/// Two windows are kept in parallel: counts()/latencies cover only the
+/// post-warm-up period (set_warmup_end), raw_counts() covers the whole
+/// run — conservation checks and the obs trace's resolution events both
+/// speak the raw window. Serializable with obs::write_metrics_jsonl.
 class MetricsCollector {
  public:
+  /// `reservoir_capacity` bounds the percentile sample (seeded xorshift
+  /// reservoir — deterministic across runs and thread counts).
   explicit MetricsCollector(std::size_t cache_count,
                             std::size_t reservoir_capacity = 4096);
 
@@ -50,11 +65,15 @@ class MetricsCollector {
   /// directly comparable.
   void record(std::uint32_t cache, double latency_ms, Resolution how);
 
+  /// Requests recorded before `t_ms` count only toward raw_counts().
   void set_warmup_end(double t_ms) { warmup_end_ms_ = t_ms; }
+  /// Advance the collector's clock; record() classifies against it.
   void set_now(double t_ms) { now_ms_ = t_ms; }
 
   std::size_t cache_count() const { return per_cache_.size(); }
+  /// Post-warm-up latency accumulator of one cache.
   const util::Accumulator& cache_latency(std::uint32_t cache) const;
+  /// Post-warm-up latency accumulator over all caches.
   const util::Accumulator& network_latency() const { return network_; }
   /// Post-warm-up resolution counts (same window as the latency stats).
   const ResolutionCounts& counts() const { return counts_; }

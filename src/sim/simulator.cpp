@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/profile.h"
 #include "util/expect.h"
 
 namespace ecgf::sim {
@@ -51,6 +52,12 @@ Simulator::Simulator(const cache::Catalog& catalog,
   }
   origin_ = std::make_unique<cache::OriginServer>(catalog_);
   metrics_ = std::make_unique<MetricsCollector>(n);
+  trace_ = config_.trace;
+  if (!trace_.active()) {
+    // Standalone runs pick up the ambient stream of the global tracer (a
+    // no-op handle when none is installed or tracing is off).
+    trace_ = obs::TraceContext::root(obs::global_tracer(), 0);
+  }
   down_.assign(n, false);
   for (const auto& f : config_.failures) {
     ECGF_EXPECTS(f.cache < n);
@@ -105,11 +112,20 @@ bool Simulator::is_down(cache::CacheIndex i) const {
   return down_[i];
 }
 
-void Simulator::handle_failure(cache::CacheIndex failed) {
+void Simulator::handle_failure(cache::CacheIndex failed, SimTime t) {
   if (down_[failed]) return;
   down_[failed] = true;
   ++failures_applied_;
   directories_[group_of_[failed]]->remove_all_for_holder(failed);
+  trace_.emit(obs::TraceEvent::cache_failure(t, failed));
+}
+
+void Simulator::finish(cache::CacheIndex i, cache::DocId d, double latency_ms,
+                       Resolution how, SimTime t) {
+  metrics_->set_now(t);
+  metrics_->record(i, latency_ms, how);
+  trace_.emit(obs::TraceEvent::resolution(t, i, d, static_cast<int>(how),
+                                          latency_ms));
 }
 
 const cache::EdgeCache& Simulator::edge_cache(cache::CacheIndex i) const {
@@ -133,14 +149,18 @@ void Simulator::handle_update(const workload::Update& update) {
   // copy. The consistency traffic travels off the client path, so no
   // client-visible latency is charged here (its cost shows up as the lost
   // cache hits).
+  std::size_t holders_dropped = 0;
   for (auto& dir : directories_) {
     // Copy: remove_holder mutates the underlying list.
     const std::vector<cache::CacheIndex> holders = dir->holders(update.doc);
+    holders_dropped += holders.size();
     for (cache::CacheIndex h : holders) {
       if (caches_[h]->invalidate(update.doc)) ++invalidations_pushed_;
       dir->remove_holder(update.doc, h);
     }
   }
+  trace_.emit(obs::TraceEvent::invalidation(update.time_ms, update.doc,
+                                            holders_dropped));
 }
 
 bool Simulator::find_beacon(const cache::GroupDirectory& dir,
@@ -189,6 +209,7 @@ void Simulator::handle_request(const workload::Request& request, SimTime now) {
   cache::GroupDirectory& dir = *directories_[group_of_[i]];
   const cache::Version version = origin_->version(d);
   const std::uint64_t size = catalog_.info(d).size_bytes;
+  trace_.emit(obs::TraceEvent::request(now, i, d));
 
   // A crashed edge cache serves nothing: its clients fall back to the
   // origin directly (no beacon consultation, no insert).
@@ -196,9 +217,8 @@ void Simulator::handle_request(const workload::Request& request, SimTime now) {
     const double gen = origin_->serve_ms(d);
     const double latency =
         config_.cost.origin_fetch_ms(0.0, rtt_.rtt_ms(i, server_), gen, size);
-    queue_.schedule(now + latency, [this, i, latency](SimTime t) {
-      metrics_->set_now(t);
-      metrics_->record(i, latency, Resolution::kOriginFetch);
+    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
+      finish(i, d, latency, Resolution::kOriginFetch, t);
     });
     return;
   }
@@ -206,9 +226,8 @@ void Simulator::handle_request(const workload::Request& request, SimTime now) {
   const cache::LookupOutcome outcome = local.lookup(d, version, now);
   if (outcome == cache::LookupOutcome::kHitFresh) {
     const double latency = config_.cost.local_hit_ms();
-    queue_.schedule(now + latency, [this, i, latency](SimTime t) {
-      metrics_->set_now(t);
-      metrics_->record(i, latency, Resolution::kLocalHit);
+    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
+      finish(i, d, latency, Resolution::kLocalHit, t);
     });
     return;
   }
@@ -223,14 +242,15 @@ void Simulator::handle_request(const workload::Request& request, SimTime now) {
     const double latency =
         failover_penalty_ms +
         config_.cost.origin_fetch_ms(0.0, rtt_.rtt_ms(i, server_), gen, size);
-    queue_.schedule(now + latency, [this, i, latency](SimTime t) {
-      metrics_->set_now(t);
-      metrics_->record(i, latency, Resolution::kOriginFetch);
+    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
+      finish(i, d, latency, Resolution::kOriginFetch, t);
     });
     return;
   }
   const double rtt_ib =
       failover_penalty_ms + (beacon == i ? 0.0 : rtt_.rtt_ms(i, beacon));
+  trace_.emit(
+      obs::TraceEvent::dir_lookup(now, i, beacon, d, dir.holders(d).size()));
 
   // Cheapest fresh holder registered in the group directory.
   cache::CacheIndex holder = i;
@@ -261,8 +281,7 @@ void Simulator::handle_request(const workload::Request& request, SimTime now) {
 
   queue_.schedule(
       now + latency, [this, i, d, version, latency, how](SimTime t) {
-        metrics_->set_now(t);
-        metrics_->record(i, latency, how);
+        finish(i, d, latency, how, t);
         // Store the fetched copy unless the origin moved on mid-flight
         // (the fetched bytes are already stale then) or the cache crashed
         // while the fetch was outstanding.
@@ -278,14 +297,14 @@ void Simulator::handle_request_summary(const workload::Request& request,
   cache::EdgeCache& local = *caches_[i];
   const cache::Version version = origin_->version(d);
   const std::uint64_t size = catalog_.info(d).size_bytes;
+  trace_.emit(obs::TraceEvent::request(now, i, d));
 
   if (down_[i]) {
     const double gen = origin_->serve_ms(d);
     const double latency =
         config_.cost.origin_fetch_ms(0.0, rtt_.rtt_ms(i, server_), gen, size);
-    queue_.schedule(now + latency, [this, i, latency](SimTime t) {
-      metrics_->set_now(t);
-      metrics_->record(i, latency, Resolution::kOriginFetch);
+    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
+      finish(i, d, latency, Resolution::kOriginFetch, t);
     });
     return;
   }
@@ -293,9 +312,8 @@ void Simulator::handle_request_summary(const workload::Request& request,
   const auto outcome = local.lookup(d, version, now);
   if (outcome == cache::LookupOutcome::kHitFresh) {
     const double latency = config_.cost.local_hit_ms();
-    queue_.schedule(now + latency, [this, i, latency](SimTime t) {
-      metrics_->set_now(t);
-      metrics_->record(i, latency, Resolution::kLocalHit);
+    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
+      finish(i, d, latency, Resolution::kLocalHit, t);
     });
     return;
   }
@@ -338,8 +356,7 @@ void Simulator::handle_request_summary(const workload::Request& request,
 
   queue_.schedule(
       now + latency, [this, i, d, version, latency, how](SimTime t) {
-        metrics_->set_now(t);
-        metrics_->record(i, latency, how);
+        finish(i, d, latency, how, t);
         if (origin_->version(d) != version || down_[i]) return;
         store_fetched(i, d, version, t, how);
       });
@@ -353,14 +370,14 @@ void Simulator::handle_request_ttl(const workload::Request& request,
   cache::GroupDirectory& dir = *directories_[group_of_[i]];
   const double ttl = config_.ttl_ms;
   const std::uint64_t size = catalog_.info(d).size_bytes;
+  trace_.emit(obs::TraceEvent::request(now, i, d));
 
   if (down_[i]) {
     const double gen = origin_->serve_ms(d);
     const double latency =
         config_.cost.origin_fetch_ms(0.0, rtt_.rtt_ms(i, server_), gen, size);
-    queue_.schedule(now + latency, [this, i, latency](SimTime t) {
-      metrics_->set_now(t);
-      metrics_->record(i, latency, Resolution::kOriginFetch);
+    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
+      finish(i, d, latency, Resolution::kOriginFetch, t);
     });
     return;
   }
@@ -370,9 +387,8 @@ void Simulator::handle_request_ttl(const workload::Request& request,
     // Served within TTL — possibly an outdated copy (the TTL trade-off).
     if (local.resident_version(d) != origin_->version(d)) ++stale_served_;
     const double latency = config_.cost.local_hit_ms();
-    queue_.schedule(now + latency, [this, i, latency](SimTime t) {
-      metrics_->set_now(t);
-      metrics_->record(i, latency, Resolution::kLocalHit);
+    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
+      finish(i, d, latency, Resolution::kLocalHit, t);
     });
     return;
   }
@@ -385,6 +401,8 @@ void Simulator::handle_request_ttl(const workload::Request& request,
   cache::CacheIndex holder = i;
   double best_rtt = std::numeric_limits<double>::infinity();
   if (beacon_alive) {
+    trace_.emit(
+        obs::TraceEvent::dir_lookup(now, i, beacon, d, dir.holders(d).size()));
     for (cache::CacheIndex h : dir.holders(d)) {
       if (h == i || down_[h]) continue;
       if (!caches_[h]->has_unexpired(d, ttl, now)) continue;
@@ -422,8 +440,7 @@ void Simulator::handle_request_ttl(const workload::Request& request,
 
   queue_.schedule(
       now + latency, [this, i, d, version, latency, how](SimTime t) {
-        metrics_->set_now(t);
-        metrics_->record(i, latency, how);
+        finish(i, d, latency, how, t);
         if (down_[i]) return;
         // TTL restarts on (re)insertion — the copy is as fresh as the
         // holder's was, which the version records.
@@ -432,6 +449,7 @@ void Simulator::handle_request_ttl(const workload::Request& request,
 }
 
 SimulationReport Simulator::run(const workload::Trace& trace) {
+  ECGF_PROF_SCOPE("sim.run");
   trace.validate(cache_count_, catalog_.size());
   metrics_->set_warmup_end(trace.duration_ms * config_.warmup_fraction);
 
@@ -467,8 +485,8 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
     queue_.schedule(trace.updates.front().time_ms, pump_updates);
   }
   for (const auto& failure : config_.failures) {
-    queue_.schedule(failure.time_ms, [this, c = failure.cache](SimTime) {
-      handle_failure(c);
+    queue_.schedule(failure.time_ms, [this, c = failure.cache](SimTime t) {
+      handle_failure(c, t);
     });
   }
   // Periodic network-wide summary refresh (summary directory mode). The
@@ -494,9 +512,12 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
   report.p95_latency_ms = metrics_->latency_quantile(0.95);
   report.p99_latency_ms = metrics_->latency_quantile(0.99);
   report.per_cache_latency_ms.resize(cache_count_);
+  report.per_cache_counts.resize(cache_count_);
   for (std::size_t c = 0; c < cache_count_; ++c) {
     report.per_cache_latency_ms[c] =
         metrics_->cache_latency(static_cast<std::uint32_t>(c)).mean();
+    report.per_cache_counts[c] =
+        metrics_->cache_counts(static_cast<std::uint32_t>(c));
   }
   report.counts = metrics_->counts();
   report.raw_counts = metrics_->raw_counts();

@@ -16,6 +16,7 @@
 #include "cache/edge_cache.h"
 #include "cache/origin.h"
 #include "net/rtt_provider.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -109,6 +110,13 @@ struct SimulationConfig {
     double time_ms = 0.0;
   };
   std::vector<CacheFailure> failures;
+
+  /// Trace stream this run's events go to. Default-constructed = inactive;
+  /// when inactive but ECGF_TRACE is on and a global tracer is installed,
+  /// the simulator falls back to the ambient stream 0. Orchestrators
+  /// (SweepRunner) hand each run its own stream so traces stay
+  /// bit-identical under ECGF_THREADS parallelism.
+  obs::TraceContext trace;
 };
 
 struct SimulationReport {
@@ -120,6 +128,9 @@ struct SimulationReport {
   double p99_latency_ms = 0.0;
   /// Per-cache mean latencies (post-warmup), indexed by cache.
   std::vector<double> per_cache_latency_ms;
+  /// Per-cache resolution breakdown (post-warmup), indexed by cache —
+  /// feeds the obs exporters' per-cache and per-group CSVs.
+  std::vector<ResolutionCounts> per_cache_counts;
   /// Post-warmup resolution breakdown — the same window as the latency
   /// statistics, so hit ratios and latencies are directly comparable.
   ResolutionCounts counts;
@@ -166,7 +177,13 @@ class Simulator {
   void handle_request_summary(const workload::Request& request, SimTime now);
   void rebuild_summaries();
   void handle_update(const workload::Update& update);
-  void handle_failure(cache::CacheIndex failed);
+  void handle_failure(cache::CacheIndex failed, SimTime t);
+  /// Completion bookkeeping shared by every resolution path: advances the
+  /// metrics clock, records the sample, and emits exactly one `resolution`
+  /// trace event — so trace files conserve requests (resolution events ==
+  /// raw_counts().total()).
+  void finish(cache::CacheIndex i, cache::DocId d, double latency_ms,
+              Resolution how, SimTime t);
   /// Shared beacon lookup with crash failover. Returns the live beacon (or
   /// none) and accumulates timeout penalties into `penalty_ms`.
   bool find_beacon(const cache::GroupDirectory& dir, cache::CacheIndex i,
@@ -188,6 +205,7 @@ class Simulator {
   std::vector<std::size_t> group_of_;  ///< cache → directory index
   std::unique_ptr<cache::OriginServer> origin_;
   std::unique_ptr<MetricsCollector> metrics_;
+  obs::TraceContext trace_;
   EventQueue queue_;
   std::vector<bool> down_;
   /// Summary mode: per-cache content summaries + peers sorted by RTT.

@@ -3,6 +3,7 @@
 #include <queue>
 #include <utility>
 
+#include "obs/profile.h"
 #include "util/thread_pool.h"
 
 namespace ecgf::topology {
@@ -32,6 +33,7 @@ std::vector<double> dijkstra(const Graph& graph, NodeId source) {
 std::vector<std::vector<double>> multi_source_shortest_paths(
     const Graph& graph, const std::vector<NodeId>& sources,
     util::ThreadPool* pool) {
+  ECGF_PROF_SCOPE("topology.dijkstra");
   std::vector<std::vector<double>> out(sources.size());
   if (pool == nullptr) pool = &util::global_pool();
   pool->parallel_for(sources.size(), [&](std::size_t i) {

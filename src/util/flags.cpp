@@ -1,10 +1,52 @@
 #include "util/flags.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 #include "util/expect.h"
 
 namespace ecgf::util {
+
+namespace {
+
+/// Tri-state cache: -1 = not yet read from the environment, 0/1 = value.
+bool cached_env_switch(std::atomic<int>& cache, const char* env_name) {
+  int state = cache.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* value = std::getenv(env_name);
+    const bool off = value == nullptr || *value == '\0' ||
+                     std::strcmp(value, "0") == 0 ||
+                     std::strcmp(value, "false") == 0 ||
+                     std::strcmp(value, "off") == 0 ||
+                     std::strcmp(value, "no") == 0;
+    state = off ? 0 : 1;
+    cache.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+std::atomic<int> g_trace_enabled{-1};
+std::atomic<int> g_prof_enabled{-1};
+
+}  // namespace
+
+bool trace_enabled() {
+  return cached_env_switch(g_trace_enabled, "ECGF_TRACE");
+}
+
+void set_trace_enabled(bool enabled) {
+  g_trace_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool prof_enabled() {
+  return cached_env_switch(g_prof_enabled, "ECGF_PROF");
+}
+
+void set_prof_enabled(bool enabled) {
+  g_prof_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 void Flags::define(const std::string& name, const std::string& description,
                    const std::string& default_value) {

@@ -12,6 +12,22 @@
 
 namespace ecgf::util {
 
+/// Process-wide observability switches, read once from the environment and
+/// cached in atomics so the disabled fast path is a single relaxed load
+/// plus a branch (cheap enough for per-request call sites).
+///
+/// * `trace_enabled()`  — ECGF_TRACE: structured event tracing (obs/trace).
+/// * `prof_enabled()`   — ECGF_PROF: profiling scopes (obs/profile).
+///
+/// An env value of "0", "false", "off", or "no" (or unset) disables the
+/// switch; anything else enables it. The setters override the environment
+/// (used by --trace-out / --prof-out style CLI flags) and may be called at
+/// any time; both getters and setters are thread-safe.
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+bool prof_enabled();
+void set_prof_enabled(bool enabled);
+
 class Flags {
  public:
   /// Declare flags before parse(). `description` feeds help().

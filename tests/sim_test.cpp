@@ -2,14 +2,18 @@
 // and end-to-end protocol behaviour on hand-constructed scenarios.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <sstream>
 #include <vector>
 
 #include "net/distance_matrix.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "sim/simulator.h"
 #include "util/expect.h"
+#include "util/flags.h"
 
 namespace ecgf::sim {
 namespace {
@@ -294,6 +298,52 @@ TEST(Simulator, ReportTalliesConsistent) {
   EXPECT_EQ(report.counts.origin_fetches, report.origin_fetches);
   EXPECT_GT(report.counts.local_hits + report.counts.group_hits, 0u);
   EXPECT_GT(report.avg_latency_ms, 0.0);
+}
+
+TEST(Simulator, TraceEventsConserveRequests) {
+  // Every request fed to the simulator must produce exactly one `request`
+  // and one `resolution` trace event: the trace file conserves requests
+  // (resolution events == raw_counts.total()), so trace-driven analyses
+  // can trust that nothing was dropped or double-counted.
+  const auto provider = tiny_provider();
+  const auto catalog = tiny_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 50'000.0;
+  util::Rng rng(9);
+  for (int i = 0; i < 150; ++i) {
+    trace.requests.push_back({100.0 + i * 300.0,
+                              static_cast<std::uint32_t>(rng.index(2)),
+                              static_cast<cache::DocId>(rng.index(4))});
+  }
+  trace.updates = {{20'000.0, 0}, {30'000.0, 1}};
+
+  std::ostringstream out;
+  SimulationReport report;
+  util::set_trace_enabled(true);
+  {
+    obs::Tracer tracer(std::make_unique<obs::JsonlTraceSink>(out));
+    obs::install_global_tracer(&tracer);
+    // The simulator binds the ambient global tracer at construction.
+    Simulator sim(catalog, provider, 2, tiny_config({{0, 1}}));
+    report = sim.run(trace);
+    obs::install_global_tracer(nullptr);
+    tracer.flush();
+  }
+  util::set_trace_enabled(false);
+
+  std::size_t requests = 0;
+  std::size_t resolutions = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const auto event = obs::json_field(line, "event");
+    ASSERT_TRUE(event.has_value());
+    if (*event == "request") ++requests;
+    if (*event == "resolution") ++resolutions;
+  }
+  EXPECT_EQ(requests, report.raw_counts.total());
+  EXPECT_EQ(resolutions, report.raw_counts.total());
+  EXPECT_EQ(report.raw_counts.total(), 150u);
 }
 
 }  // namespace

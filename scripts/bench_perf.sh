@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build and run the perf-regression suite (bench/perf/perf_kernels) and
+# leave its JSON report at the repo root as BENCH_perf.json.
+#
+# Usage:
+#   scripts/bench_perf.sh [--mode=full|smoke] [--filter=SUBSTR] [--threads=N]
+#
+# All flags are forwarded to perf_kernels verbatim; the defaults are the
+# paper-size full run on one thread, which is what the checked-in
+# BENCH_perf.json and the table in docs/performance.md were produced
+# with. The script exits non-zero if any `# shape-check:` line fails —
+# i.e. if an optimised kernel ever disagrees with its naive reference or
+# (full mode) falls below its speedup floor.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+generator=()
+if command -v ninja >/dev/null 2>&1 && [[ ! -f build/CMakeCache.txt ]]; then
+  generator=(-G Ninja)
+fi
+cmake -B build "${generator[@]}" >/dev/null
+cmake --build build -j"$(nproc)" --target perf_kernels
+
+exec ./build/bench/perf/perf_kernels --out=BENCH_perf.json "$@"

@@ -65,6 +65,28 @@ for b in build/bench/*; do
   fi
 done
 
+# Perf-regression smoke: tiny sizes, equality shape-checks only (smoke
+# timings are noise by design — see docs/performance.md). Fails if any
+# optimised kernel disagrees with its naive reference or the JSON report
+# is malformed.
+echo "== perf smoke (bench/perf/perf_kernels) =="
+perf_json="$(mktemp)"
+perf_out="$(./build/bench/perf/perf_kernels --mode=smoke --out="$perf_json")" \
+  || fail=1
+echo "$perf_out"
+if grep -q "shape-check: FAIL" <<<"$perf_out"; then
+  echo "!! shape-check failure in perf smoke" >&2
+  fail=1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$perf_json" \
+    || { echo "!! perf smoke JSON does not parse" >&2; fail=1; }
+else
+  grep -q '"schema": "ecgf-bench-perf/1"' "$perf_json" \
+    || { echo "!! perf smoke JSON missing schema marker" >&2; fail=1; }
+fi
+rm -f "$perf_json"
+
 # ThreadSanitizer pass over the parallel layers: builds the threading test
 # in a separate tree with -DECGF_SANITIZE=thread and runs the determinism
 # suite under TSan. Probe compiler support first — some toolchains ship

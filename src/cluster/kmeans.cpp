@@ -1,7 +1,9 @@
 #include "cluster/kmeans.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <optional>
 
 #include "obs/profile.h"
 #include "util/thread_pool.h"
@@ -18,12 +20,14 @@ std::vector<std::vector<std::size_t>> KMeansResult::groups() const {
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 /// Nearest centre id for a point; ties break toward the lower id so the
 /// algorithm is deterministic.
 std::uint32_t nearest_center(const std::vector<double>& p,
                              const Points& centers) {
   std::uint32_t best = 0;
-  double best_d = std::numeric_limits<double>::infinity();
+  double best_d = kInf;
   for (std::uint32_t c = 0; c < centers.size(); ++c) {
     const double d = squared_l2(p, centers[c]);
     if (d < best_d) {
@@ -137,6 +141,283 @@ KMeansResult kmeans_single(const Points& points, std::size_t k,
   return result;
 }
 
+// ----------------------------------------------------------------------
+// Optimised (pruned) kernel.
+//
+// Exactness argument, step by step:
+//  * Distances are computed by the same squared_l2 kernel over the same
+//    values in the same order → identical bits where they are computed.
+//  * The full scan (`nearest_two`) applies the same `d < best` update
+//    rule in the same centre order as `nearest_center` → identical
+//    winning index, including on exact ties (lowest index wins).
+//  * A point is pruned only when conservative bounds prove its current
+//    centre is STRICTLY the unique nearest (strict `<` against slack-
+//    inflated bounds) — the naive scan would return the same centre, so
+//    skipping it changes nothing observable.
+//  * Centres are recomputed only for clusters whose membership changed
+//    ("dirty"); an untouched cluster's centre is bit-identical to what a
+//    full recompute would produce because the full recompute also sums
+//    that cluster's members in ascending point order. Any membership
+//    change (assignment or repair) marks both clusters dirty.
+//  * Empty-cluster repair mirrors the naive routine operation for
+//    operation; repair moves a centre outside the bound bookkeeping, so
+//    a repair invalidates all bounds (the next pass scans fully).
+// ----------------------------------------------------------------------
+
+/// Relative slack applied to every maintained bound so floating-point
+/// rounding in the sqrt/drift bookkeeping can never turn a mathematically
+/// valid triangle-inequality bound into an invalid one. Inflating an
+/// upper bound / deflating a lower bound only costs pruning opportunity,
+/// never correctness. The true rounding error is O(dim · ulp) ≈ 1e-13
+/// relative; 1e-9 dominates it comfortably.
+constexpr double kUpperSlack = 1.0 + 1e-9;
+constexpr double kLowerSlack = 1.0 - 1e-9;
+
+struct NearestTwo {
+  std::uint32_t best = 0;
+  double best_d2 = kInf;
+  double second_d2 = kInf;
+};
+
+/// Full centre scan tracking the two smallest distances. The `best`
+/// update rule is literally nearest_center's, so the winning index (and
+/// its tie-breaking) is identical; `second_d2` is the smallest distance
+/// to any other centre, used to seed the lower bound.
+NearestTwo nearest_two(const double* p, const double* centers, std::size_t k,
+                       std::size_t dim) {
+  NearestTwo out;
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const double d = squared_l2(p, centers + c * dim, dim);
+    if (d < out.best_d2) {
+      out.second_d2 = out.best_d2;
+      out.best_d2 = d;
+      out.best = c;
+    } else if (d < out.second_d2) {
+      out.second_d2 = d;
+    }
+  }
+  return out;
+}
+
+/// Packed mirror of recompute_centers, restricted to dirty clusters.
+/// Identical arithmetic: a dirty cluster is zeroed, its members are added
+/// in ascending point order, and the sum is scaled by 1/count — exactly
+/// the sequence of operations the full recompute performs for that
+/// cluster. The dirty flags are left set — the caller reads them to
+/// refresh drift and the centre-centre cache, then clears them. `counts`
+/// is (re)filled for all clusters as a side product.
+void recompute_dirty_centers(const PackedPoints& points,
+                             const std::vector<std::uint32_t>& assignment,
+                             std::vector<double>& centers, std::size_t k,
+                             std::vector<std::uint8_t>& dirty,
+                             std::vector<std::size_t>& counts) {
+  const std::size_t dim = points.dim();
+  counts.assign(k, 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    if (dirty[c]) {
+      std::fill_n(centers.data() + c * dim, dim, 0.0);
+    }
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint32_t a = assignment[i];
+    ++counts[a];
+    if (!dirty[a]) continue;
+    const double* row = points.row(i);
+    double* c = centers.data() + a * dim;
+    for (std::size_t d = 0; d < dim; ++d) c[d] += row[d];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (!dirty[c]) continue;
+    if (counts[c] == 0) continue;  // zero vector, as in the naive kernel
+    const double inv = 1.0 / static_cast<double>(counts[c]);
+    double* row = centers.data() + c * dim;
+    for (std::size_t d = 0; d < dim; ++d) row[d] *= inv;
+  }
+}
+
+/// Packed mirror of repair_empty_clusters: same scan order, same
+/// comparisons, same centre overwrite. Marks affected clusters dirty and
+/// returns the number of repairs (0 = bounds stay valid).
+std::size_t repair_empty_clusters_packed(const PackedPoints& points,
+                                         std::vector<std::uint32_t>& assignment,
+                                         std::vector<double>& centers,
+                                         std::size_t k,
+                                         std::vector<std::uint8_t>& dirty) {
+  const std::size_t n = points.size();
+  const std::size_t dim = points.dim();
+  std::vector<std::size_t> counts(k, 0);
+  for (std::uint32_t a : assignment) ++counts[a];
+  std::size_t repairs = 0;
+  for (std::uint32_t empty = 0; empty < k; ++empty) {
+    if (counts[empty] != 0) continue;
+    double best_d = -1.0;
+    std::size_t best_i = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (counts[assignment[i]] <= 1) continue;
+      const double d =
+          squared_l2(points.row(i), centers.data() + assignment[i] * dim, dim);
+      if (d > best_d) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    if (best_i == n) break;  // k == n edge: nothing to steal
+    --counts[assignment[best_i]];
+    dirty[assignment[best_i]] = 1;
+    assignment[best_i] = empty;
+    ++counts[empty];
+    dirty[empty] = 1;
+    std::copy_n(points.row(best_i), dim, centers.data() + empty * dim);
+    ++repairs;
+  }
+  return repairs;
+}
+
+/// Optimised twin of kmeans_single. `packed` is the shared contiguous
+/// snapshot of `points` (built once per kmeans() call, read-only here).
+KMeansResult kmeans_single_pruned(const Points& points,
+                                  const PackedPoints& packed, std::size_t k,
+                                  const InitStrategy& init, util::Rng& rng,
+                                  const KMeansOptions& options,
+                                  std::size_t restart,
+                                  obs::TraceContext* trace) {
+  const std::size_t n = packed.size();
+  const std::size_t dim = packed.dim();
+
+  // --- Initialisation phase (identical RNG traffic to the naive twin).
+  const std::vector<std::size_t> seeds = init.choose(points, k, rng, trace);
+  ECGF_ASSERT(seeds.size() == k);
+  std::vector<double> centers(k * dim);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::copy_n(packed.row(seeds[c]), dim, centers.data() + c * dim);
+  }
+
+  std::vector<std::uint32_t> assignment(n);
+  std::vector<double> upper(n), lower(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NearestTwo nt = nearest_two(packed.row(i), centers.data(), k, dim);
+    assignment[i] = nt.best;
+    upper[i] = std::sqrt(nt.best_d2) * kUpperSlack;
+    lower[i] = std::sqrt(nt.second_d2) * kLowerSlack;
+  }
+  std::vector<std::uint8_t> dirty(k, 1);
+  bool bounds_valid =
+      repair_empty_clusters_packed(packed, assignment, centers, k, dirty) == 0;
+
+  // Reused per-iteration scratch — nothing below allocates after the
+  // first iteration.
+  std::vector<double> old_centers(k * dim);
+  std::vector<double> drift(k, 0.0);
+  std::vector<double> half_gap(k, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+  // Cached pairwise squared centre-centre distances feeding half_gap.
+  // Only rows/columns of centres that actually moved are refreshed each
+  // iteration (a clean centre's cached entries are bit-identical to a
+  // fresh recompute: same kernel, same unchanged inputs), so the k²
+  // pass degenerates to (moved × k) distances once the run settles.
+  std::vector<double> center_gap2(k * k, 0.0);
+  // The inter-centre bookkeeping pays off only while it is cheap next to
+  // one n·k assignment pass.
+  const bool use_half_gap = k * k <= n;
+
+  const std::size_t reassignment_floor = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options.reassignment_fraction *
+                                  static_cast<double>(n)));
+
+  KMeansResult result;
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    std::copy(centers.begin(), centers.end(), old_centers.begin());
+    recompute_dirty_centers(packed, assignment, centers, k, dirty, counts);
+
+    // Drift and centre-gap refresh, moved centres only. A clean centre's
+    // old and new rows are the same bits, so its drift is exactly 0.0 —
+    // identical to computing sqrt(squared_l2(x, x)) — and its cached gap
+    // entries are still current.
+    double max_drift = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      drift[c] = dirty[c]
+                     ? std::sqrt(squared_l2(old_centers.data() + c * dim,
+                                            centers.data() + c * dim, dim)) *
+                           kUpperSlack
+                     : 0.0;
+      max_drift = std::max(max_drift, drift[c]);
+    }
+    if (use_half_gap) {
+      for (std::size_t a = 0; a < k; ++a) {
+        if (!dirty[a]) continue;
+        for (std::size_t b = 0; b < k; ++b) {
+          if (b == a) continue;
+          const double d2 = squared_l2(centers.data() + a * dim,
+                                       centers.data() + b * dim, dim);
+          center_gap2[a * k + b] = d2;
+          center_gap2[b * k + a] = d2;
+        }
+      }
+      for (std::size_t a = 0; a < k; ++a) {
+        double min_d2 = kInf;
+        const double* row = center_gap2.data() + a * k;
+        for (std::size_t b = 0; b < k; ++b) {
+          if (b != a) min_d2 = std::min(min_d2, row[b]);
+        }
+        half_gap[a] = 0.5 * std::sqrt(min_d2) * kLowerSlack;
+      }
+    }
+    std::fill(dirty.begin(), dirty.end(), 0);
+
+    std::size_t reassigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t a = assignment[i];
+      if (bounds_valid) {
+        upper[i] = (upper[i] + drift[a]) * kUpperSlack;
+        lower[i] = std::max(0.0, (lower[i] - max_drift) * kLowerSlack);
+      } else {
+        upper[i] = kInf;
+        lower[i] = 0.0;
+      }
+      const double guard = std::max(half_gap[a], lower[i]);
+      if (upper[i] < guard) continue;  // provably still strictly nearest
+      // Tighten the upper bound to the exact current distance and retry.
+      const double du =
+          std::sqrt(squared_l2(packed.row(i), centers.data() + a * dim, dim));
+      upper[i] = du * kUpperSlack;
+      if (upper[i] < guard) continue;
+      // Fall back to the naive scan (identical comparisons and order).
+      const NearestTwo nt = nearest_two(packed.row(i), centers.data(), k, dim);
+      if (nt.best != a) {
+        assignment[i] = nt.best;
+        ++reassigned;
+        dirty[a] = 1;
+        dirty[nt.best] = 1;
+      }
+      upper[i] = std::sqrt(nt.best_d2) * kUpperSlack;
+      lower[i] = std::sqrt(nt.second_d2) * kLowerSlack;
+    }
+    bounds_valid =
+        repair_empty_clusters_packed(packed, assignment, centers, k, dirty) ==
+        0;
+    if (trace != nullptr) {
+      trace->emit(obs::TraceEvent::kmeans_iteration(restart, result.iterations,
+                                                    reassigned));
+    }
+    if (reassigned <= reassignment_floor) {
+      result.converged = true;
+      ++result.iterations;
+      break;
+    }
+  }
+
+  recompute_dirty_centers(packed, assignment, centers, k, dirty, counts);
+
+  result.assignment = std::move(assignment);
+  result.centers.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* row = centers.data() + c * dim;
+    result.centers.emplace_back(row, row + dim);
+  }
+  return result;
+}
+
 }  // namespace
 
 KMeansResult kmeans(const Points& points, std::size_t k,
@@ -149,6 +430,10 @@ KMeansResult kmeans(const Points& points, std::size_t k,
   ECGF_EXPECTS(options.restarts >= 1);
 
   ECGF_PROF_SCOPE("cluster.kmeans");
+
+  // One contiguous snapshot shared read-only by every restart.
+  std::optional<PackedPoints> packed;
+  if (options.prune) packed.emplace(points);
 
   // Fork one child RNG (and one child trace stream) per restart up front
   // (sequential, so the fork stream is independent of how the restarts are
@@ -173,8 +458,24 @@ KMeansResult kmeans(const Points& points, std::size_t k,
     obs::TraceContext* trace =
         options.trace != nullptr ? &run_traces[run] : nullptr;
     candidates[run] =
-        kmeans_single(points, k, init, run_rngs[run], options, run, trace);
-    wcss[run] = within_cluster_ss(points, candidates[run]);
+        options.prune
+            ? kmeans_single_pruned(points, *packed, k, init, run_rngs[run],
+                                   options, run, trace)
+            : kmeans_single(points, k, init, run_rngs[run], options, run,
+                            trace);
+    // The packed reduction is the same squared_l2 sums over the same rows
+    // in the same ascending order — bit-identical to within_cluster_ss.
+    if (packed) {
+      double total = 0.0;
+      const auto& r = candidates[run];
+      for (std::size_t i = 0; i < packed->size(); ++i) {
+        total += squared_l2(packed->row(i), r.centers[r.assignment[i]].data(),
+                            packed->dim());
+      }
+      wcss[run] = total;
+    } else {
+      wcss[run] = within_cluster_ss(points, candidates[run]);
+    }
     if (trace != nullptr) {
       trace->emit(obs::TraceEvent::kmeans_restart(
           run, candidates[run].iterations, candidates[run].converged,

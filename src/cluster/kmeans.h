@@ -37,6 +37,20 @@ struct KMeansOptions {
   /// Lloyd step, `kmeans_restart` per finished restart, plus the init
   /// strategy's `center_chosen`/`guard_abandoned`.
   obs::TraceContext* trace = nullptr;
+  /// Use the optimised Lloyd kernel: contiguous (packed) point storage,
+  /// Hamerly-style distance-bound pruning in the assignment step, and
+  /// incremental (dirty-cluster) centre recomputation. The optimised
+  /// kernel is **bit-identical** to the naive one — same assignments,
+  /// centres, iteration counts, WCSS, and trace events, because it only
+  /// skips a point's centre scan when the bounds prove the naive scan
+  /// would keep the current assignment (strict inequalities, so even
+  /// exact distance ties break identically), falls back to the very same
+  /// scan loop otherwise, and recomputes a changed cluster's centre with
+  /// the same additions in the same order as the full recompute
+  /// (asserted across seeds, shapes, and thread counts by
+  /// tests/perf_kernels_test). Set false to run the naive reference
+  /// kernel, e.g. to measure the speedup (bench/perf does).
+  bool prune = true;
 };
 
 struct KMeansResult {

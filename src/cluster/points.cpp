@@ -12,12 +12,26 @@ std::size_t validate_points(const Points& points) {
 
 double squared_l2(const std::vector<double>& a, const std::vector<double>& b) {
   ECGF_EXPECTS(a.size() == b.size());
+  return squared_l2(a.data(), b.data(), a.size());
+}
+
+double squared_l2(const double* a, const double* b, std::size_t dim) {
+  // Sequential accumulation — the reference order every optimised path
+  // must reproduce (see the header). The compiler may vectorise the
+  // subtract/multiply but cannot reassociate the sum, which is exactly
+  // what the determinism contract needs.
   double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  for (std::size_t i = 0; i < dim; ++i) {
     const double d = a[i] - b[i];
     s += d * d;
   }
   return s;
+}
+
+PackedPoints::PackedPoints(const Points& points)
+    : size_(points.size()), dim_(validate_points(points)) {
+  data_.reserve(size_ * dim_);
+  for (const auto& p : points) data_.insert(data_.end(), p.begin(), p.end());
 }
 
 }  // namespace ecgf::cluster

@@ -1,9 +1,30 @@
 // Plain point-set type used by the clustering algorithms. The cluster
 // library is deliberately independent of coords/net: callers hand it rows
 // of doubles and (optionally) a pairwise-distance callback.
+//
+// Two representations coexist:
+//
+//  * `Points` (vector-of-vector) is the API type — convenient to build,
+//    one heap allocation per row.
+//  * `PackedPoints` is the kernel type — one contiguous row-major buffer,
+//    built once from a `Points` and then read-only. The hot loops
+//    (K-means assignment, empty-cluster repair) run over it so every
+//    row access is one pointer add instead of a double indirection, and
+//    consecutive rows prefetch.
+//
+// Determinism contract for the distance kernels: `squared_l2` (both
+// overloads) accumulates (a[j]-b[j])² strictly in ascending j. Floating-
+// point addition is not associative, so this order IS the observable
+// behaviour — every optimised caller (pruned K-means, packed repair) gets
+// bit-identical distances to the naive loops because it calls the same
+// kernel over the same values in the same order. Do not reorder, block,
+// or multi-accumulate this reduction; layout is where the speed comes
+// from, not reassociation.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "util/expect.h"
@@ -20,7 +41,42 @@ using DistanceFn = std::function<double(std::size_t, std::size_t)>;
 /// Validate that `points` is non-empty and rectangular; returns dimension.
 std::size_t validate_points(const Points& points);
 
-/// Squared L2 between two rows.
+/// Squared L2 between two rows. Accumulates in ascending index order (see
+/// the determinism contract above).
 double squared_l2(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Raw squared-L2 kernel over contiguous rows: same accumulation order and
+/// therefore the same bits as the vector overload. `a` and `b` must not
+/// alias each other's first `dim` elements unless they are equal pointers
+/// (a row's distance to itself is well-defined and 0). No allocation.
+double squared_l2(const double* a, const double* b, std::size_t dim);
+
+/// Contiguous row-major snapshot of a `Points`. Validates on construction;
+/// immutable afterwards, so one instance may be shared read-only across
+/// threads (the K-means restarts do). Rows keep the source ordering and
+/// exact values — `row(i)[j] == points[i][j]` bit for bit.
+class PackedPoints {
+ public:
+  explicit PackedPoints(const Points& points);
+
+  std::size_t size() const { return size_; }
+  std::size_t dim() const { return dim_; }
+
+  /// Pointer to row i (dim() doubles, contiguous). Valid for the lifetime
+  /// of the PackedPoints.
+  const double* row(std::size_t i) const {
+    ECGF_EXPECTS(i < size_);
+    return data_.data() + i * dim_;
+  }
+
+  std::span<const double> row_span(std::size_t i) const {
+    return {row(i), dim_};
+  }
+
+ private:
+  std::size_t size_;
+  std::size_t dim_;
+  std::vector<double> data_;
+};
 
 }  // namespace ecgf::cluster

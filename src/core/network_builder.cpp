@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <unordered_map>
 
+#include "topology/shortest_paths.h"
 #include "util/expect.h"
 
 namespace ecgf::core {
@@ -70,6 +72,43 @@ topology::TransitStubParams scaled_topology_for(std::size_t cache_count) {
   return p;
 }
 
+net::DistanceMatrix host_rtt_distance_matrix(
+    const topology::Graph& graph, const topology::HostPlacement& placement) {
+  const std::size_t n = placement.host_count();
+  ECGF_EXPECTS(n > 0);
+
+  // Same Dijkstra plan as topology::host_rtt_matrix: one run per distinct
+  // attachment router, in first-appearance order, so the distance rows are
+  // bit-identical to the dense reference path.
+  std::unordered_map<topology::NodeId, std::size_t> router_row;
+  std::vector<topology::NodeId> distinct;
+  for (topology::NodeId a : placement.attach_node) {
+    if (router_row.emplace(a, distinct.size()).second) distinct.push_back(a);
+  }
+  const auto router_dist =
+      topology::multi_source_shortest_paths(graph, distinct);
+
+  // Fill each packed row in ascending order — one sequential front-to-back
+  // pass over the buffer. The pair (j, i) with j < i uses host j's router
+  // row and sums last_mile[j] + path + last_mile[i] in that order, exactly
+  // as the dense builder's inner loop does, so every stored double matches
+  // from_full(host_rtt_matrix(...)) bit for bit.
+  net::DistanceMatrix matrix(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::span<double> row = matrix.lower_row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      const auto& dist_j =
+          router_dist[router_row.at(placement.attach_node[j])];
+      const double path = dist_j[placement.attach_node[i]];
+      ECGF_ASSERT(path != topology::kUnreachable);
+      const double one_way =
+          placement.last_mile_ms[j] + path + placement.last_mile_ms[i];
+      row[j] = 2.0 * one_way;
+    }
+  }
+  return matrix;
+}
+
 EdgeNetwork build_edge_network(const EdgeNetworkParams& params,
                                std::uint64_t seed) {
   ECGF_EXPECTS(params.cache_count >= 1);
@@ -81,8 +120,7 @@ EdgeNetwork build_edge_network(const EdgeNetworkParams& params,
       topology::generate_transit_stub(params.topo, topo_rng);
   topology::HostPlacement placement = topology::place_hosts(
       topo, params.cache_count + 1, params.placement, place_rng);
-  auto full = topology::host_rtt_matrix(topo.graph, placement);
-  net::DistanceMatrix matrix = net::DistanceMatrix::from_full(full);
+  net::DistanceMatrix matrix = host_rtt_distance_matrix(topo.graph, placement);
   return EdgeNetwork(std::move(topo), std::move(placement), std::move(matrix),
                      params.cache_count);
 }

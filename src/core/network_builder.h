@@ -69,6 +69,18 @@ class EdgeNetwork {
 EdgeNetwork build_edge_network(const EdgeNetworkParams& params,
                                std::uint64_t seed);
 
+/// Ground-truth host RTT matrix, filled straight into packed triangular
+/// storage. Value-identical (bit for bit) to
+/// `net::DistanceMatrix::from_full(topology::host_rtt_matrix(...))` —
+/// same per-pair arithmetic, same Dijkstra rows — but it never
+/// materialises the n×n dense intermediate (half the peak memory, one
+/// contiguous sequential fill, and no O(n²) symmetry re-validation of
+/// values that are symmetric by construction). build_edge_network uses
+/// this; the dense topology::host_rtt_matrix remains as the reference
+/// path (bench/perf measures the two against each other).
+net::DistanceMatrix host_rtt_distance_matrix(
+    const topology::Graph& graph, const topology::HostPlacement& placement);
+
 /// Scale topology defaults so the router count comfortably exceeds the
 /// host count (keeps stub routers ≥ hosts for distinct attachment).
 topology::TransitStubParams scaled_topology_for(std::size_t cache_count);

@@ -1,6 +1,8 @@
-// Dense symmetric RTT matrix and the matrix-backed RttProvider.
+// Symmetric RTT matrix (packed triangular storage) and the matrix-backed
+// RttProvider.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "net/rtt_provider.h"
@@ -8,13 +10,30 @@
 
 namespace ecgf::net {
 
-/// Dense symmetric matrix of RTTs with a zero diagonal, stored triangularly.
+/// Symmetric matrix of RTTs with a zero diagonal, stored as the packed
+/// lower triangle: one contiguous buffer of n·(n-1)/2 doubles (half the
+/// memory of a dense square and no per-row allocations).
+///
+/// Layout contract: element (i, j) with i > j lives at i·(i-1)/2 + j, so
+/// row i's sub-diagonal entries d(i, 0..i-1) are CONTIGUOUS — that is
+/// what `lower_row(i)` exposes and what the bulk builders fill
+/// sequentially (cache-friendly, no scattered writes). `at()` handles
+/// the (i, j)/(j, i) swap and the zero diagonal.
+///
+/// Aliasing/threading contract: `lower_row(i)` spans never overlap for
+/// distinct i, so concurrent writers filling distinct rows are safe;
+/// readers are safe once writers are done. `at()`/`set()` validate
+/// indices; `lower_row` validates only the row, trading per-element
+/// checks for bulk-fill speed (values must still be ≥ 0 and symmetric by
+/// construction — the builders in core/network_builder.cpp are the
+/// reference users).
 class DistanceMatrix {
  public:
   explicit DistanceMatrix(std::size_t n);
 
   /// Build from a full square matrix (validates symmetry & zero diagonal
-  /// within a small tolerance).
+  /// within a small tolerance). Allocates nothing beyond the packed
+  /// buffer; the caller keeps ownership of `full`.
   static DistanceMatrix from_full(const std::vector<std::vector<double>>& full);
 
   std::size_t size() const { return n_; }
@@ -30,6 +49,20 @@ class DistanceMatrix {
     ECGF_EXPECTS(i != j);
     ECGF_EXPECTS(value >= 0.0);
     data_[tri_index(i, j)] = value;
+  }
+
+  /// Mutable view of row i's packed sub-diagonal entries d(i, 0..i-1) —
+  /// `i` doubles, contiguous, empty for i == 0. The fast path for bulk
+  /// construction: filling every lower_row in ascending i order touches
+  /// the backing buffer exactly once, front to back.
+  std::span<double> lower_row(std::size_t i) {
+    ECGF_EXPECTS(i < n_);
+    return {data_.data() + (i == 0 ? 0 : tri_index(i, 0)), i};
+  }
+
+  std::span<const double> lower_row(std::size_t i) const {
+    ECGF_EXPECTS(i < n_);
+    return {data_.data() + (i == 0 ? 0 : tri_index(i, 0)), i};
   }
 
  private:

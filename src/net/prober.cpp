@@ -29,4 +29,38 @@ double Prober::measure_rtt_ms(HostId a, HostId b) {
   return avg;
 }
 
+void Prober::measure_many(HostId src, std::span<const HostId> dsts,
+                          std::span<double> out) {
+  ECGF_EXPECTS(out.size() == dsts.size());
+  ECGF_EXPECTS(src < provider_.host_count());
+  // Mirrors measure_rtt_ms per destination — same draw order, same
+  // self-probe short-circuit (no draws, no trace event, no probe cost),
+  // same per-pair trace emission — so the RNG stream and trace file are
+  // indistinguishable from the sequential form.
+  const std::size_t probes = options_.probes_per_measurement;
+  // NB: divide, don't multiply by a reciprocal — the rounding must match
+  // measure_rtt_ms exactly.
+  const double denom = static_cast<double>(probes);
+  const double sigma = options_.jitter_sigma;
+  for (std::size_t i = 0; i < dsts.size(); ++i) {
+    const HostId dst = dsts[i];
+    if (src == dst) {
+      out[i] = 0.0;
+      continue;
+    }
+    ECGF_EXPECTS(dst < provider_.host_count());
+    const double truth = provider_.rtt_ms(src, dst);
+    double sum = 0.0;
+    for (std::size_t p = 0; p < probes; ++p) {
+      sum += truth * rng_.lognormal_jitter(sigma);
+    }
+    probes_sent_ += probes;
+    const double avg = sum / denom;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::TraceEvent::probe(src, dst, avg, probes));
+    }
+    out[i] = avg;
+  }
+}
+
 }  // namespace ecgf::net

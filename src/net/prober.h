@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "net/rtt_provider.h"
 #include "obs/trace.h"
@@ -25,6 +26,18 @@ class Prober {
 
   /// Averaged multi-probe RTT estimate between two hosts (ms).
   double measure_rtt_ms(HostId a, HostId b);
+
+  /// Batched measurement: out[i] = the estimate for (src, dsts[i]), with
+  /// EXACTLY the same RNG draws, probe accounting, and trace events as
+  /// the equivalent sequence of measure_rtt_ms calls — callers may switch
+  /// freely without perturbing any downstream randomness (asserted by
+  /// tests/perf_kernels_test). The batch form hoists the per-call host
+  /// validation and writes results straight into the caller's buffer
+  /// (coords::build_feature_vectors feeds its PositionMap rows directly,
+  /// skipping a copy per host). Requires out.size() == dsts.size(); out
+  /// must not alias dsts.
+  void measure_many(HostId src, std::span<const HostId> dsts,
+                    std::span<double> out);
 
   /// Number of individual probe packets issued so far (measurement cost).
   std::size_t probes_sent() const { return probes_sent_; }

@@ -1,5 +1,6 @@
 #include "topology/shortest_paths.h"
 
+#include <algorithm>
 #include <queue>
 #include <utility>
 
@@ -7,6 +8,42 @@
 #include "util/thread_pool.h"
 
 namespace ecgf::topology {
+
+namespace {
+
+using HeapItem = std::pair<double, NodeId>;  // (distance, node)
+
+/// Shared relaxation loop over any adjacency accessor. `neighbors(u)`
+/// must return a span of Neighbor in the graph's insertion order — both
+/// the Graph and the CSR view do, so the relaxations (and therefore the
+/// resulting distances) are identical.
+template <typename NeighborsFn>
+void run_dijkstra(std::size_t node_count, NodeId source,
+                  std::vector<HeapItem>& heap, std::vector<double>& dist,
+                  NeighborsFn&& neighbors) {
+  ECGF_EXPECTS(source < node_count);
+  dist.assign(node_count, kUnreachable);
+  heap.clear();
+  dist[source] = 0.0;
+  heap.emplace_back(0.0, source);
+  const auto cmp = std::greater<HeapItem>{};
+  while (!heap.empty()) {
+    const auto [d, u] = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    heap.pop_back();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Neighbor& n : neighbors(u)) {
+      const double nd = d + n.latency_ms;
+      if (nd < dist[n.node]) {
+        dist[n.node] = nd;
+        heap.emplace_back(nd, n.node);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+}
+
+}  // namespace
 
 std::vector<double> dijkstra(const Graph& graph, NodeId source) {
   ECGF_EXPECTS(source < graph.node_count());
@@ -30,14 +67,49 @@ std::vector<double> dijkstra(const Graph& graph, NodeId source) {
   return dist;
 }
 
+void dijkstra_into(const Graph& graph, NodeId source, DijkstraScratch& scratch,
+                   std::vector<double>& out) {
+  run_dijkstra(graph.node_count(), source, scratch.heap_, out,
+               [&graph](NodeId u) { return graph.neighbors(u); });
+}
+
+CsrGraphView::CsrGraphView(const Graph& graph) {
+  const std::size_t n = graph.node_count();
+  offsets_.resize(n + 1);
+  std::size_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u] = total;
+    total += graph.neighbors(u).size();
+  }
+  offsets_[n] = total;
+  neighbors_.reserve(total);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto span = graph.neighbors(u);
+    neighbors_.insert(neighbors_.end(), span.begin(), span.end());
+  }
+}
+
+void CsrGraphView::dijkstra_into(NodeId source, DijkstraScratch& scratch,
+                                 std::vector<double>& out) const {
+  run_dijkstra(node_count(), source, scratch.heap_, out, [this](NodeId u) {
+    return std::span<const Neighbor>{neighbors_.data() + offsets_[u],
+                                     offsets_[u + 1] - offsets_[u]};
+  });
+}
+
 std::vector<std::vector<double>> multi_source_shortest_paths(
     const Graph& graph, const std::vector<NodeId>& sources,
     util::ThreadPool* pool) {
   ECGF_PROF_SCOPE("topology.dijkstra");
   std::vector<std::vector<double>> out(sources.size());
   if (pool == nullptr) pool = &util::global_pool();
+  const CsrGraphView csr(graph);
   pool->parallel_for(sources.size(), [&](std::size_t i) {
-    out[i] = dijkstra(graph, sources[i]);
+    // One scratch per OS thread: workers reuse theirs across sources (and
+    // across calls), which is safe because the kernel fully re-initialises
+    // it and no two concurrent bodies share a thread.
+    thread_local DijkstraScratch scratch;
+    csr.dijkstra_into(sources[i], scratch, out[i]);
   });
   return out;
 }

@@ -1,7 +1,23 @@
 // Shortest-path latency computation over the router graph.
+//
+// Kernel contracts (what the optimised paths may and may not do):
+//
+//  * A node's final distance is the MINIMUM double value over all path
+//    sums, and each path sum is accumulated in path order — both are
+//    independent of heap extraction order, so `dijkstra`,
+//    `dijkstra_into`, and the CSR-based multi-source kernel all return
+//    bit-identical rows however the work is scheduled or the heap is
+//    implemented.
+//  * `DijkstraScratch` contents are unspecified between calls; the
+//    kernel fully re-initialises whatever it reads, so reusing one
+//    scratch across sources (or pulling a fresh one) cannot change
+//    results — it only removes per-source heap allocations.
+//  * One scratch must not be used by two concurrent calls (the
+//    multi-source driver keeps one per worker thread).
 #pragma once
 
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "topology/graph.h"
@@ -15,15 +31,62 @@ namespace ecgf::topology {
 /// Sentinel for unreachable nodes.
 inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
 
+/// Reusable working set for Dijkstra runs: the binary heap's backing
+/// vector survives across calls, so repeated single-source runs stop
+/// paying the heap's growth reallocations. See the contract above.
+class DijkstraScratch {
+ public:
+  DijkstraScratch() = default;
+
+ private:
+  friend void dijkstra_into(const Graph& graph, NodeId source,
+                            DijkstraScratch& scratch,
+                            std::vector<double>& out);
+  friend class CsrGraphView;
+  std::vector<std::pair<double, NodeId>> heap_;  // (distance, node) min-heap
+};
+
 /// Single-source shortest path latencies (Dijkstra, binary heap).
 /// Returns one distance per node; kUnreachable where no path exists.
+/// Reference kernel — allocates its own working set per call.
 std::vector<double> dijkstra(const Graph& graph, NodeId source);
+
+/// Arena variant: identical results to dijkstra(), but the heap lives in
+/// `scratch` (reused across calls) and the distances are written into
+/// `out` (resized to node_count). `out` must not alias graph storage.
+void dijkstra_into(const Graph& graph, NodeId source, DijkstraScratch& scratch,
+                   std::vector<double>& out);
+
+/// Flat (CSR-style) snapshot of a Graph's adjacency: one offset array and
+/// one contiguous Neighbor array, neighbor order preserved. Build once,
+/// then run many sources over it — repeated Dijkstras stop chasing the
+/// per-node vector headers. Read-only after construction; safe to share
+/// across threads. The snapshot must not outlive mutations of `graph`
+/// (graphs are append-only by convention, so in practice: build it after
+/// the topology is final).
+class CsrGraphView {
+ public:
+  explicit CsrGraphView(const Graph& graph);
+
+  std::size_t node_count() const { return offsets_.size() - 1; }
+
+  /// Identical results to dijkstra(graph, source); same scratch contract
+  /// as dijkstra_into.
+  void dijkstra_into(NodeId source, DijkstraScratch& scratch,
+                     std::vector<double>& out) const;
+
+ private:
+  std::vector<std::size_t> offsets_;  // node_count()+1 entries
+  std::vector<Neighbor> neighbors_;
+};
 
 /// All-pairs shortest-path latencies from each node in `sources`.
 /// Row i holds dijkstra(graph, sources[i]). Sources run in parallel on
 /// `pool` (nullptr = the process-wide pool; ECGF_THREADS=1 keeps it
 /// serial); rows are returned in input order, so the result is identical
-/// at every thread count.
+/// at every thread count. Internally runs over one shared CsrGraphView
+/// with a per-thread DijkstraScratch — bit-identical to per-source
+/// dijkstra() calls, minus the per-source allocations.
 std::vector<std::vector<double>> multi_source_shortest_paths(
     const Graph& graph, const std::vector<NodeId>& sources,
     util::ThreadPool* pool = nullptr);

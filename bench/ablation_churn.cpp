@@ -1,0 +1,409 @@
+// Ablation — online group maintenance under churn and network drift.
+//
+// The paper forms groups once and leaves them alone; this bench measures
+// what that costs as the network moves. A testbed network is formed with
+// the SL scheme, then simulated twice per drift level over the SAME
+// drifting RTT provider and the same scripted leave/rejoin churn:
+//
+//   static      — the formation-time grouping, untouched (the paper);
+//   maintained  — src/ctl's MaintenanceSession re-probing, repairing, and
+//                 re-forming groups online as drift crosses its thresholds.
+//
+// Reported per level: average miss latency (the metric a stale grouping
+// degrades — local hits don't care where the group is), Rand-index
+// stability of the final grouping against the formation grouping, and the
+// probe cost the maintenance loop spent. A second experiment isolates the
+// warm-start claim: re-forming from the current group centroids must reach
+// the same WCSS as a cold K-means in fewer iterations.
+//
+// --smoke shrinks everything for CI; --json-out=FILE additionally writes a
+// machine-readable report (schema ecgf-ablation-churn/1). Both are scanned
+// manually: util::Flags rejects flags it doesn't know, while ObsSession
+// ignores (and does not consume) non-obs flags.
+#include <fstream>
+#include <string>
+
+#include "bench_common.h"
+#include "cluster/init.h"
+#include "cluster/kmeans.h"
+#include "core/membership.h"
+#include "ctl/maintenance.h"
+#include "net/distance_matrix.h"
+#include "net/drift.h"
+
+using namespace ecgf;
+
+namespace {
+
+struct Config {
+  std::size_t caches = 120;
+  std::size_t groups = 12;
+  std::size_t documents = 2'000;
+  double duration_ms = 120'000.0;
+  std::size_t num_landmarks = 15;
+  std::size_t churn_pairs_max = 8;
+};
+
+Config smoke_config() {
+  Config cfg;
+  cfg.caches = 48;
+  cfg.groups = 6;
+  cfg.documents = 600;
+  cfg.duration_ms = 40'000.0;
+  cfg.num_landmarks = 8;
+  cfg.churn_pairs_max = 4;
+  return cfg;
+}
+
+struct LevelResult {
+  double drift_fraction = 0.0;
+  std::size_t churn_pairs = 0;
+  double static_miss_ms = 0.0;
+  double maintained_miss_ms = 0.0;
+  double rand_vs_formation = 1.0;
+  std::size_t maintenance_probes = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t reforms = 0;
+  std::uint64_t regroupings = 0;
+};
+
+struct WarmVsCold {
+  std::size_t warm_iterations = 0;
+  std::size_t cold_iterations = 0;
+  double warm_wcss = 0.0;
+  double cold_wcss = 0.0;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --trace-out=FILE / --prof-out=FILE enable the observability outputs.
+  ecgf::obs::ObsSession obs_session(argc, argv);
+  bool smoke = false;
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg.rfind("--json-out=", 0) == 0) json_out = arg.substr(11);
+  }
+  const Config cfg = smoke ? smoke_config() : Config{};
+  constexpr std::uint64_t kSeed = 2006;
+
+  std::cout << "Ablation — static vs maintained groupings under drift + "
+               "churn (N="
+            << cfg.caches << ", K=" << cfg.groups
+            << (smoke ? ", smoke)" : ")") << "\n";
+
+  // Shared testbed: network, catalog, request/update trace.
+  core::TestbedParams params = bench::paper_testbed_params(cfg.caches);
+  params.catalog.document_count = cfg.documents;
+  params.workload.duration_ms = cfg.duration_ms;
+  const core::Testbed testbed = core::make_testbed(params, kSeed);
+  const net::HostId server = testbed.network.server();
+
+  // Formation at t = 0 (the drift ramp starts later, so the formation
+  // measures the undrifted network — as the paper's one-shot scheme would).
+  core::SchemeConfig scheme_config = bench::paper_scheme_config();
+  scheme_config.num_landmarks = cfg.num_landmarks;
+  // Noise-free formation probing: the monitor's baseline then equals the
+  // t=0 ground truth, so measured drift is purely the network's movement
+  // (probe-noise sensitivity is ablation_probe_noise's subject).
+  net::ProberOptions formation_probes;
+  formation_probes.jitter_sigma = 0.0;
+  core::GfCoordinator coordinator(testbed.network, formation_probes,
+                                  kSeed + 1);
+  const core::SlScheme scheme(scheme_config);
+  const auto base = coordinator.run(scheme, cfg.groups);
+  std::cout << "formation: " << base.probes_used << " probes, "
+            << base.groups.size() << " groups\n";
+
+  // The drifting provider permutes a sampled cache subset's positions over
+  // the middle half of the run; both arms see the identical network.
+  net::DistanceMatrix matrix(testbed.network.host_count());
+  for (net::HostId a = 0; a < testbed.network.host_count(); ++a) {
+    for (net::HostId b = a + 1; b < testbed.network.host_count(); ++b) {
+      matrix.set(a, b, testbed.network.rtt_ms(a, b));
+    }
+  }
+
+  const double level_fractions[] = {0.0, 0.25, 0.5};
+  const std::size_t churn_levels[] = {0, cfg.churn_pairs_max / 2,
+                                      cfg.churn_pairs_max};
+
+  std::vector<LevelResult> rows;
+  for (std::size_t level = 0; level < 3; ++level) {
+    LevelResult row;
+    row.drift_fraction = level_fractions[level];
+    row.churn_pairs = churn_levels[level];
+
+    net::DriftOptions drift;
+    drift.drift_fraction = std::max(row.drift_fraction, 0.01);
+    drift.ramp_start_ms = 0.25 * cfg.duration_ms;
+    drift.ramp_end_ms = 0.75 * cfg.duration_ms;
+    drift.max_weight = row.drift_fraction == 0.0 ? 0.0 : 1.0;
+
+    // Scripted churn: each chosen cache leaves mid-ramp and rejoins before
+    // the end, so final partitions cover every cache.
+    std::vector<sim::MembershipChange> churn;
+    {
+      util::Rng churn_rng(kSeed + 77 + level);
+      const auto leavers =
+          churn_rng.sample_indices(cfg.caches, row.churn_pairs);
+      for (std::size_t i = 0; i < leavers.size(); ++i) {
+        const auto cache = static_cast<std::uint32_t>(leavers[i]);
+        const double t_leave =
+            (0.3 + 0.04 * static_cast<double>(i)) * cfg.duration_ms;
+        churn.push_back({sim::MembershipChange::Kind::kLeave, cache,
+                         t_leave});
+        churn.push_back({sim::MembershipChange::Kind::kJoin, cache,
+                         t_leave + 0.15 * cfg.duration_ms});
+      }
+    }
+
+    auto make_sim_config = [&] {
+      sim::SimulationConfig config = bench::paper_sim_config();
+      config.groups = base.partition();
+      config.membership_events = churn;
+      return config;
+    };
+
+    // Arm 1: static grouping (the paper).
+    {
+      util::Rng drift_rng(kSeed + 13);
+      net::DriftingRttProvider provider(matrix, drift, drift_rng);
+      sim::Simulator sim(testbed.catalog, provider, server,
+                         make_sim_config());
+      provider.bind_clock(sim.clock_ptr());
+      row.static_miss_ms = sim.run(testbed.trace).avg_miss_latency_ms;
+    }
+
+    // Arm 2: maintained grouping (same provider seed → same network).
+    {
+      util::Rng drift_rng(kSeed + 13);
+      net::DriftingRttProvider provider(matrix, drift, drift_rng);
+
+      ctl::MaintenanceConfig mc =
+          ctl::make_maintenance_config(base, cfg.caches);
+      mc.policy.repair_threshold_ms = 10.0;
+      mc.policy.reform_threshold_ms = 25.0;
+      mc.budget.caches_per_tick = 8;
+      // Maintenance probes: one exact packet per landmark (the noise
+      // study lives in ablation_probe_noise; drift detection here should
+      // not fight the probe jitter).
+      mc.prober.probes_per_measurement = 1;
+      mc.prober.jitter_sigma = 0.0;
+      mc.kmeans.restarts = 2;
+      mc.seed = kSeed + 29;
+      ctl::MaintenanceSession session(provider, mc);
+
+      sim::SimulationConfig config = make_sim_config();
+      config.control_hook = &session;
+      config.control_interval_ms = cfg.duration_ms / 24.0;
+      sim::Simulator sim(testbed.catalog, provider, server,
+                         std::move(config));
+      provider.bind_clock(sim.clock_ptr());
+      const auto report = sim.run(testbed.trace);
+
+      row.maintained_miss_ms = report.avg_miss_latency_ms;
+      row.rand_vs_formation = core::rand_index(
+          base.partition(), session.membership().active_partition(),
+          cfg.caches);
+      row.maintenance_probes = session.probes_sent();
+      row.repairs = session.repairs();
+      row.reforms = session.reforms();
+      row.regroupings = report.regroupings;
+    }
+    rows.push_back(row);
+  }
+
+  util::Table table({"drift_fraction", "churn_pairs", "static_miss_ms",
+                     "maintained_miss_ms", "rand_vs_formation",
+                     "maintenance_probes", "repairs", "reforms"});
+  table.set_title("Churn/drift ablation");
+  for (const auto& r : rows) {
+    table.add_row({r.drift_fraction, static_cast<long long>(r.churn_pairs),
+                   r.static_miss_ms, r.maintained_miss_ms,
+                   r.rand_vs_formation,
+                   static_cast<long long>(r.maintenance_probes),
+                   static_cast<long long>(r.repairs),
+                   static_cast<long long>(r.reforms)});
+  }
+  bench::print_table(table);
+
+  // Warm-start isolation: re-cluster the feature vectors as they stand
+  // two successive re-formations mid-ramp: the first (cold, at ramp
+  // weight 0.1) stands in for "the previous re-formation"; the second
+  // (at weight 0.2) runs either cold again or warm-started from the first
+  // solution's clusters, re-averaged over the newer vectors — exactly the
+  // centroids the session's membership view would hold.
+  WarmVsCold wc;
+  {
+    const auto& moderate = rows[1];
+    net::DriftOptions drift;
+    drift.drift_fraction = std::max(moderate.drift_fraction, 0.01);
+    drift.ramp_start_ms = 0.25 * cfg.duration_ms;
+    drift.ramp_end_ms = 0.75 * cfg.duration_ms;
+    util::Rng drift_rng(kSeed + 13);
+    net::DriftingRttProvider provider(matrix, drift, drift_rng);
+    double now_ms = 0.34 * cfg.duration_ms;  // ramp weight 0.18
+    provider.bind_clock(&now_ms);
+
+    const auto vectors_now = [&] {
+      cluster::Points points(cfg.caches);
+      for (std::uint32_t c = 0; c < cfg.caches; ++c) {
+        for (net::HostId l : base.landmarks) {
+          points[c].push_back(provider.rtt_ms(c, l));
+        }
+      }
+      return points;
+    };
+
+    cluster::KMeansOptions options;
+    options.max_iterations = 200;
+    options.reassignment_fraction = 0.0;  // run to a strict fixed point
+    // Plain uniform sampling (coverage guard off): the classic cold start.
+    cluster::CoverageGuard no_guard;
+    no_guard.min_separation_fraction = 0.0;
+    const cluster::UniformCoverageInit init(no_guard);
+
+    // Previous re-formation, at ramp weight 0.1.
+    const cluster::Points earlier = vectors_now();
+    options.restarts = 3;
+    util::Rng prev_rng(kSeed + 31);
+    const auto previous =
+        cluster::kmeans(earlier, cfg.groups, init, prev_rng, options);
+
+    // The network moves on; both arms now cluster the weight-0.2 vectors.
+    now_ms = 0.35 * cfg.duration_ms;
+    const cluster::Points points = vectors_now();
+    util::Rng cold_rng(kSeed + 33);
+    const auto cold =
+        cluster::kmeans(points, cfg.groups, init, cold_rng, options);
+
+    // Warm centers: the previous solution's clusters averaged over the
+    // refreshed vectors (MembershipManager::centroids after re-probes).
+    cluster::Points warm_centers(cfg.groups);
+    {
+      std::vector<std::size_t> sizes(cfg.groups, 0);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::uint32_t g = previous.assignment[i];
+        if (warm_centers[g].empty()) {
+          warm_centers[g].assign(points[i].size(), 0.0);
+        }
+        for (std::size_t d = 0; d < points[i].size(); ++d) {
+          warm_centers[g][d] += points[i][d];
+        }
+        ++sizes[g];
+      }
+      for (std::size_t g = 0; g < cfg.groups; ++g) {
+        for (double& v : warm_centers[g]) {
+          v /= static_cast<double>(sizes[g]);
+        }
+      }
+    }
+    options.restarts = 1;
+    options.initial_centers = std::move(warm_centers);
+    util::Rng warm_rng(kSeed + 33);
+    const auto warm =
+        cluster::kmeans(points, cfg.groups, init, warm_rng, options);
+    const auto wcss = [&](const cluster::KMeansResult& result) {
+      double total = 0.0;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto& center = result.centers[result.assignment[i]];
+        for (std::size_t d = 0; d < center.size(); ++d) {
+          const double diff = points[i][d] - center[d];
+          total += diff * diff;
+        }
+      }
+      return total;
+    };
+    wc.warm_iterations = warm.iterations;
+    wc.cold_iterations = cold.iterations;
+    wc.warm_wcss = wcss(warm);
+    wc.cold_wcss = wcss(cold);
+    std::cout << "warm-start re-formation: " << wc.warm_iterations
+              << " iterations (wcss " << util::format_fixed(wc.warm_wcss, 1)
+              << ") vs cold " << wc.cold_iterations << " (wcss "
+              << util::format_fixed(wc.cold_wcss, 1) << ")\n\n";
+  }
+
+  struct Check {
+    std::string claim;
+    bool ok;
+  };
+  const auto& calm = rows.front();
+  const auto& stormy = rows.back();
+  std::vector<Check> checks;
+  checks.push_back(
+      {"maintained grouping beats static on avg miss latency under heavy "
+       "drift + churn",
+       stormy.maintained_miss_ms < stormy.static_miss_ms});
+  checks.push_back(
+      {"maintenance never worsens miss latency by more than 2% at any "
+       "level",
+       [&] {
+         bool ok = true;
+         for (const auto& r : rows) {
+           ok &= r.maintained_miss_ms < r.static_miss_ms * 1.02;
+         }
+         return ok;
+       }()});
+  checks.push_back(
+      {"maintenance is quiet on an undrifted network (no actions, grouping "
+       "unchanged)",
+       calm.repairs + calm.reforms == 0 && calm.rand_vs_formation == 1.0});
+  checks.push_back(
+      {"heavy drift forces real regrouping (final partition differs from "
+       "formation)",
+       stormy.regroupings > 0 && stormy.rand_vs_formation < 1.0});
+  checks.push_back(
+      {"warm-started re-formation reaches cold-init WCSS in fewer "
+       "iterations",
+       wc.warm_iterations < wc.cold_iterations &&
+           wc.warm_wcss <= wc.cold_wcss * (1.0 + 1e-9)});
+
+  bool all_ok = true;
+  for (const auto& c : checks) {
+    bench::shape_check(c.claim, c.ok);
+    all_ok &= c.ok;
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << "{\n  \"schema\": \"ecgf-ablation-churn/1\",\n  \"mode\": \""
+        << (smoke ? "smoke" : "full") << "\",\n  \"levels\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      out << "    {\"drift_fraction\": " << r.drift_fraction
+          << ", \"churn_pairs\": " << r.churn_pairs
+          << ", \"static_miss_ms\": " << r.static_miss_ms
+          << ", \"maintained_miss_ms\": " << r.maintained_miss_ms
+          << ", \"rand_vs_formation\": " << r.rand_vs_formation
+          << ", \"maintenance_probes\": " << r.maintenance_probes
+          << ", \"repairs\": " << r.repairs << ", \"reforms\": " << r.reforms
+          << ", \"regroupings\": " << r.regroupings << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"warm_vs_cold\": {\"warm_iterations\": "
+        << wc.warm_iterations << ", \"cold_iterations\": "
+        << wc.cold_iterations << ", \"warm_wcss\": " << wc.warm_wcss
+        << ", \"cold_wcss\": " << wc.cold_wcss << "},\n  \"shape_checks\": [\n";
+    for (std::size_t i = 0; i < checks.size(); ++i) {
+      out << "    {\"claim\": \"" << json_escape(checks[i].claim)
+          << "\", \"pass\": " << (checks[i].ok ? "true" : "false") << "}"
+          << (i + 1 < checks.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_out << "\n";
+  }
+  return all_ok ? 0 : 1;
+}

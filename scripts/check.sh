@@ -65,6 +65,28 @@ for b in build/bench/*; do
   fi
 done
 
+# Control-plane smoke: the churn ablation at smoke sizes, with its JSON
+# report parsed to catch exporter regressions (the full-size run already
+# happened in the bench loop above; this exercises the --smoke/--json-out
+# path).
+echo "== ctl smoke (bench/ablation_churn --smoke) =="
+churn_json="$(mktemp)"
+churn_out="$(./build/bench/ablation_churn --smoke --json-out="$churn_json")" \
+  || fail=1
+echo "$churn_out"
+if grep -q "shape-check: FAIL" <<<"$churn_out"; then
+  echo "!! shape-check failure in ctl smoke" >&2
+  fail=1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$churn_json" \
+    || { echo "!! ctl smoke JSON does not parse" >&2; fail=1; }
+else
+  grep -q '"schema": "ecgf-ablation-churn/1"' "$churn_json" \
+    || { echo "!! ctl smoke JSON missing schema marker" >&2; fail=1; }
+fi
+rm -f "$churn_json"
+
 # Perf-regression smoke: tiny sizes, equality shape-checks only (smoke
 # timings are noise by design — see docs/performance.md). Fails if any
 # optimised kernel disagrees with its naive reference or the JSON report
@@ -97,16 +119,18 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
   if c++ -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" \
        >/dev/null 2>&1 && "$tsan_probe/probe"; then
-    echo "== ThreadSanitizer pass (threading_test, obs_test) =="
+    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test) =="
     tsan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-tsan/CMakeCache.txt ]]; then
       tsan_generator=(-G Ninja)
     fi
     cmake -B build-tsan "${tsan_generator[@]}" -DECGF_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    cmake --build build-tsan -j"$(nproc)" --target threading_test obs_test
+    cmake --build build-tsan -j"$(nproc)" --target threading_test obs_test \
+      ctl_test
     ECGF_THREADS=8 ./build-tsan/tests/threading_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/obs_test || fail=1
+    ECGF_THREADS=8 ./build-tsan/tests/ctl_test || fail=1
   else
     echo "== ThreadSanitizer unsupported by this toolchain; skipping =="
   fi

@@ -90,19 +90,24 @@ void repair_empty_clusters(const Points& points,
 namespace {
 
 /// One full K-means run (init → iterate → terminate). `restart` and
-/// `trace` only feed the trace events.
+/// `trace` only feed the trace events. `warm` (nullable) supplies explicit
+/// initial centres, bypassing the init strategy for this run.
 KMeansResult kmeans_single(const Points& points, std::size_t k,
                            const InitStrategy& init, util::Rng& rng,
                            const KMeansOptions& options, std::size_t restart,
-                           obs::TraceContext* trace) {
+                           obs::TraceContext* trace, const Points* warm) {
   const std::size_t n = points.size();
 
   // --- Initialisation phase.
-  const std::vector<std::size_t> seeds = init.choose(points, k, rng, trace);
-  ECGF_ASSERT(seeds.size() == k);
   KMeansResult result;
   result.centers.reserve(k);
-  for (std::size_t s : seeds) result.centers.push_back(points[s]);
+  if (warm != nullptr) {
+    result.centers = *warm;
+  } else {
+    const std::vector<std::size_t> seeds = init.choose(points, k, rng, trace);
+    ECGF_ASSERT(seeds.size() == k);
+    for (std::size_t s : seeds) result.centers.push_back(points[s]);
+  }
   result.assignment.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     result.assignment[i] = nearest_center(points[i], result.centers);
@@ -280,16 +285,24 @@ KMeansResult kmeans_single_pruned(const Points& points,
                                   const InitStrategy& init, util::Rng& rng,
                                   const KMeansOptions& options,
                                   std::size_t restart,
-                                  obs::TraceContext* trace) {
+                                  obs::TraceContext* trace,
+                                  const Points* warm) {
   const std::size_t n = packed.size();
   const std::size_t dim = packed.dim();
 
-  // --- Initialisation phase (identical RNG traffic to the naive twin).
-  const std::vector<std::size_t> seeds = init.choose(points, k, rng, trace);
-  ECGF_ASSERT(seeds.size() == k);
+  // --- Initialisation phase (identical RNG traffic to the naive twin:
+  // the same init draws, or none at all under a warm start).
   std::vector<double> centers(k * dim);
-  for (std::size_t c = 0; c < k; ++c) {
-    std::copy_n(packed.row(seeds[c]), dim, centers.data() + c * dim);
+  if (warm != nullptr) {
+    for (std::size_t c = 0; c < k; ++c) {
+      std::copy_n((*warm)[c].data(), dim, centers.data() + c * dim);
+    }
+  } else {
+    const std::vector<std::size_t> seeds = init.choose(points, k, rng, trace);
+    ECGF_ASSERT(seeds.size() == k);
+    for (std::size_t c = 0; c < k; ++c) {
+      std::copy_n(packed.row(seeds[c]), dim, centers.data() + c * dim);
+    }
   }
 
   std::vector<std::uint32_t> assignment(n);
@@ -423,11 +436,18 @@ KMeansResult kmeans_single_pruned(const Points& points,
 KMeansResult kmeans(const Points& points, std::size_t k,
                     const InitStrategy& init, util::Rng& rng,
                     const KMeansOptions& options) {
-  validate_points(points);
+  const std::size_t dim = validate_points(points);
   ECGF_EXPECTS(k >= 1);
   ECGF_EXPECTS(k <= points.size());
   ECGF_EXPECTS(options.max_iterations >= 1);
   ECGF_EXPECTS(options.restarts >= 1);
+  const bool warm_start = !options.initial_centers.empty();
+  if (warm_start) {
+    ECGF_EXPECTS(options.initial_centers.size() == k);
+    for (const auto& c : options.initial_centers) {
+      ECGF_EXPECTS(c.size() == dim);
+    }
+  }
 
   ECGF_PROF_SCOPE("cluster.kmeans");
 
@@ -457,12 +477,15 @@ KMeansResult kmeans(const Points& points, std::size_t k,
   pool.parallel_for(options.restarts, [&](std::size_t run) {
     obs::TraceContext* trace =
         options.trace != nullptr ? &run_traces[run] : nullptr;
+    // Restart 0 carries the warm start (when given); the rest stay cold.
+    const Points* warm =
+        warm_start && run == 0 ? &options.initial_centers : nullptr;
     candidates[run] =
         options.prune
             ? kmeans_single_pruned(points, *packed, k, init, run_rngs[run],
-                                   options, run, trace)
+                                   options, run, trace, warm)
             : kmeans_single(points, k, init, run_rngs[run], options, run,
-                            trace);
+                            trace, warm);
     // The packed reduction is the same squared_l2 sums over the same rows
     // in the same ascending order — bit-identical to within_cluster_ss.
     if (packed) {

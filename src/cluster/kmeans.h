@@ -51,6 +51,14 @@ struct KMeansOptions {
   /// tests/perf_kernels_test). Set false to run the naive reference
   /// kernel, e.g. to measure the speedup (bench/perf does).
   bool prune = true;
+  /// Warm start: when non-empty, restart 0 seeds its centres from these
+  /// vectors verbatim (no init-strategy draws, no RNG traffic for that
+  /// restart) and the remaining restarts use the init strategy as usual —
+  /// so a re-formation can resume from the previous grouping's centroids
+  /// while keeping cold restarts as a safety net. Must hold exactly k
+  /// rows of the points' dimension. The pruned and naive kernels stay
+  /// bit-identical under warm starts (asserted by tests/perf_kernels_test).
+  Points initial_centers{};
 };
 
 struct KMeansResult {

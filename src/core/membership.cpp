@@ -70,6 +70,77 @@ MembershipManager::MembershipManager(const GroupingResult& base,
   ECGF_EXPECTS(covered == cache_count);
 }
 
+MembershipManager::MembershipManager(
+    const std::vector<std::vector<std::uint32_t>>& partition,
+    const std::vector<std::vector<double>>& positions)
+    : dimension_(positions.empty() ? 0 : positions.front().size()),
+      positions_(positions),
+      centroid_sum_(partition.size(), std::vector<double>(dimension_, 0.0)),
+      counts_(partition.size(), 0),
+      assignment_(positions.size()),
+      active_count_(0) {
+  ECGF_EXPECTS(!positions.empty());
+  ECGF_EXPECTS(dimension_ >= 1);
+  for (const auto& p : positions) ECGF_EXPECTS(p.size() == dimension_);
+  ECGF_EXPECTS(!partition.empty());
+
+  for (std::uint32_t g = 0; g < partition.size(); ++g) {
+    for (std::uint32_t member : partition[g]) {
+      ECGF_EXPECTS(member < positions_.size());
+      ECGF_EXPECTS(!assignment_[member].has_value());
+      assignment_[member] = g;
+      add_to_centroid(member, g);
+      ++active_count_;
+    }
+  }
+  ECGF_EXPECTS(active_count_ >= 1);
+}
+
+const std::vector<double>& MembershipManager::position(
+    std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < positions_.size());
+  return positions_[cache];
+}
+
+void MembershipManager::update_position(std::uint32_t cache,
+                                        const std::vector<double>& position) {
+  ECGF_EXPECTS(cache < positions_.size());
+  ECGF_EXPECTS(position.size() == dimension_);
+  if (assignment_[cache].has_value()) {
+    const std::uint32_t g = *assignment_[cache];
+    auto& sum = centroid_sum_[g];
+    for (std::size_t d = 0; d < dimension_; ++d) {
+      sum[d] += position[d] - positions_[cache][d];
+    }
+  }
+  positions_[cache] = position;
+}
+
+std::uint32_t MembershipManager::reassign(std::uint32_t cache) {
+  ECGF_EXPECTS(cache < assignment_.size());
+  ECGF_EXPECTS(assignment_[cache].has_value());
+  // Pull the cache out first so the nearest-centroid search is not biased
+  // by its own contribution, then re-admit via the join() rule.
+  remove_from_centroid(cache, *assignment_[cache]);
+  assignment_[cache].reset();
+  --active_count_;
+  return join(cache);
+}
+
+std::vector<std::vector<double>> MembershipManager::centroids() const {
+  std::vector<std::vector<double>> out;
+  for (std::uint32_t g = 0; g < counts_.size(); ++g) {
+    if (counts_[g] == 0) continue;
+    std::vector<double> mean(dimension_);
+    const double inv = 1.0 / static_cast<double>(counts_[g]);
+    for (std::size_t d = 0; d < dimension_; ++d) {
+      mean[d] = centroid_sum_[g][d] * inv;
+    }
+    out.push_back(std::move(mean));
+  }
+  return out;
+}
+
 void MembershipManager::add_to_centroid(std::uint32_t cache,
                                         std::uint32_t group) {
   auto& sum = centroid_sum_[group];

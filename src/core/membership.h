@@ -32,8 +32,38 @@ class MembershipManager {
   /// `base` must cover caches 0..cache_count-1 (a full formation result).
   MembershipManager(const GroupingResult& base, std::size_t cache_count);
 
+  /// Rebuild from a raw partition plus per-cache feature vectors — the
+  /// shape a control-plane re-formation produces (src/ctl). `positions`
+  /// is indexed by cache id and fixes cache_count; `partition` may cover
+  /// only a subset of the caches (the rest start departed, exactly like
+  /// post-`leave()` state) but must not mention a cache twice.
+  MembershipManager(const std::vector<std::vector<std::uint32_t>>& partition,
+                    const std::vector<std::vector<double>>& positions);
+
   std::size_t group_count() const { return counts_.size(); }
   std::size_t active_caches() const { return active_count_; }
+
+  /// The cache's current feature vector (formation-time coordinates until
+  /// update_position() refreshes them).
+  const std::vector<double>& position(std::uint32_t cache) const;
+
+  /// Refresh a cache's feature vector (e.g. with a drift-corrected
+  /// estimate). Membership is untouched; the owning group's centroid is
+  /// updated incrementally, so later join()/reassign() decisions see the
+  /// new coordinates.
+  void update_position(std::uint32_t cache,
+                       const std::vector<double>& position);
+
+  /// Move an active cache to the group whose centroid (computed WITHOUT
+  /// the cache itself, so its own weight cannot pin it) is nearest, and
+  /// return that group id — which may be its current group (no move).
+  /// This is the control plane's "incremental repair" primitive.
+  std::uint32_t reassign(std::uint32_t cache);
+
+  /// Mean position of every non-empty group, in ascending group-id order —
+  /// the warm-start seed for a K-means re-formation
+  /// (cluster::KMeansOptions::initial_centers).
+  std::vector<std::vector<double>> centroids() const;
 
   bool is_member(std::uint32_t cache) const;
   /// Group of an active cache; throws for departed caches.

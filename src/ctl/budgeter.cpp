@@ -1,0 +1,35 @@
+#include "ctl/budgeter.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace ecgf::ctl {
+
+ReprobeBudgeter::ReprobeBudgeter(const BudgetOptions& options)
+    : options_(options) {}
+
+std::vector<std::uint32_t> ReprobeBudgeter::choose(
+    const DriftMonitor& monitor) const {
+  std::vector<std::uint32_t> candidates;
+  candidates.reserve(monitor.cache_count());
+  for (std::size_t c = 0; c < monitor.cache_count(); ++c) {
+    const auto cache = static_cast<std::uint32_t>(c);
+    if (monitor.is_active(cache)) candidates.push_back(cache);
+  }
+  const std::size_t take = std::min(options_.caches_per_tick,
+                                    candidates.size());
+  // (staleness desc, id asc) is a strict weak order with no equal
+  // elements, so partial_sort is as deterministic as a full sort.
+  std::partial_sort(candidates.begin(), candidates.begin() + take,
+                    candidates.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      const auto sa = monitor.staleness(a);
+                      const auto sb = monitor.staleness(b);
+                      return sa != sb ? sa > sb : a < b;
+                    });
+  candidates.resize(take);
+  return candidates;
+}
+
+}  // namespace ecgf::ctl

@@ -1,0 +1,40 @@
+// ReprobeBudgeter — bounded landmark re-probing per control interval.
+//
+// A full re-probe of one cache costs landmarks × probes_per_measurement
+// probe packets; re-probing everyone every tick would cost nearly as much
+// as re-running formation continuously. The budgeter caps the spend at
+// `caches_per_tick` full vectors per interval and allocates them to the
+// caches whose estimates are most overdue: highest staleness first,
+// lowest cache id on ties (a total order, so the schedule is
+// deterministic). Round-robin coverage falls out naturally — a freshly
+// probed cache drops to staleness 0 and requeues behind everyone else.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctl/drift_monitor.h"
+
+namespace ecgf::ctl {
+
+struct BudgetOptions {
+  /// Full landmark-vector re-probes allowed per control tick. 0 disables
+  /// active probing (the monitor then lives off passive samples alone).
+  std::size_t caches_per_tick = 4;
+};
+
+class ReprobeBudgeter {
+ public:
+  explicit ReprobeBudgeter(const BudgetOptions& options);
+
+  /// The caches to re-probe this tick: the `caches_per_tick` active
+  /// caches with the highest staleness (ties → lowest id), in that order.
+  std::vector<std::uint32_t> choose(const DriftMonitor& monitor) const;
+
+  const BudgetOptions& options() const { return options_; }
+
+ private:
+  BudgetOptions options_;
+};
+
+}  // namespace ecgf::ctl

@@ -1,0 +1,127 @@
+#include "ctl/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace ecgf::ctl {
+
+DriftMonitor::DriftMonitor(std::vector<net::HostId> landmarks,
+                           std::vector<std::vector<double>> baseline,
+                           const DriftMonitorOptions& options)
+    : landmarks_(std::move(landmarks)),
+      baseline_(std::move(baseline)),
+      options_(options) {
+  ECGF_EXPECTS(!landmarks_.empty());
+  ECGF_EXPECTS(!baseline_.empty());
+  ECGF_EXPECTS(options_.ewma_alpha > 0.0 && options_.ewma_alpha <= 1.0);
+  for (const auto& row : baseline_) {
+    ECGF_EXPECTS(row.size() == landmarks_.size());
+  }
+
+  const net::HostId max_host =
+      *std::max_element(landmarks_.begin(), landmarks_.end());
+  landmark_slot_.assign(
+      std::max<std::size_t>(max_host + 1, baseline_.size()), -1);
+  for (std::size_t s = 0; s < landmarks_.size(); ++s) {
+    ECGF_EXPECTS(landmark_slot_[landmarks_[s]] == -1);  // distinct landmarks
+    landmark_slot_[landmarks_[s]] = static_cast<std::int32_t>(s);
+  }
+
+  estimate_ = baseline_;
+  staleness_.assign(baseline_.size(), 0);
+  active_.assign(baseline_.size(), true);
+}
+
+void DriftMonitor::observe_sample(net::HostId src, net::HostId dst,
+                                  double rtt_ms) {
+  ECGF_EXPECTS(rtt_ms >= 0.0);
+  const auto fold = [&](net::HostId cache, net::HostId landmark) {
+    if (cache >= baseline_.size()) return;
+    if (landmark >= landmark_slot_.size()) return;
+    const std::int32_t slot = landmark_slot_[landmark];
+    if (slot < 0) return;
+    double& est = estimate_[cache][static_cast<std::size_t>(slot)];
+    est += options_.ewma_alpha * (rtt_ms - est);
+    ++samples_folded_;
+  };
+  // RTTs are symmetric, so one observation can refresh either endpoint's
+  // vector — whichever side pairs a cache with a landmark.
+  fold(src, dst);
+  fold(dst, src);
+}
+
+void DriftMonitor::refresh(std::uint32_t cache,
+                           const std::vector<double>& vector) {
+  ECGF_EXPECTS(cache < estimate_.size());
+  ECGF_EXPECTS(vector.size() == landmarks_.size());
+  estimate_[cache] = vector;
+  staleness_[cache] = 0;
+}
+
+void DriftMonitor::tick() {
+  for (std::size_t c = 0; c < staleness_.size(); ++c) {
+    if (active_[c]) ++staleness_[c];
+  }
+}
+
+std::uint64_t DriftMonitor::staleness(std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < staleness_.size());
+  return staleness_[cache];
+}
+
+double DriftMonitor::drift(std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < baseline_.size());
+  double sum = 0.0;
+  for (std::size_t d = 0; d < landmarks_.size(); ++d) {
+    const double diff = estimate_[cache][d] - baseline_[cache][d];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double DriftMonitor::global_drift() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t c = 0; c < baseline_.size(); ++c) {
+    if (!active_[c]) continue;
+    sum += drift(static_cast<std::uint32_t>(c));
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double DriftMonitor::mean_drift(
+    const std::vector<std::uint32_t>& members) const {
+  if (members.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::uint32_t c : members) sum += drift(c);
+  return sum / static_cast<double>(members.size());
+}
+
+const std::vector<double>& DriftMonitor::estimate(std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < estimate_.size());
+  return estimate_[cache];
+}
+
+void DriftMonitor::rebase(std::uint32_t cache) {
+  ECGF_EXPECTS(cache < baseline_.size());
+  baseline_[cache] = estimate_[cache];
+}
+
+void DriftMonitor::rebase_all() {
+  baseline_ = estimate_;
+}
+
+void DriftMonitor::set_active(std::uint32_t cache, bool active) {
+  ECGF_EXPECTS(cache < active_.size());
+  active_[cache] = active;
+}
+
+bool DriftMonitor::is_active(std::uint32_t cache) const {
+  ECGF_EXPECTS(cache < active_.size());
+  return active_[cache];
+}
+
+}  // namespace ecgf::ctl

@@ -1,0 +1,101 @@
+// DriftMonitor — per-cache feature-vector estimation under network drift.
+//
+// Formation (core::GroupingScheme) measures each cache's landmark-RTT
+// feature vector once and clusters on it. As the network drifts, those
+// vectors go stale. The monitor keeps, per cache:
+//
+//   estimate  — an EWMA-updated landmark-RTT vector, fed by (a) passive
+//               samples harvested from cooperative-miss traffic (free, but
+//               only for legs that happen to land on a landmark host) and
+//               (b) active re-probes (full vectors, budgeted by
+//               ReprobeBudgeter);
+//   baseline  — the vector the CURRENT grouping was formed/repaired
+//               against.
+//
+// drift(cache) = ‖estimate − baseline‖₂ in milliseconds: how far the
+// cache has moved in the clustering's own feature space since the
+// grouping last accounted for it. Rebasing (rebase / rebase_all) resets
+// the baseline to the estimate — the ReformationPolicy does this exactly
+// when it acts, so acting visibly reduces measured drift and the
+// threshold/hysteresis loop cannot retrigger on already-handled movement.
+//
+// Staleness (ticks since a cache's last full re-probe) prioritises the
+// re-probe budget. All state is plain doubles updated from the event
+// loop; determinism needs no further care here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rtt_provider.h"
+
+namespace ecgf::ctl {
+
+struct DriftMonitorOptions {
+  /// EWMA weight of one passive sample folded into an estimate slot:
+  /// est = (1 − alpha)·est + alpha·sample. Full re-probes overwrite.
+  double ewma_alpha = 0.3;
+};
+
+class DriftMonitor {
+ public:
+  /// `landmarks` are the probe targets (formation's landmark set;
+  /// landmarks[0] is conventionally the origin). `baseline[c]` is cache
+  /// c's formation-time feature vector, dimension == landmarks.size().
+  DriftMonitor(std::vector<net::HostId> landmarks,
+               std::vector<std::vector<double>> baseline,
+               const DriftMonitorOptions& options);
+
+  std::size_t cache_count() const { return baseline_.size(); }
+  std::size_t dimension() const { return landmarks_.size(); }
+  const std::vector<net::HostId>& landmarks() const { return landmarks_; }
+
+  /// Passive observation (sim::ControlHook::on_rtt_sample): folds the
+  /// sample into src's estimate when dst is a landmark, and into dst's
+  /// estimate when src is a landmark and dst is a cache. Non-landmark
+  /// pairs are ignored (their RTT is not a feature-space coordinate).
+  void observe_sample(net::HostId src, net::HostId dst, double rtt_ms);
+
+  /// Active refresh: overwrite cache's estimate with a freshly probed
+  /// full vector and reset its staleness.
+  void refresh(std::uint32_t cache, const std::vector<double>& vector);
+
+  /// One control interval elapsed: ages every active cache's staleness.
+  void tick();
+
+  /// Ticks since the cache's last full re-probe.
+  std::uint64_t staleness(std::uint32_t cache) const;
+
+  /// ‖estimate − baseline‖₂ (ms) for one cache.
+  double drift(std::uint32_t cache) const;
+  /// Mean drift over the active caches (0 when none are active).
+  double global_drift() const;
+  /// Mean drift over one member list (e.g. a group).
+  double mean_drift(const std::vector<std::uint32_t>& members) const;
+
+  const std::vector<double>& estimate(std::uint32_t cache) const;
+
+  /// Adopt the current estimate as the new baseline (the grouping now
+  /// accounts for this position).
+  void rebase(std::uint32_t cache);
+  void rebase_all();
+
+  /// Departed caches stop contributing to global drift and stop aging.
+  void set_active(std::uint32_t cache, bool active);
+  bool is_active(std::uint32_t cache) const;
+
+  /// Passive samples folded so far (observability).
+  std::uint64_t samples_folded() const { return samples_folded_; }
+
+ private:
+  std::vector<net::HostId> landmarks_;
+  std::vector<std::int32_t> landmark_slot_;  ///< host → feature index, -1 = none
+  std::vector<std::vector<double>> baseline_;
+  std::vector<std::vector<double>> estimate_;
+  std::vector<std::uint64_t> staleness_;
+  std::vector<bool> active_;
+  DriftMonitorOptions options_;
+  std::uint64_t samples_folded_ = 0;
+};
+
+}  // namespace ecgf::ctl

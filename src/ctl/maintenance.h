@@ -1,0 +1,139 @@
+// MaintenanceSession — the online group-maintenance control plane.
+//
+// Implements sim::ControlHook and closes the loop the paper leaves open:
+// formation produces a grouping once; this session keeps it healthy as
+// the network drifts and caches churn. Per control tick (ctl.tick):
+//
+//   1. SENSE   — DriftMonitor has been folding passive RTT samples from
+//                cooperative-miss traffic between ticks; the
+//                ReprobeBudgeter now spends a bounded number of active
+//                landmark re-probes on the stalest caches.
+//   2. SCORE   — per-group and global drift (L2 displacement of each
+//                cache's estimated feature vector from the baseline the
+//                current grouping was formed against), emitted as a
+//                `drift_score` trace event every tick.
+//   3. DECIDE  — ReformationPolicy: none / repair / reform, with
+//                hysteresis and a cost/benefit gate.
+//   4. ACT     — repair: drifted caches are re-pointed at their nearest
+//                group centroid (MembershipManager::reassign); reform:
+//                K-means over the estimated vectors, warm-started from
+//                the current group centroids, then a new
+//                MembershipManager. Either way the new partition is
+//                pushed into the simulator (apply_groups) and the monitor
+//                is rebased so the acted-on drift reads as handled.
+//
+// Churn: leaves deactivate the cache in both the membership view and the
+// monitor; joins re-probe the returning cache's vector, admit it to the
+// nearest group, and push the updated partition immediately.
+//
+// Determinism: every callback runs inline from the event loop; the only
+// parallelism is inside cluster::kmeans, which is bit-identical at any
+// ECGF_THREADS (tests/ctl_test asserts the decisions, trace bytes, and
+// final partition across pool sizes 1/2/8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "core/membership.h"
+#include "core/scheme.h"
+#include "ctl/budgeter.h"
+#include "ctl/drift_monitor.h"
+#include "ctl/policy.h"
+#include "net/prober.h"
+#include "obs/trace.h"
+#include "sim/control.h"
+#include "util/rng.h"
+
+namespace ecgf::ctl {
+
+struct MaintenanceConfig {
+  /// Probe targets; the formation's landmark set (landmarks[0] = origin).
+  std::vector<net::HostId> landmarks;
+  /// Formation-time feature vector of each cache (row per cache, dim ==
+  /// landmarks.size()); both the monitor's baseline and the membership
+  /// manager's initial positions.
+  std::vector<std::vector<double>> baseline_positions;
+  /// The formed partition the session starts from.
+  std::vector<std::vector<std::uint32_t>> initial_partition;
+  /// Group count a re-formation targets; 0 = initial_partition.size().
+  std::size_t target_groups = 0;
+
+  DriftMonitorOptions monitor{};
+  BudgetOptions budget{};
+  PolicyOptions policy{};
+  /// Re-formation K-means knobs (restarts, pool, prune). initial_centers
+  /// is overwritten per reform (warm-started from the live centroids).
+  cluster::KMeansOptions kmeans{};
+  net::ProberOptions prober{};
+  std::uint64_t seed = 1;
+
+  /// Trace stream for ctl events (drift_score, reformation). Inactive =
+  /// fall back to the ambient stream of the global tracer.
+  obs::TraceContext trace{};
+};
+
+/// Convenience: derive landmarks / baseline vectors / initial partition
+/// from a formation result (the common construction path).
+MaintenanceConfig make_maintenance_config(const core::GroupingResult& base,
+                                          std::size_t cache_count);
+
+class MaintenanceSession final : public sim::ControlHook {
+ public:
+  /// `rtt` is the live ground truth the session's re-probes measure —
+  /// normally the same (drifting) provider the simulator runs on, with
+  /// its clock bound to the simulator.
+  MaintenanceSession(const net::RttProvider& rtt, MaintenanceConfig config);
+
+  // sim::ControlHook
+  void on_start(sim::Simulator& sim) override;
+  void on_rtt_sample(net::HostId src, net::HostId dst, double rtt_ms,
+                     double time_ms) override;
+  void on_leave(cache::CacheIndex cache, double time_ms) override;
+  void on_join(cache::CacheIndex cache, std::uint32_t group,
+               double time_ms) override;
+  void on_tick(sim::Simulator& sim, double time_ms) override;
+
+  /// One entry per tick (the MaintenanceAction's underlying value) — the
+  /// determinism contract's comparison key.
+  const std::vector<int>& decisions() const { return decisions_; }
+  const core::MembershipManager& membership() const { return membership_; }
+  const DriftMonitor& monitor() const { return monitor_; }
+
+  std::uint64_t repairs() const { return repairs_; }
+  std::uint64_t reforms() const { return reforms_; }
+  std::size_t probes_sent() const { return prober_.probes_sent(); }
+  /// Iterations of the last re-formation's K-means (warm-start savings
+  /// show up here; bench/ablation_churn reports it).
+  std::size_t last_reform_iterations() const { return last_reform_iters_; }
+
+ private:
+  /// Reassign every member whose drift exceeds the repair threshold to
+  /// its nearest centroid; returns the number that changed group.
+  std::size_t apply_repair(sim::Simulator& sim);
+  /// Full K-means re-formation over the estimated vectors; returns the
+  /// K-means iteration count.
+  std::size_t apply_reform(sim::Simulator& sim);
+
+  MaintenanceConfig config_;
+  util::Rng rng_;
+  net::Prober prober_;
+  DriftMonitor monitor_;
+  ReprobeBudgeter budgeter_;
+  ReformationPolicy policy_;
+  core::MembershipManager membership_;
+  obs::TraceContext trace_;
+  sim::Simulator* sim_ = nullptr;
+
+  std::size_t target_groups_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t reform_seq_ = 0;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t reforms_ = 0;
+  std::size_t last_reform_iters_ = 0;
+  std::vector<int> decisions_;
+  std::vector<double> probe_buffer_;
+};
+
+}  // namespace ecgf::ctl

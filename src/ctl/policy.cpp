@@ -1,0 +1,60 @@
+#include "ctl/policy.h"
+
+#include "util/expect.h"
+
+namespace ecgf::ctl {
+
+ReformationPolicy::ReformationPolicy(const PolicyOptions& options)
+    : options_(options) {
+  ECGF_EXPECTS(options_.repair_threshold_ms > 0.0);
+  ECGF_EXPECTS(options_.reform_threshold_ms >= options_.repair_threshold_ms);
+  ECGF_EXPECTS(options_.rearm_fraction >= 0.0 &&
+               options_.rearm_fraction <= 1.0);
+  ECGF_EXPECTS(options_.reform_cost_ms >= 0.0);
+  ECGF_EXPECTS(options_.requests_per_tick > 0.0);
+}
+
+MaintenanceAction ReformationPolicy::decide(double global_drift_ms,
+                                            double worst_group_drift_ms) {
+  if (acted_ever_) ++ticks_since_action_;
+
+  if (!armed_) {
+    // Cooldown first, always. Then: an action that measurably worked
+    // (residual drift fell below the trigger) re-arms outright, so
+    // continuous drift is met with periodic actions at the cooldown
+    // cadence. One that did NOT work stays disarmed until drift falls
+    // into the lower part of the hysteresis band — a stuck signal cannot
+    // retrigger the same futile action every cooldown.
+    const bool cooled = ticks_since_action_ >= options_.cooldown_ticks;
+    const bool settled = global_drift_ms <=
+                         options_.rearm_fraction * options_.repair_threshold_ms;
+    if (cooled && (last_action_effective_ || settled)) armed_ = true;
+    if (!armed_) return MaintenanceAction::kNone;
+  }
+
+  if (global_drift_ms >= options_.reform_threshold_ms) {
+    // Cost/benefit gate: integrated latency slack over one interval must
+    // cover the re-formation's (operator-estimated) cost.
+    const double benefit_ms = global_drift_ms * options_.requests_per_tick;
+    if (options_.reform_cost_ms == 0.0 ||
+        benefit_ms >= options_.reform_cost_ms) {
+      return MaintenanceAction::kReform;
+    }
+    // Too expensive to re-form: fall through and repair the worst
+    // offenders instead.
+  }
+  if (worst_group_drift_ms >= options_.repair_threshold_ms) {
+    return MaintenanceAction::kRepair;
+  }
+  return MaintenanceAction::kNone;
+}
+
+void ReformationPolicy::notify_acted(double residual_global_drift_ms) {
+  armed_ = false;
+  acted_ever_ = true;
+  ticks_since_action_ = 0;
+  last_action_effective_ =
+      residual_global_drift_ms < options_.repair_threshold_ms;
+}
+
+}  // namespace ecgf::ctl

@@ -1,0 +1,95 @@
+// ReformationPolicy — when to leave the grouping alone, repair it, or
+// re-form it from scratch.
+//
+// Three-way decision per control tick, from two drift summaries:
+//
+//   kNone    — drift below every threshold, or the policy is cooling
+//              down / not yet re-armed after its last action.
+//   kRepair  — some caches have moved enough that reassigning them to
+//              nearer groups (MembershipManager::reassign) is worthwhile,
+//              but the overall structure still stands.
+//   kReform  — the population-wide structure has rotted: re-cluster
+//              everything (K-means warm-started from the current group
+//              centroids), IF the cost/benefit gate agrees.
+//
+// Hysteresis: after acting, the policy waits `cooldown_ticks` before
+// acting again. Whether it then re-arms depends on the action's measured
+// outcome: the session reports the residual global drift right after the
+// action landed (post-rebase). An EFFECTIVE action — residual below the
+// repair threshold — re-arms as soon as the cooldown elapses, so under
+// continuous drift the policy keeps acting at a bounded cadence. An
+// INEFFECTIVE action — residual still at or above the trigger — keeps the
+// policy disarmed until drift falls below `rearm_fraction` × the repair
+// threshold, so an action that demonstrably does nothing cannot retrigger
+// every cooldown forever on the same stuck signal.
+//
+// Cost/benefit gate on reformation: a re-formation costs roughly
+// active_caches × landmarks × probes_per_measurement probe packets plus
+// a K-means run; it is gated on expected benefit
+//     drift_ms × requests_per_tick ≥ reform_cost_ms,
+// i.e. the per-request latency slack the stale grouping is leaving on
+// the table, integrated over one control interval, must cover the
+// (amortised, operator-tuned) cost knob. See docs/control_plane.md.
+#pragma once
+
+#include <cstdint>
+
+namespace ecgf::ctl {
+
+/// The underlying values (0/1/2) are stable: obs trace events serialize
+/// them as "none"/"repair"/"reform" (TraceEvent::reformation).
+enum class MaintenanceAction : std::uint8_t {
+  kNone = 0,
+  kRepair = 1,
+  kReform = 2,
+};
+
+struct PolicyOptions {
+  /// Per-cache drift (ms) above which a cache is individually repaired,
+  /// and group-mean drift above which a repair pass triggers.
+  double repair_threshold_ms = 8.0;
+  /// Global mean drift (ms) above which full re-formation is considered.
+  double reform_threshold_ms = 20.0;
+  /// Ticks to stay quiet after any action (hysteresis, lower bound).
+  std::uint64_t cooldown_ticks = 2;
+  /// After an INEFFECTIVE action (post-action residual drift still at or
+  /// above the repair threshold), additionally require drift ≤
+  /// rearm_fraction × repair threshold before acting again.
+  double rearm_fraction = 0.5;
+  /// Estimated cost of one full re-formation, in the same "latency slack"
+  /// currency as the benefit term (ms of request latency). 0 disables the
+  /// gate.
+  double reform_cost_ms = 0.0;
+  /// Expected request volume per control interval used by the benefit
+  /// term of the cost/benefit gate.
+  double requests_per_tick = 100.0;
+};
+
+class ReformationPolicy {
+ public:
+  explicit ReformationPolicy(const PolicyOptions& options);
+
+  /// One decision per control tick. `global_drift_ms` = mean drift over
+  /// active caches; `worst_group_drift_ms` = max over groups of the
+  /// group-mean drift. Mutates internal hysteresis state (call exactly
+  /// once per tick).
+  MaintenanceAction decide(double global_drift_ms,
+                           double worst_group_drift_ms);
+
+  /// Called by the session when its action is actually applied, with the
+  /// global drift measured AFTER the action (post-rebase). Starts the
+  /// cooldown; the residual decides how the policy re-arms (see above).
+  void notify_acted(double residual_global_drift_ms);
+
+  bool armed() const { return armed_; }
+  const PolicyOptions& options() const { return options_; }
+
+ private:
+  PolicyOptions options_;
+  bool armed_ = true;
+  std::uint64_t ticks_since_action_ = 0;
+  bool acted_ever_ = false;
+  bool last_action_effective_ = false;
+};
+
+}  // namespace ecgf::ctl

@@ -1,0 +1,58 @@
+#include "net/drift.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace ecgf::net {
+
+DriftingRttProvider::DriftingRttProvider(DistanceMatrix base,
+                                         const DriftOptions& options,
+                                         util::Rng& rng)
+    : base_(std::move(base)), options_(options) {
+  ECGF_EXPECTS(base_.size() >= 2);
+  ECGF_EXPECTS(options.drift_fraction >= 0.0 && options.drift_fraction <= 1.0);
+  ECGF_EXPECTS(options.ramp_end_ms > options.ramp_start_ms);
+  ECGF_EXPECTS(options.max_weight >= 0.0 && options.max_weight <= 1.0);
+
+  const std::size_t caches = base_.size() - 1;  // last host = origin server
+  perm_.resize(base_.size());
+  for (std::size_t h = 0; h < perm_.size(); ++h) {
+    perm_[h] = static_cast<HostId>(h);
+  }
+
+  const auto want = static_cast<std::size_t>(
+      static_cast<double>(caches) * options.drift_fraction);
+  if (want < 2) return;  // nothing can move; π stays the identity
+
+  auto picked = rng.sample_indices(caches, want);
+  std::sort(picked.begin(), picked.end());
+  drifting_.assign(picked.begin(), picked.end());
+  // Cyclic rotation of the selected caches: every one of them moves (a
+  // derangement on the subset), and the map stays a bijection on hosts.
+  for (std::size_t i = 0; i < drifting_.size(); ++i) {
+    perm_[drifting_[i]] = drifting_[(i + 1) % drifting_.size()];
+  }
+}
+
+double DriftingRttProvider::weight_now() const {
+  const double t = now_ms_ != nullptr ? *now_ms_ : 0.0;
+  if (t <= options_.ramp_start_ms) return 0.0;
+  if (t >= options_.ramp_end_ms) return options_.max_weight;
+  const double frac = (t - options_.ramp_start_ms) /
+                      (options_.ramp_end_ms - options_.ramp_start_ms);
+  return options_.max_weight * frac;
+}
+
+double DriftingRttProvider::rtt_ms(HostId a, HostId b) const {
+  if (a == b) return 0.0;
+  const double base = base_.at(a, b);
+  const double w = weight_now();
+  if (w == 0.0) return base;
+  // π is a bijection, so π(a) ≠ π(b) here and the drifted term is a real
+  // off-diagonal RTT (symmetric, positive) — the blend stays a metric-ish
+  // symmetric matrix with zero diagonal.
+  return (1.0 - w) * base + w * base_.at(perm_[a], perm_[b]);
+}
+
+}  // namespace ecgf::net

@@ -70,6 +70,7 @@ void write_report_jsonl(std::ostream& os, const sim::SimulationReport& report,
   std::string out;
   open_record(out, label);
   num_field(out, "avg_latency_ms", report.avg_latency_ms);
+  num_field(out, "avg_miss_latency_ms", report.avg_miss_latency_ms);
   num_field(out, "p50_latency_ms", report.p50_latency_ms);
   num_field(out, "p95_latency_ms", report.p95_latency_ms);
   num_field(out, "p99_latency_ms", report.p99_latency_ms);
@@ -89,6 +90,10 @@ void write_report_jsonl(std::ostream& os, const sim::SimulationReport& report,
   int_field(out, "stale_served", report.stale_served);
   int_field(out, "wasted_summary_probes", report.wasted_summary_probes);
   int_field(out, "summary_rebuilds", report.summary_rebuilds);
+  int_field(out, "leaves_applied", report.leaves_applied);
+  int_field(out, "joins_applied", report.joins_applied);
+  int_field(out, "regroupings", report.regroupings);
+  int_field(out, "control_ticks", report.control_ticks);
   close_record(out);
   os << out;
 }

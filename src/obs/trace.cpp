@@ -66,6 +66,15 @@ std::string_view resolution_name(int how) {
   }
 }
 
+std::string_view maintenance_action_name(int action) {
+  switch (action) {
+    case 0: return "none";
+    case 1: return "repair";
+    case 2: return "reform";
+    default: return "unknown";
+  }
+}
+
 }  // namespace
 
 std::string_view event_name(EventKind kind) {
@@ -82,6 +91,10 @@ std::string_view event_name(EventKind kind) {
     case EventKind::kResolution: return "resolution";
     case EventKind::kInvalidation: return "invalidation";
     case EventKind::kCacheFailure: return "cache_failure";
+    case EventKind::kCacheLeave: return "cache_leave";
+    case EventKind::kCacheJoin: return "cache_join";
+    case EventKind::kDriftScore: return "drift_score";
+    case EventKind::kReformation: return "reformation";
   }
   return "unknown";
 }
@@ -167,6 +180,33 @@ TraceEvent TraceEvent::cache_failure(double time_ms, std::uint32_t cache) {
           u64_to_double(cache), 0.0, 0.0, 0.0};
 }
 
+TraceEvent TraceEvent::cache_leave(double time_ms, std::uint32_t cache) {
+  return {time_ms, 0, 0, EventKind::kCacheLeave,
+          u64_to_double(cache), 0.0, 0.0, 0.0};
+}
+
+TraceEvent TraceEvent::cache_join(double time_ms, std::uint32_t cache,
+                                  std::uint32_t group) {
+  return {time_ms, 0, 0, EventKind::kCacheJoin,
+          u64_to_double(cache), u64_to_double(group), 0.0, 0.0};
+}
+
+TraceEvent TraceEvent::drift_score(double time_ms, std::size_t tick,
+                                   double global_ms, double worst_group_ms,
+                                   std::size_t refreshed) {
+  return {time_ms, 0, 0, EventKind::kDriftScore,
+          u64_to_double(tick), global_ms, worst_group_ms,
+          u64_to_double(refreshed)};
+}
+
+TraceEvent TraceEvent::reformation(double time_ms, std::size_t tick,
+                                   int action, double drift_ms,
+                                   std::size_t moves) {
+  return {time_ms, 0, 0, EventKind::kReformation,
+          u64_to_double(tick), static_cast<double>(action), drift_ms,
+          u64_to_double(moves)};
+}
+
 std::string serialize_event(const TraceEvent& event) {
   std::string out;
   out.reserve(128);
@@ -235,6 +275,26 @@ std::string serialize_event(const TraceEvent& event) {
       break;
     case EventKind::kCacheFailure:
       append_int_field(out, "cache", event.a);
+      break;
+    case EventKind::kCacheLeave:
+      append_int_field(out, "cache", event.a);
+      break;
+    case EventKind::kCacheJoin:
+      append_int_field(out, "cache", event.a);
+      append_int_field(out, "group", event.b);
+      break;
+    case EventKind::kDriftScore:
+      append_int_field(out, "tick", event.a);
+      append_num_field(out, "global_ms", event.b);
+      append_num_field(out, "worst_group_ms", event.c);
+      append_int_field(out, "refreshed", event.d);
+      break;
+    case EventKind::kReformation:
+      append_int_field(out, "tick", event.a);
+      append_str_field(out, "action",
+                       maintenance_action_name(static_cast<int>(event.b)));
+      append_num_field(out, "drift_ms", event.c);
+      append_int_field(out, "moves", event.d);
       break;
   }
   out += '}';

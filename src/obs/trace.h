@@ -48,6 +48,11 @@ enum class EventKind : std::uint8_t {
   kResolution,        ///< request completed: {cache, doc, how, latency_ms}
   kInvalidation,      ///< origin update pushed: {doc, holders}
   kCacheFailure,      ///< cache crashed: {cache}
+  // Group-maintenance control plane (src/ctl, membership churn).
+  kCacheLeave,        ///< cache departed gracefully: {cache}
+  kCacheJoin,         ///< cache rejoined: {cache, group}
+  kDriftScore,        ///< one control tick's drift estimate: {tick, global_ms, worst_group_ms, refreshed}
+  kReformation,       ///< maintenance acted: {tick, action, drift_ms, moves}
 };
 
 /// JSONL event name of a kind (e.g. "resolution").
@@ -90,6 +95,18 @@ struct TraceEvent {
   static TraceEvent invalidation(double time_ms, std::uint64_t doc,
                                  std::size_t holders);
   static TraceEvent cache_failure(double time_ms, std::uint32_t cache);
+  static TraceEvent cache_leave(double time_ms, std::uint32_t cache);
+  static TraceEvent cache_join(double time_ms, std::uint32_t cache,
+                               std::uint32_t group);
+  static TraceEvent drift_score(double time_ms, std::size_t tick,
+                                double global_ms, double worst_group_ms,
+                                std::size_t refreshed);
+  /// `action`: 0 = none, 1 = repair, 2 = reform (matches
+  /// ctl::MaintenanceAction's underlying values; serialized as a string).
+  /// `moves` is caches reassigned for a repair, K-means iterations for a
+  /// full re-formation.
+  static TraceEvent reformation(double time_ms, std::size_t tick, int action,
+                                double drift_ms, std::size_t moves);
 };
 
 /// One JSONL line (no trailing newline) for an event. Numbers use

@@ -1,0 +1,67 @@
+// Control-plane hook: the seam between the discrete-event simulator and
+// the online group-maintenance logic in src/ctl.
+//
+// The simulator owns the event queue and the group state; the control
+// plane owns the policy. ControlHook is how the two meet without a sim →
+// ctl dependency: the simulator calls OUT through this interface (live
+// RTT observations, membership churn, periodic control ticks) and the
+// hook calls BACK IN through the Simulator's public maintenance surface
+// (apply_groups()). ctl::MaintenanceSession is the real implementation;
+// tests stub it.
+//
+// Determinism: every callback fires from the event-queue thread at a
+// deterministic point in the event order, and the hook must not introduce
+// nondeterminism of its own (see docs/control_plane.md).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/directory.h"
+#include "net/rtt_provider.h"
+
+namespace ecgf::sim {
+
+class Simulator;
+
+/// Scripted membership churn: a cache gracefully departs (kLeave) or
+/// rejoins (kJoin) at a given simulation time. Distinct from
+/// SimulationConfig::CacheFailure — a crash is permanent and abrupt
+/// (registrations purged, no announcement); a leave is clean (same purge,
+/// but the control plane is told) and reversible by a later join.
+struct MembershipChange {
+  enum class Kind : std::uint8_t { kLeave, kJoin };
+  Kind kind = Kind::kLeave;
+  cache::CacheIndex cache = 0;
+  double time_ms = 0.0;
+};
+
+/// Observer + actuator interface for online group maintenance. All
+/// methods have empty defaults so implementations override only what
+/// they need. Callbacks run inline from the event loop: keep them
+/// deterministic and re-entrancy-free (do not call Simulator::run()).
+class ControlHook {
+ public:
+  virtual ~ControlHook() = default;
+
+  /// Once, immediately before the first event executes.
+  virtual void on_start(Simulator& /*sim*/) {}
+
+  /// A live RTT observation harvested from cooperative-miss traffic
+  /// (requester → beacon and requester → holder legs). Free signal: no
+  /// probe was spent to learn it.
+  virtual void on_rtt_sample(net::HostId /*src*/, net::HostId /*dst*/,
+                             double /*rtt_ms*/, double /*time_ms*/) {}
+
+  /// A cache departed (already detached from its directory).
+  virtual void on_leave(cache::CacheIndex /*cache*/, double /*time_ms*/) {}
+
+  /// A cache rejoined (already live again, in group `group`).
+  virtual void on_join(cache::CacheIndex /*cache*/, std::uint32_t /*group*/,
+                       double /*time_ms*/) {}
+
+  /// One control interval elapsed. The hook may probe, update estimates,
+  /// and call sim.apply_groups() to repartition.
+  virtual void on_tick(Simulator& /*sim*/, double /*time_ms*/) {}
+};
+
+}  // namespace ecgf::sim

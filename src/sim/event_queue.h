@@ -28,6 +28,9 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   SimTime now() const { return now_; }
+  /// Stable pointer to the clock, for collaborators that track simulated
+  /// time across calls (e.g. net::DriftingRttProvider::bind_clock).
+  const SimTime* now_ptr() const { return &now_; }
 
  private:
   struct Entry {

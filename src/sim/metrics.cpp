@@ -38,6 +38,7 @@ void MetricsCollector::record(std::uint32_t cache, double latency_ms,
     bump(per_cache_counts_[cache]);
     per_cache_[cache].add(latency_ms);
     network_.add(latency_ms);
+    if (how != Resolution::kLocalHit) miss_.add(latency_ms);
     reservoir_.add(latency_ms);
   }
 }

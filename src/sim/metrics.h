@@ -75,6 +75,10 @@ class MetricsCollector {
   const util::Accumulator& cache_latency(std::uint32_t cache) const;
   /// Post-warm-up latency accumulator over all caches.
   const util::Accumulator& network_latency() const { return network_; }
+  /// Post-warm-up latency of requests NOT served locally (group hits +
+  /// origin fetches) — isolates the cooperation cost that group
+  /// maintenance targets.
+  const util::Accumulator& miss_latency() const { return miss_; }
   /// Post-warm-up resolution counts (same window as the latency stats).
   const ResolutionCounts& counts() const { return counts_; }
   /// Lifetime resolution counts including the warm-up window — use for
@@ -95,6 +99,7 @@ class MetricsCollector {
   std::vector<util::Accumulator> per_cache_;
   std::vector<ResolutionCounts> per_cache_counts_;
   util::Accumulator network_;
+  util::Accumulator miss_;
   util::ReservoirSample reservoir_;
   ResolutionCounts counts_;      ///< post-warm-up window only
   ResolutionCounts raw_counts_;  ///< every recorded request

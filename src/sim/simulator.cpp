@@ -59,9 +59,19 @@ Simulator::Simulator(const cache::Catalog& catalog,
     trace_ = obs::TraceContext::root(obs::global_tracer(), 0);
   }
   down_.assign(n, false);
+  departed_.assign(n, false);
   for (const auto& f : config_.failures) {
     ECGF_EXPECTS(f.cache < n);
     ECGF_EXPECTS(f.time_ms >= 0.0);
+  }
+  for (const auto& m : config_.membership_events) {
+    ECGF_EXPECTS(m.cache < n);
+    ECGF_EXPECTS(m.time_ms >= 0.0);
+  }
+  if (config_.control_hook != nullptr) {
+    // The maintenance surface (apply_groups, membership churn) is defined
+    // against the beacon directory; summary mode keeps static peer lists.
+    ECGF_EXPECTS(config_.directory == DirectoryMode::kBeacon);
   }
 
   if (config_.directory == DirectoryMode::kSummary) {
@@ -110,6 +120,101 @@ void Simulator::rebuild_summaries() {
 bool Simulator::is_down(cache::CacheIndex i) const {
   ECGF_EXPECTS(i < down_.size());
   return down_[i];
+}
+
+bool Simulator::is_departed(cache::CacheIndex i) const {
+  ECGF_EXPECTS(i < departed_.size());
+  return departed_[i];
+}
+
+std::size_t Simulator::group_index_of(cache::CacheIndex i) const {
+  ECGF_EXPECTS(i < group_of_.size());
+  return group_of_[i];
+}
+
+void Simulator::observe_rtt(net::HostId src, net::HostId dst, double rtt_ms,
+                            SimTime t) {
+  if (config_.control_hook != nullptr && src != dst) {
+    config_.control_hook->on_rtt_sample(src, dst, rtt_ms, t);
+  }
+}
+
+void Simulator::handle_leave(cache::CacheIndex cache, SimTime t) {
+  if (departed_[cache]) return;
+  departed_[cache] = true;
+  down_[cache] = true;
+  ++leaves_applied_;
+  directories_[group_of_[cache]]->remove_all_for_holder(cache);
+  trace_.emit(obs::TraceEvent::cache_leave(t, cache));
+  if (config_.control_hook != nullptr) {
+    config_.control_hook->on_leave(cache, t);
+  }
+}
+
+void Simulator::handle_join(cache::CacheIndex cache, SimTime t) {
+  if (!departed_[cache]) return;
+  departed_[cache] = false;
+  down_[cache] = false;
+  // Rejoin cold: a returning node has no warm store to offer. It resumes
+  // in its last group (beacon membership was never rewritten) unless the
+  // control hook repartitions later.
+  const std::uint64_t capacity =
+      config_.per_cache_capacity_bytes.empty()
+          ? config_.cache_capacity_bytes
+          : config_.per_cache_capacity_bytes[cache];
+  caches_[cache] = std::make_unique<cache::EdgeCache>(
+      capacity, catalog_,
+      cache::make_policy(config_.policy, catalog_, config_.utility_params));
+  ++joins_applied_;
+  const auto group = static_cast<std::uint32_t>(group_of_[cache]);
+  trace_.emit(obs::TraceEvent::cache_join(t, cache, group));
+  if (config_.control_hook != nullptr) {
+    config_.control_hook->on_join(cache, group, t);
+  }
+}
+
+void Simulator::apply_groups(
+    const std::vector<std::vector<cache::CacheIndex>>& groups) {
+  ECGF_EXPECTS(!groups.empty());
+  constexpr auto kUnassigned = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> new_group_of(cache_count_, kUnassigned);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    ECGF_EXPECTS(!groups[g].empty());
+    for (cache::CacheIndex c : groups[g]) {
+      ECGF_EXPECTS(c < cache_count_);
+      ECGF_EXPECTS(!departed_[c]);
+      ECGF_EXPECTS(new_group_of[c] == kUnassigned);
+      new_group_of[c] = g;
+    }
+  }
+  for (std::size_t c = 0; c < cache_count_; ++c) {
+    ECGF_EXPECTS(departed_[c] || new_group_of[c] != kUnassigned);
+    // Departed caches keep their old group id for the rejoin default;
+    // clamp it into range if their group vanished.
+    if (departed_[c] && group_of_[c] >= groups.size()) new_group_of[c] = 0;
+    if (departed_[c] && group_of_[c] < groups.size()) {
+      new_group_of[c] = group_of_[c];
+    }
+  }
+
+  config_.groups = groups;
+  group_of_ = std::move(new_group_of);
+  directories_.clear();
+  directories_.reserve(groups.size());
+  for (const auto& g : groups) {
+    directories_.push_back(
+        std::make_unique<cache::GroupDirectory>(g, config_.beacons_per_group));
+  }
+  // Cooperative state survives the cut-over: every live cache re-registers
+  // its resident documents with its new group's directory.
+  for (std::size_t c = 0; c < cache_count_; ++c) {
+    if (down_[c]) continue;
+    auto& dir = *directories_[group_of_[c]];
+    for (cache::DocId d : caches_[c]->resident_docs()) {
+      dir.add_holder(d, static_cast<cache::CacheIndex>(c));
+    }
+  }
+  ++regroupings_;
 }
 
 void Simulator::handle_failure(cache::CacheIndex failed, SimTime t) {
@@ -251,6 +356,7 @@ void Simulator::handle_request(const workload::Request& request, SimTime now) {
       failover_penalty_ms + (beacon == i ? 0.0 : rtt_.rtt_ms(i, beacon));
   trace_.emit(
       obs::TraceEvent::dir_lookup(now, i, beacon, d, dir.holders(d).size()));
+  if (beacon != i) observe_rtt(i, beacon, rtt_.rtt_ms(i, beacon), now);
 
   // Cheapest fresh holder registered in the group directory.
   cache::CacheIndex holder = i;
@@ -271,6 +377,7 @@ void Simulator::handle_request(const workload::Request& request, SimTime now) {
     const double rtt_bh = beacon == holder ? 0.0 : rtt_.rtt_ms(beacon, holder);
     latency = config_.cost.group_hit_ms(rtt_ib, rtt_bh, best_rtt, size);
     how = Resolution::kGroupHit;
+    observe_rtt(i, holder, best_rtt, now);
     caches_[holder]->touch(d, now);
   } else {
     const double gen = origin_->serve_ms(d);
@@ -489,6 +596,29 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
       handle_failure(c, t);
     });
   }
+  for (const auto& change : config_.membership_events) {
+    queue_.schedule(change.time_ms, [this, change](SimTime t) {
+      if (change.kind == MembershipChange::Kind::kLeave) {
+        handle_leave(change.cache, t);
+      } else {
+        handle_join(change.cache, t);
+      }
+    });
+  }
+  // Periodic control-plane tick. Like `refresh` below, the recursive
+  // std::function must outlive queue_.run, hence function scope.
+  std::function<void(SimTime)> control_tick = [&, this](SimTime t) {
+    ++control_ticks_;
+    config_.control_hook->on_tick(*this, t);
+    const SimTime next = t + config_.control_interval_ms;
+    if (next <= trace.duration_ms) queue_.schedule(next, control_tick);
+  };
+  if (config_.control_hook != nullptr) {
+    config_.control_hook->on_start(*this);
+    if (config_.control_interval_ms > 0.0) {
+      queue_.schedule(config_.control_interval_ms, control_tick);
+    }
+  }
   // Periodic network-wide summary refresh (summary directory mode). The
   // recursive std::function must outlive queue_.run below, hence function
   // scope.
@@ -508,6 +638,7 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
   report.events_executed = queue_.run(horizon);
 
   report.avg_latency_ms = metrics_->network_latency().mean();
+  report.avg_miss_latency_ms = metrics_->miss_latency().mean();
   report.p50_latency_ms = metrics_->latency_quantile(0.50);
   report.p95_latency_ms = metrics_->latency_quantile(0.95);
   report.p99_latency_ms = metrics_->latency_quantile(0.99);
@@ -527,6 +658,10 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
   report.requests_processed = trace.requests.size();
   report.failures_applied = failures_applied_;
   report.failover_lookups = failover_lookups_;
+  report.leaves_applied = leaves_applied_;
+  report.joins_applied = joins_applied_;
+  report.regroupings = regroupings_;
+  report.control_ticks = control_ticks_;
   report.stale_served = stale_served_;
   report.wasted_summary_probes = wasted_summary_probes_;
   report.summary_rebuilds = summary_rebuilds_;

@@ -17,6 +17,7 @@
 #include "cache/origin.h"
 #include "net/rtt_provider.h"
 #include "obs/trace.h"
+#include "sim/control.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
@@ -111,6 +112,21 @@ struct SimulationConfig {
   };
   std::vector<CacheFailure> failures;
 
+  /// Scripted graceful churn (leave/join), applied in time order. Unlike
+  /// failures, these notify the control hook and are reversible: a
+  /// departed cache rejoins cold (empty store) in its last group unless a
+  /// hook has repartitioned in between.
+  std::vector<MembershipChange> membership_events;
+
+  /// Online maintenance hook (non-owning; must outlive the run). Receives
+  /// RTT observations and churn notifications, and gets a tick every
+  /// control_interval_ms; may call Simulator::apply_groups(). nullptr =
+  /// static grouping (the paper's setting).
+  ControlHook* control_hook = nullptr;
+  /// Control-tick period; <= 0 disables ticks (the hook still sees
+  /// samples and churn).
+  double control_interval_ms = 0.0;
+
   /// Trace stream this run's events go to. Default-constructed = inactive;
   /// when inactive but ECGF_TRACE is on and a global tracer is installed,
   /// the simulator falls back to the ambient stream 0. Orchestrators
@@ -122,6 +138,10 @@ struct SimulationConfig {
 struct SimulationReport {
   /// Paper's "average cache latency": mean over post-warmup requests.
   double avg_latency_ms = 0.0;
+  /// Mean latency of post-warmup requests NOT served locally (group +
+  /// origin) — the cost of cooperation, the metric group maintenance
+  /// moves when the grouping goes stale (bench/ablation_churn).
+  double avg_miss_latency_ms = 0.0;
   /// Latency distribution tail (reservoir-sampled, post-warmup).
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
@@ -144,6 +164,10 @@ struct SimulationReport {
   std::uint64_t events_executed = 0;
   std::uint64_t failures_applied = 0;
   std::uint64_t failover_lookups = 0;  ///< beacon slots skipped due to crashes
+  std::uint64_t leaves_applied = 0;    ///< graceful departures executed
+  std::uint64_t joins_applied = 0;     ///< rejoins executed
+  std::uint64_t regroupings = 0;       ///< apply_groups() calls (control plane)
+  std::uint64_t control_ticks = 0;     ///< control-hook ticks fired
   /// Requests served a copy older than the origin's (TTL mode only; always
   /// 0 under push invalidation).
   std::uint64_t stale_served = 0;
@@ -170,6 +194,28 @@ class Simulator {
   const MetricsCollector& metrics() const { return *metrics_; }
 
   bool is_down(cache::CacheIndex i) const;
+  /// True between a leave and the matching join.
+  bool is_departed(cache::CacheIndex i) const;
+  std::size_t cache_count() const { return cache_count_; }
+  /// Directory index of a cache's current group.
+  std::size_t group_index_of(cache::CacheIndex i) const;
+  /// The current partition (as configured or last applied).
+  const std::vector<std::vector<cache::CacheIndex>>& groups() const {
+    return config_.groups;
+  }
+
+  /// Stable pointer to the simulation clock (ms); reads 0 before run().
+  /// Lets time-varying collaborators (net::DriftingRttProvider, the
+  /// control plane's probers) follow simulated time without a call-site
+  /// time parameter.
+  const double* clock_ptr() const { return queue_.now_ptr(); }
+
+  /// Replace the group partition mid-run (the control plane's actuator).
+  /// `groups` must partition exactly the non-departed caches. Directories
+  /// are rebuilt and live caches re-register their resident documents, so
+  /// cooperative state survives the cut-over; in-flight completions
+  /// re-home against the new directories. Counted in regroupings.
+  void apply_groups(const std::vector<std::vector<cache::CacheIndex>>& groups);
 
  private:
   void handle_request(const workload::Request& request, SimTime now);
@@ -178,6 +224,11 @@ class Simulator {
   void rebuild_summaries();
   void handle_update(const workload::Update& update);
   void handle_failure(cache::CacheIndex failed, SimTime t);
+  void handle_leave(cache::CacheIndex cache, SimTime t);
+  void handle_join(cache::CacheIndex cache, SimTime t);
+  /// Forward a cooperative-traffic RTT observation to the control hook.
+  void observe_rtt(net::HostId src, net::HostId dst, double rtt_ms,
+                   SimTime t);
   /// Completion bookkeeping shared by every resolution path: advances the
   /// metrics clock, records the sample, and emits exactly one `resolution`
   /// trace event — so trace files conserve requests (resolution events ==
@@ -208,11 +259,16 @@ class Simulator {
   obs::TraceContext trace_;
   EventQueue queue_;
   std::vector<bool> down_;
+  std::vector<bool> departed_;  ///< left gracefully; may rejoin
   /// Summary mode: per-cache content summaries + peers sorted by RTT.
   std::vector<cache::BloomFilter> summaries_;
   std::vector<std::vector<cache::CacheIndex>> sorted_peers_;
   std::uint64_t invalidations_pushed_ = 0;
   std::uint64_t failures_applied_ = 0;
+  std::uint64_t leaves_applied_ = 0;
+  std::uint64_t joins_applied_ = 0;
+  std::uint64_t regroupings_ = 0;
+  std::uint64_t control_ticks_ = 0;
   std::uint64_t failover_lookups_ = 0;
   std::uint64_t stale_served_ = 0;
   std::uint64_t wasted_summary_probes_ = 0;

@@ -123,6 +123,92 @@ TEST(KMeans, RejectsBadK) {
   EXPECT_THROW(kmeans(points, 3, init, rng), util::ContractViolation);
 }
 
+TEST(KMeans, WarmStartFromOwnCentersConvergesImmediately) {
+  util::Rng rng(11);
+  const Points points = three_blobs(20, rng);
+  const UniformCoverageInit init;
+  util::Rng r1(12);
+  const auto cold = kmeans(points, 3, init, r1);
+
+  // Feeding a converged run's centres back in is a Lloyd fixed point: one
+  // iteration confirms nothing moves.
+  KMeansOptions warm_opts;
+  warm_opts.restarts = 1;
+  warm_opts.initial_centers = cold.centers;
+  util::Rng r2(13);
+  const auto warm = kmeans(points, 3, init, r2, warm_opts);
+  EXPECT_EQ(warm.assignment, cold.assignment);
+  EXPECT_EQ(warm.centers, cold.centers);
+  EXPECT_EQ(warm.iterations, 1u);
+  EXPECT_TRUE(warm.converged);
+}
+
+TEST(KMeans, WarmStartTakesFewerIterationsThanColdAtEqualWcss) {
+  // Unstructured points: the cold run needs several Lloyd iterations, so
+  // warm-starting near the optimum has room to win.
+  util::Rng gen(14);
+  Points points;
+  for (int i = 0; i < 120; ++i)
+    points.push_back({gen.uniform(0.0, 50.0), gen.uniform(0.0, 50.0)});
+  const UniformCoverageInit init;
+  KMeansOptions opts;
+  opts.restarts = 1;
+  opts.reassignment_fraction = 0.0;  // run to a strict fixed point
+  util::Rng r1(15);
+  const auto cold = kmeans(points, 6, init, r1, opts);
+  ASSERT_GT(cold.iterations, 2u);
+
+  // Nudge the converged centres slightly: the warm restart must re-settle
+  // to the same optimum in fewer iterations than the cold run took.
+  Points nudged = cold.centers;
+  util::Rng jitter(16);
+  for (auto& row : nudged)
+    for (double& x : row) x += jitter.normal(0.0, 0.3);
+  KMeansOptions warm_opts = opts;
+  warm_opts.initial_centers = nudged;
+  util::Rng r2(17);
+  const auto warm = kmeans(points, 6, init, r2, warm_opts);
+  EXPECT_LT(warm.iterations, cold.iterations);
+  // Same basin or a neighbouring one — never a worse optimum than cold.
+  EXPECT_LE(within_cluster_ss(points, warm),
+            within_cluster_ss(points, cold) + 1e-9);
+}
+
+TEST(KMeans, WarmStartLosesToBetterColdRestart) {
+  // A deliberately terrible warm start (all centres on one point) must NOT
+  // win when cold restarts find a lower-WCSS clustering: warm start seeds
+  // restart 0 only, and best-WCSS selection still applies across restarts.
+  util::Rng rng(18);
+  const Points points = three_blobs(15, rng);
+  const UniformCoverageInit init;
+  KMeansOptions opts;
+  opts.restarts = 3;
+  opts.max_iterations = 1;  // freeze the bad warm start where it is
+  opts.initial_centers = Points{points[0], points[0], points[0]};
+  util::Rng r(19);
+  const auto result = kmeans(points, 3, init, r, opts);
+  KMeansOptions warm_only = opts;
+  warm_only.restarts = 1;
+  util::Rng rw(19);
+  const auto warm = kmeans(points, 3, init, rw, warm_only);
+  EXPECT_LT(within_cluster_ss(points, result),
+            within_cluster_ss(points, warm));
+}
+
+TEST(KMeans, WarmStartRejectsWrongShape) {
+  Points points{{0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}};
+  const UniformCoverageInit init;
+  util::Rng rng(20);
+  KMeansOptions wrong_k;
+  wrong_k.initial_centers = Points{{0.0, 0.0}};  // 1 row for k=2
+  EXPECT_THROW(kmeans(points, 2, init, rng, wrong_k),
+               util::ContractViolation);
+  KMeansOptions wrong_dim;
+  wrong_dim.initial_centers = Points{{0.0}, {1.0}};  // dim 1 for 2-D points
+  EXPECT_THROW(kmeans(points, 2, init, rng, wrong_dim),
+               util::ContractViolation);
+}
+
 TEST(UniformInit, DistinctIndicesCoveringRegions) {
   util::Rng rng(8);
   const Points points = three_blobs(10, rng);

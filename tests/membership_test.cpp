@@ -28,6 +28,22 @@ TEST(RandIndex, DisagreementLowersScore) {
   EXPECT_NEAR(rand_index(a, b, 4), 2.0 / 6.0, 1e-12);
 }
 
+TEST(RandIndex, DegeneratePartitions) {
+  // One all-encompassing group vs itself: every pair agrees.
+  const std::vector<std::vector<std::uint32_t>> one{{0, 1, 2, 3}};
+  EXPECT_DOUBLE_EQ(rand_index(one, one, 4), 1.0);
+  // All singletons vs all singletons: every pair apart in both → 1.
+  const std::vector<std::vector<std::uint32_t>> singles{{0}, {1}, {2}, {3}};
+  EXPECT_DOUBLE_EQ(rand_index(singles, singles, 4), 1.0);
+  // One group vs all singletons: every pair disagrees → 0.
+  EXPECT_DOUBLE_EQ(rand_index(one, singles, 4), 0.0);
+  // n=2 (smallest legal input): a single pair, agree or not.
+  const std::vector<std::vector<std::uint32_t>> pair{{0, 1}};
+  const std::vector<std::vector<std::uint32_t>> split{{0}, {1}};
+  EXPECT_DOUBLE_EQ(rand_index(pair, pair, 2), 1.0);
+  EXPECT_DOUBLE_EQ(rand_index(pair, split, 2), 0.0);
+}
+
 TEST(RandIndex, ValidatesCoverage) {
   const std::vector<std::vector<std::uint32_t>> bad{{0, 1}};  // misses 2,3
   const std::vector<std::vector<std::uint32_t>> ok{{0, 1}, {2, 3}};
@@ -87,6 +103,103 @@ TEST(Membership, EmptyGroupOmittedFromPartitionAndRejoinable) {
   // closer to it than nothing; it must join *some* group.
   const auto g = mm.join(2);
   EXPECT_LT(g, 2u);
+}
+
+TEST(Membership, GroupExtinctionAndRevivalKeepsCentroidsConsistent) {
+  // Drive group 1 extinct, rebuild it via reassign-free joins, and check
+  // the revived group's centroid steers later joins correctly.
+  const auto base = tiny_result();
+  MembershipManager mm(base, 4);
+  mm.leave(2);
+  mm.leave(3);
+  EXPECT_EQ(mm.active_partition().size(), 1u);
+  EXPECT_EQ(mm.centroids().size(), 1u);
+  // Group 1 is extinct; both far caches funnel into group 0 (the only
+  // centroid left), dragging its mean toward the far side...
+  EXPECT_EQ(mm.join(2), 0u);
+  EXPECT_EQ(mm.join(3), 0u);
+  EXPECT_EQ(mm.active_caches(), 4u);
+  // ...and the dragged centroid is visible: (0+1+100+101)/4 = 50.5.
+  const auto c = mm.centroids();
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0][0], 50.5);
+  EXPECT_DOUBLE_EQ(c[0][1], 0.0);
+}
+
+TEST(Membership, ActivePartitionOrderingIsStable) {
+  // active_partition() lists groups in ascending group-id order and
+  // members in ascending cache-id order, independent of churn history —
+  // downstream consumers (apply_groups, rand_index baselines) rely on it.
+  const auto base = tiny_result();
+  MembershipManager mm(base, 4);
+  // Churn in a scrambled order (one leaver per group, so neither group
+  // goes extinct); membership ends where it started.
+  for (std::uint32_t c : {3u, 0u}) mm.leave(c);
+  for (std::uint32_t c : {3u, 0u}) mm.join(c);
+  const auto partition = mm.active_partition();
+  ASSERT_EQ(partition.size(), 2u);
+  EXPECT_EQ(partition[0], (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(partition[1], (std::vector<std::uint32_t>{2, 3}));
+  // Identical churn replayed gives byte-identical partitions.
+  MembershipManager mm2(base, 4);
+  for (std::uint32_t c : {3u, 0u}) mm2.leave(c);
+  for (std::uint32_t c : {3u, 0u}) mm2.join(c);
+  EXPECT_EQ(partition, mm2.active_partition());
+}
+
+TEST(Membership, PartitionConstructorMatchesFormationConstructor) {
+  const auto base = tiny_result();
+  MembershipManager from_base(base, 4);
+  const std::vector<std::vector<double>> positions{
+      {0.0, 0.0}, {1.0, 0.0}, {100.0, 0.0}, {101.0, 0.0}};
+  MembershipManager from_parts({{0, 1}, {2, 3}}, positions);
+  EXPECT_EQ(from_parts.group_count(), 2u);
+  EXPECT_EQ(from_parts.active_caches(), 4u);
+  EXPECT_EQ(from_parts.active_partition(), from_base.active_partition());
+  EXPECT_EQ(from_parts.centroids(), from_base.centroids());
+  // Caches omitted from the partition start departed.
+  MembershipManager partial({{0, 1}}, positions);
+  EXPECT_EQ(partial.active_caches(), 2u);
+  EXPECT_FALSE(partial.is_member(3));
+  EXPECT_EQ(partial.join(3), 0u);
+  // A cache listed twice is rejected.
+  EXPECT_THROW(MembershipManager({{0, 0}}, positions),
+               util::ContractViolation);
+}
+
+TEST(Membership, UpdatePositionMovesCentroidAndSteersJoins) {
+  const auto base = tiny_result();
+  MembershipManager mm(base, 4);
+  // Drift cache 1 across to the far side; group 0's centroid follows.
+  mm.update_position(1, {99.0, 0.0});
+  EXPECT_EQ(mm.position(1), (std::vector<double>{99.0, 0.0}));
+  const auto c = mm.centroids();
+  EXPECT_DOUBLE_EQ(c[0][0], 49.5);  // (0 + 99) / 2
+  // A departed cache's position can be updated too (no centroid to touch),
+  // and the new coordinates drive its next join.
+  mm.leave(0);
+  mm.update_position(0, {100.5, 0.0});
+  EXPECT_EQ(mm.join(0), 1u);  // now nearest the far group
+}
+
+TEST(Membership, ReassignRepairsDriftedCache) {
+  const auto base = tiny_result();
+  MembershipManager mm(base, 4);
+  // Without drift, reassign is a no-op (cache stays where it is).
+  EXPECT_EQ(mm.reassign(0), 0u);
+  EXPECT_EQ(mm.active_caches(), 4u);
+  // Drift cache 1 to the far side: reassign moves it to group 1. The
+  // nearest-centroid search must exclude the cache itself — with itself
+  // included, group 0's centroid would sit at (49.5, 0), only ~50 away,
+  // while the true remaining-members centroid (0,0) is ~99 away.
+  mm.update_position(1, {99.0, 0.0});
+  EXPECT_EQ(mm.reassign(1), 1u);
+  EXPECT_EQ(mm.group_of(1), 1u);
+  EXPECT_EQ(mm.active_caches(), 4u);
+  const auto partition = mm.active_partition();
+  ASSERT_EQ(partition.size(), 2u);
+  EXPECT_EQ(partition[0], (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(partition[1], (std::vector<std::uint32_t>{1, 2, 3}));
 }
 
 TEST(Membership, MisuseThrows) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "net/distance_matrix.h"
+#include "net/drift.h"
 #include "net/prober.h"
 #include "util/expect.h"
 
@@ -102,6 +103,125 @@ TEST(Prober, MoreProbesReduceVariance) {
     return sq / kN;
   };
   EXPECT_LT(spread(10), spread(1) * 0.5);
+}
+
+DistanceMatrix random_matrix(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  DistanceMatrix m(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    auto row = m.lower_row(i);
+    for (std::size_t j = 0; j < i; ++j) row[j] = rng.uniform(5.0, 200.0);
+  }
+  return m;
+}
+
+TEST(DriftingRtt, UnboundClockIsExactlyTheBaseMatrix) {
+  const auto base = random_matrix(12, 1);
+  DriftOptions opts;
+  opts.ramp_end_ms = 1000.0;
+  util::Rng rng(2);
+  const DriftingRttProvider drift(base, opts, rng);
+  EXPECT_EQ(drift.weight_now(), 0.0);
+  for (HostId a = 0; a < 12; ++a)
+    for (HostId b = 0; b < 12; ++b)
+      EXPECT_EQ(drift.rtt_ms(a, b), base.at(a, b)) << a << "," << b;
+}
+
+TEST(DriftingRtt, RampBlendsLinearlyAndSaturates) {
+  const auto base = random_matrix(10, 3);
+  DriftOptions opts;
+  opts.ramp_start_ms = 100.0;
+  opts.ramp_end_ms = 300.0;
+  opts.max_weight = 0.8;
+  util::Rng rng(4);
+  DriftingRttProvider drift(base, opts, rng);
+  double now = 0.0;
+  drift.bind_clock(&now);
+
+  now = 50.0;
+  EXPECT_EQ(drift.weight_now(), 0.0);
+  now = 200.0;  // halfway up the ramp
+  EXPECT_DOUBLE_EQ(drift.weight_now(), 0.4);
+  const HostId a = drift.drifting_caches().at(0);
+  const HostId pa = drift.permuted(a);
+  ASSERT_NE(a, pa);
+  EXPECT_DOUBLE_EQ(drift.rtt_ms(a, 9),
+                   0.6 * base.at(a, 9) + 0.4 * base.at(pa, drift.permuted(9)));
+  now = 1e9;
+  EXPECT_DOUBLE_EQ(drift.weight_now(), 0.8);
+}
+
+TEST(DriftingRtt, StaysSymmetricWithZeroDiagonal) {
+  const auto base = random_matrix(15, 5);
+  DriftOptions opts;
+  opts.ramp_end_ms = 100.0;
+  util::Rng rng(6);
+  DriftingRttProvider drift(base, opts, rng);
+  double now = 60.0;
+  drift.bind_clock(&now);
+  for (HostId a = 0; a < 15; ++a) {
+    EXPECT_EQ(drift.rtt_ms(a, a), 0.0);
+    for (HostId b = 0; b < a; ++b) {
+      EXPECT_EQ(drift.rtt_ms(a, b), drift.rtt_ms(b, a));
+      EXPECT_GT(drift.rtt_ms(a, b), 0.0);
+    }
+  }
+}
+
+TEST(DriftingRtt, PermutationMovesOnlySelectedCachesNeverTheServer) {
+  const auto base = random_matrix(21, 7);  // 20 caches + server
+  DriftOptions opts;
+  opts.drift_fraction = 0.4;
+  opts.ramp_end_ms = 10.0;
+  util::Rng rng(8);
+  const DriftingRttProvider drift(base, opts, rng);
+  const auto& moved = drift.drifting_caches();
+  EXPECT_EQ(moved.size(), 8u);  // 0.4 × 20
+  std::vector<bool> selected(21, false);
+  for (HostId c : moved) {
+    EXPECT_LT(c, 20u);  // server (host 20) never drifts
+    selected[c] = true;
+    EXPECT_NE(drift.permuted(c), c);  // every selected cache really moves
+  }
+  for (HostId h = 0; h < 21; ++h) {
+    if (!selected[h]) EXPECT_EQ(drift.permuted(h), h);
+  }
+  // π is a bijection.
+  std::vector<bool> hit(21, false);
+  for (HostId h = 0; h < 21; ++h) {
+    EXPECT_FALSE(hit[drift.permuted(h)]);
+    hit[drift.permuted(h)] = true;
+  }
+}
+
+TEST(DriftingRtt, DeterministicForEqualSeeds) {
+  const auto base = random_matrix(16, 9);
+  DriftOptions opts;
+  opts.ramp_end_ms = 50.0;
+  util::Rng r1(10), r2(10);
+  DriftingRttProvider d1(base, opts, r1);
+  DriftingRttProvider d2(base, opts, r2);
+  double now = 25.0;
+  d1.bind_clock(&now);
+  d2.bind_clock(&now);
+  for (HostId a = 0; a < 16; ++a)
+    for (HostId b = 0; b < 16; ++b)
+      EXPECT_EQ(d1.rtt_ms(a, b), d2.rtt_ms(a, b));
+}
+
+TEST(DriftingRtt, TinyFractionDegeneratesToIdentity) {
+  const auto base = random_matrix(10, 11);
+  DriftOptions opts;
+  opts.drift_fraction = 0.1;  // 0.1 × 9 caches → 0 selected, below the min of 2
+  opts.ramp_end_ms = 10.0;
+  util::Rng rng(12);
+  DriftingRttProvider drift(base, opts, rng);
+  EXPECT_TRUE(drift.drifting_caches().empty());
+  double now = 1e6;
+  drift.bind_clock(&now);
+  for (HostId a = 0; a < 10; ++a)
+    for (HostId b = 0; b < 10; ++b)
+      EXPECT_EQ(drift.rtt_ms(a, b), base.at(a, b));
 }
 
 TEST(Prober, RejectsOutOfRangeHosts) {

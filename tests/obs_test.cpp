@@ -68,11 +68,35 @@ TEST(TraceSerialization, EveryFactoryStampsItsEventName) {
       {TraceEvent::resolution(1.0, 0, 5, 0, 1.0), "resolution"},
       {TraceEvent::invalidation(1.0, 5, 2), "invalidation"},
       {TraceEvent::cache_failure(1.0, 0), "cache_failure"},
+      {TraceEvent::cache_leave(1.0, 0), "cache_leave"},
+      {TraceEvent::cache_join(1.0, 0, 2), "cache_join"},
+      {TraceEvent::drift_score(1.0, 3, 4.5, 9.0, 8), "drift_score"},
+      {TraceEvent::reformation(1.0, 3, 2, 4.5, 12), "reformation"},
   };
   for (const auto& [event, name] : cases) {
     EXPECT_EQ(json_field(serialize_event(event), "event"), name);
     EXPECT_EQ(event_name(event.kind), name);
   }
+}
+
+TEST(TraceSerialization, ControlPlaneEventsRoundTripThroughJsonl) {
+  const std::string leave = serialize_event(TraceEvent::cache_leave(10.0, 4));
+  EXPECT_EQ(json_field(leave, "event"), "cache_leave");
+  EXPECT_EQ(json_field(leave, "cache"), "4");
+  const std::string join = serialize_event(TraceEvent::cache_join(20.0, 4, 2));
+  EXPECT_EQ(json_field(join, "cache"), "4");
+  EXPECT_EQ(json_field(join, "group"), "2");
+  const std::string drift =
+      serialize_event(TraceEvent::drift_score(30.0, 3, 4.25, 9.5, 8));
+  EXPECT_EQ(json_field(drift, "tick"), "3");
+  EXPECT_EQ(json_field(drift, "global_ms"), "4.25");
+  EXPECT_EQ(json_field(drift, "worst_group_ms"), "9.5");
+  EXPECT_EQ(json_field(drift, "refreshed"), "8");
+  const std::string reform =
+      serialize_event(TraceEvent::reformation(40.0, 5, 1, 2.5, 3));
+  EXPECT_EQ(json_field(reform, "action"), "repair");
+  EXPECT_EQ(json_field(reform, "drift_ms"), "2.5");
+  EXPECT_EQ(json_field(reform, "moves"), "3");
 }
 
 TEST(TraceSerialization, IntegralNumbersPrintWithoutDecimalPoint) {

@@ -140,6 +140,41 @@ TEST(PerfKernels, PrunedKMeansTraceIsByteIdentical) {
   EXPECT_EQ(naive, pruned);
 }
 
+TEST(PerfKernels, PrunedKMeansMatchesNaiveUnderWarmStarts) {
+  const cluster::UniformCoverageInit init;
+  for (std::uint64_t seed : {3u, 19u, 88u}) {
+    const auto points = make_points(180, 9, 12, seed);
+    const std::size_t k = 7;
+    // Warm-start centres from a previous (cold) run's output — the exact
+    // shape a re-formation feeds back in — plus a perturbed variant so the
+    // warm rows are NOT already a fixed point of Lloyd iteration.
+    util::Rng r_prev(seed + 500);
+    cluster::KMeansOptions prev_opts;
+    prev_opts.restarts = 1;
+    const auto prev = cluster::kmeans(points, k, init, r_prev, prev_opts);
+    cluster::Points perturbed = prev.centers;
+    util::Rng jitter(seed + 900);
+    for (auto& row : perturbed)
+      for (double& x : row) x += jitter.normal(0.0, 2.0);
+    for (const cluster::Points& warm : {prev.centers, perturbed}) {
+      for (std::size_t restarts : {1u, 3u}) {
+        cluster::KMeansOptions naive_opts;
+        naive_opts.prune = false;
+        naive_opts.restarts = restarts;
+        naive_opts.initial_centers = warm;
+        cluster::KMeansOptions fast_opts = naive_opts;
+        fast_opts.prune = true;
+        util::Rng r1(seed * 17 + 2), r2(seed * 17 + 2);
+        const auto naive = cluster::kmeans(points, k, init, r1, naive_opts);
+        const auto pruned = cluster::kmeans(points, k, init, r2, fast_opts);
+        expect_same(naive, pruned, points,
+                    "warm seed=" + std::to_string(seed) +
+                        " restarts=" + std::to_string(restarts));
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Packed RTT-matrix build == dense build + from_full.
 

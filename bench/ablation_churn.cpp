@@ -380,7 +380,9 @@ int main(int argc, char** argv) {
   if (!json_out.empty()) {
     std::ofstream out(json_out);
     out << "{\n  \"schema\": \"ecgf-ablation-churn/1\",\n  \"mode\": \""
-        << (smoke ? "smoke" : "full") << "\",\n  \"levels\": [\n";
+        << (smoke ? "smoke" : "full")
+        << "\",\n  \"peak_rss_bytes\": " << bench::peak_rss_bytes()
+        << ",\n  \"levels\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
       out << "    {\"drift_fraction\": " << r.drift_fraction

@@ -12,6 +12,7 @@
 #include "core/coordinator.h"
 #include "core/experiment.h"
 #include "obs/session.h"
+#include "peak_rss.h"
 #include "util/table.h"
 
 namespace ecgf::bench {

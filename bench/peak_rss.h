@@ -1,0 +1,32 @@
+// Peak-RSS reporting shared by every bench JSON writer. Kept as its own
+// tiny header so the dependency-free perf harness can use it without
+// pulling in bench_common.h's core/ includes.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace ecgf::bench {
+
+/// Peak resident set size of this process, in bytes (0 if the platform
+/// has no getrusage). Every bench JSON output reports this so memory
+/// regressions are as visible as latency ones. Linux reports ru_maxrss
+/// in KiB, macOS in bytes.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ull;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ecgf::bench

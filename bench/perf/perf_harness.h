@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "peak_rss.h"
+
 namespace ecgf::perf {
 
 /// Defeat dead-code elimination of a computed result without adding
@@ -145,7 +147,9 @@ class Report {
     std::ofstream out(path);
     if (!out) return false;
     out << "{\n  \"schema\": \"ecgf-bench-perf/1\",\n  \"mode\": \"" << mode_
-        << "\",\n  \"threads\": " << threads_ << ",\n  \"entries\": [";
+        << "\",\n  \"threads\": " << threads_
+        << ",\n  \"peak_rss_bytes\": " << bench::peak_rss_bytes()
+        << ",\n  \"entries\": [";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       out << (i == 0 ? "" : ",") << "\n    {\n      \"bench\": \"" << e.bench

@@ -33,7 +33,7 @@ while IFS= read -r md; do
     fi
   done < <(grep -ohE 'ECGF_[A-Z0-9_]+' "$md" | sort -u)
 done < <(find . -path ./build -prune -o -path ./build-tsan -prune -o \
-         -name '*.md' -print)
+         -path ./build-asan -prune -o -name '*.md' -print)
 if [[ "$docs_fail" != "0" ]]; then
   echo "!! docs lint failed" >&2
   exit 1
@@ -87,6 +87,28 @@ else
 fi
 rm -f "$churn_json"
 
+# Sharded-engine smoke: the scaling sweep at smoke sizes, with the
+# BENCH_scale.json report parsed exactly like the churn bench's (the
+# full-size sweep — including the N=100k no-dense-matrix run — already
+# happened in the bench loop above).
+echo "== shard smoke (bench/scaling --smoke) =="
+scale_json="$(mktemp)"
+scale_out="$(./build/bench/scaling --smoke --json-out="$scale_json")" \
+  || fail=1
+echo "$scale_out"
+if grep -q "shape-check: FAIL" <<<"$scale_out"; then
+  echo "!! shape-check failure in shard smoke" >&2
+  fail=1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$scale_json" \
+    || { echo "!! shard smoke JSON does not parse" >&2; fail=1; }
+else
+  grep -q '"schema": "ecgf-bench-scale/1"' "$scale_json" \
+    || { echo "!! shard smoke JSON missing schema marker" >&2; fail=1; }
+fi
+rm -f "$scale_json"
+
 # Perf-regression smoke: tiny sizes, equality shape-checks only (smoke
 # timings are noise by design — see docs/performance.md). Fails if any
 # optimised kernel disagrees with its naive reference or the JSON report
@@ -109,6 +131,35 @@ else
 fi
 rm -f "$perf_json"
 
+# AddressSanitizer pass over one fast ctest shard: builds a separate tree
+# with -DECGF_SANITIZE=address (the CMake option existed since PR 1 but
+# only TSan was exercised) and runs the core memory-heavy suites. Probe
+# compiler support first; skip with ECGF_SKIP_ASAN=1.
+if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
+  asan_probe="$(mktemp -d)"
+  echo 'int main(){return 0;}' > "$asan_probe/probe.cpp"
+  if c++ -fsanitize=address "$asan_probe/probe.cpp" -o "$asan_probe/probe" \
+       >/dev/null 2>&1 && "$asan_probe/probe"; then
+    echo "== AddressSanitizer shard (sim_test, shard_test, net_test, cache_test) =="
+    asan_generator=()
+    if command -v ninja >/dev/null 2>&1 && [[ ! -f build-asan/CMakeCache.txt ]]; then
+      asan_generator=(-G Ninja)
+    fi
+    cmake -B build-asan "${asan_generator[@]}" -DECGF_SANITIZE=address \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    cmake --build build-asan -j"$(nproc)" --target sim_test shard_test \
+      net_test cache_test
+    # gtest_discover_tests registers per-case names (not binary names), so
+    # run everything discovered in this tree except the <target>_NOT_BUILT
+    # placeholders of the test binaries we deliberately didn't build.
+    ctest --test-dir build-asan --output-on-failure -E '_NOT_BUILT$' \
+      || fail=1
+  else
+    echo "== AddressSanitizer unsupported by this toolchain; skipping =="
+  fi
+  rm -rf "$asan_probe"
+fi
+
 # ThreadSanitizer pass over the parallel layers: builds the threading test
 # in a separate tree with -DECGF_SANITIZE=thread and runs the determinism
 # suite under TSan. Probe compiler support first — some toolchains ship
@@ -119,7 +170,7 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
   if c++ -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" \
        >/dev/null 2>&1 && "$tsan_probe/probe"; then
-    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test) =="
+    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test) =="
     tsan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-tsan/CMakeCache.txt ]]; then
       tsan_generator=(-G Ninja)
@@ -127,10 +178,11 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
     cmake -B build-tsan "${tsan_generator[@]}" -DECGF_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-tsan -j"$(nproc)" --target threading_test obs_test \
-      ctl_test
+      ctl_test shard_test
     ECGF_THREADS=8 ./build-tsan/tests/threading_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/obs_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/ctl_test || fail=1
+    ECGF_THREADS=8 ./build-tsan/tests/shard_test || fail=1
   else
     echo "== ThreadSanitizer unsupported by this toolchain; skipping =="
   fi

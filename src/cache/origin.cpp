@@ -13,8 +13,12 @@ Version OriginServer::version(DocId doc) const {
 }
 
 double OriginServer::serve_ms(DocId doc) {
-  ECGF_EXPECTS(doc < versions_.size());
   ++stats_.fetches;
+  return generation_ms(doc);
+}
+
+double OriginServer::generation_ms(DocId doc) const {
+  ECGF_EXPECTS(doc < versions_.size());
   return catalog_.info(doc).generation_cost_ms;
 }
 

@@ -27,6 +27,11 @@ class OriginServer {
   /// generation cost) and counts the fetch.
   double serve_ms(DocId doc);
 
+  /// The generation cost alone, without counting a fetch — the re-entrant
+  /// read the shardable engine uses (fetch tallies are kept per shard and
+  /// summed, so the hot path never mutates shared origin state).
+  double generation_ms(DocId doc) const;
+
   /// Apply one update to `doc`; returns the new version.
   Version apply_update(DocId doc);
 

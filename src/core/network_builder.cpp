@@ -72,7 +72,10 @@ topology::TransitStubParams scaled_topology_for(std::size_t cache_count) {
   return p;
 }
 
-net::DistanceMatrix host_rtt_distance_matrix(
+namespace {
+
+template <typename T>
+net::BasicDistanceMatrix<T> fill_host_rtt_matrix(
     const topology::Graph& graph, const topology::HostPlacement& placement) {
   const std::size_t n = placement.host_count();
   ECGF_EXPECTS(n > 0);
@@ -92,10 +95,11 @@ net::DistanceMatrix host_rtt_distance_matrix(
   // pass over the buffer. The pair (j, i) with j < i uses host j's router
   // row and sums last_mile[j] + path + last_mile[i] in that order, exactly
   // as the dense builder's inner loop does, so every stored double matches
-  // from_full(host_rtt_matrix(...)) bit for bit.
-  net::DistanceMatrix matrix(n);
+  // from_full(host_rtt_matrix(...)) bit for bit (rounded once to float in
+  // the f32 instantiation).
+  net::BasicDistanceMatrix<T> matrix(n);
   for (std::size_t i = 1; i < n; ++i) {
-    const std::span<double> row = matrix.lower_row(i);
+    const std::span<T> row = matrix.lower_row(i);
     for (std::size_t j = 0; j < i; ++j) {
       const auto& dist_j =
           router_dist[router_row.at(placement.attach_node[j])];
@@ -103,10 +107,22 @@ net::DistanceMatrix host_rtt_distance_matrix(
       ECGF_ASSERT(path != topology::kUnreachable);
       const double one_way =
           placement.last_mile_ms[j] + path + placement.last_mile_ms[i];
-      row[j] = 2.0 * one_way;
+      row[j] = static_cast<T>(2.0 * one_way);
     }
   }
   return matrix;
+}
+
+}  // namespace
+
+net::DistanceMatrix host_rtt_distance_matrix(
+    const topology::Graph& graph, const topology::HostPlacement& placement) {
+  return fill_host_rtt_matrix<double>(graph, placement);
+}
+
+net::DistanceMatrixF32 host_rtt_distance_matrix_f32(
+    const topology::Graph& graph, const topology::HostPlacement& placement) {
+  return fill_host_rtt_matrix<float>(graph, placement);
 }
 
 EdgeNetwork build_edge_network(const EdgeNetworkParams& params,

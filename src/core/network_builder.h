@@ -81,6 +81,14 @@ EdgeNetwork build_edge_network(const EdgeNetworkParams& params,
 net::DistanceMatrix host_rtt_distance_matrix(
     const topology::Graph& graph, const topology::HostPlacement& placement);
 
+/// Float32-storage variant of host_rtt_distance_matrix for N ≥ 4k runs:
+/// identical Dijkstra plan and fill order, with each computed double
+/// rounded to float on store (half the matrix memory). Exact-equality
+/// paths (tests, the sharded determinism contract) keep the double
+/// builder above.
+net::DistanceMatrixF32 host_rtt_distance_matrix_f32(
+    const topology::Graph& graph, const topology::HostPlacement& placement);
+
 /// Scale topology defaults so the router count comfortably exceeds the
 /// host count (keeps stub routers ≥ hosts for distinct attachment).
 topology::TransitStubParams scaled_topology_for(std::size_t cache_count);

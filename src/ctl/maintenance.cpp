@@ -51,7 +51,7 @@ MaintenanceSession::MaintenanceSession(const net::RttProvider& rtt,
   }
 }
 
-void MaintenanceSession::on_start(sim::Simulator& sim) {
+void MaintenanceSession::on_start(sim::GroupHost& sim) {
   ECGF_EXPECTS(sim.cache_count() == monitor_.cache_count());
   sim_ = &sim;
 }
@@ -85,7 +85,7 @@ void MaintenanceSession::on_join(cache::CacheIndex cache,
   if (sim_ != nullptr) sim_->apply_groups(membership_.active_partition());
 }
 
-void MaintenanceSession::on_tick(sim::Simulator& sim, double time_ms) {
+void MaintenanceSession::on_tick(sim::GroupHost& sim, double time_ms) {
   ECGF_PROF_SCOPE("ctl.tick");
   ++tick_;
   monitor_.tick();
@@ -124,7 +124,7 @@ void MaintenanceSession::on_tick(sim::Simulator& sim, double time_ms) {
   decisions_.push_back(static_cast<int>(action));
 }
 
-std::size_t MaintenanceSession::apply_repair(sim::Simulator& sim) {
+std::size_t MaintenanceSession::apply_repair(sim::GroupHost& sim) {
   // Re-point every sufficiently drifted member at its nearest centroid.
   // update_position BEFORE reassign so the decision sees the estimate;
   // rebase after so the handled displacement stops reading as drift.
@@ -144,7 +144,7 @@ std::size_t MaintenanceSession::apply_repair(sim::Simulator& sim) {
   return moves;
 }
 
-std::size_t MaintenanceSession::apply_reform(sim::Simulator& sim) {
+std::size_t MaintenanceSession::apply_reform(sim::GroupHost& sim) {
   // Collect the active caches (ascending — the order is part of the
   // determinism contract) and their estimated vectors.
   std::vector<std::uint32_t> active;

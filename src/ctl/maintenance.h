@@ -87,13 +87,13 @@ class MaintenanceSession final : public sim::ControlHook {
   MaintenanceSession(const net::RttProvider& rtt, MaintenanceConfig config);
 
   // sim::ControlHook
-  void on_start(sim::Simulator& sim) override;
+  void on_start(sim::GroupHost& sim) override;
   void on_rtt_sample(net::HostId src, net::HostId dst, double rtt_ms,
                      double time_ms) override;
   void on_leave(cache::CacheIndex cache, double time_ms) override;
   void on_join(cache::CacheIndex cache, std::uint32_t group,
                double time_ms) override;
-  void on_tick(sim::Simulator& sim, double time_ms) override;
+  void on_tick(sim::GroupHost& sim, double time_ms) override;
 
   /// One entry per tick (the MaintenanceAction's underlying value) — the
   /// determinism contract's comparison key.
@@ -111,10 +111,10 @@ class MaintenanceSession final : public sim::ControlHook {
  private:
   /// Reassign every member whose drift exceeds the repair threshold to
   /// its nearest centroid; returns the number that changed group.
-  std::size_t apply_repair(sim::Simulator& sim);
+  std::size_t apply_repair(sim::GroupHost& sim);
   /// Full K-means re-formation over the estimated vectors; returns the
   /// K-means iteration count.
-  std::size_t apply_reform(sim::Simulator& sim);
+  std::size_t apply_reform(sim::GroupHost& sim);
 
   MaintenanceConfig config_;
   util::Rng rng_;
@@ -124,7 +124,7 @@ class MaintenanceSession final : public sim::ControlHook {
   ReformationPolicy policy_;
   core::MembershipManager membership_;
   obs::TraceContext trace_;
-  sim::Simulator* sim_ = nullptr;
+  sim::GroupHost* sim_ = nullptr;
 
   std::size_t target_groups_;
   std::uint64_t tick_ = 0;

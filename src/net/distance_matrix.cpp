@@ -4,17 +4,13 @@
 
 namespace ecgf::net {
 
-DistanceMatrix::DistanceMatrix(std::size_t n)
-    : n_(n), data_(n >= 2 ? n * (n - 1) / 2 : 0, 0.0) {
-  ECGF_EXPECTS(n > 0);
-}
-
-DistanceMatrix DistanceMatrix::from_full(
+template <typename T>
+BasicDistanceMatrix<T> BasicDistanceMatrix<T>::from_full(
     const std::vector<std::vector<double>>& full) {
   const std::size_t n = full.size();
   ECGF_EXPECTS(n > 0);
   constexpr double kTol = 1e-9;
-  DistanceMatrix m(n);
+  BasicDistanceMatrix<T> m(n);
   for (std::size_t i = 0; i < n; ++i) {
     ECGF_EXPECTS(full[i].size() == n);
     ECGF_EXPECTS(std::abs(full[i][i]) <= kTol);
@@ -25,5 +21,8 @@ DistanceMatrix DistanceMatrix::from_full(
   }
   return m;
 }
+
+template class BasicDistanceMatrix<double>;
+template class BasicDistanceMatrix<float>;
 
 }  // namespace ecgf::net

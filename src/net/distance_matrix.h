@@ -1,5 +1,5 @@
 // Symmetric RTT matrix (packed triangular storage) and the matrix-backed
-// RttProvider.
+// RttProvider, in double and float32 storage variants.
 #pragma once
 
 #include <span>
@@ -11,8 +11,15 @@
 namespace ecgf::net {
 
 /// Symmetric matrix of RTTs with a zero diagonal, stored as the packed
-/// lower triangle: one contiguous buffer of n·(n-1)/2 doubles (half the
+/// lower triangle: one contiguous buffer of n·(n-1)/2 elements (half the
 /// memory of a dense square and no per-row allocations).
+///
+/// The element type T is double for the exact reference path and float
+/// for the large-N storage option (DistanceMatrixF32): at 32k hosts the
+/// packed triangle is ~4.3 GB in doubles but ~2.1 GB in float32, and RTT
+/// milliseconds lose nothing that matters to a simulation at 7 significant
+/// digits. Everything that asserts bit-exact equality (tests, the sharded
+/// driver's determinism contract) stays on the double path.
 ///
 /// Layout contract: element (i, j) with i > j lives at i·(i-1)/2 + j, so
 /// row i's sub-diagonal entries d(i, 0..i-1) are CONTIGUOUS — that is
@@ -27,40 +34,45 @@ namespace ecgf::net {
 /// checks for bulk-fill speed (values must still be ≥ 0 and symmetric by
 /// construction — the builders in core/network_builder.cpp are the
 /// reference users).
-class DistanceMatrix {
+template <typename T>
+class BasicDistanceMatrix {
  public:
-  explicit DistanceMatrix(std::size_t n);
+  explicit BasicDistanceMatrix(std::size_t n)
+      : n_(n), data_(n >= 2 ? n * (n - 1) / 2 : 0, T{0}) {
+    ECGF_EXPECTS(n > 0);
+  }
 
   /// Build from a full square matrix (validates symmetry & zero diagonal
   /// within a small tolerance). Allocates nothing beyond the packed
   /// buffer; the caller keeps ownership of `full`.
-  static DistanceMatrix from_full(const std::vector<std::vector<double>>& full);
+  static BasicDistanceMatrix from_full(
+      const std::vector<std::vector<double>>& full);
 
   std::size_t size() const { return n_; }
 
   double at(std::size_t i, std::size_t j) const {
     ECGF_EXPECTS(i < n_ && j < n_);
     if (i == j) return 0.0;
-    return data_[tri_index(i, j)];
+    return static_cast<double>(data_[tri_index(i, j)]);
   }
 
   void set(std::size_t i, std::size_t j, double value) {
     ECGF_EXPECTS(i < n_ && j < n_);
     ECGF_EXPECTS(i != j);
     ECGF_EXPECTS(value >= 0.0);
-    data_[tri_index(i, j)] = value;
+    data_[tri_index(i, j)] = static_cast<T>(value);
   }
 
   /// Mutable view of row i's packed sub-diagonal entries d(i, 0..i-1) —
-  /// `i` doubles, contiguous, empty for i == 0. The fast path for bulk
+  /// `i` elements, contiguous, empty for i == 0. The fast path for bulk
   /// construction: filling every lower_row in ascending i order touches
   /// the backing buffer exactly once, front to back.
-  std::span<double> lower_row(std::size_t i) {
+  std::span<T> lower_row(std::size_t i) {
     ECGF_EXPECTS(i < n_);
     return {data_.data() + (i == 0 ? 0 : tri_index(i, 0)), i};
   }
 
-  std::span<const double> lower_row(std::size_t i) const {
+  std::span<const T> lower_row(std::size_t i) const {
     ECGF_EXPECTS(i < n_);
     return {data_.data() + (i == 0 ? 0 : tri_index(i, 0)), i};
   }
@@ -73,21 +85,35 @@ class DistanceMatrix {
   }
 
   std::size_t n_;
-  std::vector<double> data_;
+  std::vector<T> data_;
 };
 
-/// RttProvider view over a DistanceMatrix (owned by value; cheap to move).
-class MatrixRttProvider final : public RttProvider {
+/// The exact reference storage: every stored RTT is the double the
+/// builder computed.
+using DistanceMatrix = BasicDistanceMatrix<double>;
+/// Half-memory storage for N ≥ 4k benches; values round to float32.
+using DistanceMatrixF32 = BasicDistanceMatrix<float>;
+
+extern template class BasicDistanceMatrix<double>;
+extern template class BasicDistanceMatrix<float>;
+
+/// RttProvider view over a packed matrix (owned by value; cheap to move).
+template <typename T>
+class BasicMatrixRttProvider final : public RttProvider {
  public:
-  explicit MatrixRttProvider(DistanceMatrix matrix) : matrix_(std::move(matrix)) {}
+  explicit BasicMatrixRttProvider(BasicDistanceMatrix<T> matrix)
+      : matrix_(std::move(matrix)) {}
 
   std::size_t host_count() const override { return matrix_.size(); }
   double rtt_ms(HostId a, HostId b) const override { return matrix_.at(a, b); }
 
-  const DistanceMatrix& matrix() const { return matrix_; }
+  const BasicDistanceMatrix<T>& matrix() const { return matrix_; }
 
  private:
-  DistanceMatrix matrix_;
+  BasicDistanceMatrix<T> matrix_;
 };
+
+using MatrixRttProvider = BasicMatrixRttProvider<double>;
+using MatrixRttProviderF32 = BasicMatrixRttProvider<float>;
 
 }  // namespace ecgf::net

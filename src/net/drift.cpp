@@ -35,24 +35,31 @@ DriftingRttProvider::DriftingRttProvider(DistanceMatrix base,
   }
 }
 
-double DriftingRttProvider::weight_now() const {
-  const double t = now_ms_ != nullptr ? *now_ms_ : 0.0;
-  if (t <= options_.ramp_start_ms) return 0.0;
-  if (t >= options_.ramp_end_ms) return options_.max_weight;
-  const double frac = (t - options_.ramp_start_ms) /
+double DriftingRttProvider::weight_at(double t_ms) const {
+  if (t_ms <= options_.ramp_start_ms) return 0.0;
+  if (t_ms >= options_.ramp_end_ms) return options_.max_weight;
+  const double frac = (t_ms - options_.ramp_start_ms) /
                       (options_.ramp_end_ms - options_.ramp_start_ms);
   return options_.max_weight * frac;
 }
 
-double DriftingRttProvider::rtt_ms(HostId a, HostId b) const {
+double DriftingRttProvider::weight_now() const {
+  return weight_at(now_ms_ != nullptr ? *now_ms_ : 0.0);
+}
+
+double DriftingRttProvider::rtt_ms_at(HostId a, HostId b, double t_ms) const {
   if (a == b) return 0.0;
   const double base = base_.at(a, b);
-  const double w = weight_now();
+  const double w = weight_at(t_ms);
   if (w == 0.0) return base;
   // π is a bijection, so π(a) ≠ π(b) here and the drifted term is a real
   // off-diagonal RTT (symmetric, positive) — the blend stays a metric-ish
   // symmetric matrix with zero diagonal.
   return (1.0 - w) * base + w * base_.at(perm_[a], perm_[b]);
+}
+
+double DriftingRttProvider::rtt_ms(HostId a, HostId b) const {
+  return rtt_ms_at(a, b, now_ms_ != nullptr ? *now_ms_ : 0.0);
 }
 
 }  // namespace ecgf::net

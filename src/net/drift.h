@@ -65,9 +65,13 @@ class DriftingRttProvider final : public RttProvider {
 
   std::size_t host_count() const override { return base_.size(); }
   double rtt_ms(HostId a, HostId b) const override;
+  /// Pure function of (a, b, t): no clock read, safe from any thread.
+  double rtt_ms_at(HostId a, HostId b, double t_ms) const override;
 
   /// Current blend weight w(t) in [0, max_weight].
   double weight_now() const;
+  /// Blend weight at an explicit time (pure).
+  double weight_at(double t_ms) const;
   /// Where host h's proximity structure is migrating to (π(h); h itself
   /// when h is not in the drifting subset).
   HostId permuted(HostId h) const { return perm_[h]; }

@@ -21,6 +21,18 @@ class RttProvider {
 
   /// Ground-truth RTT between two hosts in ms; 0 when a == b. Symmetric.
   virtual double rtt_ms(HostId a, HostId b) const = 0;
+
+  /// RTT at an explicit simulation time. Static providers ignore `t_ms`;
+  /// time-varying providers (net::DriftingRttProvider) override this with
+  /// a pure function of (a, b, t) and implement rtt_ms() as
+  /// rtt_ms_at(a, b, bound clock). The explicit-time form is what the
+  /// sharded simulation engine (src/shard) uses: worker shards sit at
+  /// different local times inside an epoch, so a single shared clock
+  /// pointer would race — passing the event time instead keeps reads pure
+  /// and bit-identical to the sequential engine.
+  virtual double rtt_ms_at(HostId a, HostId b, double /*t_ms*/) const {
+    return rtt_ms(a, b);
+  }
 };
 
 }  // namespace ecgf::net

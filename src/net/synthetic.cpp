@@ -1,0 +1,77 @@
+#include "net/synthetic.h"
+
+#include <cmath>
+
+namespace ecgf::net {
+
+namespace {
+
+/// splitmix64: the standard stateless 64-bit mixer. Position hashes must
+/// not depend on library RNG internals, so the mix is spelled out here.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Uniform [0, 1) from a hash of (seed, host, axis).
+double unit(std::uint64_t seed, std::uint64_t host, std::uint64_t axis) {
+  const std::uint64_t h = mix64(seed ^ mix64(host * 2 + axis));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+PlaneRttProvider::PlaneRttProvider(std::size_t host_count, PlaneOptions options)
+    : options_(options) {
+  ECGF_EXPECTS(host_count >= 1);
+  ECGF_EXPECTS(options.width_ms > 0.0);
+  ECGF_EXPECTS(options.last_mile_ms >= 0.0);
+  x_.resize(host_count);
+  y_.resize(host_count);
+  for (std::size_t h = 0; h < host_count; ++h) {
+    x_[h] = static_cast<float>(unit(options.seed, h, 0) * options.width_ms);
+    y_[h] = static_cast<float>(unit(options.seed, h, 1) * options.width_ms);
+  }
+  // The server (last host) sits at the centre of the plane.
+  x_.back() = static_cast<float>(options.width_ms / 2.0);
+  y_.back() = static_cast<float>(options.width_ms / 2.0);
+}
+
+double PlaneRttProvider::rtt_ms(HostId a, HostId b) const {
+  ECGF_EXPECTS(a < x_.size() && b < x_.size());
+  if (a == b) return 0.0;
+  const double dx = static_cast<double>(x_[a]) - static_cast<double>(x_[b]);
+  const double dy = static_cast<double>(y_[a]) - static_cast<double>(y_[b]);
+  return 2.0 * (2.0 * options_.last_mile_ms + std::sqrt(dx * dx + dy * dy));
+}
+
+GroupBlockRttProvider::GroupBlockRttProvider(std::size_t cache_count,
+                                             GroupBlockOptions options)
+    : cache_count_(cache_count), options_(options) {
+  ECGF_EXPECTS(cache_count >= 1);
+  ECGF_EXPECTS(options.clusters >= 1 && options.clusters <= cache_count);
+  ECGF_EXPECTS(options.intra_ms >= 0.0);
+  ECGF_EXPECTS(options.cross_ms >= 0.0);
+  ECGF_EXPECTS(options.server_ms >= 0.0);
+}
+
+double GroupBlockRttProvider::rtt_ms(HostId a, HostId b) const {
+  ECGF_EXPECTS(a <= cache_count_ && b <= cache_count_);
+  if (a == b) return 0.0;
+  if (a == cache_count_ || b == cache_count_) return options_.server_ms;
+  return cluster_of(a) == cluster_of(b) ? options_.intra_ms
+                                        : options_.cross_ms;
+}
+
+std::vector<std::vector<std::uint32_t>>
+GroupBlockRttProvider::clusters_as_groups() const {
+  std::vector<std::vector<std::uint32_t>> groups(options_.clusters);
+  for (std::uint32_t c = 0; c < cache_count_; ++c) {
+    groups[cluster_of(c)].push_back(c);
+  }
+  return groups;
+}
+
+}  // namespace ecgf::net

@@ -1,0 +1,81 @@
+// On-demand synthetic RTT providers for large-N simulations.
+//
+// At 100k hosts even the float32 packed triangle is ~20 GB, so the
+// scaling benches (bench/scaling.cpp) switch to providers that compute
+// each RTT on demand from O(n) or O(1) state:
+//
+//  * PlaneRttProvider   — hosts at deterministic pseudo-random positions
+//                         on a 2D plane; RTT = 2·(last-mile + distance).
+//                         The classic geometric model: O(n) memory (two
+//                         floats per host), O(1) per query.
+//  * GroupBlockRttProvider — hosts in contiguous equal-size clusters with
+//                         flat intra/cross/server RTTs: O(1) memory. The
+//                         block structure is exactly group-shaped, which
+//                         makes it the natural fixture for shard-scaling
+//                         runs (cross-cluster RTT = the CMB lookahead).
+//
+// Both are deterministic functions of their parameters — two instances
+// with the same arguments always agree, on any machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rtt_provider.h"
+#include "util/expect.h"
+
+namespace ecgf::net {
+
+struct PlaneOptions {
+  double width_ms = 100.0;      ///< side length of the square, in RTT ms
+  double last_mile_ms = 1.0;    ///< per-host access delay (one way)
+  std::uint64_t seed = 1;       ///< position hash seed
+};
+
+/// Deterministic geometric RTT model: every host gets a hashed position
+/// in [0, width)², the last host (`server_host`, normally n-1) is pinned
+/// to the centre, and rtt(a, b) = 2·(last_mile·2 + |pos_a − pos_b|).
+class PlaneRttProvider final : public RttProvider {
+ public:
+  PlaneRttProvider(std::size_t host_count, PlaneOptions options);
+
+  std::size_t host_count() const override { return x_.size(); }
+  double rtt_ms(HostId a, HostId b) const override;
+
+ private:
+  PlaneOptions options_;
+  std::vector<float> x_;
+  std::vector<float> y_;
+};
+
+struct GroupBlockOptions {
+  std::size_t clusters = 1;    ///< contiguous equal-size cache clusters
+  double intra_ms = 5.0;       ///< RTT within a cluster
+  double cross_ms = 60.0;      ///< RTT between clusters
+  double server_ms = 80.0;     ///< RTT from any cache to the server host
+};
+
+/// Flat block-structured RTTs over `cache_count` caches (hosts 0..n-1)
+/// plus one server host (id n). Cache c belongs to cluster
+/// c·clusters/cache_count, so clusters are contiguous index ranges —
+/// matching the group layout the scaling benches simulate.
+class GroupBlockRttProvider final : public RttProvider {
+ public:
+  GroupBlockRttProvider(std::size_t cache_count, GroupBlockOptions options);
+
+  std::size_t host_count() const override { return cache_count_ + 1; }
+  double rtt_ms(HostId a, HostId b) const override;
+
+  std::size_t cluster_of(HostId cache) const {
+    ECGF_EXPECTS(cache < cache_count_);
+    return static_cast<std::size_t>(cache) * options_.clusters / cache_count_;
+  }
+  /// The contiguous cluster ranges as a ready-made group partition.
+  std::vector<std::vector<std::uint32_t>> clusters_as_groups() const;
+
+ private:
+  std::size_t cache_count_;
+  GroupBlockOptions options_;
+};
+
+}  // namespace ecgf::net

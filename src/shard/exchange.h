@@ -1,0 +1,119 @@
+// The deterministic per-epoch effect exchange.
+//
+// Shards never apply order-sensitive side effects directly: the metrics
+// collector's float accumulators and latency reservoir, the trace stream's
+// sequence stamps, and the control hook's drift estimates all depend on
+// the exact order samples arrive in. Instead each shard buffers its
+// effects, tagged with the canonical key of the event that produced them
+// — (time, sim::EventClass, event key, emission index) — and at every
+// synchronisation cut the coordinator replays the k-way merge of all
+// shard buffers into the real consumers.
+//
+// Because each simulation event executes on exactly one shard, the keys
+// are globally unique, and because every shard executes its own events in
+// canonical order, each buffer is already sorted. The merged replay is
+// therefore exactly the order the sequential Simulator would have applied
+// the same effects in — which is the mechanism behind the bit-identical
+// guarantee (docs/scaling.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+
+namespace ecgf::shard {
+
+/// Canonical ordering key of one buffered side effect.
+struct EffectKey {
+  double time_ms = 0.0;
+  std::uint8_t klass = 0;  ///< sim::EventClass underlying value
+  std::uint64_t event = 0;  ///< the event's canonical key
+  std::uint32_t sub = 0;    ///< emission index within the event
+
+  friend bool operator<(const EffectKey& a, const EffectKey& b) {
+    if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+    if (a.klass != b.klass) return a.klass < b.klass;
+    if (a.event != b.event) return a.event < b.event;
+    return a.sub < b.sub;
+  }
+};
+
+/// One buffered side effect. A tagged struct rather than a variant: the
+/// payloads are small and epochs clear the buffer, so simplicity wins.
+struct BufferedEffect {
+  enum class Kind : std::uint8_t { kTrace, kMetric, kRttSample };
+  EffectKey key;
+  Kind kind = Kind::kTrace;
+  obs::TraceEvent trace{};       ///< kTrace
+  cache::CacheIndex cache = 0;   ///< kMetric
+  double value_ms = 0.0;         ///< kMetric latency / kRttSample rtt
+  sim::Resolution how = sim::Resolution::kLocalHit;  ///< kMetric
+  net::HostId src = 0, dst = 0;  ///< kRttSample
+  double at_ms = 0.0;            ///< effect timestamp (== key.time_ms)
+};
+
+/// The per-shard EffectSink: buffers everything, keyed by the event the
+/// shard loop is currently executing (begin_event). The inherited tally
+/// member accumulates for the whole run and is summed at the end —
+/// counters commute, so they need no replay.
+class ShardSink final : public sim::EffectSink {
+ public:
+  /// The shard loop calls this immediately before executing each event.
+  void begin_event(double time_ms, sim::EventClass klass, std::uint64_t key) {
+    current_ = EffectKey{time_ms, static_cast<std::uint8_t>(klass), key, 0};
+  }
+
+  void emit(const obs::TraceEvent& event) override {
+    BufferedEffect e;
+    e.key = next_key();
+    e.kind = BufferedEffect::Kind::kTrace;
+    e.trace = event;
+    effects_.push_back(e);
+  }
+
+  void record(cache::CacheIndex cache, double latency_ms, sim::Resolution how,
+              sim::SimTime t) override {
+    BufferedEffect e;
+    e.key = next_key();
+    e.kind = BufferedEffect::Kind::kMetric;
+    e.cache = cache;
+    e.value_ms = latency_ms;
+    e.how = how;
+    e.at_ms = t;
+    effects_.push_back(e);
+  }
+
+  void rtt_sample(net::HostId src, net::HostId dst, double rtt_ms,
+                  sim::SimTime t) override {
+    BufferedEffect e;
+    e.key = next_key();
+    e.kind = BufferedEffect::Kind::kRttSample;
+    e.src = src;
+    e.dst = dst;
+    e.value_ms = rtt_ms;
+    e.at_ms = t;
+    effects_.push_back(e);
+  }
+
+  const std::vector<BufferedEffect>& effects() const { return effects_; }
+  void clear() { effects_.clear(); }
+
+ private:
+  EffectKey next_key() {
+    EffectKey k = current_;
+    ++current_.sub;
+    return k;
+  }
+
+  std::vector<BufferedEffect> effects_;
+  EffectKey current_{};
+};
+
+/// Replay the k-way merge of all shard buffers into `target` in canonical
+/// order, then clear the buffers. Single-threaded (coordinator only).
+void merge_and_replay(std::vector<ShardSink>& sinks, sim::EffectSink& target);
+
+}  // namespace ecgf::shard

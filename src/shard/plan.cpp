@@ -1,0 +1,86 @@
+#include "shard/plan.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace ecgf::shard {
+
+ShardPlan::ShardPlan(const std::vector<std::vector<cache::CacheIndex>>& groups,
+                     std::size_t cache_count, std::size_t shard_count)
+    : shard_count_(shard_count) {
+  ECGF_EXPECTS(shard_count >= 1);
+  ECGF_EXPECTS(!groups.empty());
+
+  std::vector<std::size_t> order(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) order[g] = g;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (groups[a].size() != groups[b].size()) {
+      return groups[a].size() > groups[b].size();
+    }
+    return a < b;
+  });
+
+  group_to_shard_.assign(groups.size(), 0);
+  loads_.assign(shard_count, 0);
+  for (std::size_t g : order) {
+    std::size_t lightest = 0;
+    for (std::size_t s = 1; s < shard_count; ++s) {
+      if (loads_[s] < loads_[lightest]) lightest = s;
+    }
+    group_to_shard_[g] = lightest;
+    loads_[lightest] += groups[g].size();
+  }
+
+  cache_to_shard_.assign(cache_count, 0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (cache::CacheIndex c : groups[g]) {
+      ECGF_EXPECTS(c < cache_count);
+      cache_to_shard_[c] = group_to_shard_[g];
+    }
+  }
+}
+
+double min_cross_shard_rtt_ms(const ShardPlan& plan,
+                              const net::RttProvider& rtt,
+                              std::size_t cache_count,
+                              std::size_t exact_limit) {
+  if (plan.shard_count() <= 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  if (cache_count <= exact_limit) {
+    for (std::size_t i = 0; i < cache_count; ++i) {
+      const std::size_t si = plan.shard_of_cache(static_cast<std::uint32_t>(i));
+      for (std::size_t j = i + 1; j < cache_count; ++j) {
+        if (plan.shard_of_cache(static_cast<std::uint32_t>(j)) == si) continue;
+        best = std::min(
+            best, rtt.rtt_ms_at(static_cast<net::HostId>(i),
+                                static_cast<net::HostId>(j), 0.0));
+      }
+    }
+    return best;
+  }
+  // Deterministic stride sampling: Weyl-style index walks with two coprime
+  // multiplicative constants cover the pair space evenly without RNG state.
+  constexpr std::size_t kSamples = 1 << 16;
+  std::size_t found = 0;
+  for (std::size_t k = 0; k < kSamples || found == 0; ++k) {
+    if (k >= kSamples * 4) break;  // pathological plans: give up, use floor
+    const std::size_t i = (k * 2654435761u) % cache_count;
+    const std::size_t j = (k * 40503u + 1) % cache_count;
+    if (i == j) continue;
+    if (plan.shard_of_cache(static_cast<std::uint32_t>(i)) ==
+        plan.shard_of_cache(static_cast<std::uint32_t>(j))) {
+      continue;
+    }
+    ++found;
+    best = std::min(best,
+                    rtt.rtt_ms_at(static_cast<net::HostId>(i),
+                                  static_cast<net::HostId>(j), 0.0));
+  }
+  return best;
+}
+
+}  // namespace ecgf::shard

@@ -1,0 +1,67 @@
+// Shard planning: which worker shard owns which formed group.
+//
+// The sharded engine partitions the caches across shards BY GROUP, never
+// splitting a group. That choice is what makes conservative parallel
+// execution cheap here: every event the simulation core executes between
+// barriers (request arrivals and completions) touches only the requesting
+// cache's group — its members, its beacon directory — plus read-only
+// shared state. With whole groups pinned to a shard, the beacon/directory
+// traffic of the cooperative-miss protocol is shard-local by construction
+// and there are NO cross-shard events inside an epoch window; everything
+// that couples shards (origin updates, failures, churn, control ticks,
+// summary refreshes) is a barrier executed by the coordinator with all
+// shards quiescent (docs/scaling.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cache/directory.h"
+#include "net/rtt_provider.h"
+
+namespace ecgf::shard {
+
+/// Deterministic group → shard assignment, balanced by member count.
+class ShardPlan {
+ public:
+  /// Greedy balance: groups in descending size (ties: ascending group id)
+  /// land on the currently lightest shard (ties: lowest shard id). Fully
+  /// deterministic, so every run — and every shard count — sees the same
+  /// plan for the same partition.
+  ShardPlan(const std::vector<std::vector<cache::CacheIndex>>& groups,
+            std::size_t cache_count, std::size_t shard_count);
+
+  std::size_t shard_count() const { return shard_count_; }
+  std::size_t shard_of_group(std::size_t group) const {
+    return group_to_shard_[group];
+  }
+  std::size_t shard_of_cache(cache::CacheIndex cache) const {
+    return cache_to_shard_[cache];
+  }
+  /// Caches per shard. A shard may legitimately own zero caches (more
+  /// shards than groups, or every group it held dissolved at a
+  /// reformation); it then simply executes empty windows.
+  const std::vector<std::size_t>& loads() const { return loads_; }
+
+ private:
+  std::size_t shard_count_;
+  std::vector<std::size_t> group_to_shard_;
+  std::vector<std::size_t> cache_to_shard_;
+  std::vector<std::size_t> loads_;
+};
+
+/// Conservative lookahead: the minimum ground-truth RTT between caches
+/// living in different shards, evaluated at t = 0. This is the classic
+/// CMB bound — no influence can cross shards faster than the fastest
+/// cross-shard link — and it sizes the epoch between synchronisation
+/// cuts. Exact scan for small networks; deterministic stride sampling
+/// above `exact_limit` caches (a sampled minimum can only over-estimate,
+/// and correctness never depends on it: group-aligned sharding routes all
+/// cross-shard influence through barriers, so the epoch length only
+/// bounds buffer memory; see docs/scaling.md).
+double min_cross_shard_rtt_ms(const ShardPlan& plan,
+                              const net::RttProvider& rtt,
+                              std::size_t cache_count,
+                              std::size_t exact_limit = 4096);
+
+}  // namespace ecgf::shard

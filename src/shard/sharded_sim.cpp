@@ -1,0 +1,327 @@
+#include "shard/sharded_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/profile.h"
+#include "util/expect.h"
+
+namespace ecgf::shard {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(const cache::Catalog& catalog,
+                                   const net::RttProvider& rtt,
+                                   net::HostId server,
+                                   sim::SimulationConfig config,
+                                   ShardOptions options)
+    : engine_(catalog, rtt, server, std::move(config)),
+      options_(options),
+      plan_(engine_.groups(), engine_.cache_count(), options.shards),
+      coord_sink_(*this) {
+  ECGF_EXPECTS(options_.shards >= 1);
+  ECGF_EXPECTS(options_.epoch_floor_ms > 0.0);
+  ECGF_EXPECTS(options_.epoch_cap_ms >= options_.epoch_floor_ms);
+  ECGF_EXPECTS(options_.epoch_ms >= 0.0);
+  metrics_ = std::make_unique<sim::MetricsCollector>(engine_.cache_count());
+  trace_ = engine_.config().trace;
+  if (!trace_.active()) {
+    trace_ = obs::TraceContext::root(obs::global_tracer(), 0);
+  }
+  hook_ = engine_.config().control_hook;
+  const std::size_t threads =
+      options_.threads != 0
+          ? options_.threads
+          : std::min(options_.shards, util::configured_threads());
+  pool_ = std::make_unique<util::ThreadPool>(threads);
+  sinks_.resize(options_.shards);
+}
+
+void ShardedSimulator::apply_groups(
+    const std::vector<std::vector<cache::CacheIndex>>& groups) {
+  engine_.apply_groups(groups);
+  // The partition changed under us (control-plane actuator, fired from a
+  // barrier): rebuild the shard plan once the current barrier batch ends.
+  reshard_pending_ = true;
+}
+
+void ShardedSimulator::reshard(const workload::Trace& trace, double from_ms) {
+  plan_ = ShardPlan(engine_.groups(), engine_.cache_count(), options_.shards);
+
+  if (options_.epoch_ms > 0.0) {
+    epoch_ms_ = options_.epoch_ms;
+  } else {
+    double lookahead =
+        min_cross_shard_rtt_ms(plan_, engine_.rtt(), engine_.cache_count());
+    if (!std::isfinite(lookahead)) lookahead = options_.epoch_cap_ms;
+    epoch_ms_ = std::clamp(lookahead, options_.epoch_floor_ms,
+                           options_.epoch_cap_ms);
+  }
+
+  // In-flight completions survive a reshard: collect and re-home them by
+  // their cache's new shard (the engine already re-registered resident
+  // documents against the new directories).
+  std::vector<sim::Completion> pending;
+  for (const ShardState& s : shards_) {
+    for (const PendingCompletion& pc : s.completions) pending.push_back(pc.c);
+  }
+
+  shards_.assign(options_.shards, ShardState{});
+  const auto& requests = trace.requests;
+  const std::size_t start =
+      static_cast<std::size_t>(
+          std::lower_bound(requests.begin(), requests.end(), from_ms,
+                           [](const workload::Request& r, double t) {
+                             return r.time_ms < t;
+                           }) -
+          requests.begin());
+  for (std::size_t i = start; i < requests.size(); ++i) {
+    shards_[plan_.shard_of_cache(requests[i].cache)].arrivals.push_back(i);
+  }
+  for (const sim::Completion& c : pending) {
+    shards_[plan_.shard_of_cache(c.cache)].completions.push_back(
+        PendingCompletion{c});
+  }
+  for (ShardState& s : shards_) {
+    std::make_heap(s.completions.begin(), s.completions.end(),
+                   CompletionGreater{});
+  }
+}
+
+double ShardedSimulator::earliest_pending(
+    const workload::Trace& trace) const {
+  double e = kInf;
+  for (const ShardState& s : shards_) {
+    if (s.next_arrival < s.arrivals.size()) {
+      // Arrival slices are time-sorted, so the cursor head is the minimum.
+      e = std::min(e, trace.requests[s.arrivals[s.next_arrival]].time_ms);
+    }
+    if (!s.completions.empty()) {
+      e = std::min(e, s.completions.front().c.time);
+    }
+  }
+  return e;
+}
+
+void ShardedSimulator::run_windows(const workload::Trace& trace, double cut,
+                                   bool inclusive) {
+  const auto& requests = trace.requests;
+  pool_->parallel_for(options_.shards, [&](std::size_t si) {
+    ShardState& s = shards_[si];
+    ShardSink& sink = sinks_[si];
+    for (;;) {
+      const bool have_a = s.next_arrival < s.arrivals.size();
+      const bool have_c = !s.completions.empty();
+      if (!have_a && !have_c) break;
+      bool take_completion;
+      if (have_c && have_a) {
+        // Canonical tie-break: kCompletion (5) sorts before kArrival (6)
+        // at equal times, so the completion wins ties.
+        take_completion = s.completions.front().c.time <=
+                          requests[s.arrivals[s.next_arrival]].time_ms;
+      } else {
+        take_completion = have_c;
+      }
+      const double t = take_completion
+                           ? s.completions.front().c.time
+                           : requests[s.arrivals[s.next_arrival]].time_ms;
+      if (inclusive ? t > cut : t >= cut) break;
+      if (take_completion) {
+        std::pop_heap(s.completions.begin(), s.completions.end(),
+                      CompletionGreater{});
+        const sim::Completion c = s.completions.back().c;
+        s.completions.pop_back();
+        sink.begin_event(c.time, sim::EventClass::kCompletion,
+                         c.request_index);
+        engine_.on_complete(c, sink);
+      } else {
+        const std::uint64_t index = s.arrivals[s.next_arrival++];
+        const workload::Request& r = requests[index];
+        sink.begin_event(r.time_ms, sim::EventClass::kArrival, index);
+        const sim::Completion c = engine_.on_request(index, r, r.time_ms, sink);
+        s.completions.push_back(PendingCompletion{c});
+        std::push_heap(s.completions.begin(), s.completions.end(),
+                       CompletionGreater{});
+      }
+      ++s.executed;
+    }
+  });
+  for (ShardState& s : shards_) {
+    events_executed_ += s.executed;
+    s.executed = 0;
+  }
+}
+
+void ShardedSimulator::execute_barrier(const Barrier& barrier,
+                                       const workload::Trace& trace) {
+  const double t = barrier.time_ms;
+  const auto& config = engine_.config();
+  switch (barrier.klass) {
+    case sim::EventClass::kFailure:
+      engine_.on_failure(config.failures[barrier.index].cache, t, coord_sink_);
+      break;
+    case sim::EventClass::kMembership: {
+      const sim::MembershipChange change =
+          config.membership_events[barrier.index];
+      if (change.kind == sim::MembershipChange::Kind::kLeave) {
+        if (engine_.on_leave(change.cache, t, coord_sink_) &&
+            hook_ != nullptr) {
+          hook_->on_leave(change.cache, t);
+        }
+      } else {
+        std::uint32_t group = 0;
+        if (engine_.on_join(change.cache, t, coord_sink_, &group) &&
+            hook_ != nullptr) {
+          hook_->on_join(change.cache, group, t);
+        }
+      }
+      break;
+    }
+    case sim::EventClass::kUpdate:
+      engine_.on_update(trace.updates[barrier.index], coord_sink_);
+      break;
+    case sim::EventClass::kControlTick:
+      ++control_ticks_;
+      hook_->on_tick(*this, t);
+      break;
+    case sim::EventClass::kSummaryRefresh:
+      engine_.rebuild_summaries();
+      break;
+    default:
+      ECGF_EXPECTS(false);
+  }
+}
+
+sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
+  ECGF_PROF_SCOPE("shard.run");
+  trace.validate(engine_.cache_count(), engine_.catalog().size());
+  const auto& config = engine_.config();
+  metrics_->set_warmup_end(trace.duration_ms * config.warmup_fraction);
+  const double horizon = trace.duration_ms + 60'000.0;
+
+  // Every event that couples shards is a coordinator barrier. Build the
+  // full schedule up front in the canonical (time, EventClass, key)
+  // order — the exact order the sequential driver's keyed queue pops
+  // these events in.
+  std::vector<Barrier> barriers;
+  for (std::size_t f = 0; f < config.failures.size(); ++f) {
+    barriers.push_back(Barrier{config.failures[f].time_ms,
+                               sim::EventClass::kFailure, f, f});
+  }
+  for (std::size_t m = 0; m < config.membership_events.size(); ++m) {
+    barriers.push_back(Barrier{config.membership_events[m].time_ms,
+                               sim::EventClass::kMembership, m, m});
+  }
+  for (std::size_t u = 0; u < trace.updates.size(); ++u) {
+    barriers.push_back(
+        Barrier{trace.updates[u].time_ms, sim::EventClass::kUpdate, u, u});
+  }
+  if (hook_ != nullptr && config.control_interval_ms > 0.0) {
+    // Iterative accumulation, not k·interval: reproduces the sequential
+    // driver's tick-chain float arithmetic exactly.
+    double t = config.control_interval_ms;
+    std::uint64_t k = 0;
+    while (t <= horizon) {
+      barriers.push_back(Barrier{t, sim::EventClass::kControlTick, k,
+                                 static_cast<std::size_t>(k)});
+      const double next = t + config.control_interval_ms;
+      if (next > trace.duration_ms) break;
+      t = next;
+      ++k;
+    }
+  }
+  if (config.directory == sim::DirectoryMode::kSummary &&
+      config.summary.refresh_interval_ms > 0.0) {
+    double t = config.summary.refresh_interval_ms;
+    std::uint64_t round = 0;
+    while (t <= horizon) {
+      barriers.push_back(Barrier{t, sim::EventClass::kSummaryRefresh, round,
+                                 static_cast<std::size_t>(round)});
+      const double next = t + config.summary.refresh_interval_ms;
+      if (next > trace.duration_ms) break;
+      t = next;
+      ++round;
+    }
+  }
+  std::sort(barriers.begin(), barriers.end(),
+            [](const Barrier& a, const Barrier& b) {
+              if (a.time_ms != b.time_ms) return a.time_ms < b.time_ms;
+              if (a.klass != b.klass) return a.klass < b.klass;
+              return a.key < b.key;
+            });
+
+  if (hook_ != nullptr) hook_->on_start(*this);
+  reshard_pending_ = false;
+  reshard(trace, 0.0);
+
+  double now = 0.0;
+  now_ms_ = 0.0;
+  std::size_t bpos = 0;
+  events_executed_ = 0;
+  cuts_ = 0;
+
+  for (;;) {
+    const bool have_barrier = bpos < barriers.size();
+    const double bt = have_barrier ? barriers[bpos].time_ms : kInf;
+    const double earliest = earliest_pending(trace);
+    // Null-message rule, group-aligned: no shard can be influenced before
+    // the next barrier, so the cut may jump to the earliest pending event
+    // plus one lookahead epoch (bounding effect-buffer growth), or
+    // straight to the barrier.
+    const double epoch_target =
+        earliest == kInf ? kInf : std::max(now, earliest) + epoch_ms_;
+    double cut;
+    bool barrier_cut = false;
+    bool final_cut = false;
+    if (have_barrier && bt <= epoch_target) {
+      cut = bt;
+      barrier_cut = true;
+    } else if (epoch_target <= horizon) {
+      cut = epoch_target;
+    } else {
+      cut = horizon;
+      final_cut = true;
+    }
+
+    run_windows(trace, cut, /*inclusive=*/final_cut);
+    merge_and_replay(sinks_, coord_sink_);
+    ++cuts_;
+    now = cut;
+    now_ms_ = cut;
+
+    if (barrier_cut) {
+      while (bpos < barriers.size() && barriers[bpos].time_ms == bt) {
+        execute_barrier(barriers[bpos], trace);
+        ++bpos;
+        ++events_executed_;
+      }
+      if (reshard_pending_) {
+        reshard_pending_ = false;
+        reshard(trace, bt);
+      }
+    }
+    if (final_cut) break;
+  }
+
+  sim::EngineTally tally = coord_sink_.tally;
+  for (const ShardSink& sink : sinks_) tally += sink.tally;
+  return engine_.assemble_report(*metrics_, trace.requests.size(),
+                                 events_executed_, control_ticks_, tally);
+}
+
+sim::SimulationReport run_sharded_simulation(const cache::Catalog& catalog,
+                                             const net::RttProvider& rtt,
+                                             net::HostId server,
+                                             sim::SimulationConfig config,
+                                             ShardOptions options,
+                                             const workload::Trace& trace) {
+  ShardedSimulator sim(catalog, rtt, server, std::move(config), options);
+  return sim.run(trace);
+}
+
+}  // namespace ecgf::shard

@@ -1,0 +1,206 @@
+// ShardedSimulator — the conservative-PDES driver over sim::ShardableEngine.
+//
+// Scales the discrete-event simulation to 100k-cache networks by running
+// the per-group hot path (request arrivals and completions) on worker
+// shards in parallel, while reproducing the sequential sim::Simulator's
+// output BIT FOR BIT at any shard count: same SimulationReport, same
+// metrics, same trace bytes.
+//
+// Execution model (docs/scaling.md has the full derivation):
+//
+//   * Caches are partitioned across shards by formed group (ShardPlan), so
+//     all beacon-directory traffic is shard-local and window events never
+//     cross shards.
+//   * Time advances in epochs. Every event that couples shards — origin
+//     updates, failures, membership churn, control ticks, summary
+//     refreshes — is a BARRIER executed by the coordinator with all
+//     shards quiescent, in canonical (time, EventClass, key) order.
+//   * Between barriers, shards run their own event loops up to the next
+//     synchronisation cut: min(next barrier, earliest pending event +
+//     lookahead), where the lookahead is the minimum cross-shard RTT
+//     (CMB-style; clamped to [epoch_floor_ms, epoch_cap_ms]).
+//   * Order-sensitive side effects (metrics samples, trace events, RTT
+//     observations) are buffered per shard and replayed at each cut as a
+//     deterministic k-way merge in canonical event order
+//     (shard::merge_and_replay) — the sequential application order.
+//
+// Correctness never depends on the lookahead value: group-aligned
+// sharding routes all cross-shard influence through barriers, so even a
+// degenerate near-zero lookahead (two near-zero-RTT caches in different
+// shards) only shortens epochs; the floor keeps progress.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/catalog.h"
+#include "net/rtt_provider.h"
+#include "obs/trace.h"
+#include "shard/exchange.h"
+#include "shard/plan.h"
+#include "sim/config.h"
+#include "sim/control.h"
+#include "sim/engine.h"
+#include "sim/metrics.h"
+#include "util/thread_pool.h"
+#include "workload/trace.h"
+
+namespace ecgf::shard {
+
+struct ShardOptions {
+  /// Worker shards. 1 degenerates to a (slightly buffered) sequential run
+  /// — still bit-identical to sim::Simulator.
+  std::size_t shards = 1;
+  /// Explicit epoch length; 0 = derive from the minimum cross-shard RTT.
+  double epoch_ms = 0.0;
+  /// Clamp range for the derived epoch. The floor guards degenerate
+  /// lookahead (near-zero cross-shard RTTs); the cap bounds effect-buffer
+  /// memory between cuts.
+  double epoch_floor_ms = 1.0;
+  double epoch_cap_ms = 1'000.0;
+  /// Worker threads for the shard loops; 0 = min(shards,
+  /// util::configured_threads()).
+  std::size_t threads = 0;
+};
+
+/// The sharded driver. Construct, then run(trace) — same contract as
+/// sim::Simulator::run. Implements sim::GroupHost so ctl's
+/// MaintenanceSession drives it unchanged.
+class ShardedSimulator final : public sim::GroupHost {
+ public:
+  ShardedSimulator(const cache::Catalog& catalog, const net::RttProvider& rtt,
+                   net::HostId server, sim::SimulationConfig config,
+                   ShardOptions options);
+
+  sim::SimulationReport run(const workload::Trace& trace);
+
+  // sim::GroupHost
+  std::size_t cache_count() const override { return engine_.cache_count(); }
+  bool is_departed(cache::CacheIndex i) const override {
+    return engine_.is_departed(i);
+  }
+  const std::vector<std::vector<cache::CacheIndex>>& groups() const override {
+    return engine_.groups();
+  }
+  void apply_groups(
+      const std::vector<std::vector<cache::CacheIndex>>& groups) override;
+
+  // Introspection (tests, benches).
+  const sim::ShardableEngine& engine() const { return engine_; }
+  std::size_t shard_count() const { return options_.shards; }
+  /// Epoch length currently in force (derived or explicit).
+  double epoch_ms() const { return epoch_ms_; }
+  /// Synchronisation cuts executed during run() (epoch + barrier cuts).
+  std::uint64_t cuts_executed() const { return cuts_; }
+  /// Coordinator clock (ms): simulation time of the last cut; 0 before
+  /// run(). Bind time-varying collaborators (net::DriftingRttProvider)
+  /// here, exactly like sim::Simulator::clock_ptr() — barrier-side reads
+  /// then see barrier time, while the shard hot path always uses the
+  /// explicit-time rtt_ms_at() and never touches this clock.
+  const double* clock_ptr() const { return &now_ms_; }
+
+ private:
+  /// Coordinator-side sink: applies effects immediately (used for barrier
+  /// events and as the target of every per-epoch merge).
+  class CoordinatorSink final : public sim::EffectSink {
+   public:
+    explicit CoordinatorSink(ShardedSimulator& host) : host_(host) {}
+    void emit(const obs::TraceEvent& event) override {
+      host_.trace_.emit(event);
+    }
+    void record(cache::CacheIndex cache, double latency_ms,
+                sim::Resolution how, sim::SimTime t) override {
+      host_.metrics_->set_now(t);
+      host_.metrics_->record(cache, latency_ms, how);
+    }
+    void rtt_sample(net::HostId src, net::HostId dst, double rtt_ms,
+                    sim::SimTime t) override {
+      if (host_.hook_ != nullptr) {
+        host_.hook_->on_rtt_sample(src, dst, rtt_ms, t);
+      }
+    }
+
+   private:
+    ShardedSimulator& host_;
+  };
+
+  /// One pending completion, ordered by canonical key (time, request
+  /// index) — EventClass::kCompletion is implied.
+  struct PendingCompletion {
+    sim::Completion c;
+    friend bool operator<(const PendingCompletion& a,
+                          const PendingCompletion& b) {
+      if (a.c.time != b.c.time) return a.c.time < b.c.time;
+      return a.c.request_index < b.c.request_index;
+    }
+  };
+
+  /// Min-heap adapter for std::push_heap/pop_heap (which build max-heaps
+  /// with operator<).
+  struct CompletionGreater {
+    bool operator()(const PendingCompletion& a,
+                    const PendingCompletion& b) const {
+      return b < a;
+    }
+  };
+
+  /// Per-shard event state: the shard's slice of the arrival log plus its
+  /// min-heap of in-flight completions.
+  struct ShardState {
+    std::vector<std::uint64_t> arrivals;  ///< request indices, ascending
+    std::size_t next_arrival = 0;
+    std::vector<PendingCompletion> completions;  ///< min-heap (std::*_heap)
+    std::uint64_t executed = 0;  ///< events run, summed into the report
+  };
+
+  /// A coordinator-executed event that synchronises all shards.
+  struct Barrier {
+    double time_ms;
+    sim::EventClass klass;
+    std::uint64_t key;    ///< canonical tie-break key
+    std::size_t index;    ///< index into the source list (updates/failures/…)
+  };
+
+  /// (Re)distribute the workload across shards for the current partition:
+  /// new ShardPlan, arrivals from the first request at/after `from_ms`,
+  /// pending completions re-homed by cache, lookahead re-derived.
+  void reshard(const workload::Trace& trace, double from_ms);
+
+  /// Run every shard's event loop up to `cut` (exclusive; inclusive for
+  /// the final drain window) in parallel, buffering effects.
+  void run_windows(const workload::Trace& trace, double cut, bool inclusive);
+
+  /// Earliest pending event time across all shards; +inf when idle.
+  double earliest_pending(const workload::Trace& trace) const;
+
+  void execute_barrier(const Barrier& barrier, const workload::Trace& trace);
+
+  sim::ShardableEngine engine_;
+  ShardOptions options_;
+  std::unique_ptr<sim::MetricsCollector> metrics_;
+  obs::TraceContext trace_;
+  sim::ControlHook* hook_ = nullptr;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  ShardPlan plan_;
+  std::vector<ShardState> shards_;
+  std::vector<ShardSink> sinks_;
+  CoordinatorSink coord_sink_;
+  double epoch_ms_ = 0.0;
+  double now_ms_ = 0.0;
+  bool reshard_pending_ = false;
+  std::uint64_t control_ticks_ = 0;
+  std::uint64_t cuts_ = 0;
+  std::uint64_t events_executed_ = 0;
+};
+
+/// Convenience wrapper mirroring sim::run_simulation.
+sim::SimulationReport run_sharded_simulation(const cache::Catalog& catalog,
+                                             const net::RttProvider& rtt,
+                                             net::HostId server,
+                                             sim::SimulationConfig config,
+                                             ShardOptions options,
+                                             const workload::Trace& trace);
+
+}  // namespace ecgf::shard

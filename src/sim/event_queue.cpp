@@ -5,10 +5,11 @@
 
 namespace ecgf::sim {
 
-void EventQueue::schedule(SimTime at_ms, Action action) {
+void EventQueue::schedule(SimTime at_ms, EventClass klass, std::uint64_t key,
+                          Action action) {
   ECGF_EXPECTS(at_ms >= now_);
   ECGF_EXPECTS(action != nullptr);
-  heap_.push_back(Entry{at_ms, next_seq_++, std::move(action)});
+  heap_.push_back(Entry{at_ms, klass, key, next_seq_++, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 

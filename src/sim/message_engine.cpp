@@ -10,6 +10,16 @@ namespace ecgf::sim {
 
 namespace {
 
+/// Default transport: every delivery schedules immediately on the engine's
+/// event queue (same process, same shard).
+class DirectExchange final : public MessageExchange {
+ public:
+  void deliver(net::HostId /*src*/, net::HostId /*dst*/, SimTime at,
+               EventQueue& queue, EventQueue::Action work) override {
+    queue.schedule(at, std::move(work));
+  }
+};
+
 /// The engine proper. One instance per run; everything lives on the stack
 /// of run_message_level.
 class MessageLevelSimulator {
@@ -58,6 +68,7 @@ class MessageLevelSimulator {
     cache_busy_until_.assign(n, 0.0);
     ECGF_EXPECTS(config_.origin_concurrency >= 1);
     origin_worker_busy_.assign(config_.origin_concurrency, 0.0);
+    if (config_.exchange != nullptr) exchange_ = config_.exchange;
   }
 
   MessageEngineReport run(const workload::Trace& trace);
@@ -81,27 +92,34 @@ class MessageLevelSimulator {
     return hop + config_.base.cost.transfer_ms(bytes);
   }
 
-  /// FIFO service at a cache: the work closure runs at service completion.
-  void enqueue_cache(cache::CacheIndex c, SimTime arrival,
-                     EventQueue::Action work) {
+  /// One inter-host message: counted, then handed to the exchange. Every
+  /// protocol send in this engine funnels through here — the seam a
+  /// sharded driver overrides via MessageEngineConfig::exchange.
+  void send(net::HostId src, net::HostId dst, SimTime at,
+            EventQueue::Action work) {
     ++messages_;
+    exchange_->deliver(src, dst, at, queue_, std::move(work));
+  }
+
+  /// FIFO service at a cache: the work closure runs at service completion.
+  void enqueue_cache(net::HostId src, cache::CacheIndex c, SimTime arrival,
+                     EventQueue::Action work) {
     const SimTime start = std::max(arrival, cache_busy_until_[c]);
     cache_queue_delay_.add(start - arrival);
     cache_busy_until_[c] = start + config_.cache_service_ms;
-    queue_.schedule(cache_busy_until_[c], std::move(work));
+    send(src, c, cache_busy_until_[c], std::move(work));
   }
 
   /// Service at the origin's worker pool: a fetch grabs the earliest-free
   /// worker for origin_service_ms + generation time.
-  void enqueue_origin(SimTime arrival, double generation_ms,
+  void enqueue_origin(net::HostId src, SimTime arrival, double generation_ms,
                       EventQueue::Action work) {
-    ++messages_;
     auto earliest = std::min_element(origin_worker_busy_.begin(),
                                      origin_worker_busy_.end());
     const SimTime start = std::max(arrival, *earliest);
     origin_queue_delay_.add(start - arrival);
     *earliest = start + config_.origin_service_ms + generation_ms;
-    queue_.schedule(*earliest, std::move(work));
+    send(src, server_, *earliest, std::move(work));
   }
 
   void finish(const Request& req, SimTime now, Resolution how) {
@@ -137,6 +155,8 @@ class MessageLevelSimulator {
   std::unique_ptr<cache::OriginServer> origin_;
   std::unique_ptr<MetricsCollector> metrics_;
   EventQueue queue_;
+  DirectExchange direct_exchange_;
+  MessageExchange* exchange_ = &direct_exchange_;
 
   std::vector<double> cache_busy_until_;
   std::vector<double> origin_worker_busy_;
@@ -147,7 +167,7 @@ class MessageLevelSimulator {
 };
 
 void MessageLevelSimulator::handle_client_request(const Request& req) {
-  enqueue_cache(req.cache, req.arrival, [this, req](SimTime now) {
+  enqueue_cache(req.cache, req.cache, req.arrival, [this, req](SimTime now) {
     const cache::Version version = origin_->version(req.doc);
     const auto outcome = caches_[req.cache]->lookup(req.doc, version, now);
     if (outcome == cache::LookupOutcome::kHitFresh) {
@@ -162,7 +182,7 @@ void MessageLevelSimulator::handle_client_request(const Request& req) {
       return;
     }
     const SimTime arrival = now + control_travel(req.cache, beacon);
-    enqueue_cache(beacon, arrival, [this, req, beacon](SimTime t) {
+    enqueue_cache(req.cache, beacon, arrival, [this, req, beacon](SimTime t) {
       beacon_decide(req, beacon, t);
     });
   });
@@ -192,28 +212,27 @@ void MessageLevelSimulator::beacon_decide(const Request& req,
     // origin (no extra service round at the requester: the reply handler
     // immediately issues the fetch).
     const SimTime reply = now + control_travel(beacon, req.cache);
-    ++messages_;
-    queue_.schedule(reply, [this, req](SimTime t) { go_origin(req, t); });
+    send(beacon, req.cache, reply,
+         [this, req](SimTime t) { go_origin(req, t); });
     return;
   }
 
   // Forward to the holder; the holder ships the document to the requester.
   const SimTime at_holder = now + control_travel(beacon, holder);
-  enqueue_cache(holder, at_holder, [this, req, holder](SimTime t) {
+  enqueue_cache(beacon, holder, at_holder, [this, req, holder](SimTime t) {
     const cache::Version v = origin_->version(req.doc);
     if (!caches_[holder]->has_fresh(req.doc, v)) {
       // Copy vanished between the beacon's decision and service here
       // (eviction or invalidation in flight): fall through to the origin.
       const SimTime reply = t + control_travel(holder, req.cache);
-      ++messages_;
-      queue_.schedule(reply, [this, req](SimTime t2) { go_origin(req, t2); });
+      send(holder, req.cache, reply,
+           [this, req](SimTime t2) { go_origin(req, t2); });
       return;
     }
     caches_[holder]->touch(req.doc, t);
     const std::uint64_t size = catalog_.info(req.doc).size_bytes;
     const SimTime at_requester = t + data_travel(holder, req.cache, size);
-    ++messages_;
-    queue_.schedule(at_requester, [this, req, v](SimTime t2) {
+    send(holder, req.cache, at_requester, [this, req, v](SimTime t2) {
       finish(req, t2, Resolution::kGroupHit);
       store_copy(req, v, t2);
     });
@@ -223,12 +242,11 @@ void MessageLevelSimulator::beacon_decide(const Request& req,
 void MessageLevelSimulator::go_origin(const Request& req, SimTime now) {
   const SimTime at_origin = now + control_travel(req.cache, server_);
   const double generation = origin_->serve_ms(req.doc);
-  enqueue_origin(at_origin, generation, [this, req](SimTime t) {
+  enqueue_origin(req.cache, at_origin, generation, [this, req](SimTime t) {
     const cache::Version version = origin_->version(req.doc);
     const std::uint64_t size = catalog_.info(req.doc).size_bytes;
     const SimTime at_requester = t + data_travel(server_, req.cache, size);
-    ++messages_;
-    queue_.schedule(at_requester, [this, req, version](SimTime t2) {
+    send(server_, req.cache, at_requester, [this, req, version](SimTime t2) {
       finish(req, t2, Resolution::kOriginFetch);
       store_copy(req, version, t2);
     });

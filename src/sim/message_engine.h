@@ -24,6 +24,25 @@
 
 namespace ecgf::sim {
 
+/// Transport seam: every inter-host protocol message the message-level
+/// engine emits (lookups, forwards, miss replies, document bodies, origin
+/// fetches) passes through exactly one deliver() call. The default
+/// in-process exchange schedules straight onto the engine's event queue; a
+/// sharded driver substitutes a buffering exchange that holds cross-shard
+/// deliveries until the next conservative epoch cut (the analytic engine's
+/// equivalent lives in src/shard/exchange.h).
+class MessageExchange {
+ public:
+  virtual ~MessageExchange() = default;
+  /// Run `work` at simulation time `at` on the destination's event loop.
+  /// `src`/`dst` are host ids (cache index, or the origin's id). `queue`
+  /// is the destination's event queue — a pass-through exchange schedules
+  /// immediately; a buffering one stores the delivery and schedules it at
+  /// the next epoch cut.
+  virtual void deliver(net::HostId src, net::HostId dst, SimTime at,
+                       EventQueue& queue, EventQueue::Action work) = 0;
+};
+
 struct MessageEngineConfig {
   /// Base simulation setup (groups, capacity, policy, beacons, cost —
   /// consistency must be kPushInvalidation and failures must be empty).
@@ -38,6 +57,10 @@ struct MessageEngineConfig {
   std::size_t origin_concurrency = 16;
   /// Control-message size (bytes) — lookups, forwards, miss replies.
   std::uint32_t control_bytes = 200;
+  /// Transport override (non-owning; must outlive the run). nullptr uses
+  /// the default direct exchange: deliveries schedule immediately on the
+  /// engine's own event queue.
+  MessageExchange* exchange = nullptr;
 };
 
 struct MessageEngineReport {

@@ -1,7 +1,7 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-#include <limits>
+#include <functional>
+#include <utility>
 
 #include "obs/profile.h"
 #include "util/expect.h"
@@ -11,661 +11,125 @@ namespace ecgf::sim {
 Simulator::Simulator(const cache::Catalog& catalog,
                      const net::RttProvider& rtt, net::HostId server,
                      SimulationConfig config)
-    : catalog_(catalog),
-      rtt_(rtt),
-      server_(server),
-      config_(std::move(config)) {
-  ECGF_EXPECTS(!config_.groups.empty());
-  ECGF_EXPECTS(server_ < rtt_.host_count());
-
-  // The groups must partition [0, N) for some N.
-  std::size_t n = 0;
-  for (const auto& g : config_.groups) n += g.size();
-  ECGF_EXPECTS(n > 0);
-  ECGF_EXPECTS(n < rtt_.host_count());  // hosts = caches + origin
-  cache_count_ = n;
-  group_of_.assign(n, std::numeric_limits<std::size_t>::max());
-  for (std::size_t g = 0; g < config_.groups.size(); ++g) {
-    ECGF_EXPECTS(!config_.groups[g].empty());
-    for (cache::CacheIndex c : config_.groups[g]) {
-      ECGF_EXPECTS(c < n);
-      ECGF_EXPECTS(group_of_[c] == std::numeric_limits<std::size_t>::max());  // no duplicates
-      group_of_[c] = g;
-    }
-  }
-
-  ECGF_EXPECTS(config_.per_cache_capacity_bytes.empty() ||
-               config_.per_cache_capacity_bytes.size() == n);
-  caches_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t capacity = config_.per_cache_capacity_bytes.empty()
-                                       ? config_.cache_capacity_bytes
-                                       : config_.per_cache_capacity_bytes[i];
-    caches_.push_back(std::make_unique<cache::EdgeCache>(
-        capacity, catalog_,
-        cache::make_policy(config_.policy, catalog_, config_.utility_params)));
-  }
-  directories_.reserve(config_.groups.size());
-  for (const auto& g : config_.groups) {
-    directories_.push_back(
-        std::make_unique<cache::GroupDirectory>(g, config_.beacons_per_group));
-  }
-  origin_ = std::make_unique<cache::OriginServer>(catalog_);
-  metrics_ = std::make_unique<MetricsCollector>(n);
-  trace_ = config_.trace;
+    : engine_(catalog, rtt, server, std::move(config)), sink_(*this) {
+  metrics_ = std::make_unique<MetricsCollector>(engine_.cache_count());
+  trace_ = engine_.config().trace;
   if (!trace_.active()) {
     // Standalone runs pick up the ambient stream of the global tracer (a
     // no-op handle when none is installed or tracing is off).
     trace_ = obs::TraceContext::root(obs::global_tracer(), 0);
   }
-  down_.assign(n, false);
-  departed_.assign(n, false);
-  for (const auto& f : config_.failures) {
-    ECGF_EXPECTS(f.cache < n);
-    ECGF_EXPECTS(f.time_ms >= 0.0);
-  }
-  for (const auto& m : config_.membership_events) {
-    ECGF_EXPECTS(m.cache < n);
-    ECGF_EXPECTS(m.time_ms >= 0.0);
-  }
-  if (config_.control_hook != nullptr) {
-    // The maintenance surface (apply_groups, membership churn) is defined
-    // against the beacon directory; summary mode keeps static peer lists.
-    ECGF_EXPECTS(config_.directory == DirectoryMode::kBeacon);
-  }
-
-  if (config_.directory == DirectoryMode::kSummary) {
-    // Summary mode pairs with push invalidation only (TTL + stale
-    // summaries would conflate two staleness sources).
-    ECGF_EXPECTS(config_.consistency == ConsistencyMode::kPushInvalidation);
-    ECGF_EXPECTS(config_.summary.filter_bits >= 8);
-    ECGF_EXPECTS(config_.summary.hash_count >= 1);
-    ECGF_EXPECTS(config_.summary.refresh_interval_ms > 0.0);
-    ECGF_EXPECTS(config_.summary.max_probe_attempts >= 1);
-    summaries_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      summaries_.emplace_back(config_.summary.filter_bits,
-                              config_.summary.hash_count);
-    }
-    // Peers within each group, sorted by RTT from each member (static).
-    sorted_peers_.resize(n);
-    for (const auto& g : config_.groups) {
-      for (cache::CacheIndex c : g) {
-        auto& peers = sorted_peers_[c];
-        for (cache::CacheIndex other : g) {
-          if (other != c) peers.push_back(other);
-        }
-        std::sort(peers.begin(), peers.end(),
-                  [&](cache::CacheIndex a, cache::CacheIndex b) {
-                    const double ra = rtt_.rtt_ms(c, a);
-                    const double rb = rtt_.rtt_ms(c, b);
-                    return ra != rb ? ra < rb : a < b;
-                  });
-      }
-    }
-  }
-}
-
-void Simulator::rebuild_summaries() {
-  ++summary_rebuilds_;
-  for (std::size_t i = 0; i < caches_.size(); ++i) {
-    summaries_[i].clear();
-    if (down_[i]) continue;
-    for (cache::DocId d : caches_[i]->resident_docs()) {
-      summaries_[i].add(d);
-    }
-  }
-}
-
-bool Simulator::is_down(cache::CacheIndex i) const {
-  ECGF_EXPECTS(i < down_.size());
-  return down_[i];
-}
-
-bool Simulator::is_departed(cache::CacheIndex i) const {
-  ECGF_EXPECTS(i < departed_.size());
-  return departed_[i];
-}
-
-std::size_t Simulator::group_index_of(cache::CacheIndex i) const {
-  ECGF_EXPECTS(i < group_of_.size());
-  return group_of_[i];
-}
-
-void Simulator::observe_rtt(net::HostId src, net::HostId dst, double rtt_ms,
-                            SimTime t) {
-  if (config_.control_hook != nullptr && src != dst) {
-    config_.control_hook->on_rtt_sample(src, dst, rtt_ms, t);
-  }
-}
-
-void Simulator::handle_leave(cache::CacheIndex cache, SimTime t) {
-  if (departed_[cache]) return;
-  departed_[cache] = true;
-  down_[cache] = true;
-  ++leaves_applied_;
-  directories_[group_of_[cache]]->remove_all_for_holder(cache);
-  trace_.emit(obs::TraceEvent::cache_leave(t, cache));
-  if (config_.control_hook != nullptr) {
-    config_.control_hook->on_leave(cache, t);
-  }
-}
-
-void Simulator::handle_join(cache::CacheIndex cache, SimTime t) {
-  if (!departed_[cache]) return;
-  departed_[cache] = false;
-  down_[cache] = false;
-  // Rejoin cold: a returning node has no warm store to offer. It resumes
-  // in its last group (beacon membership was never rewritten) unless the
-  // control hook repartitions later.
-  const std::uint64_t capacity =
-      config_.per_cache_capacity_bytes.empty()
-          ? config_.cache_capacity_bytes
-          : config_.per_cache_capacity_bytes[cache];
-  caches_[cache] = std::make_unique<cache::EdgeCache>(
-      capacity, catalog_,
-      cache::make_policy(config_.policy, catalog_, config_.utility_params));
-  ++joins_applied_;
-  const auto group = static_cast<std::uint32_t>(group_of_[cache]);
-  trace_.emit(obs::TraceEvent::cache_join(t, cache, group));
-  if (config_.control_hook != nullptr) {
-    config_.control_hook->on_join(cache, group, t);
-  }
-}
-
-void Simulator::apply_groups(
-    const std::vector<std::vector<cache::CacheIndex>>& groups) {
-  ECGF_EXPECTS(!groups.empty());
-  constexpr auto kUnassigned = std::numeric_limits<std::size_t>::max();
-  std::vector<std::size_t> new_group_of(cache_count_, kUnassigned);
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    ECGF_EXPECTS(!groups[g].empty());
-    for (cache::CacheIndex c : groups[g]) {
-      ECGF_EXPECTS(c < cache_count_);
-      ECGF_EXPECTS(!departed_[c]);
-      ECGF_EXPECTS(new_group_of[c] == kUnassigned);
-      new_group_of[c] = g;
-    }
-  }
-  for (std::size_t c = 0; c < cache_count_; ++c) {
-    ECGF_EXPECTS(departed_[c] || new_group_of[c] != kUnassigned);
-    // Departed caches keep their old group id for the rejoin default;
-    // clamp it into range if their group vanished.
-    if (departed_[c] && group_of_[c] >= groups.size()) new_group_of[c] = 0;
-    if (departed_[c] && group_of_[c] < groups.size()) {
-      new_group_of[c] = group_of_[c];
-    }
-  }
-
-  config_.groups = groups;
-  group_of_ = std::move(new_group_of);
-  directories_.clear();
-  directories_.reserve(groups.size());
-  for (const auto& g : groups) {
-    directories_.push_back(
-        std::make_unique<cache::GroupDirectory>(g, config_.beacons_per_group));
-  }
-  // Cooperative state survives the cut-over: every live cache re-registers
-  // its resident documents with its new group's directory.
-  for (std::size_t c = 0; c < cache_count_; ++c) {
-    if (down_[c]) continue;
-    auto& dir = *directories_[group_of_[c]];
-    for (cache::DocId d : caches_[c]->resident_docs()) {
-      dir.add_holder(d, static_cast<cache::CacheIndex>(c));
-    }
-  }
-  ++regroupings_;
-}
-
-void Simulator::handle_failure(cache::CacheIndex failed, SimTime t) {
-  if (down_[failed]) return;
-  down_[failed] = true;
-  ++failures_applied_;
-  directories_[group_of_[failed]]->remove_all_for_holder(failed);
-  trace_.emit(obs::TraceEvent::cache_failure(t, failed));
-}
-
-void Simulator::finish(cache::CacheIndex i, cache::DocId d, double latency_ms,
-                       Resolution how, SimTime t) {
-  metrics_->set_now(t);
-  metrics_->record(i, latency_ms, how);
-  trace_.emit(obs::TraceEvent::resolution(t, i, d, static_cast<int>(how),
-                                          latency_ms));
-}
-
-const cache::EdgeCache& Simulator::edge_cache(cache::CacheIndex i) const {
-  ECGF_EXPECTS(i < caches_.size());
-  return *caches_[i];
-}
-
-const cache::GroupDirectory& Simulator::directory_of(
-    cache::CacheIndex i) const {
-  ECGF_EXPECTS(i < group_of_.size());
-  return *directories_[group_of_[i]];
-}
-
-void Simulator::handle_update(const workload::Update& update) {
-  origin_->apply_update(update.doc);
-  if (config_.consistency == ConsistencyMode::kTtl) {
-    // TTL consistency: updates generate no traffic; copies simply age out.
-    return;
-  }
-  // Push invalidation: every registered holder in every group drops its
-  // copy. The consistency traffic travels off the client path, so no
-  // client-visible latency is charged here (its cost shows up as the lost
-  // cache hits).
-  std::size_t holders_dropped = 0;
-  for (auto& dir : directories_) {
-    // Copy: remove_holder mutates the underlying list.
-    const std::vector<cache::CacheIndex> holders = dir->holders(update.doc);
-    holders_dropped += holders.size();
-    for (cache::CacheIndex h : holders) {
-      if (caches_[h]->invalidate(update.doc)) ++invalidations_pushed_;
-      dir->remove_holder(update.doc, h);
-    }
-  }
-  trace_.emit(obs::TraceEvent::invalidation(update.time_ms, update.doc,
-                                            holders_dropped));
-}
-
-bool Simulator::find_beacon(const cache::GroupDirectory& dir,
-                            cache::CacheIndex i, cache::DocId d,
-                            cache::CacheIndex& beacon, double& penalty_ms) {
-  // Beacon failover: crashed beacon slots are skipped in order, each dead
-  // slot costing one timeout round trip to the dead member.
-  const auto& members = dir.members();
-  const std::size_t slots = dir.beacon_count();
-  const std::size_t slot = dir.beacon_slot(d);
-  for (std::size_t attempt = 0; attempt < slots; ++attempt) {
-    const cache::CacheIndex candidate = members[(slot + attempt) % slots];
-    if (!down_[candidate]) {
-      beacon = candidate;
-      return true;
-    }
-    penalty_ms += candidate == i ? 0.0 : rtt_.rtt_ms(i, candidate);
-    ++failover_lookups_;
-  }
-  return false;
-}
-
-void Simulator::store_fetched(cache::CacheIndex i, cache::DocId d,
-                              cache::Version version, SimTime t,
-                              Resolution how) {
-  // Cooperative placement: peer-served documents are stored according to
-  // the configured RemotePlacement; origin-served documents always go
-  // through the (possibly score-gated) local store.
-  const bool from_peer = how == Resolution::kGroupHit;
-  if (from_peer && config_.remote_placement == RemotePlacement::kNever) {
-    return;
-  }
-  const bool force = config_.remote_placement == RemotePlacement::kAlways;
-  std::vector<cache::DocId> evicted;
-  cache::GroupDirectory& home = *directories_[group_of_[i]];
-  if (caches_[i]->insert(d, version, t, &evicted, force)) {
-    home.add_holder(d, i);
-  }
-  for (cache::DocId e : evicted) home.remove_holder(e, i);
-}
-
-void Simulator::handle_request(const workload::Request& request, SimTime now) {
-  const cache::CacheIndex i = request.cache;
-  const cache::DocId d = request.doc;
-  cache::EdgeCache& local = *caches_[i];
-  cache::GroupDirectory& dir = *directories_[group_of_[i]];
-  const cache::Version version = origin_->version(d);
-  const std::uint64_t size = catalog_.info(d).size_bytes;
-  trace_.emit(obs::TraceEvent::request(now, i, d));
-
-  // A crashed edge cache serves nothing: its clients fall back to the
-  // origin directly (no beacon consultation, no insert).
-  if (down_[i]) {
-    const double gen = origin_->serve_ms(d);
-    const double latency =
-        config_.cost.origin_fetch_ms(0.0, rtt_.rtt_ms(i, server_), gen, size);
-    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
-      finish(i, d, latency, Resolution::kOriginFetch, t);
-    });
-    return;
-  }
-
-  const cache::LookupOutcome outcome = local.lookup(d, version, now);
-  if (outcome == cache::LookupOutcome::kHitFresh) {
-    const double latency = config_.cost.local_hit_ms();
-    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
-      finish(i, d, latency, Resolution::kLocalHit, t);
-    });
-    return;
-  }
-
-  // Local miss (or stale copy): consult the document's beacon point.
-  double failover_penalty_ms = 0.0;
-  cache::CacheIndex beacon = i;  // provisional; overwritten below
-  const bool beacon_alive = find_beacon(dir, i, d, beacon, failover_penalty_ms);
-  if (!beacon_alive) {
-    // Every beacon in the group is down: straight to the origin.
-    const double gen = origin_->serve_ms(d);
-    const double latency =
-        failover_penalty_ms +
-        config_.cost.origin_fetch_ms(0.0, rtt_.rtt_ms(i, server_), gen, size);
-    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
-      finish(i, d, latency, Resolution::kOriginFetch, t);
-    });
-    return;
-  }
-  const double rtt_ib =
-      failover_penalty_ms + (beacon == i ? 0.0 : rtt_.rtt_ms(i, beacon));
-  trace_.emit(
-      obs::TraceEvent::dir_lookup(now, i, beacon, d, dir.holders(d).size()));
-  if (beacon != i) observe_rtt(i, beacon, rtt_.rtt_ms(i, beacon), now);
-
-  // Cheapest fresh holder registered in the group directory.
-  cache::CacheIndex holder = i;
-  double best_rtt = std::numeric_limits<double>::infinity();
-  for (cache::CacheIndex h : dir.holders(d)) {
-    if (h == i || down_[h]) continue;
-    if (!caches_[h]->has_fresh(d, version)) continue;
-    const double r = rtt_.rtt_ms(i, h);
-    if (r < best_rtt) {
-      best_rtt = r;
-      holder = h;
-    }
-  }
-
-  double latency;
-  Resolution how;
-  if (holder != i) {
-    const double rtt_bh = beacon == holder ? 0.0 : rtt_.rtt_ms(beacon, holder);
-    latency = config_.cost.group_hit_ms(rtt_ib, rtt_bh, best_rtt, size);
-    how = Resolution::kGroupHit;
-    observe_rtt(i, holder, best_rtt, now);
-    caches_[holder]->touch(d, now);
-  } else {
-    const double gen = origin_->serve_ms(d);
-    latency = config_.cost.origin_fetch_ms(rtt_ib, rtt_.rtt_ms(i, server_),
-                                           gen, size);
-    how = Resolution::kOriginFetch;
-  }
-
-  queue_.schedule(
-      now + latency, [this, i, d, version, latency, how](SimTime t) {
-        finish(i, d, latency, how, t);
-        // Store the fetched copy unless the origin moved on mid-flight
-        // (the fetched bytes are already stale then) or the cache crashed
-        // while the fetch was outstanding.
-        if (origin_->version(d) != version || down_[i]) return;
-        store_fetched(i, d, version, t, how);
-      });
-}
-
-void Simulator::handle_request_summary(const workload::Request& request,
-                                       SimTime now) {
-  const cache::CacheIndex i = request.cache;
-  const cache::DocId d = request.doc;
-  cache::EdgeCache& local = *caches_[i];
-  const cache::Version version = origin_->version(d);
-  const std::uint64_t size = catalog_.info(d).size_bytes;
-  trace_.emit(obs::TraceEvent::request(now, i, d));
-
-  if (down_[i]) {
-    const double gen = origin_->serve_ms(d);
-    const double latency =
-        config_.cost.origin_fetch_ms(0.0, rtt_.rtt_ms(i, server_), gen, size);
-    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
-      finish(i, d, latency, Resolution::kOriginFetch, t);
-    });
-    return;
-  }
-
-  const auto outcome = local.lookup(d, version, now);
-  if (outcome == cache::LookupOutcome::kHitFresh) {
-    const double latency = config_.cost.local_hit_ms();
-    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
-      finish(i, d, latency, Resolution::kLocalHit, t);
-    });
-    return;
-  }
-
-  // Consult peers' (possibly stale) summaries locally — no lookup hop.
-  // Try the nearest summary-positive peers; each false positive costs a
-  // wasted round trip.
-  double wasted_ms = 0.0;
-  cache::CacheIndex holder = i;
-  std::size_t attempts = 0;
-  for (cache::CacheIndex peer : sorted_peers_[i]) {
-    if (attempts >= config_.summary.max_probe_attempts) break;
-    if (down_[peer]) continue;
-    if (!summaries_[peer].maybe_contains(d)) continue;
-    ++attempts;
-    if (caches_[peer]->has_fresh(d, version)) {
-      holder = peer;
-      break;
-    }
-    // False positive (never stored, evicted since the last refresh, or
-    // invalidated): one wasted round trip.
-    wasted_ms += rtt_.rtt_ms(i, peer);
-    ++wasted_summary_probes_;
-  }
-
-  double latency;
-  Resolution how;
-  if (holder != i) {
-    // Direct fetch: request (½RTT) + document back (½RTT + transfer).
-    latency = config_.cost.local_hit_ms() + wasted_ms +
-              rtt_.rtt_ms(i, holder) + config_.cost.transfer_ms(size);
-    how = Resolution::kGroupHit;
-    caches_[holder]->touch(d, now);
-  } else {
-    const double gen = origin_->serve_ms(d);
-    latency = wasted_ms + config_.cost.origin_fetch_ms(
-                              0.0, rtt_.rtt_ms(i, server_), gen, size);
-    how = Resolution::kOriginFetch;
-  }
-
-  queue_.schedule(
-      now + latency, [this, i, d, version, latency, how](SimTime t) {
-        finish(i, d, latency, how, t);
-        if (origin_->version(d) != version || down_[i]) return;
-        store_fetched(i, d, version, t, how);
-      });
-}
-
-void Simulator::handle_request_ttl(const workload::Request& request,
-                                   SimTime now) {
-  const cache::CacheIndex i = request.cache;
-  const cache::DocId d = request.doc;
-  cache::EdgeCache& local = *caches_[i];
-  cache::GroupDirectory& dir = *directories_[group_of_[i]];
-  const double ttl = config_.ttl_ms;
-  const std::uint64_t size = catalog_.info(d).size_bytes;
-  trace_.emit(obs::TraceEvent::request(now, i, d));
-
-  if (down_[i]) {
-    const double gen = origin_->serve_ms(d);
-    const double latency =
-        config_.cost.origin_fetch_ms(0.0, rtt_.rtt_ms(i, server_), gen, size);
-    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
-      finish(i, d, latency, Resolution::kOriginFetch, t);
-    });
-    return;
-  }
-
-  const cache::LookupOutcome outcome = local.lookup_ttl(d, ttl, now);
-  if (outcome == cache::LookupOutcome::kHitFresh) {
-    // Served within TTL — possibly an outdated copy (the TTL trade-off).
-    if (local.resident_version(d) != origin_->version(d)) ++stale_served_;
-    const double latency = config_.cost.local_hit_ms();
-    queue_.schedule(now + latency, [this, i, d, latency](SimTime t) {
-      finish(i, d, latency, Resolution::kLocalHit, t);
-    });
-    return;
-  }
-
-  double failover_penalty_ms = 0.0;
-  cache::CacheIndex beacon = i;
-  const bool beacon_alive = find_beacon(dir, i, d, beacon, failover_penalty_ms);
-
-  // Cheapest unexpired holder; its copy may itself be outdated.
-  cache::CacheIndex holder = i;
-  double best_rtt = std::numeric_limits<double>::infinity();
-  if (beacon_alive) {
-    trace_.emit(
-        obs::TraceEvent::dir_lookup(now, i, beacon, d, dir.holders(d).size()));
-    for (cache::CacheIndex h : dir.holders(d)) {
-      if (h == i || down_[h]) continue;
-      if (!caches_[h]->has_unexpired(d, ttl, now)) continue;
-      const double r = rtt_.rtt_ms(i, h);
-      if (r < best_rtt) {
-        best_rtt = r;
-        holder = h;
-      }
-    }
-  }
-
-  double latency;
-  Resolution how;
-  cache::Version version;
-  if (beacon_alive && holder != i) {
-    const double rtt_ib =
-        failover_penalty_ms + (beacon == i ? 0.0 : rtt_.rtt_ms(i, beacon));
-    const double rtt_bh = beacon == holder ? 0.0 : rtt_.rtt_ms(beacon, holder);
-    latency = config_.cost.group_hit_ms(rtt_ib, rtt_bh, best_rtt, size);
-    how = Resolution::kGroupHit;
-    version = caches_[holder]->resident_version(d);
-    if (version != origin_->version(d)) ++stale_served_;
-    caches_[holder]->touch(d, now);
-  } else {
-    const double rtt_ib =
-        beacon_alive
-            ? failover_penalty_ms + (beacon == i ? 0.0 : rtt_.rtt_ms(i, beacon))
-            : failover_penalty_ms;
-    const double gen = origin_->serve_ms(d);
-    latency =
-        config_.cost.origin_fetch_ms(rtt_ib, rtt_.rtt_ms(i, server_), gen, size);
-    how = Resolution::kOriginFetch;
-    version = origin_->version(d);
-  }
-
-  queue_.schedule(
-      now + latency, [this, i, d, version, latency, how](SimTime t) {
-        finish(i, d, latency, how, t);
-        if (down_[i]) return;
-        // TTL restarts on (re)insertion — the copy is as fresh as the
-        // holder's was, which the version records.
-        store_fetched(i, d, version, t, how);
-      });
+  hook_ = engine_.config().control_hook;
 }
 
 SimulationReport Simulator::run(const workload::Trace& trace) {
   ECGF_PROF_SCOPE("sim.run");
-  trace.validate(cache_count_, catalog_.size());
-  metrics_->set_warmup_end(trace.duration_ms * config_.warmup_fraction);
+  trace.validate(engine_.cache_count(), engine_.catalog().size());
+  metrics_->set_warmup_end(trace.duration_ms *
+                           engine_.config().warmup_fraction);
 
   // Feed the two logs lazily: one cursor event per log keeps the queue
-  // small regardless of trace size.
+  // small regardless of trace size. Every event carries its canonical
+  // (EventClass, key) so ties at equal times resolve identically here and
+  // in the sharded driver.
   std::size_t next_request = 0;
   std::size_t next_update = 0;
-  std::function<void(SimTime)> pump_requests = [&](SimTime) {
+  std::function<void(SimTime)> pump_requests = [&](SimTime now) {
     if (next_request >= trace.requests.size()) return;
+    const std::uint64_t index = next_request;
     const workload::Request r = trace.requests[next_request++];
-    if (config_.directory == DirectoryMode::kSummary) {
-      handle_request_summary(r, r.time_ms);
-    } else if (config_.consistency == ConsistencyMode::kTtl) {
-      handle_request_ttl(r, r.time_ms);
-    } else {
-      handle_request(r, r.time_ms);
-    }
+    const Completion c = engine_.on_request(index, r, now, sink_);
+    queue_.schedule(c.time, EventClass::kCompletion, c.request_index,
+                    [this, c](SimTime) { engine_.on_complete(c, sink_); });
     if (next_request < trace.requests.size()) {
-      queue_.schedule(trace.requests[next_request].time_ms, pump_requests);
+      queue_.schedule(trace.requests[next_request].time_ms,
+                      EventClass::kArrival, next_request, pump_requests);
     }
   };
   std::function<void(SimTime)> pump_updates = [&](SimTime) {
     if (next_update >= trace.updates.size()) return;
-    handle_update(trace.updates[next_update++]);
+    engine_.on_update(trace.updates[next_update++], sink_);
     if (next_update < trace.updates.size()) {
-      queue_.schedule(trace.updates[next_update].time_ms, pump_updates);
+      queue_.schedule(trace.updates[next_update].time_ms, EventClass::kUpdate,
+                      next_update, pump_updates);
     }
   };
   if (!trace.requests.empty()) {
-    queue_.schedule(trace.requests.front().time_ms, pump_requests);
+    queue_.schedule(trace.requests.front().time_ms, EventClass::kArrival, 0,
+                    pump_requests);
   }
   if (!trace.updates.empty()) {
-    queue_.schedule(trace.updates.front().time_ms, pump_updates);
+    queue_.schedule(trace.updates.front().time_ms, EventClass::kUpdate, 0,
+                    pump_updates);
   }
-  for (const auto& failure : config_.failures) {
-    queue_.schedule(failure.time_ms, [this, c = failure.cache](SimTime t) {
-      handle_failure(c, t);
-    });
+  const auto& config = engine_.config();
+  for (std::size_t f = 0; f < config.failures.size(); ++f) {
+    queue_.schedule(config.failures[f].time_ms, EventClass::kFailure, f,
+                    [this, c = config.failures[f].cache](SimTime t) {
+                      engine_.on_failure(c, t, sink_);
+                    });
   }
-  for (const auto& change : config_.membership_events) {
-    queue_.schedule(change.time_ms, [this, change](SimTime t) {
-      if (change.kind == MembershipChange::Kind::kLeave) {
-        handle_leave(change.cache, t);
-      } else {
-        handle_join(change.cache, t);
-      }
-    });
+  for (std::size_t m = 0; m < config.membership_events.size(); ++m) {
+    const MembershipChange change = config.membership_events[m];
+    queue_.schedule(change.time_ms, EventClass::kMembership, m,
+                    [this, change](SimTime t) {
+                      if (change.kind == MembershipChange::Kind::kLeave) {
+                        if (engine_.on_leave(change.cache, t, sink_) &&
+                            hook_ != nullptr) {
+                          hook_->on_leave(change.cache, t);
+                        }
+                      } else {
+                        std::uint32_t group = 0;
+                        if (engine_.on_join(change.cache, t, sink_, &group) &&
+                            hook_ != nullptr) {
+                          hook_->on_join(change.cache, group, t);
+                        }
+                      }
+                    });
   }
   // Periodic control-plane tick. Like `refresh` below, the recursive
   // std::function must outlive queue_.run, hence function scope.
   std::function<void(SimTime)> control_tick = [&, this](SimTime t) {
     ++control_ticks_;
-    config_.control_hook->on_tick(*this, t);
-    const SimTime next = t + config_.control_interval_ms;
-    if (next <= trace.duration_ms) queue_.schedule(next, control_tick);
+    hook_->on_tick(*this, t);
+    const SimTime next = t + config.control_interval_ms;
+    if (next <= trace.duration_ms) {
+      queue_.schedule(next, EventClass::kControlTick, control_ticks_,
+                      control_tick);
+    }
   };
-  if (config_.control_hook != nullptr) {
-    config_.control_hook->on_start(*this);
-    if (config_.control_interval_ms > 0.0) {
-      queue_.schedule(config_.control_interval_ms, control_tick);
+  if (hook_ != nullptr) {
+    hook_->on_start(*this);
+    if (config.control_interval_ms > 0.0) {
+      queue_.schedule(config.control_interval_ms, EventClass::kControlTick, 0,
+                      control_tick);
     }
   }
   // Periodic network-wide summary refresh (summary directory mode). The
   // recursive std::function must outlive queue_.run below, hence function
   // scope.
+  std::uint64_t refresh_round = 0;
   std::function<void(SimTime)> refresh = [&, this](SimTime t) {
-    rebuild_summaries();
-    const SimTime next = t + config_.summary.refresh_interval_ms;
-    if (next <= trace.duration_ms) queue_.schedule(next, refresh);
+    engine_.rebuild_summaries();
+    ++refresh_round;
+    const SimTime next = t + config.summary.refresh_interval_ms;
+    if (next <= trace.duration_ms) {
+      queue_.schedule(next, EventClass::kSummaryRefresh, refresh_round,
+                      refresh);
+    }
   };
-  if (config_.directory == DirectoryMode::kSummary) {
-    queue_.schedule(config_.summary.refresh_interval_ms, refresh);
+  if (config.directory == DirectoryMode::kSummary) {
+    queue_.schedule(config.summary.refresh_interval_ms,
+                    EventClass::kSummaryRefresh, 0, refresh);
   }
 
   // Run past the trace end so in-flight completions drain (no new arrivals
   // can appear after the last log records).
   const SimTime horizon = trace.duration_ms + 60'000.0;
-  SimulationReport report;
-  report.events_executed = queue_.run(horizon);
+  const std::uint64_t events = queue_.run(horizon);
 
-  report.avg_latency_ms = metrics_->network_latency().mean();
-  report.avg_miss_latency_ms = metrics_->miss_latency().mean();
-  report.p50_latency_ms = metrics_->latency_quantile(0.50);
-  report.p95_latency_ms = metrics_->latency_quantile(0.95);
-  report.p99_latency_ms = metrics_->latency_quantile(0.99);
-  report.per_cache_latency_ms.resize(cache_count_);
-  report.per_cache_counts.resize(cache_count_);
-  for (std::size_t c = 0; c < cache_count_; ++c) {
-    report.per_cache_latency_ms[c] =
-        metrics_->cache_latency(static_cast<std::uint32_t>(c)).mean();
-    report.per_cache_counts[c] =
-        metrics_->cache_counts(static_cast<std::uint32_t>(c));
-  }
-  report.counts = metrics_->counts();
-  report.raw_counts = metrics_->raw_counts();
-  report.origin_fetches = origin_->stats().fetches;
-  report.origin_updates = origin_->stats().updates;
-  report.invalidations_pushed = invalidations_pushed_;
-  report.requests_processed = trace.requests.size();
-  report.failures_applied = failures_applied_;
-  report.failover_lookups = failover_lookups_;
-  report.leaves_applied = leaves_applied_;
-  report.joins_applied = joins_applied_;
-  report.regroupings = regroupings_;
-  report.control_ticks = control_ticks_;
-  report.stale_served = stale_served_;
-  report.wasted_summary_probes = wasted_summary_probes_;
-  report.summary_rebuilds = summary_rebuilds_;
-  return report;
+  return engine_.assemble_report(*metrics_, trace.requests.size(), events,
+                                 control_ticks_, sink_.tally);
 }
 
 SimulationReport run_simulation(const cache::Catalog& catalog,

@@ -1,185 +1,40 @@
-// Discrete event simulator of the cooperative edge cache network.
+// Discrete event simulator of the cooperative edge cache network — the
+// SEQUENTIAL driver over sim::ShardableEngine.
 //
 // Drives the caches from a request log and the origin server from an
 // update log (paper §5). Requests resolve through the cooperative-miss
 // protocol (local → group beacon/holder → origin); updates propagate as
 // push invalidations to every registered holder. Document insertion happens
 // at request *completion* time, so in-flight fetches genuinely interleave.
+//
+// All protocol logic lives in the engine (sim/engine.h); this driver owns
+// the event queue, metrics, trace context and control hook, and applies
+// engine side effects immediately (DirectSink). The sharded driver
+// (shard::ShardedSimulator) runs the same engine under a conservative-PDES
+// loop and reproduces this driver's output bit for bit (docs/scaling.md).
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "cache/bloom.h"
 #include "cache/catalog.h"
 #include "cache/directory.h"
 #include "cache/edge_cache.h"
 #include "cache/origin.h"
 #include "net/rtt_provider.h"
 #include "obs/trace.h"
+#include "sim/config.h"
 #include "sim/control.h"
-#include "sim/cost_model.h"
+#include "sim/engine.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
 #include "workload/trace.h"
 
 namespace ecgf::sim {
 
-/// How cached copies are kept fresh with respect to the origin.
-enum class ConsistencyMode {
-  /// The origin pushes invalidations to every registered holder on each
-  /// update (Cache Clouds style — the paper's setting). Caches never serve
-  /// stale content, at the cost of consistency traffic.
-  kPushInvalidation,
-  /// Copies live for a fixed TTL and may be served stale within it —
-  /// the classic weak-consistency alternative; no update traffic at all.
-  kTtl
-};
-
-/// How a cache finds group peers holding a document.
-enum class DirectoryMode {
-  /// Hash-partitioned beacon points with exact holder registration
-  /// (Cache Clouds — the paper's substrate; the default).
-  kBeacon,
-  /// Summary-Cache style: each cache periodically publishes a Bloom-filter
-  /// summary of its contents; peers consult summaries locally (no lookup
-  /// hop) but pay wasted fetch attempts for false positives and summary
-  /// staleness.
-  kSummary
-};
-
-/// Parameters of the summary directory (DirectoryMode::kSummary).
-struct SummaryConfig {
-  std::size_t filter_bits = 4096;
-  std::size_t hash_count = 4;
-  double refresh_interval_ms = 10'000.0;
-  /// Fetch attempts on summary-positive peers before giving up and going
-  /// to the origin.
-  std::size_t max_probe_attempts = 2;
-};
-
-/// What a cache does with a document fetched from a group peer
-/// (cooperative resource management knob; origin fetches are always
-/// offered to the local store).
-enum class RemotePlacement {
-  /// Store only when the replacement policy scores the newcomer at least
-  /// as high as every eviction victim (Cache Clouds utility placement —
-  /// the default; bounds intra-group duplication).
-  kScoreGated,
-  /// Always store, evicting unconditionally (greedy replication).
-  kAlways,
-  /// Never store a peer-served document (strict single-copy-per-group).
-  kNever
-};
-
-struct SimulationConfig {
-  /// Partition of the caches into cooperative groups: every cache index in
-  /// [0, N) appears in exactly one group.
-  std::vector<std::vector<cache::CacheIndex>> groups;
-
-  std::uint64_t cache_capacity_bytes = 8ull << 20;  ///< 8 MB per cache
-  /// Optional heterogeneous capacities (one entry per cache); when
-  /// non-empty it overrides cache_capacity_bytes.
-  std::vector<std::uint64_t> per_cache_capacity_bytes;
-  cache::PolicyKind policy = cache::PolicyKind::kUtility;
-  cache::UtilityPolicyParams utility_params{};
-
-  /// Beacon points per group directory; 0 = every member is a beacon.
-  std::size_t beacons_per_group = 3;
-
-  CostModel cost{};
-
-  ConsistencyMode consistency = ConsistencyMode::kPushInvalidation;
-  /// Copy lifetime under ConsistencyMode::kTtl.
-  double ttl_ms = 30'000.0;
-
-  RemotePlacement remote_placement = RemotePlacement::kScoreGated;
-
-  DirectoryMode directory = DirectoryMode::kBeacon;
-  SummaryConfig summary{};  ///< used when directory == kSummary
-
-  /// Fraction of the trace duration treated as cache warm-up: requests in
-  /// the window count toward hit rates but not latency statistics.
-  double warmup_fraction = 0.2;
-
-  /// Failure injection: the named cache crashes at the given time and
-  /// stays down. Its directory registrations are purged; later requests
-  /// arriving at it fall back to the origin; peers route around it
-  /// (beacon failover pays one timeout RTT per dead beacon slot skipped).
-  struct CacheFailure {
-    cache::CacheIndex cache = 0;
-    double time_ms = 0.0;
-  };
-  std::vector<CacheFailure> failures;
-
-  /// Scripted graceful churn (leave/join), applied in time order. Unlike
-  /// failures, these notify the control hook and are reversible: a
-  /// departed cache rejoins cold (empty store) in its last group unless a
-  /// hook has repartitioned in between.
-  std::vector<MembershipChange> membership_events;
-
-  /// Online maintenance hook (non-owning; must outlive the run). Receives
-  /// RTT observations and churn notifications, and gets a tick every
-  /// control_interval_ms; may call Simulator::apply_groups(). nullptr =
-  /// static grouping (the paper's setting).
-  ControlHook* control_hook = nullptr;
-  /// Control-tick period; <= 0 disables ticks (the hook still sees
-  /// samples and churn).
-  double control_interval_ms = 0.0;
-
-  /// Trace stream this run's events go to. Default-constructed = inactive;
-  /// when inactive but ECGF_TRACE is on and a global tracer is installed,
-  /// the simulator falls back to the ambient stream 0. Orchestrators
-  /// (SweepRunner) hand each run its own stream so traces stay
-  /// bit-identical under ECGF_THREADS parallelism.
-  obs::TraceContext trace;
-};
-
-struct SimulationReport {
-  /// Paper's "average cache latency": mean over post-warmup requests.
-  double avg_latency_ms = 0.0;
-  /// Mean latency of post-warmup requests NOT served locally (group +
-  /// origin) — the cost of cooperation, the metric group maintenance
-  /// moves when the grouping goes stale (bench/ablation_churn).
-  double avg_miss_latency_ms = 0.0;
-  /// Latency distribution tail (reservoir-sampled, post-warmup).
-  double p50_latency_ms = 0.0;
-  double p95_latency_ms = 0.0;
-  double p99_latency_ms = 0.0;
-  /// Per-cache mean latencies (post-warmup), indexed by cache.
-  std::vector<double> per_cache_latency_ms;
-  /// Per-cache resolution breakdown (post-warmup), indexed by cache —
-  /// feeds the obs exporters' per-cache and per-group CSVs.
-  std::vector<ResolutionCounts> per_cache_counts;
-  /// Post-warmup resolution breakdown — the same window as the latency
-  /// statistics, so hit ratios and latencies are directly comparable.
-  ResolutionCounts counts;
-  /// Lifetime resolution breakdown including warm-up; use for conservation
-  /// checks (raw_counts.total() == requests_processed).
-  ResolutionCounts raw_counts;
-  std::uint64_t origin_fetches = 0;
-  std::uint64_t origin_updates = 0;
-  std::uint64_t invalidations_pushed = 0;
-  std::uint64_t requests_processed = 0;
-  std::uint64_t events_executed = 0;
-  std::uint64_t failures_applied = 0;
-  std::uint64_t failover_lookups = 0;  ///< beacon slots skipped due to crashes
-  std::uint64_t leaves_applied = 0;    ///< graceful departures executed
-  std::uint64_t joins_applied = 0;     ///< rejoins executed
-  std::uint64_t regroupings = 0;       ///< apply_groups() calls (control plane)
-  std::uint64_t control_ticks = 0;     ///< control-hook ticks fired
-  /// Requests served a copy older than the origin's (TTL mode only; always
-  /// 0 under push invalidation).
-  std::uint64_t stale_served = 0;
-  /// Summary mode: fetch attempts wasted on false-positive/stale peers.
-  std::uint64_t wasted_summary_probes = 0;
-  /// Summary mode: network-wide summary rebuild rounds executed.
-  std::uint64_t summary_rebuilds = 0;
-};
-
 /// The simulator. Construct, then run(trace). Reusable state queries are
-/// available after run() for tests (caches(), directories()).
-class Simulator {
+/// available after run() for tests (edge_cache(), directory_of()).
+class Simulator : public GroupHost {
  public:
   /// `rtt` must cover hosts 0..N (caches + origin); `server` is the origin's
   /// host id (normally N). `groups` in `config` must partition [0, N).
@@ -188,20 +43,28 @@ class Simulator {
 
   SimulationReport run(const workload::Trace& trace);
 
-  const cache::EdgeCache& edge_cache(cache::CacheIndex i) const;
-  const cache::GroupDirectory& directory_of(cache::CacheIndex i) const;
-  const cache::OriginServer& origin() const { return *origin_; }
+  const cache::EdgeCache& edge_cache(cache::CacheIndex i) const {
+    return engine_.edge_cache(i);
+  }
+  const cache::GroupDirectory& directory_of(cache::CacheIndex i) const {
+    return engine_.directory_of(i);
+  }
+  const cache::OriginServer& origin() const { return engine_.origin(); }
   const MetricsCollector& metrics() const { return *metrics_; }
 
-  bool is_down(cache::CacheIndex i) const;
+  bool is_down(cache::CacheIndex i) const { return engine_.is_down(i); }
   /// True between a leave and the matching join.
-  bool is_departed(cache::CacheIndex i) const;
-  std::size_t cache_count() const { return cache_count_; }
+  bool is_departed(cache::CacheIndex i) const override {
+    return engine_.is_departed(i);
+  }
+  std::size_t cache_count() const override { return engine_.cache_count(); }
   /// Directory index of a cache's current group.
-  std::size_t group_index_of(cache::CacheIndex i) const;
+  std::size_t group_index_of(cache::CacheIndex i) const {
+    return engine_.group_index_of(i);
+  }
   /// The current partition (as configured or last applied).
-  const std::vector<std::vector<cache::CacheIndex>>& groups() const {
-    return config_.groups;
+  const std::vector<std::vector<cache::CacheIndex>>& groups() const override {
+    return engine_.groups();
   }
 
   /// Stable pointer to the simulation clock (ms); reads 0 before run().
@@ -215,64 +78,41 @@ class Simulator {
   /// are rebuilt and live caches re-register their resident documents, so
   /// cooperative state survives the cut-over; in-flight completions
   /// re-home against the new directories. Counted in regroupings.
-  void apply_groups(const std::vector<std::vector<cache::CacheIndex>>& groups);
+  void apply_groups(
+      const std::vector<std::vector<cache::CacheIndex>>& groups) override {
+    engine_.apply_groups(groups);
+  }
 
  private:
-  void handle_request(const workload::Request& request, SimTime now);
-  void handle_request_ttl(const workload::Request& request, SimTime now);
-  void handle_request_summary(const workload::Request& request, SimTime now);
-  void rebuild_summaries();
-  void handle_update(const workload::Update& update);
-  void handle_failure(cache::CacheIndex failed, SimTime t);
-  void handle_leave(cache::CacheIndex cache, SimTime t);
-  void handle_join(cache::CacheIndex cache, SimTime t);
-  /// Forward a cooperative-traffic RTT observation to the control hook.
-  void observe_rtt(net::HostId src, net::HostId dst, double rtt_ms,
-                   SimTime t);
-  /// Completion bookkeeping shared by every resolution path: advances the
-  /// metrics clock, records the sample, and emits exactly one `resolution`
-  /// trace event — so trace files conserve requests (resolution events ==
-  /// raw_counts().total()).
-  void finish(cache::CacheIndex i, cache::DocId d, double latency_ms,
-              Resolution how, SimTime t);
-  /// Shared beacon lookup with crash failover. Returns the live beacon (or
-  /// none) and accumulates timeout penalties into `penalty_ms`.
-  bool find_beacon(const cache::GroupDirectory& dir, cache::CacheIndex i,
-                   cache::DocId d, cache::CacheIndex& beacon,
-                   double& penalty_ms);
-  /// Completion-time placement of a fetched copy, honouring the configured
-  /// RemotePlacement and updating the group directory.
-  void store_fetched(cache::CacheIndex i, cache::DocId d,
-                     cache::Version version, SimTime t, Resolution how);
+  /// Immediate-application sink: effects land in the metrics collector,
+  /// trace context and control hook the moment the engine produces them.
+  class DirectSink final : public EffectSink {
+   public:
+    explicit DirectSink(Simulator& sim) : sim_(sim) {}
+    void emit(const obs::TraceEvent& event) override {
+      sim_.trace_.emit(event);
+    }
+    void record(cache::CacheIndex cache, double latency_ms, Resolution how,
+                SimTime t) override {
+      sim_.metrics_->set_now(t);
+      sim_.metrics_->record(cache, latency_ms, how);
+    }
+    void rtt_sample(net::HostId src, net::HostId dst, double rtt_ms,
+                    SimTime t) override {
+      if (sim_.hook_ != nullptr) sim_.hook_->on_rtt_sample(src, dst, rtt_ms, t);
+    }
 
-  const cache::Catalog& catalog_;
-  const net::RttProvider& rtt_;
-  net::HostId server_;
-  SimulationConfig config_;
-  std::size_t cache_count_;
+   private:
+    Simulator& sim_;
+  };
 
-  std::vector<std::unique_ptr<cache::EdgeCache>> caches_;
-  std::vector<std::unique_ptr<cache::GroupDirectory>> directories_;
-  std::vector<std::size_t> group_of_;  ///< cache → directory index
-  std::unique_ptr<cache::OriginServer> origin_;
+  ShardableEngine engine_;
   std::unique_ptr<MetricsCollector> metrics_;
   obs::TraceContext trace_;
+  ControlHook* hook_ = nullptr;
   EventQueue queue_;
-  std::vector<bool> down_;
-  std::vector<bool> departed_;  ///< left gracefully; may rejoin
-  /// Summary mode: per-cache content summaries + peers sorted by RTT.
-  std::vector<cache::BloomFilter> summaries_;
-  std::vector<std::vector<cache::CacheIndex>> sorted_peers_;
-  std::uint64_t invalidations_pushed_ = 0;
-  std::uint64_t failures_applied_ = 0;
-  std::uint64_t leaves_applied_ = 0;
-  std::uint64_t joins_applied_ = 0;
-  std::uint64_t regroupings_ = 0;
+  DirectSink sink_;
   std::uint64_t control_ticks_ = 0;
-  std::uint64_t failover_lookups_ = 0;
-  std::uint64_t stale_served_ = 0;
-  std::uint64_t wasted_summary_probes_ = 0;
-  std::uint64_t summary_rebuilds_ = 0;
 };
 
 /// Convenience wrapper: build a simulator, run the trace, return the report.

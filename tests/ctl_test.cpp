@@ -366,9 +366,9 @@ struct RecordingHook final : sim::ControlHook {
   std::size_t ticks = 0;
   std::size_t samples = 0;
   bool saw_departed_during_gap = false;
-  sim::Simulator* sim = nullptr;
+  sim::GroupHost* sim = nullptr;
 
-  void on_start(sim::Simulator& s) override { sim = &s; }
+  void on_start(sim::GroupHost& s) override { sim = &s; }
   void on_rtt_sample(net::HostId, net::HostId, double, double) override {
     ++samples;
   }
@@ -378,7 +378,7 @@ struct RecordingHook final : sim::ControlHook {
   void on_join(cache::CacheIndex cache, std::uint32_t, double t) override {
     joins.emplace_back(cache, t);
   }
-  void on_tick(sim::Simulator& s, double t) override {
+  void on_tick(sim::GroupHost& s, double t) override {
     ++ticks;
     if (t > 2'500.0 && t < 7'500.0 && s.is_departed(3)) {
       saw_departed_during_gap = true;
@@ -423,7 +423,7 @@ TEST(SimulatorChurn, HookSeesLeaveJoinAndTicksInOrder) {
 }
 
 struct RepartitionHook final : sim::ControlHook {
-  void on_tick(sim::Simulator& sim, double t) override {
+  void on_tick(sim::GroupHost& sim, double t) override {
     if (applied_) return;
     applied_ = true;
     // Merge everything into one big group mid-run.
@@ -469,7 +469,7 @@ TEST(SimulatorChurn, ApplyGroupsRewiresDirectoriesMidRun) {
 }
 
 struct BadPartitionHook final : sim::ControlHook {
-  void on_tick(sim::Simulator& sim, double) override {
+  void on_tick(sim::GroupHost& sim, double) override {
     sim.apply_groups({{0, 1}});  // misses most caches
   }
 };

@@ -139,6 +139,49 @@ TEST(MessageEngine, RejectsUnsupportedConfigurations) {
                util::ContractViolation);
 }
 
+TEST(MessageEngine, EveryMessagePassesThroughTheExchangeSeam) {
+  // A counting pass-through exchange must observe exactly messages_sent
+  // deliveries with sane endpoints, and routing through it must not change
+  // the simulation output at all (the sharded-driver substitution relies
+  // on the seam being behaviour-neutral).
+  class CountingExchange final : public MessageExchange {
+   public:
+    void deliver(net::HostId src, net::HostId dst, SimTime at,
+                 EventQueue& queue, EventQueue::Action work) override {
+      ++count;
+      max_host = std::max({max_host, src, dst});
+      queue.schedule(at, std::move(work));
+    }
+    std::uint64_t count = 0;
+    net::HostId max_host = 0;
+  };
+
+  const auto provider = pair_provider();
+  const auto catalog = flat_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 20'000.0;
+  trace.requests = {{100.0, 0, 0}, {10'000.0, 1, 0}, {15'000.0, 1, 1}};
+  trace.updates = {{12'000.0, 0}};
+
+  const auto baseline = run_message_level(catalog, provider, 2,
+                                          tiny_config({{0, 1}}), trace);
+
+  CountingExchange counting;
+  auto config = tiny_config({{0, 1}});
+  config.exchange = &counting;
+  const auto routed = run_message_level(catalog, provider, 2, config, trace);
+
+  EXPECT_EQ(counting.count, routed.messages_sent);
+  EXPECT_EQ(counting.max_host, 2u);  // origin fetches reach the server id
+  EXPECT_EQ(routed.messages_sent, baseline.messages_sent);
+  EXPECT_EQ(routed.base.events_executed, baseline.base.events_executed);
+  EXPECT_EQ(routed.base.avg_latency_ms, baseline.base.avg_latency_ms);
+  EXPECT_EQ(routed.base.counts.local_hits, baseline.base.counts.local_hits);
+  EXPECT_EQ(routed.base.counts.group_hits, baseline.base.counts.group_hits);
+  EXPECT_EQ(routed.base.counts.origin_fetches,
+            baseline.base.counts.origin_fetches);
+}
+
 TEST(MessageEngine, AgreesWithAnalyticEngineOnAggregates) {
   // Same testbed + partition through both engines: hit-rate breakdowns
   // should be close (engines differ in in-flight interleavings), and

@@ -1,9 +1,12 @@
 // Tests for the net layer: distance matrix, RTT provider, prober.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "net/distance_matrix.h"
 #include "net/drift.h"
 #include "net/prober.h"
+#include "net/synthetic.h"
 #include "util/expect.h"
 
 namespace ecgf::net {
@@ -228,6 +231,83 @@ TEST(Prober, RejectsOutOfRangeHosts) {
   MatrixRttProvider provider(small_matrix());
   Prober prober(provider, ProberOptions{}, util::Rng(1));
   EXPECT_THROW(prober.measure_rtt_ms(0, 3), util::ContractViolation);
+}
+
+// ----------------------------------------------------------------------
+// Float32 storage and the on-demand synthetic providers (large-N path).
+// ----------------------------------------------------------------------
+
+TEST(DistanceMatrixF32, StoresFloatRoundedValues) {
+  DistanceMatrixF32 m(3);
+  m.set(0, 1, 10.125);             // exactly representable in float
+  m.set(0, 2, 0.1);                // not exactly representable
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 10.125);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 10.125);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), static_cast<double>(0.1f));
+  EXPECT_NE(m.at(0, 2), 0.1);  // float storage, by design
+  // Provider view agrees with the matrix.
+  MatrixRttProviderF32 provider(m);
+  EXPECT_EQ(provider.host_count(), 3u);
+  EXPECT_DOUBLE_EQ(provider.rtt_ms(1, 0), 10.125);
+}
+
+TEST(DistanceMatrixF32, FromFullMatchesDoublePathWithinFloatPrecision) {
+  const std::vector<std::vector<double>> full = {
+      {0.0, 12.34, 56.78}, {12.34, 0.0, 9.01}, {56.78, 9.01, 0.0}};
+  const auto d = DistanceMatrix::from_full(full);
+  const auto f = DistanceMatrixF32::from_full(full);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(f.at(i, j), static_cast<double>(
+                                       static_cast<float>(d.at(i, j))));
+    }
+  }
+}
+
+TEST(PlaneRtt, SymmetricZeroDiagonalAndDeterministic) {
+  PlaneOptions options;
+  options.width_ms = 50.0;
+  options.last_mile_ms = 1.5;
+  options.seed = 7;
+  const PlaneRttProvider a(100, options);
+  const PlaneRttProvider b(100, options);
+  EXPECT_EQ(a.host_count(), 100u);
+  for (HostId i = 0; i < 100; i += 13) {
+    EXPECT_DOUBLE_EQ(a.rtt_ms(i, i), 0.0);
+    for (HostId j = 0; j < 100; j += 17) {
+      EXPECT_DOUBLE_EQ(a.rtt_ms(i, j), a.rtt_ms(j, i));
+      EXPECT_DOUBLE_EQ(a.rtt_ms(i, j), b.rtt_ms(i, j));
+      if (i != j) {
+        // Floor: two last-miles each way; ceiling: floor + the square's
+        // diagonal.
+        EXPECT_GE(a.rtt_ms(i, j), 2.0 * 2.0 * options.last_mile_ms);
+        EXPECT_LE(a.rtt_ms(i, j), 2.0 * (2.0 * options.last_mile_ms +
+                                         50.0 * std::sqrt(2.0)));
+      }
+    }
+  }
+  EXPECT_THROW(a.rtt_ms(0, 100), util::ContractViolation);
+}
+
+TEST(GroupBlockRtt, BlockStructureMatchesContiguousClusters) {
+  GroupBlockOptions options;
+  options.clusters = 4;
+  options.intra_ms = 5.0;
+  options.cross_ms = 60.0;
+  options.server_ms = 80.0;
+  const GroupBlockRttProvider rtt(16, options);
+  EXPECT_EQ(rtt.host_count(), 17u);
+  EXPECT_DOUBLE_EQ(rtt.rtt_ms(0, 3), 5.0);    // same block [0, 4)
+  EXPECT_DOUBLE_EQ(rtt.rtt_ms(3, 4), 60.0);   // adjacent blocks
+  EXPECT_DOUBLE_EQ(rtt.rtt_ms(0, 15), 60.0);
+  EXPECT_DOUBLE_EQ(rtt.rtt_ms(5, 16), 80.0);  // server host
+  EXPECT_DOUBLE_EQ(rtt.rtt_ms(16, 16), 0.0);
+  const auto groups = rtt.clusters_as_groups();
+  ASSERT_EQ(groups.size(), 4u);
+  for (const auto& g : groups) EXPECT_EQ(g.size(), 4u);
+  EXPECT_EQ(groups[1],
+            (std::vector<std::uint32_t>{4, 5, 6, 7}));
 }
 
 }  // namespace

@@ -1,0 +1,418 @@
+// Tests for the sharded conservative-PDES driver (src/shard).
+//
+// The headline contract: shard::ShardedSimulator reproduces the
+// sequential sim::Simulator BIT FOR BIT at any shard count — same
+// SimulationReport (compared as serialized JSONL), same trace bytes —
+// even with membership churn and the ctl maintenance loop repartitioning
+// groups mid-run. Plus unit coverage for the group→shard plan, the
+// lookahead derivation (including the degenerate near-zero case), and
+// empty shards under heavy leave churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/catalog.h"
+#include "ctl/maintenance.h"
+#include "net/distance_matrix.h"
+#include "net/drift.h"
+#include "net/rtt_provider.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "shard/exchange.h"
+#include "shard/plan.h"
+#include "shard/sharded_sim.h"
+#include "sim/simulator.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ecgf::shard {
+namespace {
+
+// ----------------------------------------------------------------------
+// ShardPlan
+// ----------------------------------------------------------------------
+
+TEST(ShardPlan, BalancesGroupsGreedilyAndDeterministically) {
+  // Group sizes 4, 3, 2, 1 over two shards: 4 → shard 0, 3 → shard 1,
+  // 2 → shard 1 (load 5 vs 4... no: loads 4 vs 3, lightest is shard 1),
+  // 1 → whichever is lighter after that.
+  const std::vector<std::vector<cache::CacheIndex>> groups = {
+      {0, 1, 2, 3}, {4, 5, 6}, {7, 8}, {9}};
+  const ShardPlan plan(groups, 10, 2);
+  EXPECT_EQ(plan.shard_of_group(0), 0u);
+  EXPECT_EQ(plan.shard_of_group(1), 1u);
+  EXPECT_EQ(plan.shard_of_group(2), 1u);  // loads were {4, 3}
+  EXPECT_EQ(plan.shard_of_group(3), 0u);  // loads were {4, 5}
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (cache::CacheIndex c : groups[g]) {
+      EXPECT_EQ(plan.shard_of_cache(c), plan.shard_of_group(g));
+    }
+  }
+  // Same inputs → same plan, every time.
+  const ShardPlan again(groups, 10, 2);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_EQ(again.shard_of_group(g), plan.shard_of_group(g));
+  }
+}
+
+TEST(ShardPlan, MoreShardsThanGroupsLeavesShardsEmpty) {
+  const std::vector<std::vector<cache::CacheIndex>> groups = {{0, 1}, {2}};
+  const ShardPlan plan(groups, 3, 8);
+  EXPECT_EQ(plan.shard_count(), 8u);
+  std::size_t used = 0;
+  for (std::size_t load : plan.loads()) {
+    if (load > 0) ++used;
+  }
+  EXPECT_EQ(used, 2u);
+}
+
+TEST(ShardPlan, MinCrossShardRttIsExactOnSmallNetworks) {
+  net::DistanceMatrix m(4);
+  m.set(0, 1, 5.0);
+  m.set(0, 2, 42.0);
+  m.set(0, 3, 50.0);
+  m.set(1, 2, 17.0);
+  m.set(1, 3, 60.0);
+  m.set(2, 3, 5.0);
+  net::MatrixRttProvider rtt(m);
+  const ShardPlan plan({{0, 1}, {2, 3}}, 4, 2);
+  // Cross-shard pairs: (0,2)=42, (0,3)=50, (1,2)=17, (1,3)=60.
+  EXPECT_DOUBLE_EQ(min_cross_shard_rtt_ms(plan, rtt, 4), 17.0);
+  // One shard: no cross pairs, infinite lookahead.
+  const ShardPlan solo({{0, 1}, {2, 3}}, 4, 1);
+  EXPECT_TRUE(std::isinf(min_cross_shard_rtt_ms(solo, rtt, 4)));
+}
+
+// ----------------------------------------------------------------------
+// Effect exchange: the k-way merge replays in canonical order.
+// ----------------------------------------------------------------------
+
+struct RecordingTarget final : sim::EffectSink {
+  std::vector<std::string> ops;
+  void emit(const obs::TraceEvent& e) override {
+    ops.push_back("trace@" + std::to_string(e.time_ms));
+  }
+  void record(cache::CacheIndex cache, double, sim::Resolution,
+              sim::SimTime t) override {
+    ops.push_back("metric:" + std::to_string(cache) + "@" +
+                  std::to_string(t));
+  }
+  void rtt_sample(net::HostId src, net::HostId, double,
+                  sim::SimTime t) override {
+    ops.push_back("rtt:" + std::to_string(src) + "@" + std::to_string(t));
+  }
+};
+
+TEST(EffectExchange, MergesShardBuffersInCanonicalEventOrder) {
+  std::vector<ShardSink> sinks(2);
+  // Shard 1 executes the EARLIER event; buffers arrive out of order
+  // across shards but sorted within each.
+  sinks[1].begin_event(10.0, sim::EventClass::kArrival, 3);
+  sinks[1].rtt_sample(1, 2, 7.0, 10.0);
+  sinks[1].emit(obs::TraceEvent{.time_ms = 10.0});
+  sinks[0].begin_event(10.0, sim::EventClass::kArrival, 5);
+  sinks[0].emit(obs::TraceEvent{.time_ms = 10.0});
+  sinks[0].begin_event(12.0, sim::EventClass::kCompletion, 1);
+  sinks[0].record(4, 3.0, sim::Resolution::kLocalHit, 12.0);
+
+  RecordingTarget target;
+  merge_and_replay(sinks, target);
+  ASSERT_EQ(target.ops.size(), 4u);
+  // Event (10, arrival, 3) first — rtt then trace (emission order within
+  // the event) — then (10, arrival, 5), then (12, completion, 1).
+  EXPECT_EQ(target.ops[0], "rtt:1@10.000000");
+  EXPECT_EQ(target.ops[1], "trace@10.000000");
+  EXPECT_EQ(target.ops[2], "trace@10.000000");
+  EXPECT_EQ(target.ops[3], "metric:4@12.000000");
+  // Buffers are cleared for the next epoch.
+  EXPECT_TRUE(sinks[0].effects().empty());
+  EXPECT_TRUE(sinks[1].effects().empty());
+}
+
+// ----------------------------------------------------------------------
+// End-to-end bit-identity: the maintained drift + churn scenario from
+// ctl_test, run sequentially and sharded, compared byte for byte.
+// ----------------------------------------------------------------------
+
+constexpr std::size_t kCaches = 12;
+constexpr net::HostId kServer = 12;
+
+net::DistanceMatrix clustered_matrix() {
+  net::DistanceMatrix m(kCaches + 1);
+  for (std::size_t a = 0; a < kCaches; ++a) {
+    for (std::size_t b = a + 1; b < kCaches; ++b) {
+      const bool same = (a < 6) == (b < 6);
+      m.set(a, b, same ? 5.0 : 60.0);
+    }
+    m.set(a, kServer, 80.0);
+  }
+  return m;
+}
+
+workload::Trace drifty_trace() {
+  workload::Trace trace;
+  trace.duration_ms = 10'000.0;
+  for (std::size_t i = 0; i < 260; ++i) {
+    const double t = 40.0 + static_cast<double>(i) * 38.0;
+    if (t >= trace.duration_ms) break;
+    trace.requests.push_back({t, static_cast<std::uint32_t>(i % kCaches),
+                              static_cast<std::uint32_t>((i * 7) % 30)});
+  }
+  // A few origin updates so kUpdate barriers (push invalidations) fire.
+  for (std::size_t u = 0; u < 6; ++u) {
+    trace.updates.push_back(
+        {1'200.0 + static_cast<double>(u) * 1'500.0,
+         static_cast<std::uint32_t>((u * 11) % 30)});
+  }
+  return trace;
+}
+
+cache::Catalog small_catalog() {
+  std::vector<cache::DocumentInfo> docs(30);
+  for (auto& d : docs) d = {1'000, 20.0, 0.0};
+  return cache::Catalog(std::move(docs));
+}
+
+struct ScenarioRun {
+  std::string report_jsonl;
+  std::string trace_bytes;
+  sim::SimulationReport report;
+  std::vector<std::vector<cache::CacheIndex>> partition;
+  double epoch_ms = 0.0;
+  std::uint64_t cuts = 0;
+};
+
+/// Runs the maintained drift + churn scenario. shards == 0 → sequential
+/// sim::Simulator; otherwise shard::ShardedSimulator with that many
+/// shards.
+ScenarioRun run_scenario(std::size_t shards) {
+  ScenarioRun result;
+  std::ostringstream trace_out;
+  {
+    obs::Tracer tracer(std::make_unique<obs::JsonlTraceSink>(trace_out));
+    util::ThreadPool pool(2);
+
+    util::Rng drift_rng(7);
+    net::DriftOptions drift;
+    drift.drift_fraction = 0.5;
+    drift.ramp_start_ms = 1'000.0;
+    drift.ramp_end_ms = 6'000.0;
+    net::DriftingRttProvider provider(clustered_matrix(), drift, drift_rng);
+
+    ctl::MaintenanceConfig mc;
+    mc.landmarks = {kServer, 0, 6};
+    for (std::uint32_t c = 0; c < kCaches; ++c) {
+      mc.baseline_positions.push_back(
+          {provider.rtt_ms(c, kServer), provider.rtt_ms(c, 0),
+           provider.rtt_ms(c, 6)});
+    }
+    mc.initial_partition = {{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}};
+    mc.policy.repair_threshold_ms = 4.0;
+    mc.policy.reform_threshold_ms = 5.0;
+    mc.budget.caches_per_tick = 3;
+    mc.kmeans.restarts = 2;
+    mc.kmeans.pool = &pool;
+    mc.seed = 42;
+    mc.trace = obs::TraceContext::root(&tracer, 7);
+    ctl::MaintenanceSession session(provider, mc);
+
+    const cache::Catalog catalog = small_catalog();
+
+    sim::SimulationConfig config;
+    config.groups = mc.initial_partition;
+    config.cache_capacity_bytes = 20'000;
+    config.policy = cache::PolicyKind::kLru;
+    config.warmup_fraction = 0.0;
+    config.control_hook = &session;
+    config.control_interval_ms = 500.0;
+    config.membership_events = {
+        {sim::MembershipChange::Kind::kLeave, 3, 2'500.0},
+        {sim::MembershipChange::Kind::kJoin, 3, 7'500.0},
+    };
+    config.failures = {{9, 5'300.0}};
+    config.trace = obs::TraceContext::root(&tracer, 1);
+
+    if (shards == 0) {
+      sim::Simulator sim(catalog, provider, kServer, std::move(config));
+      provider.bind_clock(sim.clock_ptr());
+      result.report = sim.run(drifty_trace());
+      result.partition = sim.groups();
+    } else {
+      ShardOptions options;
+      options.shards = shards;
+      ShardedSimulator sim(catalog, provider, kServer, std::move(config),
+                           options);
+      provider.bind_clock(sim.clock_ptr());
+      result.report = sim.run(drifty_trace());
+      result.partition = sim.groups();
+      result.epoch_ms = sim.epoch_ms();
+      result.cuts = sim.cuts_executed();
+    }
+  }
+  result.trace_bytes = trace_out.str();
+  std::ostringstream report_out;
+  obs::write_report_jsonl(report_out, result.report, "scenario");
+  result.report_jsonl = report_out.str();
+  return result;
+}
+
+class ShardedSim : public ::testing::Test {
+ protected:
+  void SetUp() override { util::set_trace_enabled(true); }
+  void TearDown() override { util::set_trace_enabled(false); }
+};
+
+TEST_F(ShardedSim, ScenarioActuallyExercisesEverySubsystem) {
+  const ScenarioRun run = run_scenario(2);
+  EXPECT_EQ(run.report.control_ticks, 20u);
+  EXPECT_EQ(run.report.leaves_applied, 1u);
+  EXPECT_EQ(run.report.joins_applied, 1u);
+  EXPECT_EQ(run.report.failures_applied, 1u);
+  EXPECT_GT(run.report.origin_updates, 0u);
+  EXPECT_GE(run.report.regroupings, 1u);
+  EXPECT_GT(run.report.requests_processed, 0u);
+  // The derived lookahead for the two-cluster matrix is the 60 ms
+  // cross-cluster RTT at t = 0 (clamped into [floor, cap]).
+  EXPECT_GT(run.epoch_ms, 0.0);
+  EXPECT_GT(run.cuts, 0u);
+  ASSERT_FALSE(run.trace_bytes.empty());
+}
+
+TEST_F(ShardedSim, BitIdenticalToSequentialAtOneTwoAndEightShards) {
+  const ScenarioRun sequential = run_scenario(0);
+  ASSERT_FALSE(sequential.trace_bytes.empty());
+  for (std::size_t shards : {1u, 2u, 8u}) {
+    const ScenarioRun sharded = run_scenario(shards);
+    EXPECT_EQ(sharded.report_jsonl, sequential.report_jsonl)
+        << shards << " shards";
+    EXPECT_EQ(sharded.trace_bytes, sequential.trace_bytes)
+        << shards << " shards";
+    EXPECT_EQ(sharded.partition, sequential.partition) << shards << " shards";
+    EXPECT_EQ(sharded.report.events_executed,
+              sequential.report.events_executed)
+        << shards << " shards";
+  }
+}
+
+// ----------------------------------------------------------------------
+// Degenerate lookahead and empty shards.
+// ----------------------------------------------------------------------
+
+net::DistanceMatrix near_zero_cross_matrix() {
+  // Two 2-cache groups whose cross-group RTT is far below the epoch
+  // floor: the derived lookahead must clamp up and the run must still
+  // terminate and match the sequential output.
+  net::DistanceMatrix m(5);
+  m.set(0, 1, 4.0);
+  m.set(2, 3, 4.0);
+  m.set(0, 2, 0.01);
+  m.set(0, 3, 0.01);
+  m.set(1, 2, 0.01);
+  m.set(1, 3, 0.01);
+  for (net::HostId c = 0; c < 4; ++c) m.set(c, 4, 30.0);
+  return m;
+}
+
+workload::Trace tiny_trace() {
+  workload::Trace trace;
+  trace.duration_ms = 2'000.0;
+  for (std::size_t i = 0; i < 120; ++i) {
+    const double t = 10.0 + static_cast<double>(i) * 16.0;
+    if (t >= trace.duration_ms) break;
+    trace.requests.push_back({t, static_cast<std::uint32_t>(i % 4),
+                              static_cast<std::uint32_t>((i * 3) % 12)});
+  }
+  return trace;
+}
+
+sim::SimulationConfig tiny_config() {
+  sim::SimulationConfig config;
+  config.groups = {{0, 1}, {2, 3}};
+  config.cache_capacity_bytes = 6'000;
+  config.policy = cache::PolicyKind::kLru;
+  config.warmup_fraction = 0.0;
+  return config;
+}
+
+cache::Catalog tiny_catalog() {
+  std::vector<cache::DocumentInfo> docs(12);
+  for (auto& d : docs) d = {1'000, 15.0, 0.0};
+  return cache::Catalog(std::move(docs));
+}
+
+std::string report_bytes(const sim::SimulationReport& report) {
+  std::ostringstream out;
+  obs::write_report_jsonl(out, report, "tiny");
+  return out.str();
+}
+
+TEST(ShardedSimEdge, DegenerateLookaheadClampsToFloorAndStaysIdentical) {
+  const cache::Catalog catalog = tiny_catalog();
+  net::MatrixRttProvider rtt(near_zero_cross_matrix());
+
+  const sim::SimulationReport seq =
+      sim::run_simulation(catalog, rtt, 4, tiny_config(), tiny_trace());
+
+  ShardOptions options;
+  options.shards = 2;  // groups land on different shards
+  ShardedSimulator sharded(catalog, rtt, 4, tiny_config(), options);
+  const sim::SimulationReport rep = sharded.run(tiny_trace());
+
+  // Derived lookahead 0.01 ms < the 1 ms floor → clamped.
+  EXPECT_DOUBLE_EQ(sharded.epoch_ms(), options.epoch_floor_ms);
+  EXPECT_EQ(report_bytes(rep), report_bytes(seq));
+  // The floor keeps cut count sane: bounded by events, not by 0.01 ms
+  // epochs over the 62 s drain horizon.
+  EXPECT_LT(sharded.cuts_executed(), 1'000u);
+}
+
+TEST(ShardedSimEdge, EmptyShardsAfterHeavyLeaveChurn) {
+  // 8 shards over 2 groups: 6 shards start empty. Then the entire second
+  // group departs mid-run, leaving its shard idle too. Everything must
+  // still match the sequential run.
+  const cache::Catalog catalog = tiny_catalog();
+  net::MatrixRttProvider rtt(near_zero_cross_matrix());
+
+  sim::SimulationConfig config = tiny_config();
+  config.membership_events = {
+      {sim::MembershipChange::Kind::kLeave, 2, 600.0},
+      {sim::MembershipChange::Kind::kLeave, 3, 700.0},
+      {sim::MembershipChange::Kind::kLeave, 1, 900.0},
+  };
+
+  const sim::SimulationReport seq =
+      sim::run_simulation(catalog, rtt, 4, config, tiny_trace());
+  EXPECT_EQ(seq.leaves_applied, 3u);
+
+  ShardOptions options;
+  options.shards = 8;
+  const sim::SimulationReport rep = run_sharded_simulation(
+      catalog, rtt, 4, config, options, tiny_trace());
+  EXPECT_EQ(report_bytes(rep), report_bytes(seq));
+}
+
+TEST(ShardedSimEdge, ExplicitEpochMatchesDerivedOutput) {
+  const cache::Catalog catalog = tiny_catalog();
+  net::MatrixRttProvider rtt(near_zero_cross_matrix());
+
+  ShardOptions derived;
+  derived.shards = 2;
+  const sim::SimulationReport a = run_sharded_simulation(
+      catalog, rtt, 4, tiny_config(), derived, tiny_trace());
+
+  ShardOptions explicit_epoch;
+  explicit_epoch.shards = 2;
+  explicit_epoch.epoch_ms = 250.0;
+  const sim::SimulationReport b = run_sharded_simulation(
+      catalog, rtt, 4, tiny_config(), explicit_epoch, tiny_trace());
+
+  EXPECT_EQ(report_bytes(a), report_bytes(b));
+}
+
+}  // namespace
+}  // namespace ecgf::shard

@@ -2,6 +2,7 @@
 // and end-to-end protocol behaviour on hand-constructed scenarios.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "sim/simulator.h"
 #include "util/expect.h"
 #include "util/flags.h"
+#include "util/rng.h"
 
 namespace ecgf::sim {
 namespace {
@@ -91,6 +93,63 @@ TEST(EventQueue, RejectsSchedulingInThePast) {
     EXPECT_THROW(q.schedule(1.0, [](SimTime) {}), util::ContractViolation);
   });
   q.run(10.0);
+}
+
+TEST(EventQueue, RandomizedPopsFollowTheCanonicalTotalOrder) {
+  // Property test: 1000 rounds of shuffled inserts — random times drawn
+  // from a tiny set (to force heavy ties), a mix of keyed canonical
+  // classes and unkeyed kDefault events — must always pop in the strict
+  // (time, klass, key, insertion-seq) total order. This is the contract
+  // both drivers (sequential and sharded) build their determinism on.
+  constexpr std::size_t kRounds = 1'000;
+  constexpr std::size_t kEventsPerRound = 16;
+  constexpr EventClass kClasses[] = {
+      EventClass::kFailure,       EventClass::kMembership,
+      EventClass::kUpdate,        EventClass::kSummaryRefresh,
+      EventClass::kControlTick,   EventClass::kCompletion,
+      EventClass::kArrival};
+  struct Expected {
+    double time;
+    unsigned klass;
+    std::uint64_t key;
+    std::size_t seq;  // insertion order within the round
+    int id;
+  };
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    util::Rng rng(0x5EED0000u + round);
+    EventQueue q;
+    std::vector<Expected> expected;
+    std::vector<int> popped;
+    for (std::size_t i = 0; i < kEventsPerRound; ++i) {
+      const double t = static_cast<double>(rng.uniform_int(0, 3));
+      const int id = static_cast<int>(i);
+      if (rng.uniform01() < 0.5) {
+        const EventClass klass = kClasses[rng.index(7)];
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(rng.uniform_int(0, 3));
+        expected.push_back(
+            {t, static_cast<unsigned>(klass), key, i, id});
+        q.schedule(t, klass, key, [&popped, id](SimTime) {
+          popped.push_back(id);
+        });
+      } else {
+        expected.push_back(
+            {t, static_cast<unsigned>(EventClass::kDefault), 0, i, id});
+        q.schedule(t, [&popped, id](SimTime) { popped.push_back(id); });
+      }
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const Expected& a, const Expected& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       if (a.klass != b.klass) return a.klass < b.klass;
+                       if (a.key != b.key) return a.key < b.key;
+                       return a.seq < b.seq;
+                     });
+    ASSERT_EQ(q.run(10.0), kEventsPerRound) << "round " << round;
+    std::vector<int> want;
+    for (const Expected& e : expected) want.push_back(e.id);
+    ASSERT_EQ(popped, want) << "round " << round;
+  }
 }
 
 TEST(CostModel, Arithmetic) {

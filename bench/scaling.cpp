@@ -11,11 +11,13 @@
 //                every RTT on demand from O(1) state. A packed triangle at
 //                100k hosts would be ~20 GB even in float32.
 //
-// Writes BENCH_scale.json (schema ecgf-bench-scale/1) with events/sec,
-// peak RSS, and speedup-vs-sequential per (N, shards) — plus host_cores,
-// because speedup is only meaningful relative to the physical parallelism
-// available (CI containers are often single-core; the numbers stay honest
-// rather than synthetic).
+// Writes BENCH_scale.json (schema ecgf-bench-scale/2) with events/sec,
+// speedup-vs-sequential, the adaptive epoch trajectory (initial → final
+// width, cuts, dispatched windows, skipped merges), executing thread
+// count, and peak RSS per (N, shards) — plus host_cores, because speedup
+// is only meaningful relative to the physical parallelism available (CI
+// containers are often single-core; the numbers stay honest rather than
+// synthetic).
 //
 // --smoke shrinks the sweep for CI; --json-out=FILE sets the output path.
 #include <chrono>
@@ -117,8 +119,11 @@ struct Entry {
   double wall_ms = 0.0;
   double events_per_sec = 0.0;
   double speedup = 1.0;
-  double epoch_ms = 0.0;
+  double epoch_initial_ms = 0.0;  ///< derived width before adaptation
+  double epoch_final_ms = 0.0;    ///< width in force at the last cut
   std::uint64_t cuts = 0;
+  std::uint64_t windows = 0;         ///< shard windows dispatched
+  std::uint64_t merges_skipped = 0;  ///< cuts with zero buffered effects
   std::uint64_t peak_rss = 0;
   std::string report_jsonl;
 };
@@ -143,9 +148,12 @@ Entry run_one(std::size_t n, const net::RttProvider& rtt,
     shard::ShardedSimulator sim(catalog, rtt, server, make_config(n),
                                 options);
     report = sim.run(trace);
-    e.epoch_ms = sim.epoch_ms();
+    e.epoch_initial_ms = sim.epoch_initial_ms();
+    e.epoch_final_ms = sim.epoch_ms();
     e.cuts = sim.cuts_executed();
-    e.threads = std::min(shards, util::configured_threads());
+    e.windows = sim.windows_dispatched();
+    e.merges_skipped = sim.merges_skipped();
+    e.threads = sim.execution_threads();  // what the pool actually runs
   }
   const auto t1 = std::chrono::steady_clock::now();
   e.wall_ms =
@@ -186,7 +194,7 @@ int main(int argc, char** argv) {
 
   const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
   const std::vector<std::size_t> shard_counts =
-      smoke ? std::vector<std::size_t>{1, 2}
+      smoke ? std::vector<std::size_t>{1, 4}
             : std::vector<std::size_t>{1, 4, 16};
 
   struct Case {
@@ -210,6 +218,7 @@ int main(int argc, char** argv) {
   const cache::Catalog catalog = make_catalog();
   std::vector<Entry> entries;
   bool identical = true;
+  bool threads_consistent = true;
   for (const Case& c : cases) {
     // Pick the RTT provider per the memory policy above. `network` (when
     // built) owns the f64 matrix; `owned_rtt` owns the other providers.
@@ -258,23 +267,38 @@ int main(int argc, char** argv) {
                       ? e.events_per_sec / sequential.events_per_sec
                       : 0.0;
       identical &= e.report_jsonl == sequential.report_jsonl;
+      threads_consistent &=
+          e.threads == std::min(shards, util::configured_threads());
       entries.push_back(e);
       std::cout << "  shards=" << shards << " (threads=" << e.threads
                 << "): " << static_cast<std::uint64_t>(e.events_per_sec)
-                << " events/s, speedup "
-                << e.speedup << ", epoch " << e.epoch_ms << " ms, "
-                << e.cuts << " cuts\n";
+                << " events/s, speedup " << e.speedup << ", epoch "
+                << e.epoch_initial_ms << "→" << e.epoch_final_ms << " ms, "
+                << e.cuts << " cuts (" << e.merges_skipped << " empty), "
+                << e.windows << " windows\n";
     }
   }
 
   bench::shape_check(
       "sharded runs are bit-identical to sequential at every (N, shards)",
       identical);
+  bench::shape_check(
+      "every sharded entry ran on min(shards, configured_threads()) threads",
+      threads_consistent);
   double speedup_32k_16 = 0.0;
+  std::uint64_t cuts_256_16 = 0;
   for (const Entry& e : entries) {
     if (e.n == 32'768 && e.shards == 16) speedup_32k_16 = e.speedup;
+    if (e.n == 256 && e.shards == 16) cuts_256_16 = e.cuts;
   }
   if (!smoke) {
+    // The regression that motivated the adaptive epoch: the 256-cache
+    // topology derives a ~1.7 ms lookahead, which once meant 30k+ cuts
+    // over the 60 s horizon. Deterministic, so a hard gate.
+    std::ostringstream cuts_claim;
+    cuts_claim << "cuts at N=256, 16 shards: " << cuts_256_16
+               << " (adaptive epoch keeps it under 1000)";
+    bench::shape_check(cuts_claim.str(), cuts_256_16 < 1'000);
     // The ≥3× target needs real cores; on a 1-core CI host the honest
     // speedup is ≤1 and the check reports the context instead of lying.
     const bool enough_cores = host_cores >= 4;
@@ -287,7 +311,7 @@ int main(int argc, char** argv) {
   }
 
   std::ofstream out(json_out);
-  out << "{\n  \"schema\": \"ecgf-bench-scale/1\",\n  \"mode\": \""
+  out << "{\n  \"schema\": \"ecgf-bench-scale/2\",\n  \"mode\": \""
       << (smoke ? "smoke" : "full") << "\",\n  \"host_cores\": " << host_cores
       << ",\n  \"configured_threads\": " << util::configured_threads()
       << ",\n  \"peak_rss_bytes\": " << bench::peak_rss_bytes()
@@ -301,7 +325,11 @@ int main(int argc, char** argv) {
         << ", \"events\": " << e.events << ", \"wall_ms\": " << e.wall_ms
         << ", \"events_per_sec\": " << e.events_per_sec
         << ", \"speedup_vs_sequential\": " << e.speedup
-        << ", \"epoch_ms\": " << e.epoch_ms << ", \"cuts\": " << e.cuts
+        << ", \"epoch_initial_ms\": " << e.epoch_initial_ms
+        << ", \"epoch_final_ms\": " << e.epoch_final_ms
+        << ", \"cuts\": " << e.cuts
+        << ", \"windows_dispatched\": " << e.windows
+        << ", \"merges_skipped\": " << e.merges_skipped
         << ", \"peak_rss_bytes\": " << e.peak_rss << "}"
         << (i + 1 < entries.size() ? "," : "") << "\n";
   }

@@ -87,24 +87,42 @@ else
 fi
 rm -f "$churn_json"
 
-# Sharded-engine smoke: the scaling sweep at smoke sizes, with the
-# BENCH_scale.json report parsed exactly like the churn bench's (the
-# full-size sweep — including the N=100k no-dense-matrix run — already
-# happened in the bench loop above).
-echo "== shard smoke (bench/scaling --smoke) =="
+# Sharded-engine smoke: the scaling sweep at smoke sizes on a 4-thread
+# pool (the full-size sweep already happened in the bench loop above,
+# at the host's configured thread count). The JSON gate checks the
+# exported fields, not just parseability: every sharded entry must have
+# executed on min(shards, 4) threads, and on hosts with ≥4 real cores
+# the 4-shard entries must not be SLOWER than sequential (speedup ≥ 1.0
+# — the multi-threaded path has to pay for itself; 1-core hosts get a
+# waiver because helper threads only timeslice there).
+echo "== shard smoke (ECGF_THREADS=4 bench/scaling --smoke) =="
 scale_json="$(mktemp)"
-scale_out="$(./build/bench/scaling --smoke --json-out="$scale_json")" \
-  || fail=1
+scale_out="$(ECGF_THREADS=4 ./build/bench/scaling --smoke \
+  --json-out="$scale_json")" || fail=1
 echo "$scale_out"
 if grep -q "shape-check: FAIL" <<<"$scale_out"; then
   echo "!! shape-check failure in shard smoke" >&2
   fail=1
 fi
 if command -v python3 >/dev/null 2>&1; then
-  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$scale_json" \
-    || { echo "!! shard smoke JSON does not parse" >&2; fail=1; }
+  python3 - "$scale_json" <<'PYGATE' || { echo "!! shard smoke JSON gate failed" >&2; fail=1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "ecgf-bench-scale/2", d["schema"]
+cores = d["host_cores"]
+cfg = d["configured_threads"]
+for e in d["entries"]:
+    if e["driver"] != "sharded":
+        continue
+    assert e["threads"] == min(e["shards"], cfg), \
+        f"entry ran on {e['threads']} threads, expected {min(e['shards'], cfg)}: {e}"
+    if cores >= 4 and e["shards"] == 4:
+        assert e["speedup_vs_sequential"] >= 1.0, \
+            f"4-shard smoke entry slower than sequential on a {cores}-core host: {e}"
+print(f"shard smoke JSON gate OK ({cores} host core(s), {cfg} configured threads)")
+PYGATE
 else
-  grep -q '"schema": "ecgf-bench-scale/1"' "$scale_json" \
+  grep -q '"schema": "ecgf-bench-scale/2"' "$scale_json" \
     || { echo "!! shard smoke JSON missing schema marker" >&2; fail=1; }
 fi
 rm -f "$scale_json"
@@ -152,8 +170,11 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
     # gtest_discover_tests registers per-case names (not binary names), so
     # run everything discovered in this tree except the <target>_NOT_BUILT
     # placeholders of the test binaries we deliberately didn't build.
-    ctest --test-dir build-asan --output-on-failure -E '_NOT_BUILT$' \
-      || fail=1
+    # ECGF_THREADS=8 makes the shard suites execute their epoch windows on
+    # a real worker pool, so ASan sees the parallel path, not the serial
+    # fallback.
+    ECGF_THREADS=8 ctest --test-dir build-asan --output-on-failure \
+      -E '_NOT_BUILT$' || fail=1
   else
     echo "== AddressSanitizer unsupported by this toolchain; skipping =="
   fi

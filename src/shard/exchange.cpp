@@ -5,11 +5,19 @@
 
 namespace ecgf::shard {
 
-void merge_and_replay(std::vector<ShardSink>& sinks, sim::EffectSink& target) {
+std::size_t total_buffered_effects(const std::vector<ShardSink>& sinks) {
+  std::size_t total = 0;
+  for (const ShardSink& sink : sinks) total += sink.effects().size();
+  return total;
+}
+
+void merge_and_replay(std::vector<ShardSink>& sinks, sim::EffectSink& target,
+                      MergeScratch& scratch) {
   // Classic k-way merge over already-sorted buffers. Shard counts are
   // small (≤ dozens), so a linear scan for the minimum head beats heap
   // bookkeeping.
-  std::vector<std::size_t> pos(sinks.size(), 0);
+  std::vector<std::size_t>& pos = scratch.pos;
+  pos.assign(sinks.size(), 0);
   for (;;) {
     std::size_t best = sinks.size();
     for (std::size_t s = 0; s < sinks.size(); ++s) {
@@ -34,6 +42,11 @@ void merge_and_replay(std::vector<ShardSink>& sinks, sim::EffectSink& target) {
     }
   }
   for (auto& sink : sinks) sink.clear();
+}
+
+void merge_and_replay(std::vector<ShardSink>& sinks, sim::EffectSink& target) {
+  MergeScratch scratch;
+  merge_and_replay(sinks, target, scratch);
 }
 
 }  // namespace ecgf::shard

@@ -55,10 +55,26 @@ struct BufferedEffect {
   double at_ms = 0.0;            ///< effect timestamp (== key.time_ms)
 };
 
-/// The per-shard EffectSink: buffers everything, keyed by the event the
-/// shard loop is currently executing (begin_event). The inherited tally
-/// member accumulates for the whole run and is summed at the end —
-/// counters commute, so they need no replay.
+/// The per-shard EffectSink: buffers everything the coordinator will
+/// consume, keyed by the event the shard loop is currently executing
+/// (begin_event). The inherited tally member accumulates for the whole
+/// run and is summed at the end — counters commute, so they need no
+/// replay.
+///
+/// The buffer is a per-shard ARENA: it is owned by exactly one shard, is
+/// only appended to between cuts (no locks, no cross-shard allocation),
+/// and clear() keeps its capacity, so the steady-state epoch loop is
+/// allocation-free.
+///
+/// Effects whose replay target is known to be a no-op can be filtered at
+/// buffering time instead of after the merge: set_trace_buffering(false)
+/// drops trace events (no trace sink attached — exactly the condition
+/// under which the coordinator's TraceContext::emit would discard them),
+/// and set_rtt_buffering(false) drops RTT observations (no control hook
+/// registered). Filtering never changes output bytes — it skips only
+/// effects the sequential driver would also have discarded — but it keeps
+/// benchmark-mode effect volume proportional to what is actually
+/// consumed.
 class ShardSink final : public sim::EffectSink {
  public:
   /// The shard loop calls this immediately before executing each event.
@@ -66,7 +82,11 @@ class ShardSink final : public sim::EffectSink {
     current_ = EffectKey{time_ms, static_cast<std::uint8_t>(klass), key, 0};
   }
 
+  void set_trace_buffering(bool enabled) { buffer_traces_ = enabled; }
+  void set_rtt_buffering(bool enabled) { buffer_rtt_ = enabled; }
+
   void emit(const obs::TraceEvent& event) override {
+    if (!buffer_traces_) return;
     BufferedEffect e;
     e.key = next_key();
     e.kind = BufferedEffect::Kind::kTrace;
@@ -88,6 +108,7 @@ class ShardSink final : public sim::EffectSink {
 
   void rtt_sample(net::HostId src, net::HostId dst, double rtt_ms,
                   sim::SimTime t) override {
+    if (!buffer_rtt_) return;
     BufferedEffect e;
     e.key = next_key();
     e.kind = BufferedEffect::Kind::kRttSample;
@@ -110,10 +131,29 @@ class ShardSink final : public sim::EffectSink {
 
   std::vector<BufferedEffect> effects_;
   EffectKey current_{};
+  bool buffer_traces_ = true;
+  bool buffer_rtt_ = true;
 };
+
+/// Reusable coordinator-side scratch for merge_and_replay, so the
+/// steady-state barrier path performs no allocations (the cursor vector
+/// keeps its capacity across cuts).
+struct MergeScratch {
+  std::vector<std::size_t> pos;
+};
+
+/// Total buffered effects across all shard sinks — the exchange volume of
+/// the epoch about to be committed (drives the adaptive epoch width and
+/// the empty-merge short-circuit).
+std::size_t total_buffered_effects(const std::vector<ShardSink>& sinks);
 
 /// Replay the k-way merge of all shard buffers into `target` in canonical
 /// order, then clear the buffers. Single-threaded (coordinator only).
+/// `scratch` keeps the merge allocation-free across cuts.
+void merge_and_replay(std::vector<ShardSink>& sinks, sim::EffectSink& target,
+                      MergeScratch& scratch);
+
+/// Convenience overload with throwaway scratch (tests, one-shot callers).
 void merge_and_replay(std::vector<ShardSink>& sinks, sim::EffectSink& target);
 
 }  // namespace ecgf::shard

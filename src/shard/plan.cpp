@@ -45,16 +45,22 @@ ShardPlan::ShardPlan(const std::vector<std::vector<cache::CacheIndex>>& groups,
 double min_cross_shard_rtt_ms(const ShardPlan& plan,
                               const net::RttProvider& rtt,
                               std::size_t cache_count,
-                              std::size_t exact_limit) {
+                              std::size_t exact_limit,
+                              const ActiveCachePredicate& active) {
   if (plan.shard_count() <= 1) {
     return std::numeric_limits<double>::infinity();
   }
+  const auto is_active = [&](std::size_t c) {
+    return active == nullptr || active(static_cast<cache::CacheIndex>(c));
+  };
   double best = std::numeric_limits<double>::infinity();
   if (cache_count <= exact_limit) {
     for (std::size_t i = 0; i < cache_count; ++i) {
+      if (!is_active(i)) continue;
       const std::size_t si = plan.shard_of_cache(static_cast<std::uint32_t>(i));
       for (std::size_t j = i + 1; j < cache_count; ++j) {
         if (plan.shard_of_cache(static_cast<std::uint32_t>(j)) == si) continue;
+        if (!is_active(j)) continue;
         best = std::min(
             best, rtt.rtt_ms_at(static_cast<net::HostId>(i),
                                 static_cast<net::HostId>(j), 0.0));
@@ -71,6 +77,7 @@ double min_cross_shard_rtt_ms(const ShardPlan& plan,
     const std::size_t i = (k * 2654435761u) % cache_count;
     const std::size_t j = (k * 40503u + 1) % cache_count;
     if (i == j) continue;
+    if (!is_active(i) || !is_active(j)) continue;
     if (plan.shard_of_cache(static_cast<std::uint32_t>(i)) ==
         plan.shard_of_cache(static_cast<std::uint32_t>(j))) {
       continue;

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "cache/directory.h"
@@ -50,18 +51,27 @@ class ShardPlan {
   std::vector<std::size_t> loads_;
 };
 
-/// Conservative lookahead: the minimum ground-truth RTT between caches
-/// living in different shards, evaluated at t = 0. This is the classic
-/// CMB bound — no influence can cross shards faster than the fastest
-/// cross-shard link — and it sizes the epoch between synchronisation
-/// cuts. Exact scan for small networks; deterministic stride sampling
-/// above `exact_limit` caches (a sampled minimum can only over-estimate,
-/// and correctness never depends on it: group-aligned sharding routes all
-/// cross-shard influence through barriers, so the epoch length only
-/// bounds buffer memory; see docs/scaling.md).
+/// True when cache `c` should count toward the cross-shard lookahead.
+/// Down or departed caches generate no cross-shard influence, so the
+/// derivation skips them.
+using ActiveCachePredicate = std::function<bool(cache::CacheIndex)>;
+
+/// Conservative lookahead: the minimum ground-truth RTT between *active*
+/// caches living in different shards, evaluated at t = 0. This is the
+/// classic CMB bound — no influence can cross shards faster than the
+/// fastest cross-shard link — and it seeds the INITIAL epoch between
+/// synchronisation cuts (the driver then widens adaptively; see
+/// docs/scaling.md). Exact scan for small networks; deterministic stride
+/// sampling above `exact_limit` caches (a sampled minimum can only
+/// over-estimate, and correctness never depends on it: group-aligned
+/// sharding routes all cross-shard influence through barriers, so the
+/// epoch length only bounds buffer memory). `active` restricts the pair
+/// set (nullptr = every cache counts); a pair is considered only when
+/// both endpoints are active.
 double min_cross_shard_rtt_ms(const ShardPlan& plan,
                               const net::RttProvider& rtt,
                               std::size_t cache_count,
-                              std::size_t exact_limit = 4096);
+                              std::size_t exact_limit = 4096,
+                              const ActiveCachePredicate& active = nullptr);
 
 }  // namespace ecgf::shard

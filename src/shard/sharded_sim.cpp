@@ -28,18 +28,29 @@ ShardedSimulator::ShardedSimulator(const cache::Catalog& catalog,
   ECGF_EXPECTS(options_.epoch_floor_ms > 0.0);
   ECGF_EXPECTS(options_.epoch_cap_ms >= options_.epoch_floor_ms);
   ECGF_EXPECTS(options_.epoch_ms >= 0.0);
+  ECGF_EXPECTS(options_.effect_batch_target >= 1);
   metrics_ = std::make_unique<sim::MetricsCollector>(engine_.cache_count());
   trace_ = engine_.config().trace;
   if (!trace_.active()) {
     trace_ = obs::TraceContext::root(obs::global_tracer(), 0);
   }
   hook_ = engine_.config().control_hook;
-  const std::size_t threads =
+  resolved_threads_ =
       options_.threads != 0
           ? options_.threads
           : std::min(options_.shards, util::configured_threads());
-  pool_ = std::make_unique<util::ThreadPool>(threads);
+  pool_ = std::make_unique<util::ThreadPool>(resolved_threads_);
   sinks_.resize(options_.shards);
+  // Effects whose replay target is a guaranteed no-op are filtered at
+  // buffering time: trace events when no trace sink is attached (the
+  // coordinator's TraceContext::emit would discard them unstamped), RTT
+  // observations when no control hook consumes them. Output bytes are
+  // unaffected — the sequential driver discards the same effects — but
+  // benchmark-mode exchange volume shrinks to what is actually consumed.
+  for (ShardSink& sink : sinks_) {
+    sink.set_trace_buffering(trace_.tracer() != nullptr);
+    sink.set_rtt_buffering(hook_ != nullptr);
+  }
 }
 
 void ShardedSimulator::apply_groups(
@@ -56,12 +67,20 @@ void ShardedSimulator::reshard(const workload::Trace& trace, double from_ms) {
   if (options_.epoch_ms > 0.0) {
     epoch_ms_ = options_.epoch_ms;
   } else {
-    double lookahead =
-        min_cross_shard_rtt_ms(plan_, engine_.rtt(), engine_.cache_count());
+    // Initial width: the CMB lookahead over the ACTIVE pair set — down and
+    // departed caches generate no cross-shard influence, so they must not
+    // drag the derived width to a floor the live traffic never justifies.
+    // Adaptation then widens from here (adapt_epoch); the derived value is
+    // a starting point, not a ceiling, which is what fixes the epoch-cut
+    // explosion tiny cross-shard RTTs used to cause.
+    double lookahead = min_cross_shard_rtt_ms(
+        plan_, engine_.rtt(), engine_.cache_count(), /*exact_limit=*/4096,
+        [this](cache::CacheIndex c) { return !engine_.is_down(c); });
     if (!std::isfinite(lookahead)) lookahead = options_.epoch_cap_ms;
     epoch_ms_ = std::clamp(lookahead, options_.epoch_floor_ms,
                            options_.epoch_cap_ms);
   }
+  epoch_initial_ms_ = epoch_ms_;
 
   // In-flight completions survive a reshard: collect and re-home them by
   // their cache's new shard (the engine already re-registered resident
@@ -111,7 +130,25 @@ double ShardedSimulator::earliest_pending(
 void ShardedSimulator::run_windows(const workload::Trace& trace, double cut,
                                    bool inclusive) {
   const auto& requests = trace.requests;
-  pool_->parallel_for(options_.shards, [&](std::size_t si) {
+  // Only shards whose head event falls inside the window are dispatched;
+  // idle shards pay nothing at this cut, and an all-idle window never
+  // touches the pool (degenerate topologies: one loaded shard, N-1 empty).
+  active_.clear();
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const ShardState& s = shards_[si];
+    double head = kInf;
+    if (s.next_arrival < s.arrivals.size()) {
+      head = requests[s.arrivals[s.next_arrival]].time_ms;
+    }
+    if (!s.completions.empty()) {
+      head = std::min(head, s.completions.front().c.time);
+    }
+    if (inclusive ? head <= cut : head < cut) active_.push_back(si);
+  }
+  if (active_.empty()) return;
+  windows_ += active_.size();
+
+  const auto run_shard = [&](std::size_t si) {
     ShardState& s = shards_[si];
     ShardSink& sink = sinks_[si];
     for (;;) {
@@ -150,10 +187,32 @@ void ShardedSimulator::run_windows(const workload::Trace& trace, double cut,
       }
       ++s.executed;
     }
-  });
-  for (ShardState& s : shards_) {
+  };
+  if (active_.size() == 1) {
+    run_shard(active_[0]);  // no dispatch overhead for a lone shard
+  } else {
+    pool_->parallel_for(active_.size(),
+                        [&](std::size_t k) { run_shard(active_[k]); });
+  }
+  for (std::size_t si : active_) {
+    ShardState& s = shards_[si];
     events_executed_ += s.executed;
     s.executed = 0;
+  }
+}
+
+void ShardedSimulator::adapt_epoch(std::size_t exchanged) {
+  // Derived epochs only: an explicit ShardOptions::epoch_ms pins the cut
+  // schedule. Decisions depend only on simulated content (the effect
+  // volume of the committed epoch), so the schedule is identical at any
+  // thread count.
+  if (!options_.adaptive_epoch || options_.epoch_ms > 0.0) return;
+  if (exchanged == 0) {
+    epoch_ms_ = std::min(epoch_ms_ * 4.0, options_.epoch_cap_ms);
+  } else if (exchanged < options_.effect_batch_target) {
+    epoch_ms_ = std::min(epoch_ms_ * 2.0, options_.epoch_cap_ms);
+  } else if (exchanged > 4 * options_.effect_batch_target) {
+    epoch_ms_ = std::max(epoch_ms_ / 2.0, epoch_initial_ms_);
   }
 }
 
@@ -264,6 +323,8 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
   std::size_t bpos = 0;
   events_executed_ = 0;
   cuts_ = 0;
+  windows_ = 0;
+  merges_skipped_ = 0;
 
   for (;;) {
     const bool have_barrier = bpos < barriers.size();
@@ -289,10 +350,16 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
     }
 
     run_windows(trace, cut, /*inclusive=*/final_cut);
-    merge_and_replay(sinks_, coord_sink_);
+    const std::size_t exchanged = total_buffered_effects(sinks_);
+    if (exchanged != 0) {
+      merge_and_replay(sinks_, coord_sink_, merge_scratch_);
+    } else {
+      ++merges_skipped_;  // empty epoch: nothing to exchange or replay
+    }
     ++cuts_;
     now = cut;
     now_ms_ = cut;
+    if (!barrier_cut && !final_cut) adapt_epoch(exchanged);
 
     if (barrier_cut) {
       while (bpos < barriers.size() && barriers[bpos].time_ms == bt) {

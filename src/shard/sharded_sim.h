@@ -15,19 +15,31 @@
 //     updates, failures, membership churn, control ticks, summary
 //     refreshes — is a BARRIER executed by the coordinator with all
 //     shards quiescent, in canonical (time, EventClass, key) order.
-//   * Between barriers, shards run their own event loops up to the next
-//     synchronisation cut: min(next barrier, earliest pending event +
-//     lookahead), where the lookahead is the minimum cross-shard RTT
-//     (CMB-style; clamped to [epoch_floor_ms, epoch_cap_ms]).
+//   * Between barriers, shards run their own event loops CONCURRENTLY on
+//     util::ThreadPool workers up to the next synchronisation cut:
+//     min(next barrier, earliest pending event + epoch width). Each shard
+//     owns a private event/effect arena — its arrival slice, completion
+//     heap, and ShardSink buffer — so the window hot path takes no locks,
+//     shares no RNG, and allocates nothing once arenas are warm. Only
+//     shards with pending work in the window are dispatched; an
+//     all-empty window skips the pool entirely.
+//   * The epoch width is ADAPTIVE: it starts at the minimum cross-shard
+//     RTT over active (non-down) cache pairs (CMB-style, clamped to
+//     [epoch_floor_ms, epoch_cap_ms]) and widens multiplicatively while
+//     epochs commit with little or no exchanged effect volume, narrowing
+//     again when an epoch overshoots the effect-batch target. This is
+//     what keeps cut counts low when the derived lookahead is tiny.
 //   * Order-sensitive side effects (metrics samples, trace events, RTT
 //     observations) are buffered per shard and replayed at each cut as a
 //     deterministic k-way merge in canonical event order
-//     (shard::merge_and_replay) — the sequential application order.
+//     (shard::merge_and_replay) — the sequential application order. A cut
+//     with zero buffered effects skips the merge.
 //
-// Correctness never depends on the lookahead value: group-aligned
-// sharding routes all cross-shard influence through barriers, so even a
-// degenerate near-zero lookahead (two near-zero-RTT caches in different
-// shards) only shortens epochs; the floor keeps progress.
+// Correctness never depends on the epoch width: group-aligned sharding
+// routes all cross-shard influence through barriers, so any width — the
+// degenerate near-zero derived lookahead or the widest adaptive epoch —
+// yields the same bytes; the width only trades cut frequency against
+// effect-buffer memory.
 #pragma once
 
 #include <cstdint>
@@ -52,13 +64,23 @@ struct ShardOptions {
   /// Worker shards. 1 degenerates to a (slightly buffered) sequential run
   /// — still bit-identical to sim::Simulator.
   std::size_t shards = 1;
-  /// Explicit epoch length; 0 = derive from the minimum cross-shard RTT.
+  /// Explicit, FIXED epoch length; 0 = derive the initial width from the
+  /// minimum cross-shard RTT and adapt from there. Setting it disables
+  /// adaptation (useful for reproducing an exact cut schedule).
   double epoch_ms = 0.0;
-  /// Clamp range for the derived epoch. The floor guards degenerate
-  /// lookahead (near-zero cross-shard RTTs); the cap bounds effect-buffer
-  /// memory between cuts.
+  /// Clamp range for the derived/adaptive epoch. The floor guards
+  /// degenerate lookahead (near-zero cross-shard RTTs); the cap bounds
+  /// effect-buffer memory between cuts.
   double epoch_floor_ms = 1.0;
   double epoch_cap_ms = 1'000.0;
+  /// Adaptive epoch widening (derived epochs only): after a pure epoch
+  /// cut, the width doubles while the cut exchanged fewer effects than
+  /// effect_batch_target (quadruples when it exchanged none) and halves
+  /// after overshooting 4x the target, always staying within
+  /// [initial width, epoch_cap_ms]. Deterministic — decisions depend only
+  /// on simulated content, never on wall time or thread scheduling.
+  bool adaptive_epoch = true;
+  std::size_t effect_batch_target = 8192;
   /// Worker threads for the shard loops; 0 = min(shards,
   /// util::configured_threads()).
   std::size_t threads = 0;
@@ -89,10 +111,24 @@ class ShardedSimulator final : public sim::GroupHost {
   // Introspection (tests, benches).
   const sim::ShardableEngine& engine() const { return engine_; }
   std::size_t shard_count() const { return options_.shards; }
-  /// Epoch length currently in force (derived or explicit).
+  /// Worker threads actually backing the shard loops (the resolved value
+  /// of ShardOptions::threads; 1 = serial execution on the coordinator).
+  std::size_t execution_threads() const { return resolved_threads_; }
+  /// Epoch width currently in force (adaptive; equals epoch_initial_ms()
+  /// before the first widening, and the explicit epoch_ms forever when
+  /// one was given).
   double epoch_ms() const { return epoch_ms_; }
+  /// Epoch width the last (re)shard derived before any adaptation —
+  /// the clamped min cross-shard RTT, or the explicit epoch_ms.
+  double epoch_initial_ms() const { return epoch_initial_ms_; }
   /// Synchronisation cuts executed during run() (epoch + barrier cuts).
   std::uint64_t cuts_executed() const { return cuts_; }
+  /// Shard windows actually dispatched (shards with pending events in a
+  /// cut's window). Empty shards never inflate this.
+  std::uint64_t windows_dispatched() const { return windows_; }
+  /// Cuts whose effect exchange was skipped because no shard buffered
+  /// anything (empty-epoch short-circuit).
+  std::uint64_t merges_skipped() const { return merges_skipped_; }
   /// Coordinator clock (ms): simulation time of the last cut; 0 before
   /// run(). Bind time-varying collaborators (net::DriftingRttProvider)
   /// here, exactly like sim::Simulator::clock_ptr() — barrier-side reads
@@ -167,9 +203,16 @@ class ShardedSimulator final : public sim::GroupHost {
   /// pending completions re-homed by cache, lookahead re-derived.
   void reshard(const workload::Trace& trace, double from_ms);
 
-  /// Run every shard's event loop up to `cut` (exclusive; inclusive for
-  /// the final drain window) in parallel, buffering effects.
+  /// Run the event loop of every shard with pending work up to `cut`
+  /// (exclusive; inclusive for the final drain window) in parallel on the
+  /// pool, buffering effects into the per-shard arenas. Shards with no
+  /// events in the window are not dispatched; an all-empty window returns
+  /// without touching the pool.
   void run_windows(const workload::Trace& trace, double cut, bool inclusive);
+
+  /// Adaptive-epoch update after a pure (non-barrier) epoch cut that
+  /// exchanged `exchanged` effects.
+  void adapt_epoch(std::size_t exchanged);
 
   /// Earliest pending event time across all shards; +inf when idle.
   double earliest_pending(const workload::Trace& trace) const;
@@ -187,11 +230,17 @@ class ShardedSimulator final : public sim::GroupHost {
   std::vector<ShardState> shards_;
   std::vector<ShardSink> sinks_;
   CoordinatorSink coord_sink_;
+  MergeScratch merge_scratch_;
+  std::vector<std::size_t> active_;  ///< reusable active-shard scratch
+  std::size_t resolved_threads_ = 1;
   double epoch_ms_ = 0.0;
+  double epoch_initial_ms_ = 0.0;
   double now_ms_ = 0.0;
   bool reshard_pending_ = false;
   std::uint64_t control_ticks_ = 0;
   std::uint64_t cuts_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t merges_skipped_ = 0;
   std::uint64_t events_executed_ = 0;
 };
 

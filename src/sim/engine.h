@@ -13,7 +13,11 @@
 //   * Window events (kArrival, kCompletion) touch only one group's caches
 //     and directory plus const shared state (catalog, origin versions,
 //     RTTs, down/departed flags). on_request() / on_complete() are safe to
-//     call concurrently for caches in DIFFERENT groups.
+//     call concurrently for caches in DIFFERENT groups — the sharded
+//     driver runs them on ThreadPool workers, one group-aligned shard per
+//     lane, with no locks, no shared RNG, and no allocation into shared
+//     arenas on this path (the origin fetch tally goes to the per-lane
+//     EffectSink precisely so the shared OriginServer stays read-only).
 //   * Barrier events (kFailure, kMembership, kUpdate, kSummaryRefresh,
 //     kControlTick) mutate shared state and must run with all shards
 //     quiescent. on_update() / on_failure() / on_leave() / on_join() /

@@ -106,7 +106,24 @@ void ThreadPool::parallel_for(std::size_t n,
     state->done.notify_all();
   };
 
-  for (std::size_t t = 0; t < helpers; ++t) submit(runner);
+  // Batch-enqueue the helper runners: one lock acquisition and one wake
+  // for the whole fork instead of `helpers` separate submits. Fork/join
+  // callers with many small rounds (the sharded simulator cuts many
+  // epochs per run) see the difference. Pools configured with a queue
+  // smaller than their worker count fall back to per-task submits.
+  if (helpers <= queue_capacity_) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [this, helpers] {
+        return queue_.size() + helpers <= queue_capacity_ || stopping_;
+      });
+      ECGF_EXPECTS(!stopping_);
+      for (std::size_t t = 0; t < helpers; ++t) queue_.push_back(runner);
+    }
+    not_empty_.notify_all();
+  } else {
+    for (std::size_t t = 0; t < helpers; ++t) submit(runner);
+  }
   runner();  // the calling thread participates
 
   std::unique_lock<std::mutex> lock(state->mutex);

@@ -56,7 +56,10 @@ class ThreadPool {
   /// calling thread, and return when all have finished. The first
   /// exception thrown by a body is rethrown here (remaining indices still
   /// drain). Serial when the pool has no workers, when n ≤ 1, or when
-  /// called from inside a worker.
+  /// called from inside a worker. Helper runners are enqueued as one
+  /// batch (single lock round + wake), so a fork costs O(1) queue
+  /// operations — cheap enough for fine-grained fork/join loops like the
+  /// sharded simulator's epoch windows.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// Order-preserving map: out[i] = fn(items[i]). Same execution and

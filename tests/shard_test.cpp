@@ -13,6 +13,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/catalog.h"
@@ -20,6 +21,7 @@
 #include "net/distance_matrix.h"
 #include "net/drift.h"
 #include "net/rtt_provider.h"
+#include "net/synthetic.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "shard/exchange.h"
@@ -189,8 +191,9 @@ struct ScenarioRun {
 
 /// Runs the maintained drift + churn scenario. shards == 0 → sequential
 /// sim::Simulator; otherwise shard::ShardedSimulator with that many
-/// shards.
-ScenarioRun run_scenario(std::size_t shards) {
+/// shards executing on `threads` pool threads (0 = resolve from
+/// configured_threads()).
+ScenarioRun run_scenario(std::size_t shards, std::size_t threads = 0) {
   ScenarioRun result;
   std::ostringstream trace_out;
   {
@@ -245,6 +248,7 @@ ScenarioRun run_scenario(std::size_t shards) {
     } else {
       ShardOptions options;
       options.shards = shards;
+      options.threads = threads;
       ShardedSimulator sim(catalog, provider, kServer, std::move(config),
                            options);
       provider.bind_clock(sim.clock_ptr());
@@ -296,6 +300,42 @@ TEST_F(ShardedSim, BitIdenticalToSequentialAtOneTwoAndEightShards) {
     EXPECT_EQ(sharded.report.events_executed,
               sequential.report.events_executed)
         << shards << " shards";
+  }
+}
+
+TEST_F(ShardedSim, ParallelDeterminismMatrixUnderChurnAndMaintenance) {
+  // The full matrix: every (shards, threads) combination must reproduce
+  // the sequential bytes — membership churn, a failure and ctl
+  // regroupings included. Thread count may change scheduling but never
+  // content: effects are buffered per shard and replayed in canonical
+  // order regardless of which worker ran which shard.
+  const ScenarioRun sequential = run_scenario(0);
+  ASSERT_FALSE(sequential.trace_bytes.empty());
+  for (std::size_t shards : {1u, 4u, 8u}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      const ScenarioRun sharded = run_scenario(shards, threads);
+      EXPECT_EQ(sharded.report_jsonl, sequential.report_jsonl)
+          << shards << " shards, " << threads << " threads";
+      EXPECT_EQ(sharded.trace_bytes, sequential.trace_bytes)
+          << shards << " shards, " << threads << " threads";
+      EXPECT_EQ(sharded.partition, sequential.partition)
+          << shards << " shards, " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ShardedSim, ThreadPoolContentionMoreShardsThanWorkers) {
+  // 8 shards on a 2-worker pool: every epoch window queues more shard
+  // loops than there are threads, so workers steal consecutive shards
+  // back to back. Repeated runs must all produce the sequential bytes —
+  // this is the TSan stress shape for the batch-enqueued fork/join path.
+  const ScenarioRun sequential = run_scenario(0);
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    const ScenarioRun sharded = run_scenario(8, 2);
+    EXPECT_EQ(sharded.report_jsonl, sequential.report_jsonl)
+        << "iteration " << iteration;
+    EXPECT_EQ(sharded.trace_bytes, sequential.trace_bytes)
+        << "iteration " << iteration;
   }
 }
 
@@ -363,11 +403,15 @@ TEST(ShardedSimEdge, DegenerateLookaheadClampsToFloorAndStaysIdentical) {
   ShardedSimulator sharded(catalog, rtt, 4, tiny_config(), options);
   const sim::SimulationReport rep = sharded.run(tiny_trace());
 
-  // Derived lookahead 0.01 ms < the 1 ms floor → clamped.
-  EXPECT_DOUBLE_EQ(sharded.epoch_ms(), options.epoch_floor_ms);
+  // Derived lookahead 0.01 ms < the 1 ms floor → the INITIAL width is
+  // clamped to the floor; adaptation then widens it (the current width
+  // ends at or above where it started, at or below the cap).
+  EXPECT_DOUBLE_EQ(sharded.epoch_initial_ms(), options.epoch_floor_ms);
+  EXPECT_GE(sharded.epoch_ms(), sharded.epoch_initial_ms());
+  EXPECT_LE(sharded.epoch_ms(), options.epoch_cap_ms);
   EXPECT_EQ(report_bytes(rep), report_bytes(seq));
-  // The floor keeps cut count sane: bounded by events, not by 0.01 ms
-  // epochs over the 62 s drain horizon.
+  // The floor + widening keep the cut count sane: bounded by events, not
+  // by 0.01 ms epochs over the 62 s drain horizon.
   EXPECT_LT(sharded.cuts_executed(), 1'000u);
 }
 
@@ -412,6 +456,118 @@ TEST(ShardedSimEdge, ExplicitEpochMatchesDerivedOutput) {
       catalog, rtt, 4, tiny_config(), explicit_epoch, tiny_trace());
 
   EXPECT_EQ(report_bytes(a), report_bytes(b));
+}
+
+TEST(ShardedSimEdge, DisablingAdaptationKeepsTheDerivedWidthFixed) {
+  const cache::Catalog catalog = tiny_catalog();
+  net::MatrixRttProvider rtt(near_zero_cross_matrix());
+
+  ShardOptions options;
+  options.shards = 2;
+  options.adaptive_epoch = false;
+  ShardedSimulator sharded(catalog, rtt, 4, tiny_config(), options);
+  const sim::SimulationReport rep = sharded.run(tiny_trace());
+
+  const sim::SimulationReport seq =
+      sim::run_simulation(catalog, rtt, 4, tiny_config(), tiny_trace());
+  EXPECT_EQ(report_bytes(rep), report_bytes(seq));
+  EXPECT_DOUBLE_EQ(sharded.epoch_ms(), sharded.epoch_initial_ms());
+}
+
+// ----------------------------------------------------------------------
+// Regression: the epoch-cut explosion at n=256 / shards=16.
+//
+// BENCH_scale.json once recorded 30,033 cuts for this shape: a 1.7 ms
+// derived lookahead marched fixed-width epochs across a 60 s horizon.
+// With adaptive widening the same run must finish in well under 1,000
+// cuts — and, as always, bit-identical to the sequential simulator.
+// ----------------------------------------------------------------------
+
+TEST(ShardedSimScale, CutCountAt256Caches16ShardsStaysUnderAThousand) {
+  constexpr std::size_t kN = 256;
+  net::GroupBlockOptions block;
+  block.clusters = 16;
+  block.intra_ms = 1.0;
+  block.cross_ms = 1.7;  // the pathological derived lookahead
+  block.server_ms = 80.0;
+  net::GroupBlockRttProvider rtt(kN, block);
+
+  std::vector<cache::DocumentInfo> docs(400);
+  for (auto& d : docs) d = {1'000, 20.0, 0.0};
+  const cache::Catalog catalog(std::move(docs));
+
+  workload::Trace trace;
+  trace.duration_ms = 60'000.0;
+  for (std::size_t i = 0; i < 6'000; ++i) {
+    const double t = 5.0 + static_cast<double>(i) * 9.97;
+    if (t >= trace.duration_ms) break;
+    trace.requests.push_back({t, static_cast<std::uint32_t>((i * 37) % kN),
+                              static_cast<std::uint32_t>((i * 13) % 400)});
+  }
+  for (std::size_t u = 0; u < 8; ++u) {
+    trace.updates.push_back({3'000.0 + static_cast<double>(u) * 7'000.0,
+                             static_cast<std::uint32_t>((u * 53) % 400)});
+  }
+
+  sim::SimulationConfig config;
+  config.groups = rtt.clusters_as_groups();
+  config.cache_capacity_bytes = 40'000;
+  config.policy = cache::PolicyKind::kLru;
+  config.warmup_fraction = 0.0;
+
+  const sim::SimulationReport seq =
+      sim::run_simulation(catalog, rtt, kN, config, trace);
+
+  ShardOptions options;
+  options.shards = 16;
+  ShardedSimulator sharded(catalog, rtt, kN, config, options);
+  const sim::SimulationReport rep = sharded.run(trace);
+
+  std::ostringstream seq_out, rep_out;
+  obs::write_report_jsonl(seq_out, seq, "scale256");
+  obs::write_report_jsonl(rep_out, rep, "scale256");
+  EXPECT_EQ(rep_out.str(), seq_out.str());
+
+  // The derived width is the 1.7 ms cross-cluster RTT...
+  EXPECT_DOUBLE_EQ(sharded.epoch_initial_ms(), 1.7);
+  // ...but adaptation widened it instead of marching 35k fixed epochs.
+  EXPECT_GT(sharded.epoch_ms(), sharded.epoch_initial_ms());
+  EXPECT_LT(sharded.cuts_executed(), 1'000u);
+}
+
+// ----------------------------------------------------------------------
+// Degenerate topology: every cache in one group, 15 shards empty.
+// ----------------------------------------------------------------------
+
+TEST(ShardedSimScale, SingleGroupOnSixteenShardsDispatchesNoEmptyWindows) {
+  const cache::Catalog catalog = tiny_catalog();
+  net::MatrixRttProvider rtt(near_zero_cross_matrix());
+
+  sim::SimulationConfig config = tiny_config();
+  config.groups = {{0, 1, 2, 3}};  // one group → one loaded shard
+
+  const sim::SimulationReport seq =
+      sim::run_simulation(catalog, rtt, 4, config, tiny_trace());
+
+  auto run_with = [&](std::size_t shards) {
+    ShardOptions options;
+    options.shards = shards;
+    ShardedSimulator sharded(catalog, rtt, 4, config, options);
+    const sim::SimulationReport rep = sharded.run(tiny_trace());
+    EXPECT_EQ(report_bytes(rep), report_bytes(seq)) << shards << " shards";
+    return std::pair<std::uint64_t, std::uint64_t>(
+        sharded.windows_dispatched(), sharded.cuts_executed());
+  };
+
+  const auto [one_shard_windows, one_shard_cuts] = run_with(1);
+  const auto [sixteen_shard_windows, sixteen_shard_cuts] = run_with(16);
+
+  // The 15 empty shards are never dispatched: the window count matches
+  // the shards=1 run exactly (one loaded shard per non-empty cut), so a
+  // degenerate partition costs no pool traffic and no throughput cliff.
+  EXPECT_EQ(sixteen_shard_windows, one_shard_windows);
+  EXPECT_EQ(sixteen_shard_cuts, one_shard_cuts);
+  EXPECT_GT(sixteen_shard_windows, 0u);
 }
 
 }  // namespace

@@ -16,8 +16,15 @@
 // warm-start claim: re-forming from the current group centroids must reach
 // the same WCSS as a cold K-means in fewer iterations.
 //
+// At the heaviest level both arms are additionally re-scored on congested
+// access links (SimulationConfig::netmodel, docs/network_model.md): miss
+// traffic then pays serialisation, queueing, drops and ECN marks, so the
+// grouping is judged on miss *bandwidth* cost as well as RTT — and the
+// maintenance loop's drift samples arrive congestion-inflated, the
+// operating regime an online control plane actually faces.
+//
 // --smoke shrinks everything for CI; --json-out=FILE additionally writes a
-// machine-readable report (schema ecgf-ablation-churn/1). Both are scanned
+// machine-readable report (schema ecgf-ablation-churn/2). Both are scanned
 // manually: util::Flags rejects flags it doesn't know, while ObsSession
 // ignores (and does not consume) non-obs flags.
 #include <fstream>
@@ -30,6 +37,7 @@
 #include "ctl/maintenance.h"
 #include "net/distance_matrix.h"
 #include "net/drift.h"
+#include "sim/netmodel/link_model.h"
 
 using namespace ecgf;
 
@@ -72,6 +80,16 @@ struct WarmVsCold {
   std::size_t cold_iterations = 0;
   double warm_wcss = 0.0;
   double cold_wcss = 0.0;
+};
+
+/// Heaviest level re-scored on congested access links.
+struct CongestionResult {
+  double static_miss_ms = 0.0;
+  double maintained_miss_ms = 0.0;
+  std::uint64_t static_drops = 0;
+  std::uint64_t static_marks = 0;
+  std::uint64_t maintained_drops = 0;
+  std::uint64_t maintained_marks = 0;
 };
 
 std::string json_escape(const std::string& s) {
@@ -140,6 +158,7 @@ int main(int argc, char** argv) {
                                       cfg.churn_pairs_max};
 
   std::vector<LevelResult> rows;
+  CongestionResult congestion;
   for (std::size_t level = 0; level < 3; ++level) {
     LevelResult row;
     row.drift_fraction = level_fractions[level];
@@ -222,6 +241,58 @@ int main(int argc, char** argv) {
       row.reforms = session.reforms();
       row.regroupings = report.regroupings;
     }
+
+    // Arms 3 & 4 (heaviest level only): the same two groupings re-scored
+    // on congested access links — 5 B/ms serialises a median 10 KB
+    // document for two seconds, so miss traffic queues, marks past 15 KB
+    // of backlog and drops past 30 KB. The maintained arm's drift samples
+    // arrive congestion-inflated through the same seam.
+    if (level == 2) {
+      sim::LinkModelConfig links;
+      links.bandwidth_bytes_per_ms = 5.0;
+      links.queue_limit_bytes = 30'000.0;
+      links.mark_threshold_bytes = 15'000.0;
+      {
+        util::Rng drift_rng(kSeed + 13);
+        net::DriftingRttProvider provider(matrix, drift, drift_rng);
+        sim::AccessLinkModel net(links, testbed.network.host_count());
+        sim::SimulationConfig config = make_sim_config();
+        config.netmodel = &net;
+        sim::Simulator sim(testbed.catalog, provider, server,
+                           std::move(config));
+        provider.bind_clock(sim.clock_ptr());
+        const auto report = sim.run(testbed.trace);
+        congestion.static_miss_ms = report.avg_miss_latency_ms;
+        congestion.static_drops = report.net_drops;
+        congestion.static_marks = report.net_marks;
+      }
+      {
+        util::Rng drift_rng(kSeed + 13);
+        net::DriftingRttProvider provider(matrix, drift, drift_rng);
+        ctl::MaintenanceConfig mc =
+            ctl::make_maintenance_config(base, cfg.caches);
+        mc.policy.repair_threshold_ms = 10.0;
+        mc.policy.reform_threshold_ms = 25.0;
+        mc.budget.caches_per_tick = 8;
+        mc.prober.probes_per_measurement = 1;
+        mc.prober.jitter_sigma = 0.0;
+        mc.kmeans.restarts = 2;
+        mc.seed = kSeed + 29;
+        ctl::MaintenanceSession session(provider, mc);
+        sim::AccessLinkModel net(links, testbed.network.host_count());
+        sim::SimulationConfig config = make_sim_config();
+        config.control_hook = &session;
+        config.control_interval_ms = cfg.duration_ms / 24.0;
+        config.netmodel = &net;
+        sim::Simulator sim(testbed.catalog, provider, server,
+                           std::move(config));
+        provider.bind_clock(sim.clock_ptr());
+        const auto report = sim.run(testbed.trace);
+        congestion.maintained_miss_ms = report.avg_miss_latency_ms;
+        congestion.maintained_drops = report.net_drops;
+        congestion.maintained_marks = report.net_marks;
+      }
+    }
     rows.push_back(row);
   }
 
@@ -238,6 +309,14 @@ int main(int argc, char** argv) {
                    static_cast<long long>(r.reforms)});
   }
   bench::print_table(table);
+
+  std::cout << "congested rescoring (heaviest level): static miss "
+            << util::format_fixed(congestion.static_miss_ms, 1) << " ms ("
+            << congestion.static_drops << " drops, " << congestion.static_marks
+            << " marks) vs maintained "
+            << util::format_fixed(congestion.maintained_miss_ms, 1) << " ms ("
+            << congestion.maintained_drops << " drops, "
+            << congestion.maintained_marks << " marks)\n\n";
 
   // Warm-start isolation: re-cluster the feature vectors as they stand
   // two successive re-formations mid-ramp: the first (cold, at ramp
@@ -370,6 +449,16 @@ int main(int argc, char** argv) {
        "iterations",
        wc.warm_iterations < wc.cold_iterations &&
            wc.warm_wcss <= wc.cold_wcss * (1.0 + 1e-9)});
+  checks.push_back(
+      {"congested access links inflate miss latency beyond the ideal "
+       "network",
+       congestion.static_miss_ms > stormy.static_miss_ms &&
+           congestion.maintained_miss_ms > stormy.maintained_miss_ms});
+  checks.push_back(
+      {"congested rescoring records queue drops and ECN marks in both arms",
+       congestion.static_drops > 0 && congestion.static_marks > 0 &&
+           congestion.maintained_drops > 0 &&
+           congestion.maintained_marks > 0});
 
   bool all_ok = true;
   for (const auto& c : checks) {
@@ -379,7 +468,7 @@ int main(int argc, char** argv) {
 
   if (!json_out.empty()) {
     std::ofstream out(json_out);
-    out << "{\n  \"schema\": \"ecgf-ablation-churn/1\",\n  \"mode\": \""
+    out << "{\n  \"schema\": \"ecgf-ablation-churn/2\",\n  \"mode\": \""
         << (smoke ? "smoke" : "full")
         << "\",\n  \"peak_rss_bytes\": " << bench::peak_rss_bytes()
         << ",\n  \"levels\": [\n";
@@ -398,7 +487,15 @@ int main(int argc, char** argv) {
     out << "  ],\n  \"warm_vs_cold\": {\"warm_iterations\": "
         << wc.warm_iterations << ", \"cold_iterations\": "
         << wc.cold_iterations << ", \"warm_wcss\": " << wc.warm_wcss
-        << ", \"cold_wcss\": " << wc.cold_wcss << "},\n  \"shape_checks\": [\n";
+        << ", \"cold_wcss\": " << wc.cold_wcss
+        << "},\n  \"congestion\": {\"static_miss_ms\": "
+        << congestion.static_miss_ms
+        << ", \"maintained_miss_ms\": " << congestion.maintained_miss_ms
+        << ", \"static_drops\": " << congestion.static_drops
+        << ", \"static_marks\": " << congestion.static_marks
+        << ", \"maintained_drops\": " << congestion.maintained_drops
+        << ", \"maintained_marks\": " << congestion.maintained_marks
+        << "},\n  \"shape_checks\": [\n";
     for (std::size_t i = 0; i < checks.size(); ++i) {
       out << "    {\"claim\": \"" << json_escape(checks[i].claim)
           << "\", \"pass\": " << (checks[i].ok ? "true" : "false") << "}"

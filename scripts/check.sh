@@ -32,6 +32,18 @@ while IFS= read -r md; do
       docs_fail=1
     fi
   done < <(grep -ohE 'ECGF_[A-Z0-9_]+' "$md" | sort -u)
+  # Schema-version strings quoted in the user-facing docs must match a
+  # bench header exactly (catches docs going stale when a schema bumps).
+  case "$md" in
+    ./README.md|./docs/*)
+      while IFS= read -r schema; do
+        if ! grep -rq --include='*.cpp' --include='*.h' -- "$schema" bench; then
+          echo "!! stale schema version in $md: $schema not emitted by any bench" >&2
+          docs_fail=1
+        fi
+      done < <(grep -ohE 'ecgf-[a-z-]+/[0-9]+' "$md" | sort -u)
+      ;;
+  esac
 done < <(find . -path ./build -prune -o -path ./build-tsan -prune -o \
          -path ./build-asan -prune -o -name '*.md' -print)
 if [[ "$docs_fail" != "0" ]]; then
@@ -79,13 +91,51 @@ if grep -q "shape-check: FAIL" <<<"$churn_out"; then
   fail=1
 fi
 if command -v python3 >/dev/null 2>&1; then
-  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$churn_json" \
-    || { echo "!! ctl smoke JSON does not parse" >&2; fail=1; }
+  python3 - "$churn_json" <<'PYGATE' || { echo "!! ctl smoke JSON gate failed" >&2; fail=1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "ecgf-ablation-churn/2", d["schema"]
+c = d["congestion"]
+assert c["static_miss_ms"] > 0 and c["maintained_miss_ms"] > 0, c
+print("ctl smoke JSON gate OK")
+PYGATE
 else
-  grep -q '"schema": "ecgf-ablation-churn/1"' "$churn_json" \
+  grep -q '"schema": "ecgf-ablation-churn/2"' "$churn_json" \
     || { echo "!! ctl smoke JSON missing schema marker" >&2; fail=1; }
 fi
 rm -f "$churn_json"
+
+# Network-model smoke: the flash-crowd congestion ablation at smoke sizes.
+# The JSON gate checks the physics, not just parseability: the overloaded
+# network must record queue drops and ECN marks, and the quiet (no flash
+# crowd) control arm on the same topology must record none — if either
+# side flips, the link model's queue accounting has regressed.
+echo "== net smoke (bench/ablation_net --smoke) =="
+net_json="$(mktemp)"
+net_out="$(./build/bench/ablation_net --smoke --json-out="$net_json")" \
+  || fail=1
+echo "$net_out"
+if grep -q "shape-check: FAIL" <<<"$net_out"; then
+  echo "!! shape-check failure in net smoke" >&2
+  fail=1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$net_json" <<'PYGATE' || { echo "!! net smoke JSON gate failed" >&2; fail=1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "ecgf-bench-net/1", d["schema"]
+over = d["overload"]["rtt_only"]
+assert over["drops"] > 0, over
+assert over["marks"] > 0, over
+quiet = d["quiet"]
+assert quiet["drops"] == 0 and quiet["marks"] == 0, quiet
+print("net smoke JSON gate OK")
+PYGATE
+else
+  grep -q '"schema": "ecgf-bench-net/1"' "$net_json" \
+    || { echo "!! net smoke JSON missing schema marker" >&2; fail=1; }
+fi
+rm -f "$net_json"
 
 # Sharded-engine smoke: the scaling sweep at smoke sizes on a 4-thread
 # pool (the full-size sweep already happened in the bench loop above,
@@ -158,7 +208,7 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$asan_probe/probe.cpp"
   if c++ -fsanitize=address "$asan_probe/probe.cpp" -o "$asan_probe/probe" \
        >/dev/null 2>&1 && "$asan_probe/probe"; then
-    echo "== AddressSanitizer shard (sim_test, shard_test, net_test, cache_test) =="
+    echo "== AddressSanitizer shard (sim_test, shard_test, net_test, cache_test, netmodel_test) =="
     asan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-asan/CMakeCache.txt ]]; then
       asan_generator=(-G Ninja)
@@ -166,7 +216,7 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
     cmake -B build-asan "${asan_generator[@]}" -DECGF_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-asan -j"$(nproc)" --target sim_test shard_test \
-      net_test cache_test
+      net_test cache_test netmodel_test
     # gtest_discover_tests registers per-case names (not binary names), so
     # run everything discovered in this tree except the <target>_NOT_BUILT
     # placeholders of the test binaries we deliberately didn't build.
@@ -191,7 +241,7 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
   if c++ -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" \
        >/dev/null 2>&1 && "$tsan_probe/probe"; then
-    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test) =="
+    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test, netmodel_test) =="
     tsan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-tsan/CMakeCache.txt ]]; then
       tsan_generator=(-G Ninja)
@@ -199,11 +249,12 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
     cmake -B build-tsan "${tsan_generator[@]}" -DECGF_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-tsan -j"$(nproc)" --target threading_test obs_test \
-      ctl_test shard_test
+      ctl_test shard_test netmodel_test
     ECGF_THREADS=8 ./build-tsan/tests/threading_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/obs_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/ctl_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/shard_test || fail=1
+    ECGF_THREADS=8 ./build-tsan/tests/netmodel_test || fail=1
   else
     echo "== ThreadSanitizer unsupported by this toolchain; skipping =="
   fi

@@ -94,6 +94,9 @@ void write_report_jsonl(std::ostream& os, const sim::SimulationReport& report,
   int_field(out, "joins_applied", report.joins_applied);
   int_field(out, "regroupings", report.regroupings);
   int_field(out, "control_ticks", report.control_ticks);
+  int_field(out, "net_drops", report.net_drops);
+  int_field(out, "net_marks", report.net_marks);
+  int_field(out, "net_retransmits", report.net_retransmits);
   close_record(out);
   os << out;
 }

@@ -66,6 +66,10 @@ std::string_view resolution_name(int how) {
   }
 }
 
+std::string_view link_dir_name(double uplink) {
+  return uplink != 0.0 ? "up" : "down";
+}
+
 std::string_view maintenance_action_name(int action) {
   switch (action) {
     case 0: return "none";
@@ -95,6 +99,9 @@ std::string_view event_name(EventKind kind) {
     case EventKind::kCacheJoin: return "cache_join";
     case EventKind::kDriftScore: return "drift_score";
     case EventKind::kReformation: return "reformation";
+    case EventKind::kNetDrop: return "net_drop";
+    case EventKind::kNetMark: return "net_mark";
+    case EventKind::kLinkUtil: return "link_util";
   }
   return "unknown";
 }
@@ -207,6 +214,26 @@ TraceEvent TraceEvent::reformation(double time_ms, std::size_t tick,
           u64_to_double(moves)};
 }
 
+TraceEvent TraceEvent::net_drop(double time_ms, std::uint64_t host,
+                                bool uplink, std::size_t drops) {
+  return {time_ms, 0, 0, EventKind::kNetDrop,
+          u64_to_double(host), uplink ? 1.0 : 0.0, u64_to_double(drops), 0.0};
+}
+
+TraceEvent TraceEvent::net_mark(double time_ms, std::uint64_t host,
+                                bool uplink, double backlog_bytes) {
+  return {time_ms, 0, 0, EventKind::kNetMark,
+          u64_to_double(host), uplink ? 1.0 : 0.0, backlog_bytes, 0.0};
+}
+
+TraceEvent TraceEvent::link_util(double time_ms, std::uint64_t host,
+                                 bool uplink, double utilisation,
+                                 double peak_backlog_bytes) {
+  return {time_ms, 0, 0, EventKind::kLinkUtil,
+          u64_to_double(host), uplink ? 1.0 : 0.0, utilisation,
+          peak_backlog_bytes};
+}
+
 std::string serialize_event(const TraceEvent& event) {
   std::string out;
   out.reserve(128);
@@ -295,6 +322,22 @@ std::string serialize_event(const TraceEvent& event) {
                        maintenance_action_name(static_cast<int>(event.b)));
       append_num_field(out, "drift_ms", event.c);
       append_int_field(out, "moves", event.d);
+      break;
+    case EventKind::kNetDrop:
+      append_int_field(out, "host", event.a);
+      append_str_field(out, "dir", link_dir_name(event.b));
+      append_int_field(out, "drops", event.c);
+      break;
+    case EventKind::kNetMark:
+      append_int_field(out, "host", event.a);
+      append_str_field(out, "dir", link_dir_name(event.b));
+      append_num_field(out, "backlog_bytes", event.c);
+      break;
+    case EventKind::kLinkUtil:
+      append_int_field(out, "host", event.a);
+      append_str_field(out, "dir", link_dir_name(event.b));
+      append_num_field(out, "utilisation", event.c);
+      append_num_field(out, "peak_backlog_bytes", event.d);
       break;
   }
   out += '}';

@@ -53,6 +53,10 @@ enum class EventKind : std::uint8_t {
   kCacheJoin,         ///< cache rejoined: {cache, group}
   kDriftScore,        ///< one control tick's drift estimate: {tick, global_ms, worst_group_ms, refreshed}
   kReformation,       ///< maintenance acted: {tick, action, drift_ms, moves}
+  // Flow-level network model (src/sim/netmodel, docs/network_model.md).
+  kNetDrop,           ///< access-link queue overflow: {host, dir, drops}
+  kNetMark,           ///< ECN-style congestion mark: {host, dir, backlog_bytes}
+  kLinkUtil,          ///< end-of-run link summary: {host, dir, utilisation, peak_backlog_bytes}
 };
 
 /// JSONL event name of a kind (e.g. "resolution").
@@ -107,6 +111,14 @@ struct TraceEvent {
   /// full re-formation.
   static TraceEvent reformation(double time_ms, std::size_t tick, int action,
                                 double drift_ms, std::size_t moves);
+  /// `uplink`: true = the host's uplink (host → network), false = its
+  /// downlink (serialized as "up"/"down").
+  static TraceEvent net_drop(double time_ms, std::uint64_t host, bool uplink,
+                             std::size_t drops);
+  static TraceEvent net_mark(double time_ms, std::uint64_t host, bool uplink,
+                             double backlog_bytes);
+  static TraceEvent link_util(double time_ms, std::uint64_t host, bool uplink,
+                              double utilisation, double peak_backlog_bytes);
 };
 
 /// One JSONL line (no trailing newline) for an event. Numbers use

@@ -16,6 +16,8 @@
 
 namespace ecgf::sim {
 
+class AccessLinkModel;  // sim/netmodel/link_model.h
+
 /// How cached copies are kept fresh with respect to the origin.
 enum class ConsistencyMode {
   /// The origin pushes invalidations to every registered holder on each
@@ -118,6 +120,17 @@ struct SimulationConfig {
   /// samples and churn).
   double control_interval_ms = 0.0;
 
+  /// Flow-level access-link congestion model (non-owning; must outlive the
+  /// run, and be constructed fresh for each run — link state is
+  /// cumulative). When set, cooperative data transfers additionally cross
+  /// the holder's uplink and the requester's downlink, and origin-served
+  /// bodies the requester's downlink, paying serialisation, queueing,
+  /// drop/retransmission, and ECN-backoff penalties
+  /// (docs/network_model.md). Congestion-inflated holder RTTs feed the
+  /// control hook's drift samples. nullptr — or an uncontended model — is
+  /// the paper's ideal network, bit for bit.
+  AccessLinkModel* netmodel = nullptr;
+
   /// Trace stream this run's events go to. Default-constructed = inactive;
   /// when inactive but ECGF_TRACE is on and a global tracer is installed,
   /// the simulator falls back to the ambient stream 0. Orchestrators
@@ -166,6 +179,11 @@ struct SimulationReport {
   std::uint64_t wasted_summary_probes = 0;
   /// Summary mode: network-wide summary rebuild rounds executed.
   std::uint64_t summary_rebuilds = 0;
+  /// Access-link congestion counters (SimulationConfig::netmodel); all
+  /// zero without a model or with an uncontended one.
+  std::uint64_t net_drops = 0;
+  std::uint64_t net_marks = 0;
+  std::uint64_t net_retransmits = 0;
 };
 
 }  // namespace ecgf::sim

@@ -130,6 +130,38 @@ double ShardableEngine::origin_generation(cache::DocId d, EffectSink& sink) {
   return origin_->generation_ms(d);
 }
 
+void ShardableEngine::emit_leg_effects(net::HostId host, bool uplink,
+                                       const LegOutcome& leg, SimTime now,
+                                       EffectSink& sink) {
+  if (leg.drops > 0) {
+    sink.emit(obs::TraceEvent::net_drop(now, host, uplink, leg.drops));
+  }
+  if (leg.marked) {
+    sink.emit(obs::TraceEvent::net_mark(now, host, uplink,
+                                        leg.backlog_bytes));
+  }
+}
+
+double ShardableEngine::charge_group_transfer(cache::CacheIndex holder,
+                                              cache::CacheIndex requester,
+                                              SimTime now, std::uint64_t size,
+                                              EffectSink& sink) {
+  if (config_.netmodel == nullptr) return 0.0;
+  const PathOutcome path = config_.netmodel->send(holder, requester, now, size);
+  emit_leg_effects(holder, /*uplink=*/true, path.up, now, sink);
+  emit_leg_effects(requester, /*uplink=*/false, path.down, now, sink);
+  return path.extra_ms;
+}
+
+double ShardableEngine::charge_origin_transfer(cache::CacheIndex requester,
+                                               SimTime now, std::uint64_t size,
+                                               EffectSink& sink) {
+  if (config_.netmodel == nullptr) return 0.0;
+  const PathOutcome path = config_.netmodel->recv(requester, now, size);
+  emit_leg_effects(requester, /*uplink=*/false, path.down, now, sink);
+  return path.extra_ms;
+}
+
 void ShardableEngine::rebuild_summaries() {
   ++summary_rebuilds_;
   for (std::size_t i = 0; i < caches_.size(); ++i) {
@@ -374,6 +406,7 @@ Completion ShardableEngine::request_beacon(std::uint64_t index,
     c.latency_ms = failover_penalty_ms +
                    config_.cost.origin_fetch_ms(
                        0.0, rtt_.rtt_ms_at(i, server_, now), gen, size);
+    c.latency_ms += charge_origin_transfer(i, now, size, sink);
     c.how = Resolution::kOriginFetch;
     c.time = now + c.latency_ms;
     return c;
@@ -404,12 +437,19 @@ Completion ShardableEngine::request_beacon(std::uint64_t index,
         beacon == holder ? 0.0 : rtt_.rtt_ms_at(beacon, holder, now);
     c.latency_ms = config_.cost.group_hit_ms(rtt_ib, rtt_bh, best_rtt, size);
     c.how = Resolution::kGroupHit;
-    sink.rtt_sample(i, holder, best_rtt, now);
+    // Congestion on the holder→requester transfer inflates both the
+    // request's latency and the RTT the control hook observes — a
+    // congested peer looks farther away to the drift monitor, exactly as
+    // a passive measurement would see it.
+    const double net_extra = charge_group_transfer(holder, i, now, size, sink);
+    c.latency_ms += net_extra;
+    sink.rtt_sample(i, holder, best_rtt + net_extra, now);
     caches_[holder]->touch(d, now);
   } else {
     const double gen = origin_generation(d, sink);
     c.latency_ms = config_.cost.origin_fetch_ms(
         rtt_ib, rtt_.rtt_ms_at(i, server_, now), gen, size);
+    c.latency_ms += charge_origin_transfer(i, now, size, sink);
     c.how = Resolution::kOriginFetch;
   }
 
@@ -477,6 +517,7 @@ Completion ShardableEngine::request_summary(std::uint64_t index,
     c.latency_ms = config_.cost.local_hit_ms() + wasted_ms +
                    rtt_.rtt_ms_at(i, holder, now) +
                    config_.cost.transfer_ms(size);
+    c.latency_ms += charge_group_transfer(holder, i, now, size, sink);
     c.how = Resolution::kGroupHit;
     caches_[holder]->touch(d, now);
   } else {
@@ -484,6 +525,7 @@ Completion ShardableEngine::request_summary(std::uint64_t index,
     c.latency_ms = wasted_ms + config_.cost.origin_fetch_ms(
                                    0.0, rtt_.rtt_ms_at(i, server_, now), gen,
                                    size);
+    c.latency_ms += charge_origin_transfer(i, now, size, sink);
     c.how = Resolution::kOriginFetch;
   }
 
@@ -558,6 +600,7 @@ Completion ShardableEngine::request_ttl(std::uint64_t index,
     const double rtt_bh =
         beacon == holder ? 0.0 : rtt_.rtt_ms_at(beacon, holder, now);
     c.latency_ms = config_.cost.group_hit_ms(rtt_ib, rtt_bh, best_rtt, size);
+    c.latency_ms += charge_group_transfer(holder, i, now, size, sink);
     c.how = Resolution::kGroupHit;
     c.version = caches_[holder]->resident_version(d);
     if (c.version != origin_->version(d)) ++sink.tally.stale_served;
@@ -570,6 +613,7 @@ Completion ShardableEngine::request_ttl(std::uint64_t index,
     const double gen = origin_generation(d, sink);
     c.latency_ms = config_.cost.origin_fetch_ms(
         rtt_ib, rtt_.rtt_ms_at(i, server_, now), gen, size);
+    c.latency_ms += charge_origin_transfer(i, now, size, sink);
     c.how = Resolution::kOriginFetch;
     c.version = origin_->version(d);
   }
@@ -613,6 +657,12 @@ SimulationReport ShardableEngine::assemble_report(
   report.stale_served = tally.stale_served;
   report.wasted_summary_probes = tally.wasted_summary_probes;
   report.summary_rebuilds = summary_rebuilds_;
+  if (config_.netmodel != nullptr) {
+    const NetStats net = config_.netmodel->totals();
+    report.net_drops = net.drops;
+    report.net_marks = net.marks;
+    report.net_retransmits = net.retransmits;
+  }
   return report;
 }
 

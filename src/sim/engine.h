@@ -46,6 +46,7 @@
 #include "sim/config.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
+#include "sim/netmodel/link_model.h"
 #include "workload/trace.h"
 
 namespace ecgf::sim {
@@ -211,6 +212,19 @@ class ShardableEngine {
   /// Origin generation cost, counting the fetch in the sink's tally (the
   /// shared OriginServer stats stay untouched on the hot path).
   double origin_generation(cache::DocId d, EffectSink& sink);
+  /// Netmodel charges (0.0 without a model). Shard-safe by construction:
+  /// every link named belongs to the requester's group, so one shard owns
+  /// all the state a window event touches (the origin's own links are
+  /// deliberately outside the analytic model — the message engine's
+  /// CongestionExchange covers origin overload).
+  double charge_group_transfer(cache::CacheIndex holder,
+                               cache::CacheIndex requester, SimTime now,
+                               std::uint64_t size, EffectSink& sink);
+  double charge_origin_transfer(cache::CacheIndex requester, SimTime now,
+                                std::uint64_t size, EffectSink& sink);
+  static void emit_leg_effects(net::HostId host, bool uplink,
+                               const LegOutcome& leg, SimTime now,
+                               EffectSink& sink);
 
   const cache::Catalog& catalog_;
   const net::RttProvider& rtt_;

@@ -8,17 +8,45 @@
 
 namespace ecgf::sim {
 
-namespace {
+void MessageExchange::bind(const net::RttProvider& rtt, const CostModel& cost,
+                           std::uint32_t control_bytes,
+                           std::size_t cache_count, net::HostId server) {
+  ECGF_EXPECTS(cache_count > 0);
+  ECGF_EXPECTS(server >= cache_count);
+  rtt_ = &rtt;
+  cost_ = &cost;
+  control_bytes_ = control_bytes;
+  cache_count_ = cache_count;
+  server_ = server;
+  down_.assign(cache_count, false);
+}
 
-/// Default transport: every delivery schedules immediately on the engine's
-/// event queue (same process, same shard).
-class DirectExchange final : public MessageExchange {
- public:
-  void deliver(net::HostId /*src*/, net::HostId /*dst*/, SimTime at,
-               EventQueue& queue, EventQueue::Action work) override {
-    queue.schedule(at, std::move(work));
+double MessageExchange::travel_ms(net::HostId src, net::HostId dst,
+                                  double /*sent_ms*/, std::uint64_t bytes,
+                                  Payload payload) {
+  ECGF_EXPECTS(rtt_ != nullptr && cost_ != nullptr);
+  if (payload == Payload::kControl) {
+    if (src == dst) return 0.0;
+    return 0.5 * rtt_->rtt_ms(src, dst) +
+           static_cast<double>(bytes) / cost_->bandwidth_bytes_per_ms;
   }
-};
+  const double hop = src == dst ? 0.0 : 0.5 * rtt_->rtt_ms(src, dst);
+  return hop + cost_->transfer_ms(bytes);
+}
+
+void MessageExchange::mark_down(net::HostId host) {
+  ECGF_EXPECTS(host < down_.size());
+  down_[host] = true;
+}
+
+void MessageExchange::validate(net::HostId src, net::HostId dst) const {
+  ECGF_EXPECTS(cache_count_ > 0);  // bind() must precede any delivery
+  ECGF_EXPECTS(src < cache_count_ || src == server_);
+  ECGF_EXPECTS(dst < cache_count_ || dst == server_);
+  ECGF_EXPECTS(dst >= down_.size() || !down_[dst]);
+}
+
+namespace {
 
 /// The engine proper. One instance per run; everything lives on the stack
 /// of run_message_level.
@@ -69,6 +97,8 @@ class MessageLevelSimulator {
     ECGF_EXPECTS(config_.origin_concurrency >= 1);
     origin_worker_busy_.assign(config_.origin_concurrency, 0.0);
     if (config_.exchange != nullptr) exchange_ = config_.exchange;
+    exchange_->bind(rtt_, config_.base.cost, config_.control_bytes,
+                    cache_count_, server_);
   }
 
   MessageEngineReport run(const workload::Trace& trace);
@@ -80,16 +110,15 @@ class MessageLevelSimulator {
     SimTime arrival;
   };
 
-  double control_travel(net::HostId a, net::HostId b) const {
-    if (a == b) return 0.0;
-    return 0.5 * rtt_.rtt_ms(a, b) +
-           static_cast<double>(config_.control_bytes) /
-               config_.base.cost.bandwidth_bytes_per_ms;
+  double control_travel(net::HostId a, net::HostId b, SimTime now) {
+    return exchange_->travel_ms(a, b, now, config_.control_bytes,
+                                MessageExchange::Payload::kControl);
   }
 
-  double data_travel(net::HostId a, net::HostId b, std::uint64_t bytes) const {
-    const double hop = a == b ? 0.0 : 0.5 * rtt_.rtt_ms(a, b);
-    return hop + config_.base.cost.transfer_ms(bytes);
+  double data_travel(net::HostId a, net::HostId b, std::uint64_t bytes,
+                     SimTime now) {
+    return exchange_->travel_ms(a, b, now, bytes,
+                                MessageExchange::Payload::kData);
   }
 
   /// One inter-host message: counted, then handed to the exchange. Every
@@ -181,7 +210,7 @@ void MessageLevelSimulator::handle_client_request(const Request& req) {
       beacon_decide(req, beacon, now);
       return;
     }
-    const SimTime arrival = now + control_travel(req.cache, beacon);
+    const SimTime arrival = now + control_travel(req.cache, beacon, now);
     enqueue_cache(req.cache, beacon, arrival, [this, req, beacon](SimTime t) {
       beacon_decide(req, beacon, t);
     });
@@ -211,27 +240,27 @@ void MessageLevelSimulator::beacon_decide(const Request& req,
     // Miss reply travels back to the requester, which then goes to the
     // origin (no extra service round at the requester: the reply handler
     // immediately issues the fetch).
-    const SimTime reply = now + control_travel(beacon, req.cache);
+    const SimTime reply = now + control_travel(beacon, req.cache, now);
     send(beacon, req.cache, reply,
          [this, req](SimTime t) { go_origin(req, t); });
     return;
   }
 
   // Forward to the holder; the holder ships the document to the requester.
-  const SimTime at_holder = now + control_travel(beacon, holder);
+  const SimTime at_holder = now + control_travel(beacon, holder, now);
   enqueue_cache(beacon, holder, at_holder, [this, req, holder](SimTime t) {
     const cache::Version v = origin_->version(req.doc);
     if (!caches_[holder]->has_fresh(req.doc, v)) {
       // Copy vanished between the beacon's decision and service here
       // (eviction or invalidation in flight): fall through to the origin.
-      const SimTime reply = t + control_travel(holder, req.cache);
+      const SimTime reply = t + control_travel(holder, req.cache, t);
       send(holder, req.cache, reply,
            [this, req](SimTime t2) { go_origin(req, t2); });
       return;
     }
     caches_[holder]->touch(req.doc, t);
     const std::uint64_t size = catalog_.info(req.doc).size_bytes;
-    const SimTime at_requester = t + data_travel(holder, req.cache, size);
+    const SimTime at_requester = t + data_travel(holder, req.cache, size, t);
     send(holder, req.cache, at_requester, [this, req, v](SimTime t2) {
       finish(req, t2, Resolution::kGroupHit);
       store_copy(req, v, t2);
@@ -240,12 +269,12 @@ void MessageLevelSimulator::beacon_decide(const Request& req,
 }
 
 void MessageLevelSimulator::go_origin(const Request& req, SimTime now) {
-  const SimTime at_origin = now + control_travel(req.cache, server_);
+  const SimTime at_origin = now + control_travel(req.cache, server_, now);
   const double generation = origin_->serve_ms(req.doc);
   enqueue_origin(req.cache, at_origin, generation, [this, req](SimTime t) {
     const cache::Version version = origin_->version(req.doc);
     const std::uint64_t size = catalog_.info(req.doc).size_bytes;
-    const SimTime at_requester = t + data_travel(server_, req.cache, size);
+    const SimTime at_requester = t + data_travel(server_, req.cache, size, t);
     send(server_, req.cache, at_requester, [this, req, version](SimTime t2) {
       finish(req, t2, Resolution::kOriginFetch);
       store_copy(req, version, t2);
@@ -314,6 +343,14 @@ MessageEngineReport MessageLevelSimulator::run(const workload::Trace& trace) {
   report.mean_cache_queue_delay_ms = cache_queue_delay_.mean();
   report.mean_origin_queue_delay_ms = origin_queue_delay_.mean();
   report.max_origin_queue_delay_ms = origin_queue_delay_.max();
+  const NetStats net = exchange_->net_stats();
+  report.net_drops = net.drops;
+  report.net_marks = net.marks;
+  report.net_retransmits = net.retransmits;
+  report.net_bytes = net.bytes;
+  report.max_link_utilisation =
+      trace.duration_ms > 0.0 ? net.max_link_busy_ms / trace.duration_ms : 0.0;
+  report.peak_queue_bytes = net.peak_backlog_bytes;
   return report;
 }
 

@@ -1,0 +1,70 @@
+#include "sim/netmodel/congestion_exchange.h"
+
+#include <utility>
+
+#include "util/expect.h"
+
+namespace ecgf::sim {
+
+CongestionExchange::CongestionExchange(LinkModelConfig config)
+    : link_config_(std::move(config)) {}
+
+void CongestionExchange::bind(const net::RttProvider& rtt,
+                              const CostModel& cost,
+                              std::uint32_t control_bytes,
+                              std::size_t cache_count, net::HostId server) {
+  MessageExchange::bind(rtt, cost, control_bytes, cache_count, server);
+  ECGF_EXPECTS(server < rtt.host_count());
+  links_.emplace(link_config_, rtt.host_count());
+}
+
+double CongestionExchange::travel_ms(net::HostId src, net::HostId dst,
+                                     double sent_ms, std::uint64_t bytes,
+                                     Payload payload) {
+  const double nominal =
+      MessageExchange::travel_ms(src, dst, sent_ms, bytes, payload);
+  if (src == dst) return nominal;
+  ECGF_EXPECTS(links_.has_value());
+  const PathOutcome path = links_->send(src, dst, sent_ms, bytes);
+  emit_leg(sent_ms, src, /*uplink=*/true, path.up);
+  emit_leg(sent_ms, dst, /*uplink=*/false, path.down);
+  return nominal + path.extra_ms;
+}
+
+void CongestionExchange::deliver(net::HostId src, net::HostId dst, SimTime at,
+                                 EventQueue& queue,
+                                 EventQueue::Action work) {
+  validate(src, dst);
+  queue.schedule(at, std::move(work));
+}
+
+NetStats CongestionExchange::net_stats() const {
+  return links_ ? links_->totals() : NetStats{};
+}
+
+void CongestionExchange::emit_link_summaries(double horizon_ms) {
+  if (!links_ || !trace_.active()) return;
+  for (net::HostId host = 0; host < links_->host_count(); ++host) {
+    for (bool uplink : {true, false}) {
+      const LinkStats& stats = links_->link(host, uplink);
+      if (stats.messages == 0) continue;
+      trace_.emit(obs::TraceEvent::link_util(
+          horizon_ms, host, uplink,
+          links_->utilisation(host, uplink, horizon_ms),
+          stats.peak_backlog_bytes));
+    }
+  }
+}
+
+void CongestionExchange::emit_leg(double now, net::HostId host, bool uplink,
+                                  const LegOutcome& leg) {
+  if (leg.drops > 0) {
+    trace_.emit(obs::TraceEvent::net_drop(now, host, uplink, leg.drops));
+  }
+  if (leg.marked) {
+    trace_.emit(obs::TraceEvent::net_mark(now, host, uplink,
+                                          leg.backlog_bytes));
+  }
+}
+
+}  // namespace ecgf::sim

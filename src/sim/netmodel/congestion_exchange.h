@@ -1,0 +1,68 @@
+// sim::CongestionExchange — the flow-level MessageExchange backend.
+//
+// Wraps an AccessLinkModel around the default analytic travel times: every
+// inter-host message additionally crosses the source's uplink and the
+// destination's downlink, paying store-and-forward serialisation, FIFO
+// queueing, fair-share slowdown, RTO-paced drop retries, and ECN-style
+// marking backoff (docs/network_model.md). With the default uncontended
+// LinkModelConfig the extras are identically 0.0 and a run is bit-identical
+// to one on DirectExchange (tests/netmodel_test.cpp).
+//
+// Deliveries are validated (registered hosts only, destination not marked
+// down) and scheduled immediately — the congestion model lives entirely in
+// travel_ms(), so the backend composes with any scheduling policy layered
+// on deliver().
+#pragma once
+
+#include <optional>
+
+#include "obs/trace.h"
+#include "sim/message_engine.h"
+#include "sim/netmodel/link_model.h"
+
+namespace ecgf::sim {
+
+class CongestionExchange final : public MessageExchange {
+ public:
+  explicit CongestionExchange(
+      LinkModelConfig config = LinkModelConfig::uncontended());
+
+  /// Sizes the link model to the RTT provider's host universe (covers the
+  /// origin as well as every cache).
+  void bind(const net::RttProvider& rtt, const CostModel& cost,
+            std::uint32_t control_bytes, std::size_t cache_count,
+            net::HostId server) override;
+
+  /// Analytic travel plus both access-link legs' congestion penalties.
+  /// Self-sends never touch the links (nothing crosses the network).
+  double travel_ms(net::HostId src, net::HostId dst, double sent_ms,
+                   std::uint64_t bytes, Payload payload) override;
+
+  void deliver(net::HostId src, net::HostId dst, SimTime at,
+               EventQueue& queue, EventQueue::Action work) override;
+
+  NetStats net_stats() const override;
+
+  /// Stream for net_drop / net_mark events (and link_util summaries). The
+  /// engine is single-threaded, so emission order is event order.
+  void set_trace(obs::TraceContext trace) { trace_ = std::move(trace); }
+
+  /// Emit one link_util event per directed link that carried traffic,
+  /// stamped at `horizon_ms` (call after the run).
+  void emit_link_summaries(double horizon_ms);
+
+  /// Link state for post-run inspection; nullptr before bind().
+  const AccessLinkModel* links() const {
+    return links_ ? &*links_ : nullptr;
+  }
+
+ private:
+  void emit_leg(double now, net::HostId host, bool uplink,
+                const LegOutcome& leg);
+
+  LinkModelConfig link_config_;
+  std::optional<AccessLinkModel> links_;
+  obs::TraceContext trace_;
+};
+
+}  // namespace ecgf::sim

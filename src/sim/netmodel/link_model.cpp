@@ -1,0 +1,140 @@
+#include "sim/netmodel/link_model.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace ecgf::sim {
+
+AccessLinkModel::AccessLinkModel(LinkModelConfig config,
+                                 std::size_t host_count)
+    : config_(std::move(config)), host_count_(host_count) {
+  ECGF_EXPECTS(host_count_ > 0);
+  ECGF_EXPECTS(config_.bandwidth_bytes_per_ms >= 0.0);
+  for (double bw : config_.per_host_bandwidth_bytes_per_ms) {
+    ECGF_EXPECTS(bw >= 0.0);
+  }
+  ECGF_EXPECTS(config_.queue_limit_bytes >= 0.0);
+  ECGF_EXPECTS(config_.mark_threshold_bytes >= 0.0);
+  ECGF_EXPECTS(config_.ecn_backoff > 0.0 && config_.ecn_backoff <= 1.0);
+  ECGF_EXPECTS(config_.rto_ms >= 0.0);
+  ECGF_EXPECTS(config_.max_retries >= 1);
+  links_.resize(2 * host_count_);
+}
+
+double AccessLinkModel::bandwidth_for(net::HostId host) const {
+  if (host < config_.per_host_bandwidth_bytes_per_ms.size()) {
+    return config_.per_host_bandwidth_bytes_per_ms[host];
+  }
+  return config_.bandwidth_bytes_per_ms;
+}
+
+std::size_t AccessLinkModel::index(net::HostId host, bool uplink) const {
+  ECGF_EXPECTS(host < host_count_);
+  return 2 * static_cast<std::size_t>(host) + (uplink ? 0 : 1);
+}
+
+void AccessLinkModel::prune(LinkState& link, double now) {
+  auto& ends = link.flow_ends;
+  ends.erase(std::remove_if(ends.begin(), ends.end(),
+                            [now](double end) { return end <= now; }),
+             ends.end());
+}
+
+LegOutcome AccessLinkModel::transmit(net::HostId host, bool uplink,
+                                     double now, std::uint64_t bytes) {
+  LinkState& link = links_[index(host, uplink)];
+  link.stats.messages += 1;
+  link.stats.bytes += bytes;
+
+  const double bw = bandwidth_for(host);
+  LegOutcome out;
+  if (bw <= 0.0) return out;  // infinite link: no serialisation, no state
+
+  const double size = static_cast<double>(bytes);
+  double start = now;
+  prune(link, start);
+
+  if (config_.queue_limit_bytes > 0.0) {
+    // Tail drop with RTO-paced retries: each overflow pushes the offer one
+    // RTO into the future, by which time some backlog has drained.
+    while (out.drops < config_.max_retries) {
+      const double backlog = std::max(0.0, link.busy_until - start) * bw;
+      if (backlog + size <= config_.queue_limit_bytes) break;
+      ++out.drops;
+      link.stats.drops += 1;
+      link.stats.retransmits += 1;
+      out.extra_ms += config_.rto_ms;
+      start += config_.rto_ms;
+      prune(link, start);
+    }
+  }
+
+  const double backlog = std::max(0.0, link.busy_until - start) * bw;
+  link.stats.peak_backlog_bytes =
+      std::max(link.stats.peak_backlog_bytes, backlog + size);
+  if (config_.mark_threshold_bytes > 0.0 &&
+      backlog > config_.mark_threshold_bytes) {
+    out.marked = true;
+    out.backlog_bytes = backlog;
+    link.stats.marks += 1;
+  }
+
+  // Fair-share completion estimate: the queue drains FIFO at full rate
+  // (busy_until), but this flow's own completion stretches by the flows
+  // concurrently in flight, halved again when marked.
+  double share = bw / (1.0 + static_cast<double>(link.flow_ends.size()));
+  if (out.marked) share *= config_.ecn_backoff;
+  const double wait = std::max(0.0, link.busy_until - start);
+  const double serialize = size / bw;
+  link.busy_until = std::max(link.busy_until, start) + serialize;
+  link.stats.busy_ms += serialize;
+  out.extra_ms += wait + size / share;
+  link.flow_ends.push_back(start + wait + size / share);
+  return out;
+}
+
+PathOutcome AccessLinkModel::send(net::HostId src, net::HostId dst,
+                                  double now, std::uint64_t bytes) {
+  PathOutcome path;
+  path.up = transmit(src, /*uplink=*/true, now, bytes);
+  path.down = transmit(dst, /*uplink=*/false, now, bytes);
+  path.extra_ms = path.up.extra_ms + path.down.extra_ms;
+  return path;
+}
+
+PathOutcome AccessLinkModel::recv(net::HostId dst, double now,
+                                  std::uint64_t bytes) {
+  PathOutcome path;
+  path.down = transmit(dst, /*uplink=*/false, now, bytes);
+  path.extra_ms = path.down.extra_ms;
+  return path;
+}
+
+const LinkStats& AccessLinkModel::link(net::HostId host, bool uplink) const {
+  return links_[index(host, uplink)].stats;
+}
+
+double AccessLinkModel::utilisation(net::HostId host, bool uplink,
+                                    double horizon_ms) const {
+  if (horizon_ms <= 0.0) return 0.0;
+  return links_[index(host, uplink)].stats.busy_ms / horizon_ms;
+}
+
+NetStats AccessLinkModel::totals() const {
+  NetStats totals;
+  for (const LinkState& link : links_) {
+    totals.messages += link.stats.messages;
+    totals.bytes += link.stats.bytes;
+    totals.drops += link.stats.drops;
+    totals.marks += link.stats.marks;
+    totals.retransmits += link.stats.retransmits;
+    totals.max_link_busy_ms =
+        std::max(totals.max_link_busy_ms, link.stats.busy_ms);
+    totals.peak_backlog_bytes =
+        std::max(totals.peak_backlog_bytes, link.stats.peak_backlog_bytes);
+  }
+  return totals;
+}
+
+}  // namespace ecgf::sim

@@ -1,0 +1,142 @@
+// Flow-level access-link model — the congestion substrate behind both the
+// message engine's sim::CongestionExchange and the analytic engine's
+// SimulationConfig::netmodel seam (docs/network_model.md).
+//
+// Every host owns two directed links (uplink: host → network, downlink:
+// network → host). A transfer offered to a link pays store-and-forward
+// serialisation at the link's bandwidth, FIFO queueing behind earlier
+// transfers, and an htsim-style fair-share slowdown proportional to the
+// number of concurrently active flows (SNIPPETS.md Snippet 1). Finite
+// queues drop overflowing transfers — each drop costs one RTO and a
+// retransmission — and backlogs past the ECN threshold mark the flow,
+// which backs its share off multiplicatively.
+//
+// Determinism contract: state advances only through transmit()/send()/
+// recv() calls made in simulation-event order, and each call reads and
+// writes exactly the links it names. In the analytic engine every charge
+// names links of one group's caches, so a group-aligned shard owns the
+// link state it touches and the sharded run stays bit-identical to the
+// sequential one (tests/shard_test.cpp).
+//
+// The default-constructed config is *uncontended* — infinite bandwidth,
+// unbounded queues, marking off — and contributes exactly 0.0 ms to every
+// transfer, so an engine holding an uncontended model is bit-identical to
+// one holding none (tests/netmodel_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/rtt_provider.h"
+
+namespace ecgf::sim {
+
+/// Knobs of the access-link model. The zero-value of every limit is the
+/// "off" sentinel, so LinkModelConfig{} models an ideal network.
+struct LinkModelConfig {
+  /// Link bandwidth in bytes/ms for every host (both directions).
+  /// 0 = infinite: no serialisation, no queueing, no state kept.
+  double bandwidth_bytes_per_ms = 0.0;
+  /// Optional heterogeneous override, indexed by host id; hosts at or past
+  /// the end of the vector (e.g. the origin) fall back to
+  /// bandwidth_bytes_per_ms. A 0 entry means that host's links are infinite.
+  std::vector<double> per_host_bandwidth_bytes_per_ms;
+  /// FIFO queue capacity per directed link, in bytes. 0 = unbounded (never
+  /// drops). A transfer that would overflow is dropped and retried after
+  /// rto_ms, up to max_retries times, then admitted regardless.
+  double queue_limit_bytes = 0.0;
+  /// ECN-style marking threshold, in backlog bytes. 0 = marking off. A
+  /// transfer admitted behind a backlog above the threshold is marked and
+  /// its fair share is multiplied by ecn_backoff.
+  double mark_threshold_bytes = 0.0;
+  /// Share multiplier for marked flows (multiplicative backoff).
+  double ecn_backoff = 0.5;
+  /// Retransmission timeout charged per drop.
+  double rto_ms = 50.0;
+  /// Drop-retry attempts per transfer before forced admission.
+  std::uint32_t max_retries = 3;
+
+  /// The ideal network: infinite bandwidth, unbounded queues, no marking.
+  static LinkModelConfig uncontended() { return {}; }
+};
+
+/// What one directed link did to one transfer.
+struct LegOutcome {
+  double extra_ms = 0.0;        ///< queueing + serialisation + RTO penalties
+  std::uint32_t drops = 0;      ///< queue-overflow events for this transfer
+  bool marked = false;          ///< admitted behind an over-threshold backlog
+  double backlog_bytes = 0.0;   ///< backlog seen at (marked) admission
+};
+
+/// A full transfer: uplink leg at the source, downlink leg at the
+/// destination. extra_ms is the sum of both legs' penalties.
+struct PathOutcome {
+  double extra_ms = 0.0;
+  LegOutcome up;
+  LegOutcome down;
+};
+
+/// Lifetime counters of one directed link.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t marks = 0;
+  std::uint64_t retransmits = 0;
+  double busy_ms = 0.0;             ///< total serialisation time
+  double peak_backlog_bytes = 0.0;  ///< worst queue depth observed
+};
+
+/// Aggregates over every directed link, for reports and bench JSON.
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t marks = 0;
+  std::uint64_t retransmits = 0;
+  double max_link_busy_ms = 0.0;
+  double peak_backlog_bytes = 0.0;
+};
+
+/// Per-host directed-link state. One instance per simulation run; construct
+/// fresh for every run that must be comparable (state is cumulative).
+class AccessLinkModel {
+ public:
+  AccessLinkModel(LinkModelConfig config, std::size_t host_count);
+
+  /// Charge one transfer across src's uplink and dst's downlink. `now` must
+  /// be non-decreasing per link (simulation-event order).
+  PathOutcome send(net::HostId src, net::HostId dst, double now,
+                   std::uint64_t bytes);
+  /// Charge only dst's downlink (the far endpoint is outside the model —
+  /// the analytic engine's origin leg).
+  PathOutcome recv(net::HostId dst, double now, std::uint64_t bytes);
+  /// One leg on one directed link; send()/recv() compose this.
+  LegOutcome transmit(net::HostId host, bool uplink, double now,
+                      std::uint64_t bytes);
+
+  const LinkModelConfig& config() const { return config_; }
+  std::size_t host_count() const { return host_count_; }
+
+  const LinkStats& link(net::HostId host, bool uplink) const;
+  /// busy_ms / horizon for one directed link (0 when horizon <= 0).
+  double utilisation(net::HostId host, bool uplink, double horizon_ms) const;
+  NetStats totals() const;
+
+ private:
+  struct LinkState {
+    double busy_until = 0.0;        ///< FIFO drain time of the queued bytes
+    std::vector<double> flow_ends;  ///< fair-share completion estimates
+    LinkStats stats;
+  };
+
+  double bandwidth_for(net::HostId host) const;
+  std::size_t index(net::HostId host, bool uplink) const;
+  static void prune(LinkState& link, double now);
+
+  LinkModelConfig config_;
+  std::size_t host_count_ = 0;
+  std::vector<LinkState> links_;  ///< 2 per host: [uplink, downlink]
+};
+
+}  // namespace ecgf::sim

@@ -1,0 +1,472 @@
+// Tests for the flow-level network model (src/sim/netmodel): hand-computed
+// link arithmetic, the CongestionExchange backend behind the message
+// engine's MessageExchange seam, delivery validation (a backend swap must
+// never silently deliver to a dead or never-registered host), and the
+// analytic engine's SimulationConfig::netmodel seam — including the
+// bit-identity contract that an uncontended model reproduces a model-free
+// run exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/distance_matrix.h"
+#include "obs/export.h"
+#include "sim/message_engine.h"
+#include "sim/netmodel/congestion_exchange.h"
+#include "sim/netmodel/link_model.h"
+#include "sim/simulator.h"
+#include "util/expect.h"
+
+namespace ecgf::sim {
+namespace {
+
+// ----------------------------------------------------------------------
+// AccessLinkModel unit arithmetic.
+// ----------------------------------------------------------------------
+
+TEST(LinkModel, UncontendedModelChargesExactlyZero) {
+  AccessLinkModel model(LinkModelConfig::uncontended(), 3);
+  const PathOutcome path = model.send(0, 1, 100.0, 1'000'000);
+  EXPECT_EQ(path.extra_ms, 0.0);  // exact — this is the bit-identity basis
+  EXPECT_EQ(path.up.drops, 0u);
+  EXPECT_FALSE(path.down.marked);
+  const PathOutcome down_only = model.recv(2, 200.0, 1'000'000);
+  EXPECT_EQ(down_only.extra_ms, 0.0);
+  // Traffic is still counted (for bench accounting), but no link state.
+  const NetStats totals = model.totals();
+  EXPECT_EQ(totals.messages, 3u);  // uplink0, downlink1, downlink2
+  EXPECT_EQ(totals.bytes, 3'000'000u);
+  EXPECT_EQ(totals.drops, 0u);
+  EXPECT_EQ(totals.max_link_busy_ms, 0.0);
+}
+
+TEST(LinkModel, SerialisationQueueingAndFairShareCompose) {
+  LinkModelConfig config;
+  config.bandwidth_bytes_per_ms = 100.0;
+  AccessLinkModel model(config, 2);
+
+  // First transfer on an idle link: no wait, sole flow gets the full
+  // bandwidth — 1000 B / 100 B/ms = 10 ms.
+  const LegOutcome first = model.transmit(0, /*uplink=*/true, 0.0, 1'000);
+  EXPECT_DOUBLE_EQ(first.extra_ms, 10.0);
+
+  // Second transfer at the same instant: waits out the 10 ms of queued
+  // bytes, then shares with the still-active first flow — 1000 / (100/2)
+  // = 20 ms of fair-share completion time. Total 30 ms.
+  const LegOutcome second = model.transmit(0, true, 0.0, 1'000);
+  EXPECT_DOUBLE_EQ(second.extra_ms, 30.0);
+
+  // Long after both flows ended the link is idle again: full rate.
+  const LegOutcome later = model.transmit(0, true, 100.0, 1'000);
+  EXPECT_DOUBLE_EQ(later.extra_ms, 10.0);
+
+  // The downlink is a distinct directed link — unaffected by the uplink.
+  const LegOutcome down = model.transmit(0, /*uplink=*/false, 100.0, 1'000);
+  EXPECT_DOUBLE_EQ(down.extra_ms, 10.0);
+
+  const LinkStats& up = model.link(0, true);
+  EXPECT_EQ(up.messages, 3u);
+  EXPECT_EQ(up.bytes, 3'000u);
+  EXPECT_DOUBLE_EQ(up.busy_ms, 30.0);  // 3 × 10 ms serialisation
+}
+
+TEST(LinkModel, FiniteQueueDropsPayRtoAndRetransmit) {
+  LinkModelConfig config;
+  config.bandwidth_bytes_per_ms = 10.0;
+  config.queue_limit_bytes = 1'500.0;
+  config.rto_ms = 50.0;
+  AccessLinkModel model(config, 1);
+
+  // Fill the queue: 1000 B at 10 B/ms → 100 ms backlog, fits (1000 ≤ 1500).
+  const LegOutcome first = model.transmit(0, true, 0.0, 1'000);
+  EXPECT_EQ(first.drops, 0u);
+  EXPECT_DOUBLE_EQ(first.extra_ms, 100.0);
+
+  // Second transfer at t=0: backlog 1000 B + size 1000 B overflows the
+  // 1500 B queue → one drop, retry after the 50 ms RTO. By then 500 B
+  // drained: 500 + 1000 = 1500 fits exactly. Pays RTO (50) + residual
+  // wait (50) + fair share behind the first flow (1000 / (10/2) = 200).
+  const LegOutcome second = model.transmit(0, true, 0.0, 1'000);
+  EXPECT_EQ(second.drops, 1u);
+  EXPECT_DOUBLE_EQ(second.extra_ms, 300.0);
+
+  const LinkStats& up = model.link(0, true);
+  EXPECT_EQ(up.drops, 1u);
+  EXPECT_EQ(up.retransmits, 1u);
+  EXPECT_GE(up.peak_backlog_bytes, 1'500.0);
+}
+
+TEST(LinkModel, OversizedTransferIsForceAdmittedAfterMaxRetries) {
+  // A transfer larger than the whole queue can never fit: it burns
+  // max_retries RTOs and is then admitted regardless (the simulation must
+  // make progress — the model charges, it does not deadlock).
+  LinkModelConfig config;
+  config.bandwidth_bytes_per_ms = 10.0;
+  config.queue_limit_bytes = 500.0;
+  config.rto_ms = 50.0;
+  config.max_retries = 3;
+  AccessLinkModel model(config, 1);
+
+  const LegOutcome leg = model.transmit(0, true, 0.0, 1'000);
+  EXPECT_EQ(leg.drops, 3u);
+  // 3 RTOs (150) + no wait on the idle link + full-rate serialisation
+  // estimate (100).
+  EXPECT_DOUBLE_EQ(leg.extra_ms, 250.0);
+  EXPECT_EQ(model.link(0, true).retransmits, 3u);
+}
+
+TEST(LinkModel, MarkingAboveThresholdBacksTheShareOff) {
+  LinkModelConfig config;
+  config.bandwidth_bytes_per_ms = 10.0;
+  config.mark_threshold_bytes = 400.0;
+  config.ecn_backoff = 0.5;
+  AccessLinkModel model(config, 1);
+
+  const LegOutcome first = model.transmit(0, true, 0.0, 1'000);
+  EXPECT_FALSE(first.marked);
+  EXPECT_DOUBLE_EQ(first.extra_ms, 100.0);
+
+  // Second transfer sees a 1000 B backlog > 400 B threshold: marked, and
+  // its fair share (10/2 = 5 B/ms) is halved to 2.5 B/ms. Wait 100 +
+  // 1000/2.5 = 500 ms.
+  const LegOutcome second = model.transmit(0, true, 0.0, 1'000);
+  EXPECT_TRUE(second.marked);
+  EXPECT_DOUBLE_EQ(second.backlog_bytes, 1'000.0);
+  EXPECT_DOUBLE_EQ(second.extra_ms, 500.0);
+  EXPECT_EQ(model.link(0, true).marks, 1u);
+  EXPECT_EQ(model.totals().marks, 1u);
+}
+
+TEST(LinkModel, PerHostBandwidthOverridesAndFallback) {
+  LinkModelConfig config;
+  config.bandwidth_bytes_per_ms = 100.0;
+  config.per_host_bandwidth_bytes_per_ms = {0.0, 10.0};
+  AccessLinkModel model(config, 3);
+
+  // Host 0: explicit 0 → infinite link, zero charge.
+  EXPECT_DOUBLE_EQ(model.transmit(0, true, 0.0, 1'000).extra_ms, 0.0);
+  // Host 1: thin 10 B/ms override.
+  EXPECT_DOUBLE_EQ(model.transmit(1, true, 0.0, 1'000).extra_ms, 100.0);
+  // Host 2: past the end of the vector → uniform 100 B/ms fallback.
+  EXPECT_DOUBLE_EQ(model.transmit(2, true, 0.0, 1'000).extra_ms, 10.0);
+}
+
+TEST(LinkModel, UtilisationIsBusyTimeOverHorizon) {
+  LinkModelConfig config;
+  config.bandwidth_bytes_per_ms = 100.0;
+  AccessLinkModel model(config, 1);
+  model.transmit(0, true, 0.0, 1'000);   // 10 ms serialisation
+  model.transmit(0, true, 500.0, 2'000); // 20 ms
+  EXPECT_DOUBLE_EQ(model.utilisation(0, true, 1'000.0), 0.03);
+  EXPECT_DOUBLE_EQ(model.utilisation(0, false, 1'000.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.utilisation(0, true, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.totals().max_link_busy_ms, 30.0);
+}
+
+// ----------------------------------------------------------------------
+// CongestionExchange behind the message engine. Fixtures mirror
+// message_engine_test.cpp: caches 0,1 + origin 2; 0↔1 = 10 ms, both ↔
+// origin = 100 ms; 1000-byte documents generated in 20 ms.
+// ----------------------------------------------------------------------
+
+net::MatrixRttProvider pair_provider() {
+  net::DistanceMatrix m(3);
+  m.set(0, 1, 10.0);
+  m.set(0, 2, 100.0);
+  m.set(1, 2, 100.0);
+  return net::MatrixRttProvider(std::move(m));
+}
+
+cache::Catalog flat_catalog(std::size_t docs = 4) {
+  std::vector<cache::DocumentInfo> infos(docs);
+  for (auto& d : infos) d = {1000, 20.0, 0.0};
+  return cache::Catalog(std::move(infos));
+}
+
+MessageEngineConfig tiny_config(std::vector<std::vector<std::uint32_t>> groups) {
+  MessageEngineConfig config;
+  config.base.groups = std::move(groups);
+  config.base.cache_capacity_bytes = 100'000;
+  config.base.policy = cache::PolicyKind::kLru;
+  config.base.cost.bandwidth_bytes_per_ms = 1000.0;
+  config.base.warmup_fraction = 0.0;
+  config.cache_service_ms = 1.0;
+  config.origin_service_ms = 2.0;
+  config.origin_concurrency = 1;
+  config.control_bytes = 100;
+  return config;
+}
+
+workload::Trace burst_trace(std::uint32_t docs) {
+  workload::Trace trace;
+  trace.duration_ms = 60'000.0;
+  for (std::uint32_t i = 0; i < docs; ++i) {
+    trace.requests.push_back({100.0 + static_cast<double>(i) * 0.001, 0, i});
+  }
+  return trace;
+}
+
+std::string report_bytes(const SimulationReport& report) {
+  std::ostringstream out;
+  obs::write_report_jsonl(out, report, "netmodel");
+  return out.str();
+}
+
+TEST(CongestionExchange, UncontendedBackendReproducesDirectExchangeExactly) {
+  // The seam-equivalence contract: infinite bandwidth + unbounded queues
+  // must reproduce the default DirectExchange run bit for bit — compared
+  // as serialized report JSONL, not approximately.
+  const auto provider = pair_provider();
+  const auto catalog = flat_catalog(30);
+  const auto trace = burst_trace(30);
+
+  const MessageEngineReport direct =
+      run_message_level(catalog, provider, 2, tiny_config({{0}, {1}}), trace);
+
+  CongestionExchange uncontended;  // default = LinkModelConfig::uncontended()
+  MessageEngineConfig config = tiny_config({{0}, {1}});
+  config.exchange = &uncontended;
+  const MessageEngineReport via_seam =
+      run_message_level(catalog, provider, 2, config, trace);
+
+  EXPECT_EQ(report_bytes(via_seam.base), report_bytes(direct.base));
+  EXPECT_EQ(via_seam.messages_sent, direct.messages_sent);
+  EXPECT_EQ(via_seam.base.avg_latency_ms, direct.base.avg_latency_ms);
+  EXPECT_EQ(via_seam.mean_origin_queue_delay_ms,
+            direct.mean_origin_queue_delay_ms);
+  EXPECT_EQ(via_seam.net_drops, 0u);
+  EXPECT_EQ(via_seam.net_marks, 0u);
+  EXPECT_EQ(via_seam.max_link_utilisation, 0.0);
+  // Traffic accounting still works on the ideal network.
+  EXPECT_GT(via_seam.net_bytes, 0u);
+}
+
+TEST(CongestionExchange, ThinLinkOriginFetchHandComputed) {
+  // Same single-request scenario whose DirectExchange latency is the
+  // hand-computed 124.1 ms (message_engine_test.cpp), now with 100 B/ms
+  // access links. Extra serialisation: control 0→origin crosses 0's
+  // uplink (100 B / 100 B/ms = 1) and the origin's downlink (1); the
+  // 1000 B body crosses the origin's uplink (10) and 0's downlink (10).
+  // All four legs hit idle links → 124.1 + 22 = 146.1 ms.
+  const auto provider = pair_provider();
+  const auto catalog = flat_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 10'000.0;
+  trace.requests = {{100.0, 0, 0}};
+
+  LinkModelConfig links;
+  links.bandwidth_bytes_per_ms = 100.0;
+  CongestionExchange exchange(links);
+  MessageEngineConfig config = tiny_config({{0}, {1}});
+  config.exchange = &exchange;
+  const auto report = run_message_level(catalog, provider, 2, config, trace);
+
+  EXPECT_EQ(report.base.counts.origin_fetches, 1u);
+  EXPECT_NEAR(report.base.avg_latency_ms, 146.1, 1e-9);
+  // Four legs: 100 B up+down for the fetch, 1000 B up+down for the body.
+  EXPECT_EQ(report.net_bytes, 2'200u);
+  EXPECT_EQ(report.net_drops, 0u);
+}
+
+TEST(CongestionExchange, OverloadedOriginLinkDropsMarksAndStretchesTail) {
+  // 30 near-simultaneous distinct-document fetches all cross the origin's
+  // 5 B/ms uplink: 1000 B bodies serialise at 200 ms each behind a 2000 B
+  // queue with an 800 B mark threshold — drops, marks and a latency tail
+  // far beyond the uncongested run.
+  const auto provider = pair_provider();
+  const auto catalog = flat_catalog(30);
+  const auto trace = burst_trace(30);
+
+  const MessageEngineReport baseline =
+      run_message_level(catalog, provider, 2, tiny_config({{0}, {1}}), trace);
+
+  LinkModelConfig links;
+  links.bandwidth_bytes_per_ms = 5.0;
+  links.queue_limit_bytes = 2'000.0;
+  links.mark_threshold_bytes = 800.0;
+  CongestionExchange exchange(links);
+  MessageEngineConfig config = tiny_config({{0}, {1}});
+  config.exchange = &exchange;
+  const auto congested = run_message_level(catalog, provider, 2, config, trace);
+
+  EXPECT_GT(congested.net_drops, 0u);
+  EXPECT_GT(congested.net_marks, 0u);
+  EXPECT_GT(congested.net_retransmits, 0u);
+  EXPECT_GT(congested.base.avg_latency_ms, baseline.base.avg_latency_ms);
+  EXPECT_GT(congested.peak_queue_bytes, 800.0);
+  EXPECT_GT(congested.max_link_utilisation, 0.0);
+  // Same protocol ran underneath — congestion changes time, not routing.
+  EXPECT_EQ(congested.base.counts.origin_fetches, 30u);
+  EXPECT_EQ(congested.messages_sent, baseline.messages_sent);
+}
+
+// ----------------------------------------------------------------------
+// Delivery validation: the regression the DirectExchange fix targets — a
+// backend swap must never silently deliver to a dead or never-registered
+// host.
+// ----------------------------------------------------------------------
+
+TEST(ExchangeValidation, RejectsUnregisteredHosts) {
+  const auto provider = pair_provider();
+  const CostModel cost;
+  DirectExchange exchange;
+  exchange.bind(provider, cost, 100, /*cache_count=*/2, /*server=*/2);
+  EventQueue queue;
+  const auto noop = [](SimTime) {};
+
+  // Caches 0,1 and the origin 2 are registered; 3+ never were.
+  EXPECT_NO_THROW(exchange.deliver(0, 1, 1.0, queue, noop));
+  EXPECT_NO_THROW(exchange.deliver(2, 0, 1.0, queue, noop));
+  EXPECT_THROW(exchange.deliver(0, 3, 1.0, queue, noop),
+               util::ContractViolation);
+  EXPECT_THROW(exchange.deliver(7, 0, 1.0, queue, noop),
+               util::ContractViolation);
+}
+
+TEST(ExchangeValidation, RejectsDeliveryToDownedCache) {
+  const auto provider = pair_provider();
+  const CostModel cost;
+  DirectExchange exchange;
+  exchange.bind(provider, cost, 100, 2, 2);
+  EventQueue queue;
+  const auto noop = [](SimTime) {};
+
+  exchange.mark_down(1);
+  EXPECT_THROW(exchange.deliver(0, 1, 1.0, queue, noop),
+               util::ContractViolation);
+  // A dying host's in-flight sends still land; only deliveries TO the
+  // dead host violate the contract.
+  EXPECT_NO_THROW(exchange.deliver(1, 0, 1.0, queue, noop));
+  EXPECT_NO_THROW(exchange.deliver(0, 2, 1.0, queue, noop));
+}
+
+TEST(ExchangeValidation, UnboundExchangeRefusesDelivery) {
+  DirectExchange exchange;
+  EventQueue queue;
+  EXPECT_THROW(exchange.deliver(0, 1, 1.0, queue, [](SimTime) {}),
+               util::ContractViolation);
+}
+
+namespace {
+/// A buggy backend that reroutes every delivery to an unregistered host —
+/// the failure the validation layer exists to catch loudly.
+class MisroutingExchange final : public MessageExchange {
+ public:
+  void deliver(net::HostId /*src*/, net::HostId /*dst*/, SimTime at,
+               EventQueue& queue, EventQueue::Action work) override {
+    validate(0, 999);
+    queue.schedule(at, std::move(work));
+  }
+};
+}  // namespace
+
+TEST(ExchangeValidation, EngineRunSurfacesMisroutedDeliveries) {
+  const auto provider = pair_provider();
+  const auto catalog = flat_catalog();
+  workload::Trace trace;
+  trace.duration_ms = 10'000.0;
+  trace.requests = {{100.0, 0, 0}};
+
+  MisroutingExchange broken;
+  MessageEngineConfig config = tiny_config({{0}, {1}});
+  config.exchange = &broken;
+  EXPECT_THROW(run_message_level(catalog, provider, 2, config, trace),
+               util::ContractViolation);
+}
+
+// ----------------------------------------------------------------------
+// The analytic engine's netmodel seam.
+// ----------------------------------------------------------------------
+
+net::MatrixRttProvider quad_provider() {
+  // Caches 0-3 in one 5 ms neighbourhood, origin 4 at 80 ms.
+  net::DistanceMatrix m(5);
+  for (net::HostId a = 0; a < 4; ++a) {
+    for (net::HostId b = a + 1; b < 4; ++b) m.set(a, b, 5.0);
+    m.set(a, 4, 80.0);
+  }
+  return net::MatrixRttProvider(std::move(m));
+}
+
+// Routing here is timing-independent by construction, so a congested run
+// must reproduce the baseline's resolution counts exactly: cache 0 fetches
+// 30 distinct documents (always origin misses — nothing is ever
+// registered when it asks), then cache 1 re-requests them long after every
+// fetch has completed, congested or not (always group hits). Capacity
+// holds the full catalog, so no eviction reshuffles outcomes either.
+workload::Trace quad_trace() {
+  workload::Trace trace;
+  trace.duration_ms = 60'000.0;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    trace.requests.push_back({100.0 + static_cast<double>(i) * 10.0, 0, i});
+  }
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    trace.requests.push_back({30'000.0 + static_cast<double>(i) * 10.0, 1, i});
+  }
+  return trace;
+}
+
+SimulationConfig quad_config() {
+  SimulationConfig config;
+  config.groups = {{0, 1, 2, 3}};
+  config.cache_capacity_bytes = 40'000;
+  config.policy = cache::PolicyKind::kLru;
+  config.warmup_fraction = 0.0;
+  return config;
+}
+
+TEST(AnalyticNetmodelSeam, NullAndUncontendedModelsAreBitIdentical) {
+  const auto provider = quad_provider();
+  const cache::Catalog catalog = flat_catalog(30);
+
+  const SimulationReport without =
+      run_simulation(catalog, provider, 4, quad_config(), quad_trace());
+
+  AccessLinkModel ideal(LinkModelConfig::uncontended(), 5);
+  SimulationConfig config = quad_config();
+  config.netmodel = &ideal;
+  const SimulationReport with =
+      run_simulation(catalog, provider, 4, config, quad_trace());
+
+  EXPECT_EQ(report_bytes(with), report_bytes(without));
+  EXPECT_EQ(with.net_drops, 0u);
+  // The model did see the data transfers even though it charged nothing.
+  EXPECT_GT(ideal.totals().messages, 0u);
+}
+
+TEST(AnalyticNetmodelSeam, ContendedModelAddsLatencyAndCountsDrops) {
+  const auto provider = quad_provider();
+  const cache::Catalog catalog = flat_catalog(30);
+
+  const SimulationReport baseline =
+      run_simulation(catalog, provider, 4, quad_config(), quad_trace());
+
+  LinkModelConfig links;
+  links.bandwidth_bytes_per_ms = 5.0;  // 200 ms per 1000 B body
+  links.queue_limit_bytes = 1'500.0;
+  links.mark_threshold_bytes = 500.0;
+  AccessLinkModel model(links, 5);
+  SimulationConfig config = quad_config();
+  config.netmodel = &model;
+  const SimulationReport congested =
+      run_simulation(catalog, provider, 4, config, quad_trace());
+
+  EXPECT_GT(congested.net_drops, 0u);
+  EXPECT_GT(congested.net_marks, 0u);
+  EXPECT_GT(congested.avg_latency_ms, baseline.avg_latency_ms);
+  EXPECT_GT(congested.avg_miss_latency_ms, baseline.avg_miss_latency_ms);
+  // Routing is unchanged — the model taxes transfers, it never reroutes.
+  EXPECT_EQ(congested.raw_counts.local_hits, baseline.raw_counts.local_hits);
+  EXPECT_EQ(congested.raw_counts.group_hits, baseline.raw_counts.group_hits);
+  EXPECT_EQ(congested.raw_counts.origin_fetches,
+            baseline.raw_counts.origin_fetches);
+  // And the counters surface in the exported report record.
+  const std::string jsonl = report_bytes(congested);
+  EXPECT_NE(jsonl.find("\"net_drops\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"net_marks\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecgf::sim

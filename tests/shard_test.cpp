@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -27,6 +28,7 @@
 #include "shard/exchange.h"
 #include "shard/plan.h"
 #include "shard/sharded_sim.h"
+#include "sim/netmodel/link_model.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -189,11 +191,25 @@ struct ScenarioRun {
   std::uint64_t cuts = 0;
 };
 
+/// Thin congested access links for the netmodel seam-equivalence matrix:
+/// 1 B/ms serialises a 1000 B document for a full second — far beyond the
+/// ~456 ms per-cache data inter-arrival — so backlogs build, marks fire
+/// past one queued document and the 3000 B queue overflows into drops.
+sim::LinkModelConfig congested_links() {
+  sim::LinkModelConfig links;
+  links.bandwidth_bytes_per_ms = 1.0;
+  links.queue_limit_bytes = 3'000.0;
+  links.mark_threshold_bytes = 1'000.0;
+  return links;
+}
+
 /// Runs the maintained drift + churn scenario. shards == 0 → sequential
 /// sim::Simulator; otherwise shard::ShardedSimulator with that many
 /// shards executing on `threads` pool threads (0 = resolve from
-/// configured_threads()).
-ScenarioRun run_scenario(std::size_t shards, std::size_t threads = 0) {
+/// configured_threads()). With `contended_net` the run carries a fresh
+/// congested AccessLinkModel on the SimulationConfig::netmodel seam.
+ScenarioRun run_scenario(std::size_t shards, std::size_t threads = 0,
+                         bool contended_net = false) {
   ScenarioRun result;
   std::ostringstream trace_out;
   {
@@ -239,6 +255,14 @@ ScenarioRun run_scenario(std::size_t shards, std::size_t threads = 0) {
     };
     config.failures = {{9, 5'300.0}};
     config.trace = obs::TraceContext::root(&tracer, 1);
+
+    // Fresh per run: link state is cumulative and must start cold for the
+    // sequential and sharded runs to be comparable.
+    std::optional<sim::AccessLinkModel> netmodel;
+    if (contended_net) {
+      netmodel.emplace(congested_links(), kCaches + 1);
+      config.netmodel = &*netmodel;
+    }
 
     if (shards == 0) {
       sim::Simulator sim(catalog, provider, kServer, std::move(config));
@@ -314,6 +338,35 @@ TEST_F(ShardedSim, ParallelDeterminismMatrixUnderChurnAndMaintenance) {
   for (std::size_t shards : {1u, 4u, 8u}) {
     for (std::size_t threads : {1u, 2u, 8u}) {
       const ScenarioRun sharded = run_scenario(shards, threads);
+      EXPECT_EQ(sharded.report_jsonl, sequential.report_jsonl)
+          << shards << " shards, " << threads << " threads";
+      EXPECT_EQ(sharded.trace_bytes, sequential.trace_bytes)
+          << shards << " shards, " << threads << " threads";
+      EXPECT_EQ(sharded.partition, sequential.partition)
+          << shards << " shards, " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ShardedSim, CongestedNetmodelSeamEquivalenceMatrix) {
+  // The flow-level access-link model rides the same effect machinery as
+  // every other side effect, and all of its state is group-local (a window
+  // event only ever charges links of its own group's caches), so a
+  // congested run must stay bit-identical at every (shards, threads)
+  // shape — report JSONL, trace bytes (including net_drop / net_mark
+  // events) and final partition.
+  const ScenarioRun sequential = run_scenario(0, 0, /*contended_net=*/true);
+  ASSERT_FALSE(sequential.trace_bytes.empty());
+  // The scenario genuinely congests: drops and marks both fire, and the
+  // run differs from the ideal-network one.
+  EXPECT_GT(sequential.report.net_drops, 0u);
+  EXPECT_GT(sequential.report.net_marks, 0u);
+  const ScenarioRun ideal = run_scenario(0);
+  EXPECT_NE(sequential.report_jsonl, ideal.report_jsonl);
+
+  for (std::size_t shards : {1u, 4u}) {
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      const ScenarioRun sharded = run_scenario(shards, threads, true);
       EXPECT_EQ(sharded.report_jsonl, sequential.report_jsonl)
           << shards << " shards, " << threads << " threads";
       EXPECT_EQ(sharded.trace_bytes, sequential.trace_bytes)

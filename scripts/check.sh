@@ -42,6 +42,21 @@ while IFS= read -r md; do
           docs_fail=1
         fi
       done < <(grep -ohE 'ecgf-[a-z-]+/[0-9]+' "$md" | sort -u)
+      # Every --flag the docs document must be accepted somewhere: either as
+      # a literal --flag (benches parse argv directly) or as a bare "flag"
+      # (examples register through util::Flags::define). CMake/ctest flags
+      # that appear in build instructions are allowlisted.
+      while IFS= read -r flag; do
+        name="${flag#--}"
+        case "$name" in
+          build|target|test-dir|output-on-failure|parallel|help|version) continue ;;
+        esac
+        if ! grep -rq --include='*.h' --include='*.cpp' --include='*.sh' \
+             -e "\-\-$name" -e "\"$name\"" src tests bench examples scripts; then
+          echo "!! stale CLI flag in $md: $flag not accepted by any bench or example" >&2
+          docs_fail=1
+        fi
+      done < <(grep -ohE -e '--[a-z][a-z0-9-]+' "$md" | sort -u)
       ;;
   esac
 done < <(find . -path ./build -prune -o -path ./build-tsan -prune -o \
@@ -177,6 +192,47 @@ else
 fi
 rm -f "$scale_json"
 
+# Streaming-workload smoke: drains the 100k-cache nonstationary stream at
+# the 10^6 and 10^7 request points and re-checks the identity and drift
+# arms at smoke sizes. The JSON gate holds the tentpole claim: peak RSS
+# must stay flat (<= 1.25x) across a 10x request range — if the stream
+# engine starts buffering, this is where it shows first — and the streamed
+# drivers must stay bit-identical to the materialised-trace ones.
+echo "== workload smoke (bench/workload --smoke) =="
+wl_json="$(mktemp)"
+wl_out="$(./build/bench/workload --smoke --json-out="$wl_json")" \
+  || fail=1
+echo "$wl_out"
+if grep -q "shape-check: FAIL" <<<"$wl_out"; then
+  echo "!! shape-check failure in workload smoke" >&2
+  fail=1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$wl_json" <<'PYGATE' || { echo "!! workload smoke JSON gate failed" >&2; fail=1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "ecgf-bench-workload/1", d["schema"]
+drain = d["drain"]
+assert len(drain) >= 2, drain
+first, last = drain[0]["peak_rss_bytes"], drain[-1]["peak_rss_bytes"]
+assert first > 0, drain
+growth = last / first
+assert growth <= 1.25, \
+    f"peak RSS grew {growth:.3f}x from {drain[0]['target']} to {drain[-1]['target']} requests"
+ident = d["identity"]
+assert ident["stream_vs_trace"], ident
+assert ident["sharded_vs_sequential"], ident
+drift = d["drift"]
+assert drift["maintained_miss_ms"] < drift["static_miss_ms"], drift
+print(f"workload smoke JSON gate OK (RSS growth {growth:.3f}x over a "
+      f"{drain[-1]['target'] // drain[0]['target']}x request range)")
+PYGATE
+else
+  grep -q '"schema": "ecgf-bench-workload/1"' "$wl_json" \
+    || { echo "!! workload smoke JSON missing schema marker" >&2; fail=1; }
+fi
+rm -f "$wl_json"
+
 # Perf-regression smoke: tiny sizes, equality shape-checks only (smoke
 # timings are noise by design — see docs/performance.md). Fails if any
 # optimised kernel disagrees with its naive reference or the JSON report
@@ -208,7 +264,7 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$asan_probe/probe.cpp"
   if c++ -fsanitize=address "$asan_probe/probe.cpp" -o "$asan_probe/probe" \
        >/dev/null 2>&1 && "$asan_probe/probe"; then
-    echo "== AddressSanitizer shard (sim_test, shard_test, net_test, cache_test, netmodel_test) =="
+    echo "== AddressSanitizer shard (sim_test, shard_test, net_test, cache_test, netmodel_test, workload_test) =="
     asan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-asan/CMakeCache.txt ]]; then
       asan_generator=(-G Ninja)
@@ -216,7 +272,7 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
     cmake -B build-asan "${asan_generator[@]}" -DECGF_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-asan -j"$(nproc)" --target sim_test shard_test \
-      net_test cache_test netmodel_test
+      net_test cache_test netmodel_test workload_test
     # gtest_discover_tests registers per-case names (not binary names), so
     # run everything discovered in this tree except the <target>_NOT_BUILT
     # placeholders of the test binaries we deliberately didn't build.
@@ -241,7 +297,7 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
   if c++ -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" \
        >/dev/null 2>&1 && "$tsan_probe/probe"; then
-    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test, netmodel_test) =="
+    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test, netmodel_test, workload_test) =="
     tsan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-tsan/CMakeCache.txt ]]; then
       tsan_generator=(-G Ninja)
@@ -249,12 +305,13 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
     cmake -B build-tsan "${tsan_generator[@]}" -DECGF_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-tsan -j"$(nproc)" --target threading_test obs_test \
-      ctl_test shard_test netmodel_test
+      ctl_test shard_test netmodel_test workload_test
     ECGF_THREADS=8 ./build-tsan/tests/threading_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/obs_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/ctl_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/shard_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/netmodel_test || fail=1
+    ECGF_THREADS=8 ./build-tsan/tests/workload_test || fail=1
   else
     echo "== ThreadSanitizer unsupported by this toolchain; skipping =="
   fi

@@ -61,7 +61,8 @@ void ShardedSimulator::apply_groups(
   reshard_pending_ = true;
 }
 
-void ShardedSimulator::reshard(const workload::Trace& trace, double from_ms) {
+void ShardedSimulator::reshard(workload::WorkloadSource& source,
+                               double from_ms) {
   plan_ = ShardPlan(engine_.groups(), engine_.cache_count(), options_.shards);
 
   if (options_.epoch_ms > 0.0) {
@@ -90,17 +91,17 @@ void ShardedSimulator::reshard(const workload::Trace& trace, double from_ms) {
     for (const PendingCompletion& pc : s.completions) pending.push_back(pc.c);
   }
 
-  shards_.assign(options_.shards, ShardState{});
-  const auto& requests = trace.requests;
-  const std::size_t start =
-      static_cast<std::size_t>(
-          std::lower_bound(requests.begin(), requests.end(), from_ms,
-                           [](const workload::Request& r, double t) {
-                             return r.time_ms < t;
-                           }) -
-          requests.begin());
-  for (std::size_t i = start; i < requests.size(); ++i) {
-    shards_[plan_.shard_of_cache(requests[i].cache)].arrivals.push_back(i);
+  // Re-partition the stream. Arrivals are only ever *peeked* until they
+  // execute, so the source's generator state sits exactly at the executed
+  // prefix: the new per-shard streams continue from there with nothing to
+  // replay (synthetic sources) or re-slice from `from_ms` (trace views).
+  auto streams = source.partition(
+      options_.shards,
+      [this](std::uint32_t c) { return plan_.shard_of_cache(c); }, from_ms);
+  shards_.clear();
+  shards_.resize(options_.shards);
+  for (std::size_t si = 0; si < options_.shards; ++si) {
+    shards_[si].source = std::move(streams[si]);
   }
   for (const sim::Completion& c : pending) {
     shards_[plan_.shard_of_cache(c.cache)].completions.push_back(
@@ -112,14 +113,12 @@ void ShardedSimulator::reshard(const workload::Trace& trace, double from_ms) {
   }
 }
 
-double ShardedSimulator::earliest_pending(
-    const workload::Trace& trace) const {
+double ShardedSimulator::earliest_pending() const {
   double e = kInf;
   for (const ShardState& s : shards_) {
-    if (s.next_arrival < s.arrivals.size()) {
-      // Arrival slices are time-sorted, so the cursor head is the minimum.
-      e = std::min(e, trace.requests[s.arrivals[s.next_arrival]].time_ms);
-    }
+    // Streams emit in nondecreasing time, so the peeked head is the
+    // minimum; kNoEvent (+inf) marks a drained stream.
+    e = std::min(e, s.source->peek_time_ms());
     if (!s.completions.empty()) {
       e = std::min(e, s.completions.front().c.time);
     }
@@ -127,19 +126,14 @@ double ShardedSimulator::earliest_pending(
   return e;
 }
 
-void ShardedSimulator::run_windows(const workload::Trace& trace, double cut,
-                                   bool inclusive) {
-  const auto& requests = trace.requests;
+void ShardedSimulator::run_windows(double cut, bool inclusive) {
   // Only shards whose head event falls inside the window are dispatched;
   // idle shards pay nothing at this cut, and an all-idle window never
   // touches the pool (degenerate topologies: one loaded shard, N-1 empty).
   active_.clear();
   for (std::size_t si = 0; si < shards_.size(); ++si) {
     const ShardState& s = shards_[si];
-    double head = kInf;
-    if (s.next_arrival < s.arrivals.size()) {
-      head = requests[s.arrivals[s.next_arrival]].time_ms;
-    }
+    double head = s.source->peek_time_ms();
     if (!s.completions.empty()) {
       head = std::min(head, s.completions.front().c.time);
     }
@@ -152,21 +146,23 @@ void ShardedSimulator::run_windows(const workload::Trace& trace, double cut,
     ShardState& s = shards_[si];
     ShardSink& sink = sinks_[si];
     for (;;) {
-      const bool have_a = s.next_arrival < s.arrivals.size();
+      // Peek only: the request is generated (and its per-cache RNG draws
+      // consumed) at the moment it executes, never before — the invariant
+      // reshard() relies on. Streams are shard-private, so pulling from
+      // pool workers is race-free.
+      const double at = s.source->peek_time_ms();
+      const bool have_a = at < kInf;
       const bool have_c = !s.completions.empty();
       if (!have_a && !have_c) break;
       bool take_completion;
       if (have_c && have_a) {
         // Canonical tie-break: kCompletion (5) sorts before kArrival (6)
         // at equal times, so the completion wins ties.
-        take_completion = s.completions.front().c.time <=
-                          requests[s.arrivals[s.next_arrival]].time_ms;
+        take_completion = s.completions.front().c.time <= at;
       } else {
         take_completion = have_c;
       }
-      const double t = take_completion
-                           ? s.completions.front().c.time
-                           : requests[s.arrivals[s.next_arrival]].time_ms;
+      const double t = take_completion ? s.completions.front().c.time : at;
       if (inclusive ? t > cut : t >= cut) break;
       if (take_completion) {
         std::pop_heap(s.completions.begin(), s.completions.end(),
@@ -177,13 +173,15 @@ void ShardedSimulator::run_windows(const workload::Trace& trace, double cut,
                          c.request_index);
         engine_.on_complete(c, sink);
       } else {
-        const std::uint64_t index = s.arrivals[s.next_arrival++];
-        const workload::Request& r = requests[index];
-        sink.begin_event(r.time_ms, sim::EventClass::kArrival, index);
-        const sim::Completion c = engine_.on_request(index, r, r.time_ms, sink);
+        workload::Request r;
+        std::uint64_t key = 0;
+        s.source->next(r, key);
+        sink.begin_event(r.time_ms, sim::EventClass::kArrival, key);
+        const sim::Completion c = engine_.on_request(key, r, r.time_ms, sink);
         s.completions.push_back(PendingCompletion{c});
         std::push_heap(s.completions.begin(), s.completions.end(),
                        CompletionGreater{});
+        ++s.arrivals;
       }
       ++s.executed;
     }
@@ -197,7 +195,9 @@ void ShardedSimulator::run_windows(const workload::Trace& trace, double cut,
   for (std::size_t si : active_) {
     ShardState& s = shards_[si];
     events_executed_ += s.executed;
+    requests_executed_ += s.arrivals;
     s.executed = 0;
+    s.arrivals = 0;
   }
 }
 
@@ -216,8 +216,8 @@ void ShardedSimulator::adapt_epoch(std::size_t exchanged) {
   }
 }
 
-void ShardedSimulator::execute_barrier(const Barrier& barrier,
-                                       const workload::Trace& trace) {
+void ShardedSimulator::execute_barrier(
+    const Barrier& barrier, const std::vector<workload::Update>& updates) {
   const double t = barrier.time_ms;
   const auto& config = engine_.config();
   switch (barrier.klass) {
@@ -242,7 +242,7 @@ void ShardedSimulator::execute_barrier(const Barrier& barrier,
       break;
     }
     case sim::EventClass::kUpdate:
-      engine_.on_update(trace.updates[barrier.index], coord_sink_);
+      engine_.on_update(updates[barrier.index], coord_sink_);
       break;
     case sim::EventClass::kControlTick:
       ++control_ticks_;
@@ -257,11 +257,18 @@ void ShardedSimulator::execute_barrier(const Barrier& barrier,
 }
 
 sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
-  ECGF_PROF_SCOPE("shard.run");
   trace.validate(engine_.cache_count(), engine_.catalog().size());
+  workload::TraceWorkload source(trace, engine_.cache_count());
+  return run(source);
+}
+
+sim::SimulationReport ShardedSimulator::run(workload::WorkloadSource& source) {
+  ECGF_PROF_SCOPE("shard.run");
   const auto& config = engine_.config();
-  metrics_->set_warmup_end(trace.duration_ms * config.warmup_fraction);
-  const double horizon = trace.duration_ms + 60'000.0;
+  const double duration_ms = source.duration_ms();
+  const std::vector<workload::Update>& updates = source.updates();
+  metrics_->set_warmup_end(duration_ms * config.warmup_fraction);
+  const double horizon = duration_ms + 60'000.0;
 
   // Every event that couples shards is a coordinator barrier. Build the
   // full schedule up front in the canonical (time, EventClass, key)
@@ -276,9 +283,9 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
     barriers.push_back(Barrier{config.membership_events[m].time_ms,
                                sim::EventClass::kMembership, m, m});
   }
-  for (std::size_t u = 0; u < trace.updates.size(); ++u) {
+  for (std::size_t u = 0; u < updates.size(); ++u) {
     barriers.push_back(
-        Barrier{trace.updates[u].time_ms, sim::EventClass::kUpdate, u, u});
+        Barrier{updates[u].time_ms, sim::EventClass::kUpdate, u, u});
   }
   if (hook_ != nullptr && config.control_interval_ms > 0.0) {
     // Iterative accumulation, not k·interval: reproduces the sequential
@@ -289,7 +296,7 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
       barriers.push_back(Barrier{t, sim::EventClass::kControlTick, k,
                                  static_cast<std::size_t>(k)});
       const double next = t + config.control_interval_ms;
-      if (next > trace.duration_ms) break;
+      if (next > duration_ms) break;
       t = next;
       ++k;
     }
@@ -302,7 +309,7 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
       barriers.push_back(Barrier{t, sim::EventClass::kSummaryRefresh, round,
                                  static_cast<std::size_t>(round)});
       const double next = t + config.summary.refresh_interval_ms;
-      if (next > trace.duration_ms) break;
+      if (next > duration_ms) break;
       t = next;
       ++round;
     }
@@ -316,12 +323,13 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
 
   if (hook_ != nullptr) hook_->on_start(*this);
   reshard_pending_ = false;
-  reshard(trace, 0.0);
+  reshard(source, 0.0);
 
   double now = 0.0;
   now_ms_ = 0.0;
   std::size_t bpos = 0;
   events_executed_ = 0;
+  requests_executed_ = 0;
   cuts_ = 0;
   windows_ = 0;
   merges_skipped_ = 0;
@@ -329,7 +337,7 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
   for (;;) {
     const bool have_barrier = bpos < barriers.size();
     const double bt = have_barrier ? barriers[bpos].time_ms : kInf;
-    const double earliest = earliest_pending(trace);
+    const double earliest = earliest_pending();
     // Null-message rule, group-aligned: no shard can be influenced before
     // the next barrier, so the cut may jump to the earliest pending event
     // plus one lookahead epoch (bounding effect-buffer growth), or
@@ -349,7 +357,7 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
       final_cut = true;
     }
 
-    run_windows(trace, cut, /*inclusive=*/final_cut);
+    run_windows(cut, /*inclusive=*/final_cut);
     const std::size_t exchanged = total_buffered_effects(sinks_);
     if (exchanged != 0) {
       merge_and_replay(sinks_, coord_sink_, merge_scratch_);
@@ -363,13 +371,13 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
 
     if (barrier_cut) {
       while (bpos < barriers.size() && barriers[bpos].time_ms == bt) {
-        execute_barrier(barriers[bpos], trace);
+        execute_barrier(barriers[bpos], updates);
         ++bpos;
         ++events_executed_;
       }
       if (reshard_pending_) {
         reshard_pending_ = false;
-        reshard(trace, bt);
+        reshard(source, bt);
       }
     }
     if (final_cut) break;
@@ -377,7 +385,7 @@ sim::SimulationReport ShardedSimulator::run(const workload::Trace& trace) {
 
   sim::EngineTally tally = coord_sink_.tally;
   for (const ShardSink& sink : sinks_) tally += sink.tally;
-  return engine_.assemble_report(*metrics_, trace.requests.size(),
+  return engine_.assemble_report(*metrics_, requests_executed_,
                                  events_executed_, control_ticks_, tally);
 }
 

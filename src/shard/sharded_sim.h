@@ -18,7 +18,8 @@
 //   * Between barriers, shards run their own event loops CONCURRENTLY on
 //     util::ThreadPool workers up to the next synchronisation cut:
 //     min(next barrier, earliest pending event + epoch width). Each shard
-//     owns a private event/effect arena — its arrival slice, completion
+//     owns a private event/effect arena — its lazy request stream
+//     (workload::RequestSource with per-cache generator state), completion
 //     heap, and ShardSink buffer — so the window hot path takes no locks,
 //     shares no RNG, and allocates nothing once arenas are warm. Only
 //     shards with pending work in the window are dispatched; an
@@ -56,6 +57,7 @@
 #include "sim/engine.h"
 #include "sim/metrics.h"
 #include "util/thread_pool.h"
+#include "workload/stream.h"
 #include "workload/trace.h"
 
 namespace ecgf::shard {
@@ -86,8 +88,8 @@ struct ShardOptions {
   std::size_t threads = 0;
 };
 
-/// The sharded driver. Construct, then run(trace) — same contract as
-/// sim::Simulator::run. Implements sim::GroupHost so ctl's
+/// The sharded driver. Construct, then run(trace) or run(source) — same
+/// contract as sim::Simulator::run. Implements sim::GroupHost so ctl's
 /// MaintenanceSession drives it unchanged.
 class ShardedSimulator final : public sim::GroupHost {
  public:
@@ -95,6 +97,16 @@ class ShardedSimulator final : public sim::GroupHost {
                    net::HostId server, sim::SimulationConfig config,
                    ShardOptions options);
 
+  /// Drive the shards from lazy workload streams: each shard pulls from
+  /// its own workload::RequestSource (peeking one event ahead), so request
+  /// volume never hits memory and a 100k-cache 10^8-request run fits flat
+  /// RSS (bench/workload.cpp). Reshards re-partition the source at barrier
+  /// time. One source backs one run.
+  sim::SimulationReport run(workload::WorkloadSource& source);
+
+  /// Materialised-trace convenience: validates, wraps the trace in a
+  /// workload::TraceWorkload view and streams it — bit-identical to the
+  /// pre-stream driver (keys are the trace's request indices).
   sim::SimulationReport run(const workload::Trace& trace);
 
   // sim::GroupHost
@@ -181,13 +193,16 @@ class ShardedSimulator final : public sim::GroupHost {
     }
   };
 
-  /// Per-shard event state: the shard's slice of the arrival log plus its
-  /// min-heap of in-flight completions.
+  /// Per-shard event state: the shard's lazy request stream plus its
+  /// min-heap of in-flight completions. The stream is peeked (never
+  /// popped) for head-time comparisons, so the generator state inside the
+  /// WorkloadSource always reflects exactly the executed prefix — which is
+  /// what lets reshard() re-partition mid-run without replaying anything.
   struct ShardState {
-    std::vector<std::uint64_t> arrivals;  ///< request indices, ascending
-    std::size_t next_arrival = 0;
+    std::unique_ptr<workload::RequestSource> source;
     std::vector<PendingCompletion> completions;  ///< min-heap (std::*_heap)
     std::uint64_t executed = 0;  ///< events run, summed into the report
+    std::uint64_t arrivals = 0;  ///< arrivals run, summed into the report
   };
 
   /// A coordinator-executed event that synchronises all shards.
@@ -199,25 +214,27 @@ class ShardedSimulator final : public sim::GroupHost {
   };
 
   /// (Re)distribute the workload across shards for the current partition:
-  /// new ShardPlan, arrivals from the first request at/after `from_ms`,
-  /// pending completions re-homed by cache, lookahead re-derived.
-  void reshard(const workload::Trace& trace, double from_ms);
+  /// new ShardPlan, per-shard streams from source.partition() at/after
+  /// `from_ms`, pending completions re-homed by cache, lookahead
+  /// re-derived.
+  void reshard(workload::WorkloadSource& source, double from_ms);
 
   /// Run the event loop of every shard with pending work up to `cut`
   /// (exclusive; inclusive for the final drain window) in parallel on the
   /// pool, buffering effects into the per-shard arenas. Shards with no
   /// events in the window are not dispatched; an all-empty window returns
   /// without touching the pool.
-  void run_windows(const workload::Trace& trace, double cut, bool inclusive);
+  void run_windows(double cut, bool inclusive);
 
   /// Adaptive-epoch update after a pure (non-barrier) epoch cut that
   /// exchanged `exchanged` effects.
   void adapt_epoch(std::size_t exchanged);
 
   /// Earliest pending event time across all shards; +inf when idle.
-  double earliest_pending(const workload::Trace& trace) const;
+  double earliest_pending() const;
 
-  void execute_barrier(const Barrier& barrier, const workload::Trace& trace);
+  void execute_barrier(const Barrier& barrier,
+                       const std::vector<workload::Update>& updates);
 
   sim::ShardableEngine engine_;
   ShardOptions options_;
@@ -242,6 +259,7 @@ class ShardedSimulator final : public sim::GroupHost {
   std::uint64_t windows_ = 0;
   std::uint64_t merges_skipped_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t requests_executed_ = 0;
 };
 
 /// Convenience wrapper mirroring sim::run_simulation.

@@ -104,7 +104,10 @@ enum class StoreMode : std::uint8_t {
 /// the control plane repartitions groups mid-flight.
 struct Completion {
   SimTime time = 0.0;               ///< completion instant (arrival+latency)
-  std::uint64_t request_index = 0;  ///< canonical tie-break key
+  /// Canonical tie-break key of the originating request — a trace's global
+  /// request index, or workload::request_key(cache, seq) for streamed
+  /// sources. Ordering-only: never serialised into reports or traces.
+  std::uint64_t request_index = 0;
   cache::CacheIndex cache = 0;
   cache::DocId doc = 0;
   cache::Version version = 0;  ///< version fetched (kIfVersionCurrent/kTtl)
@@ -129,7 +132,9 @@ class ShardableEngine {
   /// (local → beacon/holder or summaries → origin), emits request /
   /// dir_lookup traces and RTT observations through `sink`, touches
   /// holder LRU state, and returns the pending completion. Exactly one
-  /// Completion per request.
+  /// Completion per request. `request_index` is the driver's canonical
+  /// event key for the request (see Completion::request_index); the engine
+  /// only echoes it.
   Completion on_request(std::uint64_t request_index,
                         const workload::Request& request, SimTime now,
                         EffectSink& sink);

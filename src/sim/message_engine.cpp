@@ -102,6 +102,7 @@ class MessageLevelSimulator {
   }
 
   MessageEngineReport run(const workload::Trace& trace);
+  MessageEngineReport run(workload::WorkloadSource& source);
 
  private:
   struct Request {
@@ -295,34 +296,51 @@ void MessageLevelSimulator::handle_update(const workload::Update& update) {
 
 MessageEngineReport MessageLevelSimulator::run(const workload::Trace& trace) {
   trace.validate(cache_count_, catalog_.size());
-  metrics_->set_warmup_end(trace.duration_ms * config_.base.warmup_fraction);
+  workload::TraceWorkload source(trace, cache_count_);
+  return run(source);
+}
 
-  std::size_t next_request = 0;
-  std::size_t next_update = 0;
+MessageEngineReport MessageLevelSimulator::run(
+    workload::WorkloadSource& source) {
+  const double duration_ms = source.duration_ms();
+  metrics_->set_warmup_end(duration_ms * config_.base.warmup_fraction);
+
+  // Request injection is stream-based like the analytic drivers: one
+  // cursor event per log, pulled lazily, so message-level runs inherit the
+  // flat-memory property (this engine's queue carries no canonical keys —
+  // its protocol messages are not replay-merged, so plain time order
+  // suffices).
+  auto requests = source.requests();
+  auto updates = source.update_stream();
+  constexpr double kDone = std::numeric_limits<double>::infinity();
+  std::uint64_t requests_processed = 0;
   std::function<void(SimTime)> pump_requests = [&](SimTime) {
-    if (next_request >= trace.requests.size()) return;
-    const workload::Request r = trace.requests[next_request++];
+    workload::Request r;
+    std::uint64_t key = 0;
+    if (!requests->next(r, key)) return;
+    ++requests_processed;
     handle_client_request(Request{r.cache, r.doc, r.time_ms});
-    if (next_request < trace.requests.size()) {
-      queue_.schedule(trace.requests[next_request].time_ms, pump_requests);
+    if (requests->peek_time_ms() < kDone) {
+      queue_.schedule(requests->peek_time_ms(), pump_requests);
     }
   };
   std::function<void(SimTime)> pump_updates = [&](SimTime) {
-    if (next_update >= trace.updates.size()) return;
-    handle_update(trace.updates[next_update++]);
-    if (next_update < trace.updates.size()) {
-      queue_.schedule(trace.updates[next_update].time_ms, pump_updates);
+    workload::Update u;
+    if (!updates->next(u)) return;
+    handle_update(u);
+    if (updates->peek_time_ms() < kDone) {
+      queue_.schedule(updates->peek_time_ms(), pump_updates);
     }
   };
-  if (!trace.requests.empty()) {
-    queue_.schedule(trace.requests.front().time_ms, pump_requests);
+  if (requests->peek_time_ms() < kDone) {
+    queue_.schedule(requests->peek_time_ms(), pump_requests);
   }
-  if (!trace.updates.empty()) {
-    queue_.schedule(trace.updates.front().time_ms, pump_updates);
+  if (updates->peek_time_ms() < kDone) {
+    queue_.schedule(updates->peek_time_ms(), pump_updates);
   }
 
   MessageEngineReport report;
-  report.base.events_executed = queue_.run(trace.duration_ms + 120'000.0);
+  report.base.events_executed = queue_.run(duration_ms + 120'000.0);
 
   report.base.avg_latency_ms = metrics_->network_latency().mean();
   report.base.p50_latency_ms = metrics_->latency_quantile(0.50);
@@ -338,7 +356,7 @@ MessageEngineReport MessageLevelSimulator::run(const workload::Trace& trace) {
   report.base.origin_fetches = origin_->stats().fetches;
   report.base.origin_updates = origin_->stats().updates;
   report.base.invalidations_pushed = invalidations_;
-  report.base.requests_processed = trace.requests.size();
+  report.base.requests_processed = requests_processed;
   report.messages_sent = messages_;
   report.mean_cache_queue_delay_ms = cache_queue_delay_.mean();
   report.mean_origin_queue_delay_ms = origin_queue_delay_.mean();
@@ -349,7 +367,7 @@ MessageEngineReport MessageLevelSimulator::run(const workload::Trace& trace) {
   report.net_retransmits = net.retransmits;
   report.net_bytes = net.bytes;
   report.max_link_utilisation =
-      trace.duration_ms > 0.0 ? net.max_link_busy_ms / trace.duration_ms : 0.0;
+      duration_ms > 0.0 ? net.max_link_busy_ms / duration_ms : 0.0;
   report.peak_queue_bytes = net.peak_backlog_bytes;
   return report;
 }
@@ -363,6 +381,15 @@ MessageEngineReport run_message_level(const cache::Catalog& catalog,
                                       const workload::Trace& trace) {
   MessageLevelSimulator sim(catalog, rtt, server, config);
   return sim.run(trace);
+}
+
+MessageEngineReport run_message_level(const cache::Catalog& catalog,
+                                      const net::RttProvider& rtt,
+                                      net::HostId server,
+                                      MessageEngineConfig config,
+                                      workload::WorkloadSource& source) {
+  MessageLevelSimulator sim(catalog, rtt, server, config);
+  return sim.run(source);
 }
 
 }  // namespace ecgf::sim

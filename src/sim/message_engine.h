@@ -150,4 +150,13 @@ MessageEngineReport run_message_level(const cache::Catalog& catalog,
                                       MessageEngineConfig config,
                                       const workload::Trace& trace);
 
+/// Streaming overload: inject requests/updates from lazy workload sources
+/// (workload/stream.h) so message-level runs scale past materialised
+/// traces. One source backs one run.
+MessageEngineReport run_message_level(const cache::Catalog& catalog,
+                                      const net::RttProvider& rtt,
+                                      net::HostId server,
+                                      MessageEngineConfig config,
+                                      workload::WorkloadSource& source);
+
 }  // namespace ecgf::sim

@@ -1,12 +1,17 @@
 #include "sim/simulator.h"
 
 #include <functional>
+#include <limits>
 #include <utility>
 
 #include "obs/profile.h"
 #include "util/expect.h"
 
 namespace ecgf::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
 
 Simulator::Simulator(const cache::Catalog& catalog,
                      const net::RttProvider& rtt, net::HostId server,
@@ -23,43 +28,54 @@ Simulator::Simulator(const cache::Catalog& catalog,
 }
 
 SimulationReport Simulator::run(const workload::Trace& trace) {
-  ECGF_PROF_SCOPE("sim.run");
   trace.validate(engine_.cache_count(), engine_.catalog().size());
-  metrics_->set_warmup_end(trace.duration_ms *
-                           engine_.config().warmup_fraction);
+  workload::TraceWorkload source(trace, engine_.cache_count());
+  return run(source);
+}
 
-  // Feed the two logs lazily: one cursor event per log keeps the queue
-  // small regardless of trace size. Every event carries its canonical
+SimulationReport Simulator::run(workload::WorkloadSource& source) {
+  ECGF_PROF_SCOPE("sim.run");
+  const double duration_ms = source.duration_ms();
+  metrics_->set_warmup_end(duration_ms * engine_.config().warmup_fraction);
+
+  // Feed the two logs lazily: one cursor event per stream keeps the queue
+  // small regardless of workload size. Every event carries its canonical
   // (EventClass, key) so ties at equal times resolve identically here and
-  // in the sharded driver.
-  std::size_t next_request = 0;
-  std::size_t next_update = 0;
+  // in the sharded driver; for trace-backed sources the keys are the
+  // request indices the pre-stream driver used, so output is unchanged.
+  auto requests = source.requests();
+  auto updates = source.update_stream();
+  std::uint64_t requests_processed = 0;
+  std::uint64_t next_update = 0;
   std::function<void(SimTime)> pump_requests = [&](SimTime now) {
-    if (next_request >= trace.requests.size()) return;
-    const std::uint64_t index = next_request;
-    const workload::Request r = trace.requests[next_request++];
-    const Completion c = engine_.on_request(index, r, now, sink_);
+    workload::Request r;
+    std::uint64_t key = 0;
+    if (!requests->next(r, key)) return;
+    ++requests_processed;
+    const Completion c = engine_.on_request(key, r, now, sink_);
     queue_.schedule(c.time, EventClass::kCompletion, c.request_index,
                     [this, c](SimTime) { engine_.on_complete(c, sink_); });
-    if (next_request < trace.requests.size()) {
-      queue_.schedule(trace.requests[next_request].time_ms,
-                      EventClass::kArrival, next_request, pump_requests);
+    if (requests->peek_time_ms() < kInf) {
+      queue_.schedule(requests->peek_time_ms(), EventClass::kArrival,
+                      requests->peek_key(), pump_requests);
     }
   };
   std::function<void(SimTime)> pump_updates = [&](SimTime) {
-    if (next_update >= trace.updates.size()) return;
-    engine_.on_update(trace.updates[next_update++], sink_);
-    if (next_update < trace.updates.size()) {
-      queue_.schedule(trace.updates[next_update].time_ms, EventClass::kUpdate,
+    workload::Update u;
+    if (!updates->next(u)) return;
+    ++next_update;
+    engine_.on_update(u, sink_);
+    if (updates->peek_time_ms() < kInf) {
+      queue_.schedule(updates->peek_time_ms(), EventClass::kUpdate,
                       next_update, pump_updates);
     }
   };
-  if (!trace.requests.empty()) {
-    queue_.schedule(trace.requests.front().time_ms, EventClass::kArrival, 0,
-                    pump_requests);
+  if (requests->peek_time_ms() < kInf) {
+    queue_.schedule(requests->peek_time_ms(), EventClass::kArrival,
+                    requests->peek_key(), pump_requests);
   }
-  if (!trace.updates.empty()) {
-    queue_.schedule(trace.updates.front().time_ms, EventClass::kUpdate, 0,
+  if (updates->peek_time_ms() < kInf) {
+    queue_.schedule(updates->peek_time_ms(), EventClass::kUpdate, 0,
                     pump_updates);
   }
   const auto& config = engine_.config();
@@ -93,7 +109,7 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
     ++control_ticks_;
     hook_->on_tick(*this, t);
     const SimTime next = t + config.control_interval_ms;
-    if (next <= trace.duration_ms) {
+    if (next <= duration_ms) {
       queue_.schedule(next, EventClass::kControlTick, control_ticks_,
                       control_tick);
     }
@@ -113,7 +129,7 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
     engine_.rebuild_summaries();
     ++refresh_round;
     const SimTime next = t + config.summary.refresh_interval_ms;
-    if (next <= trace.duration_ms) {
+    if (next <= duration_ms) {
       queue_.schedule(next, EventClass::kSummaryRefresh, refresh_round,
                       refresh);
     }
@@ -123,12 +139,12 @@ SimulationReport Simulator::run(const workload::Trace& trace) {
                     EventClass::kSummaryRefresh, 0, refresh);
   }
 
-  // Run past the trace end so in-flight completions drain (no new arrivals
-  // can appear after the last log records).
-  const SimTime horizon = trace.duration_ms + 60'000.0;
+  // Run past the workload end so in-flight completions drain (no new
+  // arrivals can appear after the last log records).
+  const SimTime horizon = duration_ms + 60'000.0;
   const std::uint64_t events = queue_.run(horizon);
 
-  return engine_.assemble_report(*metrics_, trace.requests.size(), events,
+  return engine_.assemble_report(*metrics_, requests_processed, events,
                                  control_ticks_, sink_.tally);
 }
 

@@ -28,12 +28,14 @@
 #include "sim/engine.h"
 #include "sim/event_queue.h"
 #include "sim/metrics.h"
+#include "workload/stream.h"
 #include "workload/trace.h"
 
 namespace ecgf::sim {
 
-/// The simulator. Construct, then run(trace). Reusable state queries are
-/// available after run() for tests (edge_cache(), directory_of()).
+/// The simulator. Construct, then run(trace) or run(source). Reusable
+/// state queries are available after run() for tests (edge_cache(),
+/// directory_of()).
 class Simulator : public GroupHost {
  public:
   /// `rtt` must cover hosts 0..N (caches + origin); `server` is the origin's
@@ -41,6 +43,15 @@ class Simulator : public GroupHost {
   Simulator(const cache::Catalog& catalog, const net::RttProvider& rtt,
             net::HostId server, SimulationConfig config);
 
+  /// Drive the engine from lazy workload streams: requests and updates are
+  /// pulled one event ahead, so memory stays O(source state) no matter how
+  /// many requests the run replays (docs/workloads.md). One source backs
+  /// one run.
+  SimulationReport run(workload::WorkloadSource& source);
+
+  /// Materialised-trace convenience: validates, wraps the trace in a
+  /// workload::TraceWorkload view and streams it — bit-identical to the
+  /// pre-stream driver (keys are the trace's request indices).
   SimulationReport run(const workload::Trace& trace);
 
   const cache::EdgeCache& edge_cache(cache::CacheIndex i) const {

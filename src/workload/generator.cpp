@@ -1,101 +1,16 @@
 #include "workload/generator.h"
 
-#include <algorithm>
-
-#include "util/expect.h"
+#include "workload/stream.h"
 
 namespace ecgf::workload {
 
 Trace generate_trace(const WorkloadParams& params,
                      const cache::Catalog& catalog, util::Rng& rng) {
-  ECGF_EXPECTS(params.cache_count > 0);
-  ECGF_EXPECTS(params.duration_ms > 0.0);
-  ECGF_EXPECTS(params.requests_per_cache_per_s > 0.0);
-  ECGF_EXPECTS(params.similarity >= 0.0 && params.similarity <= 1.0);
-
-  const std::size_t docs = catalog.size();
-  const ZipfSampler zipf(docs, params.zipf_alpha);
-
-  // Global rank→doc mapping shared by every cache, plus a private
-  // permutation per cache for the dissimilar fraction of requests.
-  std::vector<cache::DocId> global_rank(docs);
-  for (std::size_t i = 0; i < docs; ++i) {
-    global_rank[i] = static_cast<cache::DocId>(i);
-  }
-  rng.shuffle(global_rank);
-
-  Trace trace;
-  trace.duration_ms = params.duration_ms;
-
-  // --- Request logs: one Poisson stream per cache, merged afterwards.
-  const double rate_per_ms = params.requests_per_cache_per_s / 1000.0;
-  for (std::uint32_t c = 0; c < params.cache_count; ++c) {
-    util::Rng cache_rng = rng.fork(c + 1);
-    std::vector<cache::DocId> private_rank = global_rank;
-    cache_rng.shuffle(private_rank);
-
-    double t = cache_rng.exponential(rate_per_ms);
-    while (t < params.duration_ms) {
-      const std::size_t rank = zipf.sample(cache_rng);
-      const bool shared = cache_rng.bernoulli(params.similarity);
-      trace.requests.push_back(
-          Request{t, c, shared ? global_rank[rank] : private_rank[rank]});
-      t += cache_rng.exponential(rate_per_ms);
-    }
-  }
-  // --- Optional flash crowd: an extra Poisson stream per cache during the
-  // event window, drawn from a small suddenly-hot document set that every
-  // cache shares (flash crowds are globally correlated by nature).
-  if (params.flash_crowd_enabled) {
-    const FlashCrowd& fc = params.flash_crowd;
-    ECGF_EXPECTS(fc.start_ms >= 0.0);
-    ECGF_EXPECTS(fc.duration_ms > 0.0);
-    ECGF_EXPECTS(fc.start_ms + fc.duration_ms <= params.duration_ms);
-    ECGF_EXPECTS(fc.extra_rate_per_cache_per_s > 0.0);
-    ECGF_EXPECTS(fc.hot_docs >= 1 && fc.hot_docs <= docs);
-
-    util::Rng fc_rng = rng.fork(0xF1A5Cu);
-    std::vector<cache::DocId> hot;
-    for (std::size_t i : fc_rng.sample_indices(docs, fc.hot_docs)) {
-      hot.push_back(static_cast<cache::DocId>(i));
-    }
-    const ZipfSampler hot_zipf(fc.hot_docs, fc.hot_zipf_alpha);
-    const double extra_rate_per_ms = fc.extra_rate_per_cache_per_s / 1000.0;
-    for (std::uint32_t c = 0; c < params.cache_count; ++c) {
-      util::Rng cache_rng = fc_rng.fork(c + 1);
-      double t = fc.start_ms + cache_rng.exponential(extra_rate_per_ms);
-      while (t < fc.start_ms + fc.duration_ms) {
-        trace.requests.push_back(
-            Request{t, c, hot[hot_zipf.sample(cache_rng)]});
-        t += cache_rng.exponential(extra_rate_per_ms);
-      }
-    }
-  }
-
-  std::sort(trace.requests.begin(), trace.requests.end(),
-            [](const Request& a, const Request& b) {
-              return a.time_ms != b.time_ms ? a.time_ms < b.time_ms
-                                            : a.cache < b.cache;
-            });
-
-  // --- Update log: per-document Poisson at the catalog rate.
-  util::Rng update_rng = rng.fork(0x5eedu);
-  for (cache::DocId d = 0; d < docs; ++d) {
-    const double rate = catalog.info(d).update_rate / 1000.0;  // per ms
-    if (rate <= 0.0) continue;
-    double t = update_rng.exponential(rate);
-    while (t < params.duration_ms) {
-      trace.updates.push_back(Update{t, d});
-      t += update_rng.exponential(rate);
-    }
-  }
-  std::sort(trace.updates.begin(), trace.updates.end(),
-            [](const Update& a, const Update& b) {
-              return a.time_ms != b.time_ms ? a.time_ms < b.time_ms
-                                            : a.doc < b.doc;
-            });
-
-  return trace;
+  // The stream engine consumes `rng` draw-for-draw like the original eager
+  // generator, so this wrapper produces the historical traces byte for
+  // byte (pinned by workload_test.cpp StreamMatchesFrozenLegacyGenerator).
+  SyntheticWorkload source(params, catalog, rng);
+  return materialise(source);
 }
 
 }  // namespace ecgf::workload

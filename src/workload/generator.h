@@ -8,7 +8,17 @@
 // considerable degree of similarity".
 //
 // Updates: per-document Poisson processes at the catalog's update rates.
+//
+// Since PR 8 the generator is a *stream* (workload::SyntheticWorkload in
+// stream.h): the drivers pull events lazily, and generate_trace below is a
+// thin "materialise a stream" wrapper kept for trace files and small runs.
+// The nonstationarity knobs (diurnal, churn, regional flash crowds) live
+// here so WorkloadParams stays the single workload configuration surface;
+// their defaults are all "off" and reproduce the pre-stream traces byte
+// for byte (docs/workloads.md has the full contract).
 #pragma once
+
+#include <cstdint>
 
 #include "cache/catalog.h"
 #include "workload/trace.h"
@@ -16,10 +26,10 @@
 
 namespace ecgf::workload {
 
-/// A flash crowd: for a window of the trace, every cache receives an
-/// additional burst of traffic concentrated on a small set of suddenly-hot
-/// documents — the signature behaviour of the sporting-event site whose
-/// trace the paper used.
+/// A flash crowd: for a window of the trace, caches receive an additional
+/// burst of traffic concentrated on a small set of suddenly-hot documents
+/// — the signature behaviour of the sporting-event site whose trace the
+/// paper used.
 struct FlashCrowd {
   double start_ms = 0.0;
   double duration_ms = 60'000.0;
@@ -28,6 +38,43 @@ struct FlashCrowd {
   double extra_rate_per_cache_per_s = 10.0;
   std::size_t hot_docs = 20;      ///< size of the suddenly-hot set
   double hot_zipf_alpha = 1.0;    ///< skew inside the hot set
+  /// Fraction of caches the crowd hits, in (0, 1]. 1.0 (default) keeps the
+  /// legacy globally-correlated crowd; below 1.0 a uniformly drawn region
+  /// of round(fraction x cache_count) caches receives the burst while the
+  /// rest see only base traffic — the "regional event" drift regime.
+  double region_fraction = 1.0;
+};
+
+/// Diurnal rate modulation: the per-cache Poisson rate becomes
+///   rate x (1 + amplitude x sin(2*pi x (t - phase_ms) / period_ms)),
+/// sampled by thinning against the peak rate. amplitude 0 (default)
+/// disables modulation and consumes no extra RNG draws.
+struct Diurnal {
+  double amplitude = 0.0;          ///< in [0, 1); 0 = stationary
+  double period_ms = 86'400'000.0; ///< one simulated day
+  double phase_ms = 0.0;           ///< shifts the peak
+};
+
+/// Popularity churn: every interval_ms, part of the shared rank-to-doc
+/// mapping is redealt so the probability a rank still maps to its original
+/// document decays as 2^(-t / half_life_ms). interval_ms 0 (default)
+/// disables churn. Private per-cache rankings are fixed at t=0; churn
+/// models drift of the *shared* popularity consensus.
+struct PopularityChurn {
+  double interval_ms = 0.0;          ///< 0 = no churn
+  double half_life_ms = 600'000.0;   ///< rank survival half-life
+};
+
+/// How much state the stream keeps per cache (docs/workloads.md#profiles).
+enum class StreamProfile : std::uint8_t {
+  /// Legacy-compatible: one mt19937_64 fork plus a materialised private
+  /// permutation per cache. Byte-identical to the pre-stream generator;
+  /// memory O(cache_count x documents).
+  kExact,
+  /// Counter-based RNG (SplitMix64) plus a keyed Feistel bijection per
+  /// cache: O(1) state per cache, same workload *law* but a different
+  /// sample path. Required for 100k-cache streams (bench/workload.cpp).
+  kLean,
 };
 
 struct WorkloadParams {
@@ -41,9 +88,16 @@ struct WorkloadParams {
   /// Optional flash-crowd event (enabled when engaged = true).
   bool flash_crowd_enabled = false;
   FlashCrowd flash_crowd{};
+  /// Nonstationarity (defaults off => byte-identical to legacy traces).
+  Diurnal diurnal{};
+  PopularityChurn churn{};
+  /// Per-cache state footprint; kExact preserves legacy RNG streams.
+  StreamProfile profile = StreamProfile::kExact;
 };
 
 /// Generate a complete trace against `catalog`. Deterministic given rng.
+/// Thin wrapper: constructs a SyntheticWorkload stream (stream.h) and
+/// materialises it, so traces and streamed runs share one generator.
 Trace generate_trace(const WorkloadParams& params,
                      const cache::Catalog& catalog, util::Rng& rng);
 

@@ -1,0 +1,499 @@
+#include "workload/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "util/expect.h"
+
+namespace ecgf::workload {
+
+namespace stream_detail {
+
+std::size_t pseudo_permute(std::uint64_t key, std::size_t n, std::size_t i) {
+  ECGF_EXPECTS(i < n);
+  if (n <= 1) return 0;
+  // Smallest balanced Feistel domain 2^(2*half) >= n.
+  int bits = 1;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  const int half = (bits + 1) / 2;
+  const std::uint64_t mask = (std::uint64_t{1} << half) - 1;
+  std::uint64_t x = i;
+  do {
+    std::uint64_t l = x >> half;
+    std::uint64_t r = x & mask;
+    for (int round = 0; round < 4; ++round) {
+      const std::uint64_t f =
+          mix64(r ^ key ^
+                (0x9E3779B97F4A7C15ULL *
+                 static_cast<std::uint64_t>(round + 1))) &
+          mask;
+      const std::uint64_t swapped = r;
+      r = l ^ f;
+      l = swapped;
+    }
+    x = (l << half) | r;
+    // Cycle-walk: the Feistel rounds permute the padded domain, so
+    // following the permutation from a point < n must return into [0, n).
+  } while (x >= n);
+  return x;
+}
+
+}  // namespace stream_detail
+
+// ---------------------------------------------------------------------------
+// Shared small streams
+
+namespace {
+
+/// Cursor over a time-sorted update vector.
+class VectorUpdateStream final : public UpdateSource {
+ public:
+  VectorUpdateStream(const std::vector<Update>& updates, double from_ms)
+      : updates_(&updates),
+        pos_(static_cast<std::size_t>(
+            std::lower_bound(updates.begin(), updates.end(), from_ms,
+                             [](const Update& u, double t) {
+                               return u.time_ms < t;
+                             }) -
+            updates.begin())) {}
+
+  bool next(Update& out) override {
+    if (pos_ >= updates_->size()) return false;
+    out = (*updates_)[pos_++];
+    return true;
+  }
+  double peek_time_ms() const override {
+    return pos_ < updates_->size() ? (*updates_)[pos_].time_ms : kNoEvent;
+  }
+
+ private:
+  const std::vector<Update>* updates_;
+  std::size_t pos_ = 0;
+};
+
+/// One shard's slice of a materialised trace, streamed by stored request
+/// index. Keys are the global indices — the pre-stream drivers' keys.
+class TraceIndexStream final : public RequestSource {
+ public:
+  TraceIndexStream(const Trace& trace, std::vector<std::uint64_t> indices)
+      : trace_(&trace), indices_(std::move(indices)) {}
+
+  bool next(Request& out, std::uint64_t& key) override {
+    if (pos_ >= indices_.size()) return false;
+    key = indices_[pos_];
+    out = trace_->requests[static_cast<std::size_t>(indices_[pos_++])];
+    return true;
+  }
+  double peek_time_ms() const override {
+    return pos_ < indices_.size()
+               ? trace_->requests[static_cast<std::size_t>(indices_[pos_])]
+                     .time_ms
+               : kNoEvent;
+  }
+  std::uint64_t peek_key() const override { return indices_[pos_]; }
+
+ private:
+  const Trace* trace_;
+  std::vector<std::uint64_t> indices_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkloadSource helpers
+
+std::unique_ptr<RequestSource> WorkloadSource::requests(double from_ms) {
+  auto parts =
+      partition(1, [](std::uint32_t) { return std::size_t{0}; }, from_ms);
+  return std::move(parts.front());
+}
+
+std::unique_ptr<UpdateSource> WorkloadSource::update_stream(
+    double from_ms) const {
+  return std::make_unique<VectorUpdateStream>(updates(), from_ms);
+}
+
+// ---------------------------------------------------------------------------
+// TraceWorkload
+
+std::vector<std::unique_ptr<RequestSource>> TraceWorkload::partition(
+    std::size_t shards, const ShardOfCache& shard_of, double from_ms) {
+  ECGF_EXPECTS(shards >= 1);
+  const auto& requests = trace_->requests;
+  const std::size_t start = static_cast<std::size_t>(
+      std::lower_bound(requests.begin(), requests.end(), from_ms,
+                       [](const Request& r, double t) {
+                         return r.time_ms < t;
+                       }) -
+      requests.begin());
+  std::vector<std::vector<std::uint64_t>> slices(shards);
+  for (std::size_t i = start; i < requests.size(); ++i) {
+    const std::size_t si = shard_of(requests[i].cache);
+    ECGF_EXPECTS(si < shards);
+    slices[si].push_back(static_cast<std::uint64_t>(i));
+  }
+  std::vector<std::unique_ptr<RequestSource>> out;
+  out.reserve(shards);
+  for (std::size_t si = 0; si < shards; ++si) {
+    out.push_back(
+        std::make_unique<TraceIndexStream>(*trace_, std::move(slices[si])));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PopularityChurnProcess
+
+PopularityChurnProcess::PopularityChurnProcess(
+    std::vector<cache::DocId> rank_to_doc, const PopularityChurn& params,
+    util::Rng rng)
+    : rank_to_doc_(std::move(rank_to_doc)),
+      params_(params),
+      rng_(std::move(rng)),
+      enabled_(params.interval_ms > 0.0 && !rank_to_doc_.empty()) {
+  if (!enabled_) return;
+  ECGF_EXPECTS(params_.half_life_ms > 0.0);
+  const double redeal_fraction =
+      1.0 - std::exp2(-params_.interval_ms / params_.half_life_ms);
+  redeal_count_ = std::min(
+      rank_to_doc_.size(),
+      static_cast<std::size_t>(
+          std::llround(redeal_fraction *
+                       static_cast<double>(rank_to_doc_.size()))));
+}
+
+void PopularityChurnProcess::advance_to(double t_ms) {
+  if (!enabled_ || redeal_count_ < 2) return;  // <2 slots can't move anything
+  while (static_cast<double>(epochs_ + 1) * params_.interval_ms <= t_ms) {
+    apply_epoch();
+  }
+}
+
+void PopularityChurnProcess::apply_epoch() {
+  ++epochs_;
+  scratch_ = rng_.sample_indices(rank_to_doc_.size(), redeal_count_);
+  values_.clear();
+  for (std::size_t slot : scratch_) values_.push_back(rank_to_doc_[slot]);
+  rng_.shuffle(values_);
+  for (std::size_t k = 0; k < scratch_.size(); ++k) {
+    rank_to_doc_[scratch_[k]] = values_[k];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticWorkload
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadParams& params,
+                                     const cache::Catalog& catalog,
+                                     util::Rng& rng)
+    : params_(params), zipf_(catalog.size(), params.zipf_alpha) {
+  ECGF_EXPECTS(params_.cache_count > 0);
+  ECGF_EXPECTS(params_.duration_ms > 0.0);
+  ECGF_EXPECTS(params_.requests_per_cache_per_s > 0.0);
+  ECGF_EXPECTS(params_.similarity >= 0.0 && params_.similarity <= 1.0);
+  ECGF_EXPECTS(params_.diurnal.amplitude >= 0.0 &&
+               params_.diurnal.amplitude < 1.0);
+  if (params_.diurnal.amplitude > 0.0) {
+    ECGF_EXPECTS(params_.diurnal.period_ms > 0.0);
+  }
+  ECGF_EXPECTS(params_.churn.interval_ms >= 0.0);
+  if (params_.churn.interval_ms > 0.0) {
+    ECGF_EXPECTS(params_.churn.half_life_ms > 0.0);
+  }
+
+  const std::size_t docs = catalog.size();
+  rate_per_ms_ = params_.requests_per_cache_per_s / 1000.0;
+
+  // Draw order below mirrors the legacy generate_trace exactly: global
+  // shuffle, per-cache forks in cache order, conditional flash-crowd fork,
+  // update-log fork. Per-cache event draws come from the forks, never the
+  // parent, so deferring them to pull time changes nothing. New forks
+  // (region, churn) happen only when their feature is on, after every
+  // legacy fork — default parameters leave the parent stream untouched.
+  global_rank_.resize(docs);
+  std::iota(global_rank_.begin(), global_rank_.end(), cache::DocId{0});
+  rng.shuffle(global_rank_);
+
+  states_.resize(params_.cache_count);
+  if (exact()) {
+    for (std::uint32_t c = 0; c < params_.cache_count; ++c) {
+      CacheStream& s = states_[c];
+      s.rng = std::make_unique<util::Rng>(rng.fork(c + 1));
+      s.private_rank = global_rank_;
+      s.rng->shuffle(s.private_rank);
+      s.next_ms = advance_base(s, 0.0);
+    }
+  } else {
+    const std::uint64_t stream_seed = rng.engine()();
+    const std::uint64_t perm_seed = rng.engine()();
+    for (std::uint32_t c = 0; c < params_.cache_count; ++c) {
+      CacheStream& s = states_[c];
+      s.sm.state = stream_detail::mix64(
+          stream_seed ^ (0x9E3779B97F4A7C15ULL * (c + 1ULL)));
+      s.perm_key = stream_detail::mix64(
+          perm_seed ^ (0xD1B54A32D192ED03ULL * (c + 1ULL)));
+      s.next_ms = advance_base(s, 0.0);
+    }
+  }
+
+  if (params_.flash_crowd_enabled) {
+    const FlashCrowd& fc = params_.flash_crowd;
+    ECGF_EXPECTS(fc.start_ms >= 0.0);
+    ECGF_EXPECTS(fc.duration_ms > 0.0);
+    ECGF_EXPECTS(fc.start_ms + fc.duration_ms <= params_.duration_ms);
+    ECGF_EXPECTS(fc.extra_rate_per_cache_per_s > 0.0);
+    ECGF_EXPECTS(fc.hot_docs >= 1 && fc.hot_docs <= docs);
+    ECGF_EXPECTS(fc.region_fraction > 0.0 && fc.region_fraction <= 1.0);
+    fc_rate_per_ms_ = fc.extra_rate_per_cache_per_s / 1000.0;
+    fc_end_ms_ = fc.start_ms + fc.duration_ms;
+
+    util::Rng fc_rng = rng.fork(0xF1A5Cu);
+    for (std::size_t i : fc_rng.sample_indices(docs, fc.hot_docs)) {
+      hot_.push_back(static_cast<cache::DocId>(i));
+    }
+    hot_zipf_.emplace(fc.hot_docs, fc.hot_zipf_alpha);
+    if (exact()) {
+      for (std::uint32_t c = 0; c < params_.cache_count; ++c) {
+        states_[c].fc_rng = std::make_unique<util::Rng>(fc_rng.fork(c + 1));
+      }
+    } else {
+      const std::uint64_t fc_seed = fc_rng.engine()();
+      for (std::uint32_t c = 0; c < params_.cache_count; ++c) {
+        states_[c].fc_sm.state = stream_detail::mix64(
+            fc_seed ^ (0x9E3779B97F4A7C15ULL * (c + 1ULL)));
+      }
+    }
+    if (fc.region_fraction < 1.0) {
+      util::Rng region_rng = fc_rng.fork(0x9E610Fu);
+      const std::size_t region_size = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::llround(
+                 fc.region_fraction *
+                 static_cast<double>(params_.cache_count))));
+      fc_region_.assign(params_.cache_count, 0);
+      for (std::size_t i :
+           region_rng.sample_indices(params_.cache_count, region_size)) {
+        fc_region_[i] = 1;
+      }
+    }
+    for (std::uint32_t c = 0; c < params_.cache_count; ++c) {
+      if (fc_region_.empty() || fc_region_[c] != 0) {
+        states_[c].fc_next_ms = advance_flash(states_[c], fc.start_ms);
+      }
+    }
+  }
+
+  // Update log: per-document Poisson at the catalog rate, materialised
+  // eagerly (volume is O(docs x duration); see WorkloadSource::updates).
+  util::Rng update_rng = rng.fork(0x5eedu);
+  for (cache::DocId d = 0; d < docs; ++d) {
+    const double rate = catalog.info(d).update_rate / 1000.0;  // per ms
+    if (rate <= 0.0) continue;
+    double t = update_rng.exponential(rate);
+    while (t < params_.duration_ms) {
+      updates_.push_back(Update{t, d});
+      t += update_rng.exponential(rate);
+    }
+  }
+  std::sort(updates_.begin(), updates_.end(),
+            [](const Update& a, const Update& b) {
+              return a.time_ms != b.time_ms ? a.time_ms < b.time_ms
+                                            : a.doc < b.doc;
+            });
+
+  if (params_.churn.interval_ms > 0.0) {
+    churn_rng_ = rng.fork(0xC09Du);
+  }
+}
+
+double SyntheticWorkload::rate_factor(double t_ms) const {
+  const Diurnal& d = params_.diurnal;
+  if (d.amplitude <= 0.0) return 1.0;
+  constexpr double kTau = 6.283185307179586476925286766559;
+  return 1.0 +
+         d.amplitude * std::sin(kTau * (t_ms - d.phase_ms) / d.period_ms);
+}
+
+double SyntheticWorkload::advance_base(CacheStream& s, double from_ms) {
+  const double amplitude = params_.diurnal.amplitude;
+  if (amplitude <= 0.0) {
+    const double t = from_ms + (exact() ? s.rng->exponential(rate_per_ms_)
+                                        : s.sm.exponential(rate_per_ms_));
+    return t < params_.duration_ms ? t : kNoEvent;
+  }
+  // Thinning (Lewis-Shedler): candidates at the peak rate, each accepted
+  // with probability rate(t) / peak. Draws depend only on this cache's own
+  // stream, so modulation preserves the shard-safety contract.
+  const double peak = rate_per_ms_ * (1.0 + amplitude);
+  double t = from_ms;
+  for (;;) {
+    t += exact() ? s.rng->exponential(peak) : s.sm.exponential(peak);
+    if (t >= params_.duration_ms) return kNoEvent;
+    const double u = exact() ? s.rng->uniform01() : s.sm.uniform01();
+    if (u * (1.0 + amplitude) <= rate_factor(t)) return t;
+  }
+}
+
+double SyntheticWorkload::advance_flash(CacheStream& s, double from_ms) {
+  const double t =
+      from_ms + (exact() ? s.fc_rng->exponential(fc_rate_per_ms_)
+                         : s.fc_sm.exponential(fc_rate_per_ms_));
+  return t < fc_end_ms_ ? t : kNoEvent;
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticStream — one shard's merged view of its caches' substreams.
+
+/// Merges the owned caches' base and flash-crowd substreams in canonical
+/// (time, cache) order. Document draws happen at pop time (matching the
+/// legacy per-cache draw order: zipf rank, similarity coin, next gap), so
+/// popularity churn can rotate the shared mapping mid-stream. Each stream
+/// borrows disjoint CacheStream state from the owner and carries its own
+/// churn replay — no shared mutable state across shards.
+class SyntheticStream final : public RequestSource {
+ public:
+  SyntheticStream(SyntheticWorkload& owner, std::vector<std::uint32_t> caches,
+                  double from_ms)
+      : owner_(&owner) {
+    if (owner.params_.churn.interval_ms > 0.0) {
+      churn_ = PopularityChurnProcess(owner.global_rank_,
+                                      owner.params_.churn, owner.churn_rng_);
+    }
+    heap_.reserve(caches.size() * 2);
+    for (std::uint32_t c : caches) {
+      const SyntheticWorkload::CacheStream& s = owner.states_[c];
+      if (s.next_ms < kNoEvent) heap_.push_back(Entry{s.next_ms, c, kBase});
+      if (s.fc_next_ms < kNoEvent) {
+        heap_.push_back(Entry{s.fc_next_ms, c, kFlash});
+      }
+    }
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    // Fast-forward a fresh source: events before from_ms are generated and
+    // discarded (consuming their draws), leaving the exact suffix a
+    // continuous run would see. A mid-run reshard starts at/after every
+    // head, so this loop is a no-op there.
+    Request skipped;
+    std::uint64_t key = 0;
+    while (peek_time_ms() < from_ms) next(skipped, key);
+  }
+
+  bool next(Request& out, std::uint64_t& key) override {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    SyntheticWorkload::CacheStream& s = owner_->states_[e.cache];
+    out.time_ms = e.time;
+    out.cache = e.cache;
+    if (e.kind == kBase) {
+      std::size_t rank;
+      bool shared;
+      if (owner_->exact()) {
+        rank = owner_->zipf_.sample(*s.rng);
+        shared = s.rng->bernoulli(owner_->params_.similarity);
+      } else {
+        rank = owner_->zipf_.sample_from(s.sm.uniform01());
+        shared = s.sm.uniform01() < owner_->params_.similarity;
+      }
+      out.doc = shared ? shared_doc(rank, e.time) : private_doc(s, rank);
+      s.next_ms = owner_->advance_base(s, e.time);
+      if (s.next_ms < kNoEvent) push(Entry{s.next_ms, e.cache, kBase});
+    } else {
+      const std::size_t rank =
+          owner_->exact()
+              ? owner_->hot_zipf_->sample(*s.fc_rng)
+              : owner_->hot_zipf_->sample_from(s.fc_sm.uniform01());
+      out.doc = owner_->hot_[rank];
+      s.fc_next_ms = owner_->advance_flash(s, e.time);
+      if (s.fc_next_ms < kNoEvent) {
+        push(Entry{s.fc_next_ms, e.cache, kFlash});
+      }
+    }
+    key = request_key(e.cache, s.seq++);
+    return true;
+  }
+
+  double peek_time_ms() const override {
+    return heap_.empty() ? kNoEvent : heap_.front().time;
+  }
+  std::uint64_t peek_key() const override {
+    return request_key(heap_.front().cache,
+                       owner_->states_[heap_.front().cache].seq);
+  }
+
+ private:
+  enum Kind : std::uint8_t { kBase = 0, kFlash = 1 };
+  struct Entry {
+    double time;
+    std::uint32_t cache;
+    std::uint8_t kind;
+  };
+  /// std::*_heap builds a max-heap; "later" ordering makes the earliest
+  /// (time, cache, kind) the front.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.cache != b.cache) return a.cache > b.cache;
+      return a.kind > b.kind;
+    }
+  };
+
+  void push(Entry e) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  cache::DocId shared_doc(std::size_t rank, double t_ms) {
+    if (churn_.enabled()) {
+      churn_.advance_to(t_ms);
+      return churn_.doc_at(rank);
+    }
+    return owner_->global_rank_[rank];
+  }
+
+  cache::DocId private_doc(const SyntheticWorkload::CacheStream& s,
+                           std::size_t rank) const {
+    if (owner_->exact()) return s.private_rank[rank];
+    return static_cast<cache::DocId>(stream_detail::pseudo_permute(
+        s.perm_key, owner_->document_count(), rank));
+  }
+
+  SyntheticWorkload* owner_;
+  PopularityChurnProcess churn_;
+  std::vector<Entry> heap_;
+};
+
+std::vector<std::unique_ptr<RequestSource>> SyntheticWorkload::partition(
+    std::size_t shards, const ShardOfCache& shard_of, double from_ms) {
+  ECGF_EXPECTS(shards >= 1);
+  std::vector<std::vector<std::uint32_t>> owned(shards);
+  for (std::uint32_t c = 0; c < params_.cache_count; ++c) {
+    const std::size_t si = shard_of(c);
+    ECGF_EXPECTS(si < shards);
+    owned[si].push_back(c);
+  }
+  std::vector<std::unique_ptr<RequestSource>> out;
+  out.reserve(shards);
+  for (std::size_t si = 0; si < shards; ++si) {
+    out.push_back(std::make_unique<SyntheticStream>(
+        *this, std::move(owned[si]), from_ms));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+Trace materialise(WorkloadSource& source) {
+  Trace trace;
+  trace.duration_ms = source.duration_ms();
+  trace.updates = source.updates();
+  auto stream = source.requests();
+  Request r;
+  std::uint64_t key = 0;
+  while (stream->next(r, key)) trace.requests.push_back(r);
+  return trace;
+}
+
+}  // namespace ecgf::workload

@@ -22,7 +22,10 @@ ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
 }
 
 std::size_t ZipfSampler::sample(util::Rng& rng) const {
-  const double u = rng.uniform01();
+  return sample_from(rng.uniform01());
+}
+
+std::size_t ZipfSampler::sample_from(double u) const {
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return std::min(static_cast<std::size_t>(it - cdf_.begin()), cdf_.size() - 1);
 }

@@ -1,6 +1,17 @@
 // Zipf(α) sampler over ranks 0..n-1 (rank 0 most popular) — the standard
 // web-trace popularity model; the paper's IBM Sydney-Olympics trace is
 // heavily skewed in exactly this way.
+//
+// Implementation: an O(n) normalised CDF built once, binary-searched per
+// draw. Numerical edge cases are exact by construction: alpha = 0 gives
+// masses 1/n whose partial sums are monotone (uniform law), n = 1 pins
+// cdf[0] = 1.0 so every u in [0, 1) returns rank 0, and the top entry is
+// forced to exactly 1.0 so no u can fall past the end. We deliberately do
+// NOT use Hörmann-style rejection-inversion: it saves the O(n) table but
+// consumes a variable number of uniforms per draw, and the streaming
+// workload engine (stream.h) requires exactly one uniform per rank so
+// per-cache streams stay replayable and profile-independent; the table is
+// built once per workload at catalog size, so memory is a non-issue.
 #pragma once
 
 #include <cstddef>
@@ -16,7 +27,14 @@ class ZipfSampler {
   ZipfSampler(std::size_t n, double alpha);
 
   /// Draw a rank in [0, n). Rank r has probability ∝ 1/(r+1)^α.
+  /// Exactly sample_from(rng.uniform01()).
   std::size_t sample(util::Rng& rng) const;
+
+  /// Invert the CDF at u ∈ [0, 1): the smallest rank whose cumulative mass
+  /// reaches u. This is the single-uniform seam the streaming workload
+  /// engine builds on: one uniform in, one rank out, for *any* uniform
+  /// source (mt19937 forks or the lean profile's counter RNG).
+  std::size_t sample_from(double u) const;
 
   /// Probability mass of a rank (for tests).
   double pmf(std::size_t rank) const;

@@ -1,0 +1,161 @@
+// live_coordinator — run a cache group as real processes (docs/live_mode.md).
+//
+// Binds a loopback port, publishes it via --port-file, waits for
+// --members live_member processes, then drives the full live protocol:
+// handshake, wire probing, formation, transport qualification, the
+// conservative-PDES serving schedule, and the final flush. The merged
+// report is written as one JSONL record.
+//
+// The same binary is also the determinism oracle: --oracle skips the
+// sockets entirely and runs the identical RunSpec through the sequential
+// simulator, writing the report with the SAME label — so
+//
+//   live_coordinator --members=4 --port-file=p --report-out=live.jsonl &
+//   for i in 1 2 3 4; do live_member --port-file=p & done; wait
+//   live_coordinator --oracle --report-out=oracle.jsonl
+//   cmp live.jsonl oracle.jsonl
+//
+// must succeed byte for byte (scripts/check.sh gates on exactly this).
+//
+// --probe-sockets answers "can this sandbox open loopback sockets at
+// all?" with the exit code, so scripts can skip the live smoke cleanly.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "live/coordinator.h"
+#include "live/runspec.h"
+#include "live/sock.h"
+#include "obs/export.h"
+#include "obs/session.h"
+#include "util/flags.h"
+
+using namespace ecgf;
+
+namespace {
+
+live::RunSpec spec_from_flags(const util::Flags& flags) {
+  live::RunSpec spec;
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  spec.cache_count = static_cast<std::uint32_t>(flags.get_int("caches"));
+  spec.group_count = static_cast<std::uint32_t>(flags.get_int("groups"));
+  spec.document_count = static_cast<std::uint32_t>(flags.get_int("documents"));
+  spec.duration_ms = flags.get_double("duration-ms");
+  spec.requests_per_cache_per_s = flags.get_double("rate");
+  spec.num_landmarks = static_cast<std::uint32_t>(flags.get_int("landmarks"));
+  spec.scheme = flags.get("scheme") == "sdsl" ? 1 : 0;
+  spec.qualify = flags.get_bool("no-qualify") ? 0 : 1;
+  return spec;
+}
+
+/// Publish the bound port atomically: write to a temp file, then rename,
+/// so a polling member never reads a half-written file.
+void write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      throw std::runtime_error("cannot write port file: " + tmp);
+    }
+    out << port << "\n";
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("cannot rename port file into place: " + path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define("members", "member processes to wait for", "4");
+  flags.define("seed", "master seed (world + formation)", "2006");
+  flags.define("caches", "number of edge caches", "24");
+  flags.define("groups", "number of cooperative groups", "4");
+  flags.define("documents", "catalog size", "400");
+  flags.define("duration-ms", "workload duration in ms", "30000");
+  flags.define("rate", "requests per cache per second", "2.0");
+  flags.define("landmarks", "formation landmarks (L)", "6");
+  flags.define("scheme", "grouping scheme: sl | sdsl", "sl");
+  flags.define("port", "listening port (0 = ephemeral)", "0");
+  flags.define("port-file", "publish the bound port to this file", "");
+  flags.define("report-out", "write the merged report as one JSONL record",
+               "");
+  flags.define("trace-out", "write the structured event trace (JSONL)", "");
+  flags.define("timeout-ms", "per-frame receive deadline", "60000");
+  flags.define_bool("no-qualify", "skip the transport-qualification pass");
+  flags.define_bool("oracle",
+                    "no sockets: run the RunSpec through the sequential "
+                    "simulator (the determinism oracle)");
+  flags.define_bool("probe-sockets",
+                    "exit 0 if loopback sockets work here, 1 otherwise");
+
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.help(argv[0]);
+    return 2;
+  }
+
+  if (flags.get_bool("probe-sockets")) {
+    return live::sockets_available() ? 0 : 1;
+  }
+
+  // Installs the process-global tracer; both drivers fall back to it when
+  // handed an inactive TraceContext, so live and oracle runs trace to the
+  // same stream.
+  obs::ObsSession obs_session(flags.get("trace-out"), "");
+
+  try {
+    const live::RunSpec spec = spec_from_flags(flags);
+
+    if (flags.get_bool("oracle")) {
+      const live::OracleResult oracle = live::run_oracle(spec);
+      if (const std::string path = flags.get("report-out"); !path.empty()) {
+        std::ofstream out(path);
+        obs::write_report_jsonl(out, oracle.report, "live");
+      }
+      obs::write_report_jsonl(std::cout, oracle.report, "live");
+      return 0;
+    }
+
+    live::CoordinatorOptions options;
+    options.port = static_cast<std::uint16_t>(flags.get_int("port"));
+    options.members = static_cast<std::uint32_t>(flags.get_int("members"));
+    options.io_timeout_ms = flags.get_double("timeout-ms");
+
+    live::Coordinator coordinator(spec, options);
+    if (const std::string path = flags.get("port-file"); !path.empty()) {
+      write_port_file(path, coordinator.port());
+    }
+    std::cerr << "live_coordinator: listening on 127.0.0.1:"
+              << coordinator.port() << ", waiting for " << options.members
+              << " member(s)\n";
+
+    const live::LiveRunResult result = coordinator.run();
+    std::cerr << "live_coordinator: done — " << result.cuts << " cuts, "
+              << result.windows << " windows, " << result.barriers
+              << " barriers, " << result.probes << " probes"
+              << (result.qualify_ran
+                      ? ", qualify ok (" +
+                            std::to_string(result.qualify_frames) +
+                            " frames mirrored)"
+                      : "")
+              << (result.members_lost != 0
+                      ? ", " + std::to_string(result.members_lost) +
+                            " member(s) lost (" +
+                            std::to_string(result.synthetic_leaves) +
+                            " graceful leaves)"
+                      : "")
+              << "\n";
+
+    if (const std::string path = flags.get("report-out"); !path.empty()) {
+      std::ofstream out(path);
+      obs::write_report_jsonl(out, result.report, "live");
+    }
+    obs::write_report_jsonl(std::cout, result.report, "live");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "live_coordinator: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,88 @@
+// live_member — one member process of a live cache-group run
+// (docs/live_mode.md). Connects to a live_coordinator, registers, rebuilds
+// the deterministic world from the RunSpec it receives, and serves its
+// shard of the run: RTT probes, window execution, barrier application,
+// and the final flush.
+//
+// The port comes either from --port or from --port-file, which is polled
+// until the coordinator publishes it (the coordinator writes the file
+// atomically, so a successful read is always complete).
+//
+// Exit codes: 0 clean shutdown, 9 injected abort (--abort-after-windows,
+// the member-kill drill), 1 protocol/transport failure.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "live/member.h"
+#include "util/flags.h"
+
+using namespace ecgf;
+
+namespace {
+
+/// Poll `path` until it holds a port number or the deadline passes.
+std::uint16_t wait_for_port_file(const std::string& path, double timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            static_cast<std::int64_t>(timeout_ms));
+  for (;;) {
+    {
+      std::ifstream in(path);
+      int port = 0;
+      if (in && (in >> port) && port > 0 && port <= 65535) {
+        return static_cast<std::uint16_t>(port);
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("timed out waiting for port file: " + path);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  flags.define("port", "coordinator port (0 = use --port-file)", "0");
+  flags.define("port-file", "poll this file for the coordinator's port", "");
+  flags.define("connect-timeout-ms",
+               "deadline for the port file and the initial connect", "15000");
+  flags.define("timeout-ms", "per-frame receive deadline", "60000");
+  flags.define("abort-after-windows",
+               "fault injection: vanish after N windows (0 = never)", "0");
+
+  if (!flags.parse(argc, argv)) {
+    std::cerr << flags.help(argv[0]);
+    return 2;
+  }
+
+  try {
+    live::MemberOptions options;
+    options.port = static_cast<std::uint16_t>(flags.get_int("port"));
+    options.connect_timeout_ms = flags.get_double("connect-timeout-ms");
+    options.io_timeout_ms = flags.get_double("timeout-ms");
+    options.abort_after_windows =
+        static_cast<std::uint64_t>(flags.get_int("abort-after-windows"));
+    if (options.port == 0) {
+      const std::string path = flags.get("port-file");
+      if (path.empty()) {
+        std::cerr << "live_member: need --port or --port-file\n";
+        return 2;
+      }
+      options.port = wait_for_port_file(path, options.connect_timeout_ms);
+    }
+
+    live::MemberProcess member(options);
+    const int rc = member.run();
+    std::cerr << "live_member: member " << member.member_id() << " served "
+              << member.windows_run() << " windows, exit " << rc << "\n";
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "live_member: " << e.what() << "\n";
+    return 1;
+  }
+}

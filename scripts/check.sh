@@ -255,6 +255,69 @@ else
 fi
 rm -f "$perf_json"
 
+# Live-mode smoke: a real multi-process run — the coordinator plus four
+# live_member OS processes rendezvous over a loopback socket, then the
+# SAME binary replays the RunSpec through the sequential simulator
+# (--oracle) and the two reports must compare byte for byte. This is the
+# distributed-mode determinism contract (docs/live_mode.md); the python
+# gate also asserts the run actually did work (requests served, group
+# hits observed) so an empty-but-equal pair can't pass. Sandboxes that
+# forbid loopback sockets are detected with --probe-sockets and skipped;
+# ECGF_SKIP_LIVE=1 skips explicitly.
+echo "== live smoke (live_coordinator + 4 live_member processes) =="
+if [[ "${ECGF_SKIP_LIVE:-0}" == "1" ]]; then
+  echo "== live smoke skipped (ECGF_SKIP_LIVE=1) =="
+elif ! ./build/examples/live_coordinator --probe-sockets; then
+  echo "== live smoke skipped (loopback sockets unavailable here) =="
+else
+  live_dir="$(mktemp -d)"
+  # One spec for both arms — the determinism claim is only meaningful if
+  # the live run and the oracle see identical parameters.
+  live_spec=(--seed=606 --caches=16 --groups=4 --documents=150
+             --duration-ms=6000 --rate=3 --landmarks=5 --scheme=sdsl)
+  live_ok=1
+  ./build/examples/live_coordinator "${live_spec[@]}" --members=4 \
+    --port-file="$live_dir/port" --report-out="$live_dir/live.jsonl" \
+    >"$live_dir/coordinator.log" 2>&1 &
+  live_coord_pid=$!
+  live_member_pids=()
+  for i in 1 2 3 4; do
+    ./build/examples/live_member --port-file="$live_dir/port" \
+      >"$live_dir/member$i.log" 2>&1 &
+    live_member_pids+=($!)
+  done
+  wait "$live_coord_pid" || live_ok=0
+  for pid in "${live_member_pids[@]}"; do
+    wait "$pid" || live_ok=0
+  done
+  ./build/examples/live_coordinator "${live_spec[@]}" --oracle \
+    --report-out="$live_dir/oracle.jsonl" >/dev/null 2>&1 || live_ok=0
+  if [[ "$live_ok" != "1" ]]; then
+    echo "!! live smoke: a process exited nonzero" >&2
+    sed -e 's/^/  coordinator: /' "$live_dir/coordinator.log" >&2 || true
+    fail=1
+  elif command -v python3 >/dev/null 2>&1; then
+    python3 - "$live_dir/live.jsonl" "$live_dir/oracle.jsonl" <<'PYGATE' \
+      || { echo "!! live smoke gate failed" >&2; fail=1; }
+import json, sys
+live_bytes = open(sys.argv[1], "rb").read()
+oracle_bytes = open(sys.argv[2], "rb").read()
+assert live_bytes == oracle_bytes, \
+    "live report diverged from the sequential oracle"
+report = json.loads(live_bytes)
+assert report["requests_processed"] > 0, report
+assert report["group_hits"] > 0, report
+print("live smoke gate OK (report byte-identical to the oracle, "
+      f"{report['requests_processed']} requests, "
+      f"{report['group_hits']} group hits)")
+PYGATE
+  else
+    cmp -s "$live_dir/live.jsonl" "$live_dir/oracle.jsonl" \
+      || { echo "!! live report diverged from the oracle" >&2; fail=1; }
+  fi
+  rm -rf "$live_dir"
+fi
+
 # AddressSanitizer pass over one fast ctest shard: builds a separate tree
 # with -DECGF_SANITIZE=address (the CMake option existed since PR 1 but
 # only TSan was exercised) and runs the core memory-heavy suites. Probe
@@ -264,7 +327,7 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$asan_probe/probe.cpp"
   if c++ -fsanitize=address "$asan_probe/probe.cpp" -o "$asan_probe/probe" \
        >/dev/null 2>&1 && "$asan_probe/probe"; then
-    echo "== AddressSanitizer shard (sim_test, shard_test, net_test, cache_test, netmodel_test, workload_test) =="
+    echo "== AddressSanitizer shard (sim_test, shard_test, net_test, cache_test, netmodel_test, workload_test, live_test) =="
     asan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-asan/CMakeCache.txt ]]; then
       asan_generator=(-G Ninja)
@@ -272,7 +335,7 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
     cmake -B build-asan "${asan_generator[@]}" -DECGF_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-asan -j"$(nproc)" --target sim_test shard_test \
-      net_test cache_test netmodel_test workload_test
+      net_test cache_test netmodel_test workload_test live_test
     # gtest_discover_tests registers per-case names (not binary names), so
     # run everything discovered in this tree except the <target>_NOT_BUILT
     # placeholders of the test binaries we deliberately didn't build.
@@ -297,7 +360,7 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
   if c++ -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" \
        >/dev/null 2>&1 && "$tsan_probe/probe"; then
-    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test, netmodel_test, workload_test) =="
+    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test, netmodel_test, workload_test, live_test) =="
     tsan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-tsan/CMakeCache.txt ]]; then
       tsan_generator=(-G Ninja)
@@ -305,13 +368,16 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
     cmake -B build-tsan "${tsan_generator[@]}" -DECGF_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-tsan -j"$(nproc)" --target threading_test obs_test \
-      ctl_test shard_test netmodel_test workload_test
+      ctl_test shard_test netmodel_test workload_test live_test
     ECGF_THREADS=8 ./build-tsan/tests/threading_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/obs_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/ctl_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/shard_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/netmodel_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/workload_test || fail=1
+    # The live end-to-end suite runs member threads against the
+    # coordinator's socket loop in-process — real concurrency for TSan.
+    ECGF_THREADS=8 ./build-tsan/tests/live_test || fail=1
   else
     echo "== ThreadSanitizer unsupported by this toolchain; skipping =="
   fi

@@ -30,6 +30,16 @@
 // parallelism is inside cluster::kmeans, which is bit-identical at any
 // ECGF_THREADS (tests/ctl_test asserts the decisions, trace bytes, and
 // final partition across pool sizes 1/2/8).
+//
+// Live mode (src/live): a member process dying mid-run maps onto exactly
+// the leave path this session models — the coordinator synthesises a
+// graceful MembershipChange::kLeave for each cache the dead member owned
+// and the surviving replicas apply it like any scripted departure. Live
+// v1 deliberately runs WITHOUT a MaintenanceSession, though: the ACT step
+// repartitions groups mid-run (apply_groups), which in-process merely
+// rebuilds the shard plan but across processes would require migrating
+// per-cache workload-stream state between members. Until that migration
+// exists, the live wire format simply cannot express a control hook.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,77 @@
+// SocketExchange — the sim::MessageExchange backend that mirrors every
+// protocol delivery of a message-level run onto the live wire.
+//
+// Scope and honesty: in live mode each member executes its own groups'
+// events, so a cooperative fetch's EXECUTION never crosses a process
+// boundary (EventQueue actions are closures and cannot be serialised).
+// What crosses the wire is the delivery record itself — src, dst, logical
+// send time, payload size, computed travel time — as a kCoopFetch /
+// kCoopControl frame, one per travel_ms() call (self-deliveries that skip
+// the latency model, like a client handing its own cache a request, stay
+// local). The transport-qualification pass (docs/live_mode.md) runs a
+// small message-level workload twice on a member, once through
+// DirectExchange and once through SocketExchange with the coordinator
+// draining the mirrored frames, and requires bit-identical base reports
+// plus a delivery count matching the engine's message count: the wire
+// demonstrably carries the full protocol flow without perturbing it.
+#pragma once
+
+#include <cstdint>
+
+#include "live/sock.h"
+#include "live/wire.h"
+#include "sim/message_engine.h"
+
+namespace ecgf::live {
+
+class SocketExchange final : public sim::MessageExchange {
+ public:
+  /// `peer` receives one frame per message; non-owning, must outlive the
+  /// run. nullptr disables mirroring (counting only).
+  explicit SocketExchange(Socket* peer) : peer_(peer) {}
+
+  /// Same latency model as the base exchange — the mirror must never
+  /// perturb simulated time — plus one wire frame per message.
+  double travel_ms(net::HostId src, net::HostId dst, double sent_ms,
+                   std::uint64_t bytes, Payload payload) override {
+    const double t =
+        sim::MessageExchange::travel_ms(src, dst, sent_ms, bytes, payload);
+    CoopFrame f;
+    f.src = src;
+    f.dst = dst;
+    f.sent_ms = sent_ms;
+    f.bytes = bytes;
+    f.travel_ms = t;
+    if (peer_ != nullptr) {
+      peer_->send_frame(payload == Payload::kData ? MsgType::kCoopFetch
+                                                  : MsgType::kCoopControl,
+                        encode_coop(f));
+    }
+    ++frames_;
+    mirrored_bytes_ += bytes;
+    return t;
+  }
+
+  void deliver(net::HostId src, net::HostId dst, sim::SimTime at,
+               sim::EventQueue& queue, sim::EventQueue::Action work) override {
+    validate(src, dst);
+    ++deliveries_;
+    queue.schedule(at, std::move(work));
+  }
+
+  /// Frames mirrored so far (one per latency-model traversal).
+  std::uint64_t frames() const { return frames_; }
+  /// Deliveries scheduled (== protocol messages sent by the engine; the
+  /// superset of frames() — self-deliveries never consult travel_ms).
+  std::uint64_t deliveries() const { return deliveries_; }
+  /// Payload bytes the mirrored messages carried (bodies + control sizes).
+  std::uint64_t mirrored_bytes() const { return mirrored_bytes_; }
+
+ private:
+  Socket* peer_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t mirrored_bytes_ = 0;
+};
+
+}  // namespace ecgf::live

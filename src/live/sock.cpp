@@ -1,0 +1,227 @@
+#include "live/sock.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace ecgf::live {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw SockError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+/// Wait for readability with a wall-clock deadline.
+void wait_readable(int fd, double deadline_ms) {
+  for (;;) {
+    const double left = deadline_ms - now_ms();
+    if (left <= 0.0) throw SockTimeout("timed out waiting for peer");
+    pollfd p{fd, POLLIN, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(left) + 1);
+    if (rc > 0) return;  // readable, errored, or hung up — read() resolves it
+    if (rc == 0) throw SockTimeout("timed out waiting for peer");
+    if (errno != EINTR) raise_errno("poll");
+  }
+}
+
+}  // namespace
+
+bool sockets_available() {
+  static const bool available = [] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr = loopback_addr(0);
+    const bool ok =
+        ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+    ::close(fd);
+    return ok;
+  }();
+  return available;
+}
+
+bool skip_live_requested() {
+  const char* v = std::getenv("ECGF_SKIP_LIVE");
+  return v != nullptr && v[0] == '1' && v[1] == '\0';
+}
+
+// ---- Socket ---------------------------------------------------------------
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::write_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process with SIGPIPE — the coordinator turns it into a member
+    // leave.
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) throw SockClosed();
+      raise_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::read_all(std::uint8_t* data, std::size_t size,
+                      double deadline_ms) {
+  std::size_t got = 0;
+  while (got < size) {
+    wait_readable(fd_, deadline_ms);
+    const ssize_t n = ::recv(fd_, data + got, size - got, 0);
+    if (n == 0) throw SockClosed();
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      if (errno == ECONNRESET) throw SockClosed();
+      raise_errno("recv");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::send_frame(MsgType type,
+                        const std::vector<std::uint8_t>& payload) {
+  if (!valid()) throw SockError("send on closed socket");
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  write_all(frame.data(), frame.size());
+}
+
+Frame Socket::recv_frame(double timeout_ms) {
+  if (!valid()) throw SockError("recv on closed socket");
+  const double deadline = now_ms() + timeout_ms;
+  std::uint8_t header[kFrameHeaderBytes];
+  read_all(header, sizeof(header), deadline);
+  const FrameHeader h = decode_header(header, sizeof(header));
+  Frame f;
+  f.type = h.type;
+  f.payload.resize(h.length);
+  if (h.length > 0) read_all(f.payload.data(), h.length, deadline);
+  return f;
+}
+
+// ---- Listener -------------------------------------------------------------
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) raise_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    raise_errno("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    raise_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, 64) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = err;
+    raise_errno("listen");
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<Socket> Listener::accept(double timeout_ms) {
+  const double deadline = now_ms() + timeout_ms;
+  for (;;) {
+    const double left = deadline - now_ms();
+    if (left <= 0.0) return std::nullopt;
+    pollfd p{fd_, POLLIN, 0};
+    const int rc = ::poll(&p, 1, static_cast<int>(left) + 1);
+    if (rc == 0) return std::nullopt;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("poll");
+    }
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      raise_errno("accept");
+    }
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(cfd);
+  }
+}
+
+Socket connect_loopback(std::uint16_t port, double timeout_ms) {
+  const double deadline = now_ms() + timeout_ms;
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) raise_errno("socket");
+    sockaddr_in addr = loopback_addr(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    ::close(fd);
+    if (now_ms() >= deadline) {
+      throw SockTimeout("connect to 127.0.0.1:" + std::to_string(port) +
+                        " timed out");
+    }
+    // The coordinator's listener may not be up yet; back off briefly.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace ecgf::live

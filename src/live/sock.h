@@ -1,0 +1,107 @@
+// Minimal loopback TCP plumbing for live mode: RAII sockets, a listener,
+// and framed send/recv built on live/wire.h.
+//
+// Everything is synchronous with poll()-based deadlines — the live
+// protocol is strictly request/reply per connection (the coordinator
+// broadcasts, then gathers), so an async reactor would buy nothing but
+// complexity. A peer that stops responding surfaces as SockTimeout; a
+// closed peer as SockClosed; the coordinator maps either onto the
+// graceful member-leave path (docs/live_mode.md).
+//
+// Sandboxes that forbid socket creation are first-class citizens:
+// sockets_available() probes once, and every live entry point (tests, the
+// check.sh smoke, bench/live) skips with a recorded reason instead of
+// failing — the ECGF_SKIP_LIVE escape hatch forces the same skip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "live/wire.h"
+
+namespace ecgf::live {
+
+/// Transport-level failure (syscall error, refused connection).
+class SockError : public std::runtime_error {
+ public:
+  explicit SockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The peer closed the connection (EOF mid-frame or before one).
+class SockClosed : public SockError {
+ public:
+  SockClosed() : SockError("peer closed connection") {}
+};
+
+/// A deadline expired while waiting for the peer.
+class SockTimeout : public SockError {
+ public:
+  explicit SockTimeout(const std::string& what) : SockError(what) {}
+};
+
+/// True when this process may create and bind loopback TCP sockets.
+/// Probed once per process (the result is cached); false on sandboxes
+/// whose seccomp policy denies socket(2) or bind(2).
+bool sockets_available();
+
+/// True when ECGF_SKIP_LIVE=1 is set in the environment — the operator's
+/// explicit waiver for live-mode tests and smokes.
+bool skip_live_requested();
+
+/// Move-only RAII wrapper around a connected socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Send one complete frame; throws SockError/SockClosed on failure.
+  void send_frame(MsgType type, const std::vector<std::uint8_t>& payload);
+
+  /// Receive one complete frame within `timeout_ms` (wall clock; the
+  /// deadline covers the whole frame, not each byte). Throws SockTimeout,
+  /// SockClosed, SockError, or WireError (malformed header).
+  Frame recv_frame(double timeout_ms);
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t size);
+  void read_all(std::uint8_t* data, std::size_t size, double deadline_ms);
+
+  int fd_ = -1;
+};
+
+/// Listening loopback socket. Port 0 binds an ephemeral port; port()
+/// reports the actual one.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one connection within `timeout_ms`; nullopt on timeout.
+  std::optional<Socket> accept(double timeout_ms);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:port, retrying until `timeout_ms` elapses (the
+/// coordinator may not have called listen-accept yet when a member
+/// launches). Throws SockTimeout / SockError.
+Socket connect_loopback(std::uint16_t port, double timeout_ms);
+
+}  // namespace ecgf::live

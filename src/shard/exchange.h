@@ -122,6 +122,12 @@ class ShardSink final : public sim::EffectSink {
   const std::vector<BufferedEffect>& effects() const { return effects_; }
   void clear() { effects_.clear(); }
 
+  /// Append an effect reconstructed elsewhere (the live transport decodes
+  /// member effect batches into coordinator-side sinks so the same
+  /// merge_and_replay drives both drivers). The caller must preserve the
+  /// producer's canonical order — restore() appends verbatim.
+  void restore(const BufferedEffect& e) { effects_.push_back(e); }
+
  private:
   EffectKey next_key() {
     EffectKey k = current_;

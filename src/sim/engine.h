@@ -188,6 +188,12 @@ class ShardableEngine {
   const cache::Catalog& catalog() const { return catalog_; }
   const net::RttProvider& rtt() const { return rtt_; }
 
+  /// Invalidations pushed by on_update() so far. The live coordinator
+  /// reads the delta around each update barrier from every member replica
+  /// (each counts only its own groups' holders) and sums them into the
+  /// sequential run's global figure.
+  std::uint64_t invalidations_pushed() const { return invalidations_pushed_; }
+
   /// Assemble the final report from the driver's metrics plus the engine's
   /// barrier counters and the (summed) request-path tally.
   SimulationReport assemble_report(const MetricsCollector& metrics,

@@ -40,10 +40,37 @@ void MessageExchange::mark_down(net::HostId host) {
 }
 
 void MessageExchange::validate(net::HostId src, net::HostId dst) const {
-  ECGF_EXPECTS(cache_count_ > 0);  // bind() must precede any delivery
-  ECGF_EXPECTS(src < cache_count_ || src == server_);
-  ECGF_EXPECTS(dst < cache_count_ || dst == server_);
-  ECGF_EXPECTS(dst >= down_.size() || !down_[dst]);
+  // Diagnostic contract checks: a misrouted delivery names both endpoints
+  // and the reason, so a backend swap (DirectExchange → CongestionExchange
+  // → live::SocketExchange) that starts delivering to a dead or
+  // never-registered host fails with an actionable message instead of a
+  // bare expression dump.
+  const auto describe = [this](net::HostId h) {
+    if (h == server_) return std::string("origin");
+    if (h < cache_count_) return "cache " + std::to_string(h);
+    return "unregistered host " + std::to_string(h);
+  };
+  if (cache_count_ == 0) {
+    throw util::ContractViolation(
+        "MessageExchange::deliver before bind(): no hosts registered "
+        "(src=" +
+        std::to_string(src) + ", dst=" + std::to_string(dst) + ")");
+  }
+  const auto registered = [this](net::HostId h) {
+    return h < cache_count_ || h == server_;
+  };
+  if (!registered(src) || !registered(dst)) {
+    throw util::ContractViolation(
+        "MessageExchange::deliver endpoint out of range: src=" +
+        describe(src) + ", dst=" + describe(dst) + " (caches [0, " +
+        std::to_string(cache_count_) + "), origin " +
+        std::to_string(server_) + ")");
+  }
+  if (dst < down_.size() && down_[dst]) {
+    throw util::ContractViolation(
+        "MessageExchange::deliver to downed host: src=" + describe(src) +
+        ", dst=" + describe(dst) + " was marked down via mark_down()");
+  }
 }
 
 namespace {

@@ -24,9 +24,12 @@
 // operating regime an online control plane actually faces.
 //
 // --smoke shrinks everything for CI; --json-out=FILE additionally writes a
-// machine-readable report (schema ecgf-ablation-churn/2). Both are scanned
-// manually: util::Flags rejects flags it doesn't know, while ObsSession
-// ignores (and does not consume) non-obs flags.
+// machine-readable report (schema ecgf-ablation-churn/2); --scheme=<name>
+// forms the groups with any registered scheme instead of SL — the
+// maintenance loop then also runs that scheme's maintainer (e.g.
+// --scheme=proximity repairs with the balanced two-choice maintainer).
+// All are scanned manually: util::Flags rejects flags it doesn't know,
+// while ObsSession ignores (and does not consume) non-obs flags.
 #include <fstream>
 #include <string>
 
@@ -37,6 +40,7 @@
 #include "ctl/maintenance.h"
 #include "net/distance_matrix.h"
 #include "net/drift.h"
+#include "schemes/registry.h"
 #include "sim/netmodel/link_model.h"
 
 using namespace ecgf;
@@ -108,18 +112,26 @@ int main(int argc, char** argv) {
   ecgf::obs::ObsSession obs_session(argc, argv);
   bool smoke = false;
   std::string json_out;
+  std::string scheme_name = "sl";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") smoke = true;
     if (arg.rfind("--json-out=", 0) == 0) json_out = arg.substr(11);
+    if (arg.rfind("--scheme=", 0) == 0) scheme_name = arg.substr(9);
+  }
+  const schemes::SchemeRegistry& registry = schemes::SchemeRegistry::builtin();
+  if (!registry.contains(scheme_name)) {
+    std::cerr << "ablation_churn: unknown scheme '" << scheme_name
+              << "'; registered schemes: " << registry.names_joined() << "\n";
+    return 2;
   }
   const Config cfg = smoke ? smoke_config() : Config{};
   constexpr std::uint64_t kSeed = 2006;
 
   std::cout << "Ablation — static vs maintained groupings under drift + "
                "churn (N="
-            << cfg.caches << ", K=" << cfg.groups
-            << (smoke ? ", smoke)" : ")") << "\n";
+            << cfg.caches << ", K=" << cfg.groups << ", scheme="
+            << scheme_name << (smoke ? ", smoke)" : ")") << "\n";
 
   // Shared testbed: network, catalog, request/update trace.
   core::TestbedParams params = bench::paper_testbed_params(cfg.caches);
@@ -139,8 +151,9 @@ int main(int argc, char** argv) {
   formation_probes.jitter_sigma = 0.0;
   core::GfCoordinator coordinator(testbed.network, formation_probes,
                                   kSeed + 1);
-  const core::SlScheme scheme(scheme_config);
-  const auto base = coordinator.run(scheme, cfg.groups);
+  const std::shared_ptr<const core::GroupingScheme> scheme =
+      registry.make(scheme_name, scheme_config);
+  const auto base = coordinator.run(*scheme, cfg.groups);
   std::cout << "formation: " << base.probes_used << " probes, "
             << base.groups.size() << " groups\n";
 
@@ -211,7 +224,7 @@ int main(int argc, char** argv) {
       net::DriftingRttProvider provider(matrix, drift, drift_rng);
 
       ctl::MaintenanceConfig mc =
-          ctl::make_maintenance_config(base, cfg.caches);
+          ctl::make_maintenance_config(base, cfg.caches, scheme->maintainer());
       mc.policy.repair_threshold_ms = 10.0;
       mc.policy.reform_threshold_ms = 25.0;
       mc.budget.caches_per_tick = 8;
@@ -270,7 +283,7 @@ int main(int argc, char** argv) {
         util::Rng drift_rng(kSeed + 13);
         net::DriftingRttProvider provider(matrix, drift, drift_rng);
         ctl::MaintenanceConfig mc =
-            ctl::make_maintenance_config(base, cfg.caches);
+            ctl::make_maintenance_config(base, cfg.caches, scheme->maintainer());
         mc.policy.repair_threshold_ms = 10.0;
         mc.policy.reform_threshold_ms = 25.0;
         mc.budget.caches_per_tick = 8;
@@ -422,20 +435,24 @@ int main(int argc, char** argv) {
   const auto& calm = rows.front();
   const auto& stormy = rows.back();
   std::vector<Check> checks;
-  checks.push_back(
-      {"maintained grouping beats static on avg miss latency under heavy "
-       "drift + churn",
-       stormy.maintained_miss_ms < stormy.static_miss_ms});
-  checks.push_back(
-      {"maintenance never worsens miss latency by more than 2% at any "
-       "level",
-       [&] {
-         bool ok = true;
-         for (const auto& r : rows) {
-           ok &= r.maintained_miss_ms < r.static_miss_ms * 1.02;
-         }
-         return ok;
-       }()});
+  // The latency-improvement claims are tuned for the default SL arm; a
+  // --scheme override reports its numbers without asserting them.
+  if (scheme_name == "sl") {
+    checks.push_back(
+        {"maintained grouping beats static on avg miss latency under heavy "
+         "drift + churn",
+         stormy.maintained_miss_ms < stormy.static_miss_ms});
+    checks.push_back(
+        {"maintenance never worsens miss latency by more than 2% at any "
+         "level",
+         [&] {
+           bool ok = true;
+           for (const auto& r : rows) {
+             ok &= r.maintained_miss_ms < r.static_miss_ms * 1.02;
+           }
+           return ok;
+         }()});
+  }
   checks.push_back(
       {"maintenance is quiet on an undrifted network (no actions, grouping "
        "unchanged)",
@@ -469,7 +486,8 @@ int main(int argc, char** argv) {
   if (!json_out.empty()) {
     std::ofstream out(json_out);
     out << "{\n  \"schema\": \"ecgf-ablation-churn/2\",\n  \"mode\": \""
-        << (smoke ? "smoke" : "full")
+        << (smoke ? "smoke" : "full") << "\",\n  \"scheme\": \""
+        << json_escape(scheme_name)
         << "\",\n  \"peak_rss_bytes\": " << bench::peak_rss_bytes()
         << ",\n  \"levels\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {

@@ -1,11 +1,13 @@
 // scheme_comparison — run every grouping strategy the library offers on
 // one identical workload and print a side-by-side report: SL, SDSL, the
-// Euclidean (GNP) variant, the two degraded landmark selectors, and a
-// random partition strawman.
+// Euclidean (GNP) variant, the two degraded landmark selectors, and the
+// four registry-only schemes (random, geo, proximity, ucc).
 //
-// The five scheme variants run as one SweepRunner sweep, fanned across
-// the thread pool (--threads or ECGF_THREADS; 1 = serial). Output is
-// identical at every thread count.
+// Every variant is resolved through schemes::SchemeRegistry — including
+// the random strawman, which is a first-class registered scheme — and all
+// nine points run as one SweepRunner sweep, fanned across the thread pool
+// (--threads or ECGF_THREADS; 1 = serial). Output is identical at every
+// thread count.
 //
 // Usage: scheme_comparison [--caches N] [--groups K] [--seed S] [--threads T]
 //                          [--trace-out F] [--prof-out F] [--metrics-out F]
@@ -17,6 +19,7 @@
 #include "core/experiment.h"
 #include "core/sweep.h"
 #include "obs/export.h"
+#include "schemes/registry.h"
 #include "obs/session.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -28,8 +31,7 @@ namespace {
 
 struct Variant {
   std::string name;
-  core::SchemeKind kind;
-  core::SchemeConfig config;
+  std::shared_ptr<const core::GroupingScheme> scheme;
 };
 
 }  // namespace
@@ -66,29 +68,36 @@ int main(int argc, char** argv) {
 
   core::SchemeConfig base;
   base.num_landmarks = 25;
+  const schemes::SchemeRegistry& registry = schemes::SchemeRegistry::builtin();
 
   std::vector<Variant> variants;
-  variants.push_back({"SL (greedy landmarks)", core::SchemeKind::kSl, base});
+  variants.push_back({"SL (greedy landmarks)", registry.make("sl", base)});
   {
     auto c = base;
     c.theta = 2.0;
-    variants.push_back({"SDSL (theta=2)", core::SchemeKind::kSdsl, c});
+    variants.push_back({"SDSL (theta=2)", registry.make("sdsl", c)});
   }
   {
     auto c = base;
     c.positions = core::PositionKind::kGnp;
-    variants.push_back({"SL + GNP coordinates", core::SchemeKind::kSl, c});
+    variants.push_back({"SL + GNP coordinates", registry.make("sl", c)});
   }
   {
     auto c = base;
     c.selector = landmark::SelectorKind::kRandom;
-    variants.push_back({"SL + random landmarks", core::SchemeKind::kSl, c});
+    variants.push_back({"SL + random landmarks", registry.make("sl", c)});
   }
   {
     auto c = base;
     c.selector = landmark::SelectorKind::kMinDist;
-    variants.push_back({"SL + mindist landmarks", core::SchemeKind::kSl, c});
+    variants.push_back({"SL + mindist landmarks", registry.make("sl", c)});
   }
+  variants.push_back({"GEO (k-center + caps)", registry.make("geo", base)});
+  variants.push_back(
+      {"PROX (two-choice balanced)", registry.make("proximity", base)});
+  variants.push_back({"UCC (anchor clusters)", registry.make("ucc", base)});
+  variants.push_back(
+      {"random partition (no scheme)", registry.make("random", base)});
 
   sim::SimulationConfig sim_config;
   sim_config.cache_capacity_bytes = 2ull << 20;
@@ -99,8 +108,7 @@ int main(int argc, char** argv) {
     p.testbed = params;
     p.testbed_seed = seed;
     p.coordinator_seed = seed + 1;
-    p.scheme = v.kind;
-    p.config = v.config;
+    p.scheme_instance = v.scheme;
     p.group_count = groups;
     p.sim = sim_config;
     points.push_back(std::move(p));
@@ -117,28 +125,6 @@ int main(int argc, char** argv) {
                    r.report.avg_latency_ms,
                    100.0 * r.report.counts.group_hit_rate(),
                    static_cast<long long>(r.grouping.probes_used)});
-  }
-
-  // Random partition strawman (no scheme at all). Needs the concrete
-  // testbed for ground-truth RTTs; equal params + seed rebuild exactly the
-  // network the sweep evaluated.
-  {
-    const auto testbed = core::make_testbed(params, seed);
-    util::Rng rng(seed + 99);
-    const auto partition = core::random_partition(cache_count, groups, rng);
-    const auto report =
-        core::simulate_partition(testbed, partition, sim_config);
-    const cluster::DistanceFn icost = [&](std::size_t a, std::size_t b) {
-      return testbed.network.rtt_ms(static_cast<net::HostId>(a),
-                                    static_cast<net::HostId>(b));
-    };
-    std::vector<std::vector<std::size_t>> as_groups;
-    for (const auto& g : partition) as_groups.emplace_back(g.begin(), g.end());
-    table.add_row({std::string("random partition (no scheme)"),
-                   cluster::average_group_interaction_cost(as_groups, icost),
-                   report.avg_latency_ms,
-                   100.0 * report.counts.group_hit_rate(),
-                   static_cast<long long>(0)});
   }
 
   if (const std::string path = flags.get("metrics-out"); !path.empty()) {

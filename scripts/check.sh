@@ -34,8 +34,10 @@ while IFS= read -r md; do
   done < <(grep -ohE 'ECGF_[A-Z0-9_]+' "$md" | sort -u)
   # Schema-version strings quoted in the user-facing docs must match a
   # bench header exactly (catches docs going stale when a schema bumps).
+  # EXPERIMENTS.md quotes schemas and flags too — it is part of the
+  # linted surface, not an exception.
   case "$md" in
-    ./README.md|./docs/*)
+    ./README.md|./EXPERIMENTS.md|./docs/*)
       while IFS= read -r schema; do
         if ! grep -rq --include='*.cpp' --include='*.h' -- "$schema" bench; then
           echo "!! stale schema version in $md: $schema not emitted by any bench" >&2
@@ -119,6 +121,51 @@ else
     || { echo "!! ctl smoke JSON missing schema marker" >&2; fail=1; }
 fi
 rm -f "$churn_json"
+
+# Scheme bake-off smoke: every registered scheme head-to-head at smoke
+# sizes. The JSON gate checks the registry wiring and the cost honesty,
+# not just parseability: all six registered schemes must appear, every
+# entry must carry positive probing/interaction costs and a valid
+# partition, and SDSL must beat the random strawman on quiet miss
+# latency at every network size — the bake-off's reason to exist.
+echo "== bake-off smoke (bench/bakeoff --smoke) =="
+bakeoff_json="$(mktemp)"
+bakeoff_out="$(./build/bench/bakeoff --smoke --json-out="$bakeoff_json")" \
+  || fail=1
+echo "$bakeoff_out"
+if grep -q "shape-check: FAIL" <<<"$bakeoff_out"; then
+  echo "!! shape-check failure in bake-off smoke" >&2
+  fail=1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$bakeoff_json" <<'PYGATE' || { echo "!! bake-off smoke JSON gate failed" >&2; fail=1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["schema"] == "ecgf-bench-bakeoff/1", d["schema"]
+assert d["schemes"] == ["sl", "sdsl", "random", "geo", "proximity", "ucc"], \
+    d["schemes"]
+entries = d["entries"]
+sizes = sorted({e["n"] for e in entries})
+for n in sizes:
+    present = {e["scheme"] for e in entries if e["n"] == n}
+    assert present == set(d["schemes"]), f"n={n} missing {set(d['schemes']) - present}"
+for e in entries:
+    assert e["partition_valid"], e
+    assert e["formation_probes"] > 0, e
+    assert e["gicost_ms"] > 0, e
+by = {(e["n"], e["scheme"]): e for e in entries}
+for n in sizes:
+    sdsl = by[(n, "sdsl")]["quiet"]["avg_miss_latency_ms"]
+    rand = by[(n, "random")]["quiet"]["avg_miss_latency_ms"]
+    assert sdsl < rand, f"n={n}: sdsl miss {sdsl} not below random {rand}"
+print(f"bake-off smoke JSON gate OK ({len(entries)} entries, "
+      f"{len(d['schemes'])} schemes, sizes {sizes})")
+PYGATE
+else
+  grep -q '"schema": "ecgf-bench-bakeoff/1"' "$bakeoff_json" \
+    || { echo "!! bake-off smoke JSON missing schema marker" >&2; fail=1; }
+fi
+rm -f "$bakeoff_json"
 
 # Network-model smoke: the flash-crowd congestion ablation at smoke sizes.
 # The JSON gate checks the physics, not just parseability: the overloaded
@@ -327,7 +374,7 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$asan_probe/probe.cpp"
   if c++ -fsanitize=address "$asan_probe/probe.cpp" -o "$asan_probe/probe" \
        >/dev/null 2>&1 && "$asan_probe/probe"; then
-    echo "== AddressSanitizer shard (sim_test, shard_test, net_test, cache_test, netmodel_test, workload_test, live_test) =="
+    echo "== AddressSanitizer shard (sim_test, shard_test, schemes_test, net_test, cache_test, netmodel_test, workload_test, live_test) =="
     asan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-asan/CMakeCache.txt ]]; then
       asan_generator=(-G Ninja)
@@ -335,7 +382,7 @@ if [[ "${ECGF_SKIP_ASAN:-0}" != "1" ]]; then
     cmake -B build-asan "${asan_generator[@]}" -DECGF_SANITIZE=address \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-asan -j"$(nproc)" --target sim_test shard_test \
-      net_test cache_test netmodel_test workload_test live_test
+      schemes_test net_test cache_test netmodel_test workload_test live_test
     # gtest_discover_tests registers per-case names (not binary names), so
     # run everything discovered in this tree except the <target>_NOT_BUILT
     # placeholders of the test binaries we deliberately didn't build.
@@ -360,7 +407,7 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
   echo 'int main(){return 0;}' > "$tsan_probe/probe.cpp"
   if c++ -fsanitize=thread "$tsan_probe/probe.cpp" -o "$tsan_probe/probe" \
        >/dev/null 2>&1 && "$tsan_probe/probe"; then
-    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test, netmodel_test, workload_test, live_test) =="
+    echo "== ThreadSanitizer pass (threading_test, obs_test, ctl_test, shard_test, schemes_test, netmodel_test, workload_test, live_test) =="
     tsan_generator=()
     if command -v ninja >/dev/null 2>&1 && [[ ! -f build-tsan/CMakeCache.txt ]]; then
       tsan_generator=(-G Ninja)
@@ -368,11 +415,12 @@ if [[ "${ECGF_SKIP_TSAN:-0}" != "1" ]]; then
     cmake -B build-tsan "${tsan_generator[@]}" -DECGF_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
     cmake --build build-tsan -j"$(nproc)" --target threading_test obs_test \
-      ctl_test shard_test netmodel_test workload_test live_test
+      ctl_test shard_test schemes_test netmodel_test workload_test live_test
     ECGF_THREADS=8 ./build-tsan/tests/threading_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/obs_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/ctl_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/shard_test || fail=1
+    ECGF_THREADS=8 ./build-tsan/tests/schemes_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/netmodel_test || fail=1
     ECGF_THREADS=8 ./build-tsan/tests/workload_test || fail=1
     # The live end-to-end suite runs member threads against the

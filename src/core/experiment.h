@@ -16,6 +16,10 @@
 
 namespace ecgf::core {
 
+/// The paper's two schemes. This enum factory predates the string-keyed
+/// schemes::SchemeRegistry (src/schemes/registry.h), which subsumes it —
+/// the registry also serves the random baseline and the comparator
+/// schemes; new call sites should resolve schemes there by name.
 enum class SchemeKind { kSl, kSdsl };
 
 std::unique_ptr<GroupingScheme> make_scheme(SchemeKind kind,
@@ -58,7 +62,9 @@ double subset_mean_latency(const sim::SimulationReport& report,
                            const std::vector<std::uint32_t>& subset);
 
 /// Partition of all caches into ceil(N/size) contiguous random groups —
-/// the "no scheme" strawman used in tests.
+/// the "no scheme" strawman used in tests. Promoted to a first-class
+/// scheme as schemes::RandomScheme (registry key "random"), which wraps
+/// exactly this shuffle + round-robin deal.
 std::vector<std::vector<std::uint32_t>> random_partition(std::size_t n,
                                                          std::size_t k,
                                                          util::Rng& rng);

@@ -1,0 +1,49 @@
+#include "core/maintainer.h"
+
+#include "cluster/init.h"
+#include "core/membership.h"
+
+namespace ecgf::core {
+
+std::uint32_t GroupMaintainer::repair(MembershipManager& membership,
+                                      std::uint32_t cache) const {
+  return membership.reassign(cache);
+}
+
+ReformPlan CentroidMaintainer::reform(const std::vector<std::uint32_t>& active,
+                                      const cluster::Points& points,
+                                      std::size_t k,
+                                      const MembershipManager& membership,
+                                      const cluster::KMeansOptions& kmeans,
+                                      util::Rng& rng) const {
+  cluster::KMeansOptions options = kmeans;
+  // Warm start from the previous grouping's live centroids — the whole
+  // point of the warm-start API. Only applicable while the group count
+  // matches (extinctions can shrink the centroid set).
+  auto centers = membership.centroids();
+  if (centers.size() == k) {
+    options.initial_centers = std::move(centers);
+  } else {
+    options.initial_centers.clear();
+  }
+
+  const cluster::UniformCoverageInit init;
+  const cluster::KMeansResult result =
+      cluster::kmeans(points, k, init, rng, options);
+
+  ReformPlan plan;
+  plan.iterations = result.iterations;
+  plan.partition.resize(k);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    plan.partition[result.assignment[i]].push_back(active[i]);
+  }
+  return plan;
+}
+
+std::shared_ptr<const GroupMaintainer> default_group_maintainer() {
+  static const std::shared_ptr<const GroupMaintainer> kInstance =
+      std::make_shared<CentroidMaintainer>();
+  return kInstance;
+}
+
+}  // namespace ecgf::core

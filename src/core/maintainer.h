@@ -1,0 +1,82 @@
+// GroupMaintainer — a formation scheme's maintenance capability.
+//
+// The ctl control plane (src/ctl/maintenance.h) keeps a formed grouping
+// healthy with two primitives: *repair* (re-home one drifted cache) and
+// *reform* (re-partition every active cache from its estimated feature
+// vector). Historically both primitives assumed K-means centroids; that
+// is right for SL/SDSL but wrong for schemes with different invariants
+// (e.g. the balanced-allocation scheme must preserve its group-size cap
+// through maintenance). GroupMaintainer is the seam: each GroupingScheme
+// exposes one via GroupingScheme::maintainer(), and MaintenanceSession
+// delegates its ACT step through it — the session stays scheme-agnostic.
+//
+// Determinism contract: repair() and reform() must be pure functions of
+// their arguments (plus `rng` draws in reform) — no hidden state, no
+// wall clock — so maintained runs stay bit-identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "util/rng.h"
+
+namespace ecgf::core {
+
+class MembershipManager;
+
+/// A reform's output: the new partition over the active caches, plus an
+/// effort indicator (K-means iterations for the centroid maintainer;
+/// placement passes for cheaper maintainers). The effort count is what
+/// MaintenanceSession reports as the reformation's `moves`.
+struct ReformPlan {
+  std::vector<std::vector<std::uint32_t>> partition;
+  std::size_t iterations = 0;
+};
+
+class GroupMaintainer {
+ public:
+  virtual ~GroupMaintainer() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Re-home one drifted cache. `membership` already holds the cache's
+  /// refreshed position; the maintainer moves it (or leaves it) and
+  /// returns the group it ends up in. Default: nearest-centroid
+  /// (MembershipManager::reassign).
+  virtual std::uint32_t repair(MembershipManager& membership,
+                               std::uint32_t cache) const;
+
+  /// Re-partition the `active` caches (ascending ids) from `points`
+  /// (points[i] = estimated vector of active[i]) into at most `k` groups.
+  /// `membership` is the outgoing state (warm-start material only — the
+  /// session rebuilds it from the returned plan); `kmeans` carries the
+  /// session's clustering knobs for maintainers that cluster; `rng` is a
+  /// fresh per-reform fork and the only randomness source.
+  virtual ReformPlan reform(const std::vector<std::uint32_t>& active,
+                            const cluster::Points& points, std::size_t k,
+                            const MembershipManager& membership,
+                            const cluster::KMeansOptions& kmeans,
+                            util::Rng& rng) const = 0;
+};
+
+/// The classic maintainer (SL/SDSL and any centroid-friendly scheme):
+/// repair = nearest centroid; reform = K-means over the estimated
+/// vectors, warm-started from the outgoing group centroids.
+class CentroidMaintainer final : public GroupMaintainer {
+ public:
+  std::string_view name() const override { return "centroid"; }
+  ReformPlan reform(const std::vector<std::uint32_t>& active,
+                    const cluster::Points& points, std::size_t k,
+                    const MembershipManager& membership,
+                    const cluster::KMeansOptions& kmeans,
+                    util::Rng& rng) const override;
+};
+
+/// Shared CentroidMaintainer instance — the default for every scheme that
+/// does not override GroupingScheme::maintainer().
+std::shared_ptr<const GroupMaintainer> default_group_maintainer();
+
+}  // namespace ecgf::core

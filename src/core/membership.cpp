@@ -127,6 +127,32 @@ std::uint32_t MembershipManager::reassign(std::uint32_t cache) {
   return join(cache);
 }
 
+std::size_t MembershipManager::group_size(std::uint32_t group) const {
+  ECGF_EXPECTS(group < counts_.size());
+  return counts_[group];
+}
+
+std::vector<double> MembershipManager::centroid_of(std::uint32_t group) const {
+  ECGF_EXPECTS(group < counts_.size());
+  if (counts_[group] == 0) return {};
+  std::vector<double> mean(dimension_);
+  const double inv = 1.0 / static_cast<double>(counts_[group]);
+  for (std::size_t d = 0; d < dimension_; ++d) {
+    mean[d] = centroid_sum_[group][d] * inv;
+  }
+  return mean;
+}
+
+void MembershipManager::move_to(std::uint32_t cache, std::uint32_t group) {
+  ECGF_EXPECTS(cache < assignment_.size());
+  ECGF_EXPECTS(assignment_[cache].has_value());
+  ECGF_EXPECTS(group < counts_.size());
+  if (*assignment_[cache] == group) return;
+  remove_from_centroid(cache, *assignment_[cache]);
+  assignment_[cache] = group;
+  add_to_centroid(cache, group);
+}
+
 std::vector<std::vector<double>> MembershipManager::centroids() const {
   std::vector<std::vector<double>> out;
   for (std::uint32_t g = 0; g < counts_.size(); ++g) {

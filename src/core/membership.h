@@ -43,6 +43,14 @@ class MembershipManager {
   std::size_t group_count() const { return counts_.size(); }
   std::size_t active_caches() const { return active_count_; }
 
+  /// Active members of `group` (0 for extinct groups).
+  std::size_t group_size(std::uint32_t group) const;
+
+  /// Mean position of `group`; empty vector when the group has no members.
+  /// Unlike centroids(), indexed by group id and including extinct groups —
+  /// the shape capacity-aware maintainers need.
+  std::vector<double> centroid_of(std::uint32_t group) const;
+
   /// The cache's current feature vector (formation-time coordinates until
   /// update_position() refreshes them).
   const std::vector<double>& position(std::uint32_t cache) const;
@@ -59,6 +67,11 @@ class MembershipManager {
   /// return that group id — which may be its current group (no move).
   /// This is the control plane's "incremental repair" primitive.
   std::uint32_t reassign(std::uint32_t cache);
+
+  /// Move an active cache into `group` unconditionally (no-op when already
+  /// there). Capacity- and balance-aware maintainers pick the target group
+  /// themselves instead of delegating to the nearest-centroid rule.
+  void move_to(std::uint32_t cache, std::uint32_t group);
 
   /// Mean position of every non-empty group, in ascending group-id order —
   /// the warm-start seed for a K-means re-formation

@@ -1,6 +1,7 @@
 #include "core/scheme.h"
 
 #include "coords/feature_vector.h"
+#include "core/maintainer.h"
 #include "obs/profile.h"
 #include "util/expect.h"
 
@@ -11,6 +12,10 @@ std::vector<std::vector<std::uint32_t>> GroupingResult::partition() const {
   out.reserve(groups.size());
   for (const CacheGroup& g : groups) out.push_back(g.members);
   return out;
+}
+
+std::shared_ptr<const GroupMaintainer> GroupingScheme::maintainer() const {
+  return default_group_maintainer();
 }
 
 namespace {

@@ -21,6 +21,8 @@
 
 namespace ecgf::core {
 
+class GroupMaintainer;  // core/maintainer.h
+
 /// How node positions are represented before clustering (Fig. 7 knob).
 enum class PositionKind {
   kFeatureVector,     ///< raw landmark-RTT vectors (the paper's choice)
@@ -79,6 +81,13 @@ class GroupingScheme {
                                      net::Prober& prober, util::Rng& rng,
                                      obs::TraceContext* trace = nullptr)
       const = 0;
+
+  /// The scheme's maintenance capability — how the ctl plane repairs and
+  /// re-forms groupings this scheme produced (see core/maintainer.h).
+  /// Default: the shared CentroidMaintainer (nearest-centroid repair,
+  /// warm-started K-means reform), which is right for any scheme whose
+  /// groups are proximity clusters in the landmark feature space.
+  virtual std::shared_ptr<const GroupMaintainer> maintainer() const;
 };
 
 /// Selective Landmarks scheme (paper §3).

@@ -45,6 +45,14 @@ struct SweepPoint {
 
   SchemeKind scheme = SchemeKind::kSl;
   SchemeConfig config;
+
+  /// Registry-era scheme selection: when set, the point runs this instance
+  /// and `scheme`/`config` above are ignored. Schemes are immutable after
+  /// construction (form_groups is const), so one instance may be shared by
+  /// any number of points across the pool — e.g.
+  /// `schemes::SchemeRegistry::builtin().make(name)` converted to shared.
+  std::shared_ptr<const GroupingScheme> scheme_instance;
+
   std::size_t group_count = 1;
 
   /// Document-transfer component added per pairwise interaction when

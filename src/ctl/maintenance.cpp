@@ -2,15 +2,15 @@
 
 #include <algorithm>
 
-#include "cluster/init.h"
 #include "obs/profile.h"
 #include "sim/simulator.h"
 #include "util/expect.h"
 
 namespace ecgf::ctl {
 
-MaintenanceConfig make_maintenance_config(const core::GroupingResult& base,
-                                          std::size_t cache_count) {
+MaintenanceConfig make_maintenance_config(
+    const core::GroupingResult& base, std::size_t cache_count,
+    std::shared_ptr<const core::GroupMaintainer> maintainer) {
   ECGF_EXPECTS(!base.groups.empty());
   ECGF_EXPECTS(!base.landmarks.empty());
   ECGF_EXPECTS(base.positions.host_count() >= cache_count);
@@ -24,6 +24,7 @@ MaintenanceConfig make_maintenance_config(const core::GroupingResult& base,
     config.baseline_positions.emplace_back(span.begin(), span.end());
   }
   config.initial_partition = base.partition();
+  config.maintainer = std::move(maintainer);
   return config;
 }
 
@@ -36,6 +37,9 @@ MaintenanceSession::MaintenanceSession(const net::RttProvider& rtt,
                config_.monitor),
       budgeter_(config_.budget),
       policy_(config_.policy),
+      maintainer_(config_.maintainer != nullptr
+                      ? config_.maintainer
+                      : core::default_group_maintainer()),
       membership_(config_.initial_partition, config_.baseline_positions),
       trace_(config_.trace),
       target_groups_(config_.target_groups != 0
@@ -125,8 +129,8 @@ void MaintenanceSession::on_tick(sim::GroupHost& sim, double time_ms) {
 }
 
 std::size_t MaintenanceSession::apply_repair(sim::GroupHost& sim) {
-  // Re-point every sufficiently drifted member at its nearest centroid.
-  // update_position BEFORE reassign so the decision sees the estimate;
+  // Re-home every sufficiently drifted member via the maintainer's repair
+  // rule. update_position BEFORE repair so the decision sees the estimate;
   // rebase after so the handled displacement stops reading as drift.
   std::size_t moves = 0;
   const double threshold = policy_.options().repair_threshold_ms;
@@ -136,7 +140,7 @@ std::size_t MaintenanceSession::apply_repair(sim::GroupHost& sim) {
     if (monitor_.drift(cache) < threshold) continue;
     membership_.update_position(cache, monitor_.estimate(cache));
     const std::uint32_t before = membership_.group_of(cache);
-    const std::uint32_t after = membership_.reassign(cache);
+    const std::uint32_t after = maintainer_->repair(membership_, cache);
     monitor_.rebase(cache);
     if (after != before) ++moves;
   }
@@ -162,27 +166,10 @@ std::size_t MaintenanceSession::apply_reform(sim::GroupHost& sim) {
   }
 
   const std::size_t k = std::min(target_groups_, active.size());
-  cluster::KMeansOptions options = config_.kmeans;
-  // Warm start from the previous grouping's live centroids — the whole
-  // point of the warm-start API. Only applicable while the group count
-  // matches (extinctions can shrink the centroid set).
-  auto centers = membership_.centroids();
-  if (centers.size() == k) {
-    options.initial_centers = std::move(centers);
-  } else {
-    options.initial_centers.clear();
-  }
-
   util::Rng reform_rng = rng_.fork(100 + reform_seq_++);
-  const cluster::UniformCoverageInit init;
-  const cluster::KMeansResult result =
-      cluster::kmeans(points, k, init, reform_rng, options);
-  last_reform_iters_ = result.iterations;
-
-  std::vector<std::vector<std::uint32_t>> partition(k);
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    partition[result.assignment[i]].push_back(active[i]);
-  }
+  const core::ReformPlan plan = maintainer_->reform(
+      active, points, k, membership_, config_.kmeans, reform_rng);
+  last_reform_iters_ = plan.iterations;
 
   // Rebuild the membership view over the refreshed coordinates (departed
   // caches keep their latest estimates for their eventual rejoin).
@@ -191,10 +178,10 @@ std::size_t MaintenanceSession::apply_reform(sim::GroupHost& sim) {
   for (std::size_t c = 0; c < monitor_.cache_count(); ++c) {
     positions.push_back(monitor_.estimate(static_cast<std::uint32_t>(c)));
   }
-  membership_ = core::MembershipManager(partition, positions);
+  membership_ = core::MembershipManager(plan.partition, positions);
   monitor_.rebase_all();
-  sim.apply_groups(partition);
-  return result.iterations;
+  sim.apply_groups(plan.partition);
+  return plan.iterations;
 }
 
 }  // namespace ecgf::ctl

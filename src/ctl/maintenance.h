@@ -14,13 +14,16 @@
 //                `drift_score` trace event every tick.
 //   3. DECIDE  — ReformationPolicy: none / repair / reform, with
 //                hysteresis and a cost/benefit gate.
-//   4. ACT     — repair: drifted caches are re-pointed at their nearest
-//                group centroid (MembershipManager::reassign); reform:
-//                K-means over the estimated vectors, warm-started from
-//                the current group centroids, then a new
-//                MembershipManager. Either way the new partition is
-//                pushed into the simulator (apply_groups) and the monitor
-//                is rebased so the acted-on drift reads as handled.
+//   4. ACT     — delegated to the forming scheme's GroupMaintainer
+//                (core/maintainer.h; MaintenanceConfig::maintainer).
+//                The default CentroidMaintainer re-points drifted caches
+//                at their nearest group centroid on repair and runs
+//                K-means over the estimated vectors (warm-started from
+//                the current centroids) on reform; schemes with other
+//                invariants (e.g. balanced allocation) substitute their
+//                own rules. Either way the new partition is pushed into
+//                the simulator (apply_groups) and the monitor is rebased
+//                so the acted-on drift reads as handled.
 //
 // Churn: leaves deactivate the cache in both the membership view and the
 // monitor; joins re-probe the returning cache's vector, admit it to the
@@ -46,6 +49,7 @@
 #include <vector>
 
 #include "cluster/kmeans.h"
+#include "core/maintainer.h"
 #include "core/membership.h"
 #include "core/scheme.h"
 #include "ctl/budgeter.h"
@@ -79,15 +83,24 @@ struct MaintenanceConfig {
   net::ProberOptions prober{};
   std::uint64_t seed = 1;
 
+  /// The formation scheme's maintenance capability driving the ACT step
+  /// (GroupingScheme::maintainer()). Null = core::default_group_maintainer()
+  /// — nearest-centroid repair + warm-started K-means reform, the classic
+  /// behavior and the right one for SL/SDSL.
+  std::shared_ptr<const core::GroupMaintainer> maintainer;
+
   /// Trace stream for ctl events (drift_score, reformation). Inactive =
   /// fall back to the ambient stream of the global tracer.
   obs::TraceContext trace{};
 };
 
 /// Convenience: derive landmarks / baseline vectors / initial partition
-/// from a formation result (the common construction path).
-MaintenanceConfig make_maintenance_config(const core::GroupingResult& base,
-                                          std::size_t cache_count);
+/// from a formation result (the common construction path). Pass the
+/// forming scheme's `maintainer()` so maintenance honours the scheme's
+/// own repair/reform rules; omit it for the centroid default.
+MaintenanceConfig make_maintenance_config(
+    const core::GroupingResult& base, std::size_t cache_count,
+    std::shared_ptr<const core::GroupMaintainer> maintainer = nullptr);
 
 class MaintenanceSession final : public sim::ControlHook {
  public:
@@ -119,11 +132,12 @@ class MaintenanceSession final : public sim::ControlHook {
   std::size_t last_reform_iterations() const { return last_reform_iters_; }
 
  private:
-  /// Reassign every member whose drift exceeds the repair threshold to
-  /// its nearest centroid; returns the number that changed group.
+  /// Re-home every member whose drift exceeds the repair threshold via
+  /// the maintainer's repair rule; returns the number that changed group.
   std::size_t apply_repair(sim::GroupHost& sim);
-  /// Full K-means re-formation over the estimated vectors; returns the
-  /// K-means iteration count.
+  /// Full re-formation over the estimated vectors via the maintainer's
+  /// reform rule; returns its effort count (K-means iterations for the
+  /// centroid maintainer).
   std::size_t apply_reform(sim::GroupHost& sim);
 
   MaintenanceConfig config_;
@@ -132,6 +146,7 @@ class MaintenanceSession final : public sim::ControlHook {
   DriftMonitor monitor_;
   ReprobeBudgeter budgeter_;
   ReformationPolicy policy_;
+  std::shared_ptr<const core::GroupMaintainer> maintainer_;
   core::MembershipManager membership_;
   obs::TraceContext trace_;
   sim::GroupHost* sim_ = nullptr;

@@ -1,0 +1,79 @@
+#include "schemes/detail.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace ecgf::schemes::detail {
+
+std::vector<double> probe_column(std::size_t cache_count, net::HostId target,
+                                 net::Prober& prober) {
+  std::vector<double> out(cache_count, 0.0);
+  for (net::HostId c = 0; c < cache_count; ++c) {
+    if (c == target) continue;
+    out[c] = prober.measure_rtt_ms(c, target);
+  }
+  return out;
+}
+
+core::GroupingResult package(
+    std::size_t cache_count, net::HostId server,
+    std::vector<double> server_distance,
+    const std::vector<net::HostId>& anchors,
+    const std::vector<std::vector<double>>& anchor_columns,
+    std::vector<std::vector<std::uint32_t>> groups, net::Prober& prober,
+    std::size_t probes_before) {
+  ECGF_EXPECTS(server_distance.size() == cache_count);
+  ECGF_EXPECTS(anchor_columns.size() == anchors.size());
+
+  core::GroupingResult out;
+  out.landmarks.reserve(anchors.size() + 1);
+  out.landmarks.push_back(server);
+  out.landmarks.insert(out.landmarks.end(), anchors.begin(), anchors.end());
+
+  const std::size_t dimension = anchors.size() + 1;
+  out.positions = coords::PositionMap(cache_count + 1, dimension);
+  for (net::HostId c = 0; c < cache_count; ++c) {
+    auto row = out.positions.mutable_coords(c);
+    row[0] = server_distance[c];
+    for (std::size_t j = 0; j < anchors.size(); ++j) {
+      ECGF_EXPECTS(anchor_columns[j].size() == cache_count);
+      row[j + 1] = anchor_columns[j][c];
+    }
+  }
+  // The server's own row: component 0 (distance to itself) stays 0; the
+  // anchor components are measured here, mirroring how SL/SDSL position
+  // the server against the landmark set.
+  auto server_row = out.positions.mutable_coords(server);
+  for (std::size_t j = 0; j < anchors.size(); ++j) {
+    server_row[j + 1] = prober.measure_rtt_ms(server, anchors[j]);
+  }
+
+  out.server_distance_ms = std::move(server_distance);
+  out.groups.reserve(groups.size());
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    std::sort(groups[g].begin(), groups[g].end());
+    core::CacheGroup group;
+    group.id = g;
+    group.members.assign(groups[g].begin(), groups[g].end());
+    out.groups.push_back(std::move(group));
+  }
+
+  out.probes_used = prober.probes_sent() - probes_before;
+  out.kmeans_iterations = 0;  // no K-means stage in anchor-based schemes
+  out.kmeans_converged = true;
+  return out;
+}
+
+std::size_t group_capacity(std::size_t cache_count, std::size_t k,
+                           double slack) {
+  ECGF_EXPECTS(k >= 1);
+  ECGF_EXPECTS(slack >= 1.0);
+  const auto cap = static_cast<std::size_t>(
+      std::ceil(slack * static_cast<double>(cache_count) /
+                static_cast<double>(k)));
+  return std::max<std::size_t>(1, cap);
+}
+
+}  // namespace ecgf::schemes::detail

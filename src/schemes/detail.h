@@ -1,0 +1,45 @@
+// Shared plumbing for the anchor-based comparator schemes (geo, proximity,
+// ucc, random). Each of them elects a small set of anchor caches (leaders /
+// seeds / cluster heads), measures every cache against the anchors, and
+// partitions from those measured columns. This header centralises the two
+// probing shapes and the packaging into core::GroupingResult so every
+// scheme reports positions, landmarks, and probe costs the same way the
+// paper's SL/SDSL do — which is what lets the ctl maintenance plane and the
+// sharded/live drivers run them unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheme.h"
+
+namespace ecgf::schemes::detail {
+
+/// out[c] = measured RTT cache c → `target` for every cache 0..n-1, in
+/// ascending cache order (the order is part of the determinism contract).
+/// The target's own entry is 0.0 without spending a probe.
+std::vector<double> probe_column(std::size_t cache_count, net::HostId target,
+                                 net::Prober& prober);
+
+/// Package an anchor-based formation into a GroupingResult:
+///   landmarks = {server, anchors...}; positions = per-host vector
+///   [server distance, distance to each anchor] over cache_count+1 hosts
+///   (the server row is probed here — one measurement per anchor);
+///   probes_used = prober.probes_sent() - probes_before.
+/// `anchor_columns[j]` must be probe_column(..., anchors[j], ...).
+/// Anchor-based schemes run no K-means: the result reports 0 iterations,
+/// converged.
+core::GroupingResult package(
+    std::size_t cache_count, net::HostId server,
+    std::vector<double> server_distance,
+    const std::vector<net::HostId>& anchors,
+    const std::vector<std::vector<double>>& anchor_columns,
+    std::vector<std::vector<std::uint32_t>> groups, net::Prober& prober,
+    std::size_t probes_before);
+
+/// ceil(slack * n / k), floored at 1 — the group-capacity rule shared by
+/// the capacity-constrained schemes.
+std::size_t group_capacity(std::size_t cache_count, std::size_t k,
+                           double slack);
+
+}  // namespace ecgf::schemes::detail

@@ -1,0 +1,115 @@
+#include "schemes/geo_scheme.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/profile.h"
+#include "schemes/detail.h"
+#include "util/expect.h"
+
+namespace ecgf::schemes {
+
+GeoScheme::GeoScheme(GeoOptions options) : options_(options) {
+  ECGF_EXPECTS(options_.cap_slack >= 1.0);
+}
+
+core::GroupingResult GeoScheme::form_groups(std::size_t cache_count,
+                                            net::HostId server, std::size_t k,
+                                            net::Prober& prober,
+                                            util::Rng& /*rng*/,
+                                            obs::TraceContext* trace) const {
+  ECGF_PROF_SCOPE("schemes.geo");
+  ECGF_EXPECTS(cache_count >= 2);
+  ECGF_EXPECTS(server == cache_count);
+  ECGF_EXPECTS(k >= 1 && k <= cache_count);
+
+  const std::size_t probes_before = prober.probes_sent();
+  prober.set_trace(trace);
+  std::vector<double> server_distance =
+      detail::probe_column(cache_count, server, prober);
+
+  // Leader election: greedy k-center. Leader 0 anchors the constellation
+  // at the cache nearest the origin; every next leader maximises its
+  // distance to the existing leader set (min over probed columns).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<net::HostId> leaders;
+  std::vector<std::vector<double>> columns;  // columns[j][c] = d(c, leader j)
+  leaders.reserve(k);
+  columns.reserve(k);
+  std::vector<bool> is_leader(cache_count, false);
+  // min distance from each cache to the elected leader set so far
+  std::vector<double> to_leaders(cache_count, kInf);
+
+  net::HostId first = 0;
+  for (net::HostId c = 1; c < cache_count; ++c) {
+    if (server_distance[c] < server_distance[first]) first = c;
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    net::HostId leader = first;
+    if (j > 0) {
+      leader = cache_count;  // sentinel
+      double best = -kInf;
+      for (net::HostId c = 0; c < cache_count; ++c) {
+        if (is_leader[c]) continue;
+        if (to_leaders[c] > best) {
+          best = to_leaders[c];
+          leader = c;
+        }
+      }
+      ECGF_ASSERT(leader < cache_count);
+    }
+    is_leader[leader] = true;
+    columns.push_back(detail::probe_column(cache_count, leader, prober));
+    const auto& column = columns.back();
+    for (net::HostId c = 0; c < cache_count; ++c) {
+      to_leaders[c] = std::min(to_leaders[c], column[c]);
+    }
+    leaders.push_back(leader);
+  }
+
+  // Constrained assignment: nearest-first admission, each cache to the
+  // nearest leader with room. Total capacity k*cap >= n, so the scan over
+  // leaders in preference order always finds a slot.
+  const std::size_t cap =
+      detail::group_capacity(cache_count, k, options_.cap_slack);
+  std::vector<std::vector<std::uint32_t>> groups(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    groups[j].push_back(leaders[j]);
+  }
+
+  std::vector<net::HostId> pending;
+  pending.reserve(cache_count - k);
+  for (net::HostId c = 0; c < cache_count; ++c) {
+    if (!is_leader[c]) pending.push_back(c);
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [&](net::HostId a, net::HostId b) {
+                     if (to_leaders[a] != to_leaders[b]) {
+                       return to_leaders[a] < to_leaders[b];
+                     }
+                     return a < b;
+                   });
+
+  std::vector<std::pair<double, std::size_t>> preference(k);
+  for (net::HostId c : pending) {
+    for (std::size_t j = 0; j < k; ++j) preference[j] = {columns[j][c], j};
+    std::sort(preference.begin(), preference.end());
+    bool placed = false;
+    for (const auto& [dist, j] : preference) {
+      if (groups[j].size() < cap) {
+        groups[j].push_back(c);
+        placed = true;
+        break;
+      }
+    }
+    ECGF_ASSERT(placed);
+  }
+
+  core::GroupingResult out = detail::package(
+      cache_count, server, std::move(server_distance), leaders, columns,
+      std::move(groups), prober, probes_before);
+  prober.set_trace(nullptr);
+  return out;
+}
+
+}  // namespace ecgf::schemes

@@ -1,0 +1,52 @@
+// GEO — low-complexity distributed cooperative caching with geographic
+// constraints, adapted from arXiv:1704.04465 to this repo's measured-RTT
+// substrate (no coordinates are assumed; "geography" is probed RTT space).
+//
+// The source paper forms caching groups around geographically spread
+// leaders and constrains how many caches each leader may serve. Here:
+//
+//   1. Leader election — greedy k-center (Gonzalez farthest-point) on
+//      measured RTTs: the first leader is the cache closest to the origin
+//      server; each next leader is the cache farthest (max-min RTT) from
+//      every already-elected leader. This is the "geographically spread"
+//      constraint, and costs one probed column (n measurements) per leader.
+//   2. Constrained assignment — caches are admitted nearest-first (sorted
+//      by their distance to their closest leader) and each joins the
+//      nearest leader whose group is below the capacity
+//      ceil(cap_slack·n/k); full groups push a cache to its next-nearest
+//      leader. The cap is the paper's per-leader service constraint and
+//      guarantees no group exceeds ceil(cap_slack·n/k) members.
+//
+// Complexity O(n·k) probes + O(n·k log k) work — no K-means stage.
+// Determinism: all ties break on lowest id; probing order is fixed
+// ascending; thread-count independent by construction (no parallelism).
+#pragma once
+
+#include "core/scheme.h"
+
+namespace ecgf::schemes {
+
+struct GeoOptions {
+  /// Group capacity = ceil(cap_slack * n / k); must be >= 1.0. 1.0 =
+  /// perfectly balanced caps, larger values trade balance for locality.
+  double cap_slack = 1.0;
+};
+
+class GeoScheme final : public core::GroupingScheme {
+ public:
+  explicit GeoScheme(GeoOptions options = {});
+
+  std::string_view name() const override { return "GEO"; }
+  core::GroupingResult form_groups(std::size_t cache_count,
+                                   net::HostId server, std::size_t k,
+                                   net::Prober& prober, util::Rng& rng,
+                                   obs::TraceContext* trace = nullptr)
+      const override;
+
+  const GeoOptions& options() const { return options_; }
+
+ private:
+  GeoOptions options_;
+};
+
+}  // namespace ecgf::schemes

@@ -1,0 +1,242 @@
+#include "schemes/proximity_scheme.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/membership.h"
+#include "coords/position_map.h"
+#include "obs/profile.h"
+#include "schemes/detail.h"
+#include "util/expect.h"
+
+namespace ecgf::schemes {
+
+namespace {
+
+/// The shared placement rule: among the first `choices` bins with room in
+/// `preference` order (already sorted nearest-first), pick the least
+/// loaded; ties go to the earlier (nearer) preference. Returns the chosen
+/// bin index into `loads`.
+std::size_t place_two_choice(const std::vector<std::pair<double, std::size_t>>&
+                                 preference,
+                             const std::vector<std::size_t>& loads,
+                             std::size_t cap, std::size_t choices) {
+  std::size_t winner = loads.size();  // sentinel
+  std::size_t considered = 0;
+  for (const auto& [dist, bin] : preference) {
+    if (loads[bin] >= cap) continue;
+    if (winner == loads.size() || loads[bin] < loads[winner]) winner = bin;
+    if (++considered == choices) break;
+  }
+  ECGF_ASSERT(winner < loads.size());
+  return winner;
+}
+
+}  // namespace
+
+BalancedMaintainer::BalancedMaintainer(ProximityOptions options)
+    : options_(options) {
+  ECGF_EXPECTS(options_.choices >= 1);
+  ECGF_EXPECTS(options_.cap_slack >= 1.0);
+}
+
+std::uint32_t BalancedMaintainer::repair(core::MembershipManager& membership,
+                                         std::uint32_t cache) const {
+  const std::vector<double>& p = membership.position(cache);
+  const std::uint32_t current = membership.group_of(cache);
+
+  // The capacity the formation promised, recomputed over the live
+  // population: full groups are not repair targets.
+  std::size_t non_empty = 0;
+  for (std::uint32_t g = 0; g < membership.group_count(); ++g) {
+    if (membership.group_size(g) > 0) ++non_empty;
+  }
+  const std::size_t cap = detail::group_capacity(
+      membership.active_caches(), std::max<std::size_t>(1, non_empty),
+      options_.cap_slack);
+
+  // Candidate groups by distance from the cache to their centroid — the
+  // cache's own group scored WITHOUT the cache (singleton groups are
+  // skipped so lone caches merge into a nearby group instead of pinning).
+  struct Candidate {
+    double dist;
+    std::size_t load;  ///< members if joined from outside; stays if own
+    std::uint32_t group;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(membership.group_count());
+  for (std::uint32_t g = 0; g < membership.group_count(); ++g) {
+    const std::size_t size = membership.group_size(g);
+    double dist = 0.0;
+    std::size_t load = size;
+    if (g == current) {
+      if (size < 2) continue;
+      load = size - 1;
+      double sq = 0.0;
+      const std::vector<double> mean = membership.centroid_of(g);
+      const double scale =
+          static_cast<double>(size) / static_cast<double>(size - 1);
+      for (std::size_t d = 0; d < mean.size(); ++d) {
+        const double adjusted = scale * mean[d] - p[d] / static_cast<double>(size - 1);
+        const double diff = p[d] - adjusted;
+        sq += diff * diff;
+      }
+      dist = std::sqrt(sq);
+    } else {
+      if (size == 0 || size >= cap) continue;
+      double sq = 0.0;
+      const std::vector<double> mean = membership.centroid_of(g);
+      for (std::size_t d = 0; d < mean.size(); ++d) {
+        const double diff = p[d] - mean[d];
+        sq += diff * diff;
+      }
+      dist = std::sqrt(sq);
+    }
+    candidates.push_back({dist, load, g});
+  }
+  if (candidates.empty()) return current;
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.group < b.group;
+            });
+  const std::size_t considered = std::min(options_.choices, candidates.size());
+  std::size_t winner = 0;
+  for (std::size_t i = 1; i < considered; ++i) {
+    if (candidates[i].load < candidates[winner].load) winner = i;
+  }
+  const std::uint32_t target = candidates[winner].group;
+  membership.move_to(cache, target);
+  return target;
+}
+
+core::ReformPlan BalancedMaintainer::reform(
+    const std::vector<std::uint32_t>& active, const cluster::Points& points,
+    std::size_t k, const core::MembershipManager& /*membership*/,
+    const cluster::KMeansOptions& /*kmeans*/, util::Rng& rng) const {
+  // Re-run the formation-time placement over the drift-corrected vectors:
+  // k rng-sampled seeds, random arrival order, two-choice with the cap.
+  const std::size_t n = active.size();
+  ECGF_EXPECTS(k >= 1 && k <= n);
+  ECGF_EXPECTS(points.size() == n);
+
+  const std::vector<std::size_t> seeds = rng.sample_indices(n, k);
+  std::vector<bool> is_seed(n, false);
+  for (std::size_t s : seeds) is_seed[s] = true;
+
+  std::vector<std::size_t> arrival;
+  arrival.reserve(n - k);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_seed[i]) arrival.push_back(i);
+  }
+  rng.shuffle(arrival);
+
+  const std::size_t cap = detail::group_capacity(n, k, options_.cap_slack);
+  core::ReformPlan plan;
+  plan.partition.resize(k);
+  std::vector<std::size_t> loads(k, 0);
+  for (std::size_t j = 0; j < k; ++j) {
+    plan.partition[j].push_back(active[seeds[j]]);
+    loads[j] = 1;
+  }
+
+  std::vector<std::pair<double, std::size_t>> preference(k);
+  for (std::size_t i : arrival) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double sq = 0.0;
+      const auto& a = points[i];
+      const auto& b = points[seeds[j]];
+      for (std::size_t d = 0; d < a.size(); ++d) {
+        const double diff = a[d] - b[d];
+        sq += diff * diff;
+      }
+      preference[j] = {sq, j};
+    }
+    std::sort(preference.begin(), preference.end());
+    const std::size_t bin =
+        place_two_choice(preference, loads, cap, options_.choices);
+    plan.partition[bin].push_back(active[i]);
+    ++loads[bin];
+  }
+  for (auto& group : plan.partition) std::sort(group.begin(), group.end());
+  plan.iterations = 1;  // one placement pass, no iterative refinement
+  return plan;
+}
+
+ProximityScheme::ProximityScheme(ProximityOptions options)
+    : options_(options),
+      maintainer_(std::make_shared<BalancedMaintainer>(options)) {
+  ECGF_EXPECTS(options_.choices >= 1);
+  ECGF_EXPECTS(options_.cap_slack >= 1.0);
+}
+
+std::shared_ptr<const core::GroupMaintainer> ProximityScheme::maintainer()
+    const {
+  return maintainer_;
+}
+
+core::GroupingResult ProximityScheme::form_groups(
+    std::size_t cache_count, net::HostId server, std::size_t k,
+    net::Prober& prober, util::Rng& rng, obs::TraceContext* trace) const {
+  ECGF_PROF_SCOPE("schemes.proximity");
+  ECGF_EXPECTS(cache_count >= 2);
+  ECGF_EXPECTS(server == cache_count);
+  ECGF_EXPECTS(k >= 1 && k <= cache_count);
+
+  const std::size_t probes_before = prober.probes_sent();
+  prober.set_trace(trace);
+  std::vector<double> server_distance =
+      detail::probe_column(cache_count, server, prober);
+
+  // Bins: k uniformly sampled seed caches, one probed column each.
+  const std::vector<std::size_t> seed_indices =
+      rng.sample_indices(cache_count, k);
+  std::vector<net::HostId> seeds;
+  seeds.reserve(k);
+  for (std::size_t s : seed_indices) {
+    seeds.push_back(static_cast<net::HostId>(s));
+  }
+  std::vector<bool> is_seed(cache_count, false);
+  for (net::HostId s : seeds) is_seed[s] = true;
+  std::vector<std::vector<double>> columns;
+  columns.reserve(k);
+  for (net::HostId s : seeds) {
+    columns.push_back(detail::probe_column(cache_count, s, prober));
+  }
+
+  // Balls: the remaining caches in random arrival order.
+  std::vector<net::HostId> arrival;
+  arrival.reserve(cache_count - k);
+  for (net::HostId c = 0; c < cache_count; ++c) {
+    if (!is_seed[c]) arrival.push_back(c);
+  }
+  rng.shuffle(arrival);
+
+  const std::size_t cap =
+      detail::group_capacity(cache_count, k, options_.cap_slack);
+  std::vector<std::vector<std::uint32_t>> groups(k);
+  std::vector<std::size_t> loads(k, 0);
+  for (std::size_t j = 0; j < k; ++j) {
+    groups[j].push_back(seeds[j]);
+    loads[j] = 1;
+  }
+
+  std::vector<std::pair<double, std::size_t>> preference(k);
+  for (net::HostId c : arrival) {
+    for (std::size_t j = 0; j < k; ++j) preference[j] = {columns[j][c], j};
+    std::sort(preference.begin(), preference.end());
+    const std::size_t bin =
+        place_two_choice(preference, loads, cap, options_.choices);
+    groups[bin].push_back(c);
+    ++loads[bin];
+  }
+
+  core::GroupingResult out = detail::package(
+      cache_count, server, std::move(server_distance), seeds, columns,
+      std::move(groups), prober, probes_before);
+  prober.set_trace(nullptr);
+  return out;
+}
+
+}  // namespace ecgf::schemes

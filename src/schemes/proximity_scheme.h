@@ -1,0 +1,80 @@
+// PROX — proximity-aware balanced allocation, adapted from arXiv:1610.05961
+// (balanced allocations on cache networks) to measured-RTT formation.
+//
+// The source paper shows that placing each ball (request / cache) into the
+// lesser-loaded of a few *nearby* bins keeps the max load within a constant
+// factor of perfectly balanced while preserving locality. Here the balls
+// are caches and the bins are k seed caches sampled uniformly at random:
+//
+//   1. Seeds — k caches drawn via the scheme rng (uniform, without
+//      replacement); one probed column (n measurements) per seed.
+//   2. Two-choice placement — the remaining caches arrive in a random
+//      order; each considers its `choices` nearest seeds (by probed RTT)
+//      that still have room and joins the lesser-loaded one (ties: the
+//      nearer, then the lower seed index). A hard capacity
+//      ceil(cap_slack·n/k) bounds every group; when all preferred choices
+//      are full the cache falls to its nearest seed with room.
+//
+// The group-size cap is a structural invariant of this scheme, so its
+// maintenance capability is NOT the centroid default: BalancedMaintainer
+// repairs by two-choice between nearby group centroids and reforms by
+// re-running the placement over the drift-corrected vectors — K-means never
+// touches PROX groupings.
+//
+// Complexity O(n·k) probes + O(n·k log k) work. Determinism: all random
+// draws come from the passed rng; ties break on lowest id/index.
+#pragma once
+
+#include "core/maintainer.h"
+#include "core/scheme.h"
+
+namespace ecgf::schemes {
+
+struct ProximityOptions {
+  /// Power-of-d-choices: how many nearby bins compete per placement.
+  std::size_t choices = 2;
+  /// Group capacity = ceil(cap_slack * n / k); must be >= 1.0.
+  double cap_slack = 1.0;
+};
+
+/// PROX's maintenance capability (see core/maintainer.h): repair moves a
+/// drifted cache to the lesser-loaded of its `choices` nearest group
+/// centroids; reform re-runs the two-choice placement over the estimated
+/// vectors with rng-sampled seeds. Both preserve the capacity invariant.
+class BalancedMaintainer final : public core::GroupMaintainer {
+ public:
+  explicit BalancedMaintainer(ProximityOptions options);
+
+  std::string_view name() const override { return "balanced"; }
+  std::uint32_t repair(core::MembershipManager& membership,
+                       std::uint32_t cache) const override;
+  core::ReformPlan reform(const std::vector<std::uint32_t>& active,
+                          const cluster::Points& points, std::size_t k,
+                          const core::MembershipManager& membership,
+                          const cluster::KMeansOptions& kmeans,
+                          util::Rng& rng) const override;
+
+ private:
+  ProximityOptions options_;
+};
+
+class ProximityScheme final : public core::GroupingScheme {
+ public:
+  explicit ProximityScheme(ProximityOptions options = {});
+
+  std::string_view name() const override { return "PROX"; }
+  core::GroupingResult form_groups(std::size_t cache_count,
+                                   net::HostId server, std::size_t k,
+                                   net::Prober& prober, util::Rng& rng,
+                                   obs::TraceContext* trace = nullptr)
+      const override;
+  std::shared_ptr<const core::GroupMaintainer> maintainer() const override;
+
+  const ProximityOptions& options() const { return options_; }
+
+ private:
+  ProximityOptions options_;
+  std::shared_ptr<const core::GroupMaintainer> maintainer_;
+};
+
+}  // namespace ecgf::schemes

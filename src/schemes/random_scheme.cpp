@@ -1,0 +1,43 @@
+#include "schemes/random_scheme.h"
+
+#include <numeric>
+
+#include "obs/profile.h"
+#include "schemes/detail.h"
+#include "util/expect.h"
+
+namespace ecgf::schemes {
+
+core::GroupingResult RandomScheme::form_groups(std::size_t cache_count,
+                                               net::HostId server,
+                                               std::size_t k,
+                                               net::Prober& prober,
+                                               util::Rng& rng,
+                                               obs::TraceContext* trace) const {
+  ECGF_PROF_SCOPE("schemes.random");
+  ECGF_EXPECTS(cache_count >= 2);
+  ECGF_EXPECTS(server == cache_count);
+  ECGF_EXPECTS(k >= 1 && k <= cache_count);
+
+  const std::size_t probes_before = prober.probes_sent();
+  prober.set_trace(trace);
+  std::vector<double> server_distance =
+      detail::probe_column(cache_count, server, prober);
+
+  std::vector<std::uint32_t> order(cache_count);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.shuffle(order);
+  std::vector<std::vector<std::uint32_t>> groups(k);
+  for (std::size_t i = 0; i < cache_count; ++i) {
+    groups[i % k].push_back(order[i]);
+  }
+
+  core::GroupingResult out =
+      detail::package(cache_count, server, std::move(server_distance),
+                      /*anchors=*/{}, /*anchor_columns=*/{},
+                      std::move(groups), prober, probes_before);
+  prober.set_trace(nullptr);
+  return out;
+}
+
+}  // namespace ecgf::schemes

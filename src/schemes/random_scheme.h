@@ -1,0 +1,29 @@
+// RANDOM — the "no scheme" baseline, promoted from the test-only strawman
+// (core::random_partition) into a first-class registered scheme so every
+// bench and example can put it in a head-to-head table.
+//
+// Grouping: shuffle the caches, deal them round-robin into k groups —
+// identical logic to core::random_partition. Formation cost: the scheme
+// probes each cache's distance to the origin server once (n measurements),
+// the minimum metadata that makes the result maintainable by the ctl plane
+// (1-D positions over the {server} landmark set); the grouping decision
+// itself is probe-free, which is exactly the baseline's point.
+#pragma once
+
+#include "core/scheme.h"
+
+namespace ecgf::schemes {
+
+class RandomScheme final : public core::GroupingScheme {
+ public:
+  RandomScheme() = default;
+
+  std::string_view name() const override { return "RANDOM"; }
+  core::GroupingResult form_groups(std::size_t cache_count,
+                                   net::HostId server, std::size_t k,
+                                   net::Prober& prober, util::Rng& rng,
+                                   obs::TraceContext* trace = nullptr)
+      const override;
+};
+
+}  // namespace ecgf::schemes

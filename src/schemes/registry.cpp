@@ -1,0 +1,90 @@
+#include "schemes/registry.h"
+
+#include "schemes/geo_scheme.h"
+#include "schemes/proximity_scheme.h"
+#include "schemes/random_scheme.h"
+#include "schemes/ucc_scheme.h"
+#include "util/expect.h"
+
+namespace ecgf::schemes {
+
+const SchemeRegistry& SchemeRegistry::builtin() {
+  static const SchemeRegistry* kRegistry = [] {
+    auto* registry = new SchemeRegistry();
+    registry->add({"sl", "Selective Landmarks (paper §3)",
+                   [](const core::SchemeConfig& config) {
+                     return std::make_unique<core::SlScheme>(config);
+                   }});
+    registry->add({"sdsl", "Server-Distance-sensitive SL (paper §4)",
+                   [](const core::SchemeConfig& config) {
+                     return std::make_unique<core::SdslScheme>(config);
+                   }});
+    registry->add({"random", "shuffled round-robin baseline (no locality)",
+                   [](const core::SchemeConfig&) {
+                     return std::make_unique<RandomScheme>();
+                   }});
+    registry->add({"geo",
+                   "geographic-constraint leaders (arXiv:1704.04465)",
+                   [](const core::SchemeConfig&) {
+                     return std::make_unique<GeoScheme>();
+                   }});
+    registry->add({"proximity",
+                   "two-choice balanced allocation (arXiv:1610.05961)",
+                   [](const core::SchemeConfig&) {
+                     return std::make_unique<ProximityScheme>();
+                   }});
+    registry->add({"ucc",
+                   "user-centric clustered cooperation (arXiv:1710.08582)",
+                   [](const core::SchemeConfig&) {
+                     return std::make_unique<UccScheme>();
+                   }});
+    return registry;
+  }();
+  return *kRegistry;
+}
+
+void SchemeRegistry::add(SchemeEntry entry) {
+  ECGF_EXPECTS(!entry.name.empty());
+  ECGF_EXPECTS(entry.factory != nullptr);
+  ECGF_EXPECTS(find(entry.name) == nullptr);
+  entries_.push_back(std::move(entry));
+}
+
+bool SchemeRegistry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+std::unique_ptr<core::GroupingScheme> SchemeRegistry::make(
+    std::string_view name, const core::SchemeConfig& config) const {
+  const SchemeEntry* entry = find(name);
+  if (entry == nullptr) {
+    throw UnknownSchemeError("unknown scheme '" + std::string(name) +
+                             "'; registered schemes: " + names_joined());
+  }
+  return entry->factory(config);
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const SchemeEntry& entry : entries_) out.push_back(entry.name);
+  return out;
+}
+
+std::string SchemeRegistry::names_joined() const {
+  std::string out;
+  for (const SchemeEntry& entry : entries_) {
+    if (!out.empty()) out += ", ";
+    out += entry.name;
+  }
+  return out;
+}
+
+const SchemeEntry* SchemeRegistry::find(std::string_view name) const {
+  for (const SchemeEntry& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace ecgf::schemes

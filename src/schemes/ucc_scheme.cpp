@@ -1,0 +1,91 @@
+#include "schemes/ucc_scheme.h"
+
+#include <algorithm>
+
+#include "obs/profile.h"
+#include "schemes/detail.h"
+#include "util/expect.h"
+
+namespace ecgf::schemes {
+
+core::GroupingResult UccScheme::form_groups(std::size_t cache_count,
+                                            net::HostId server, std::size_t k,
+                                            net::Prober& prober,
+                                            util::Rng& /*rng*/,
+                                            obs::TraceContext* trace) const {
+  ECGF_PROF_SCOPE("schemes.ucc");
+  ECGF_EXPECTS(cache_count >= 2);
+  ECGF_EXPECTS(server == cache_count);
+  ECGF_EXPECTS(k >= 1 && k <= cache_count);
+
+  const std::size_t probes_before = prober.probes_sent();
+  prober.set_trace(trace);
+  std::vector<double> server_distance =
+      detail::probe_column(cache_count, server, prober);
+
+  std::vector<net::HostId> anchors;
+  std::vector<std::vector<double>> columns;
+  anchors.reserve(k);
+  columns.reserve(k);
+  std::vector<std::vector<std::uint32_t>> groups;
+  groups.reserve(k);
+  std::vector<bool> assigned(cache_count, false);
+  std::size_t unassigned = cache_count;
+
+  for (std::size_t remaining_groups = k; remaining_groups > 0;
+       --remaining_groups) {
+    // Next head: the unassigned cache nearest the origin server.
+    net::HostId anchor = cache_count;  // sentinel
+    for (net::HostId c = 0; c < cache_count; ++c) {
+      if (assigned[c]) continue;
+      if (anchor == cache_count ||
+          server_distance[c] < server_distance[anchor]) {
+        anchor = c;
+      }
+    }
+    ECGF_ASSERT(anchor < cache_count);
+    anchors.push_back(anchor);
+    columns.push_back(detail::probe_column(cache_count, anchor, prober));
+    const auto& column = columns.back();
+    assigned[anchor] = true;
+    --unassigned;
+
+    // The cluster's share of what is left (head included).
+    const std::size_t share =
+        detail::group_capacity(unassigned + 1, remaining_groups, 1.0);
+
+    std::vector<net::HostId> candidates;
+    candidates.reserve(unassigned);
+    for (net::HostId c = 0; c < cache_count; ++c) {
+      if (!assigned[c]) candidates.push_back(c);
+    }
+    const std::size_t take = std::min(share - 1, candidates.size());
+    std::partial_sort(candidates.begin(), candidates.begin() + take,
+                      candidates.end(),
+                      [&](net::HostId a, net::HostId b) {
+                        if (column[a] != column[b]) {
+                          return column[a] < column[b];
+                        }
+                        return a < b;
+                      });
+
+    std::vector<std::uint32_t> group;
+    group.reserve(take + 1);
+    group.push_back(anchor);
+    for (std::size_t i = 0; i < take; ++i) {
+      group.push_back(candidates[i]);
+      assigned[candidates[i]] = true;
+      --unassigned;
+    }
+    groups.push_back(std::move(group));
+  }
+  ECGF_ASSERT(unassigned == 0);
+
+  core::GroupingResult out = detail::package(
+      cache_count, server, std::move(server_distance), anchors, columns,
+      std::move(groups), prober, probes_before);
+  prober.set_trace(nullptr);
+  return out;
+}
+
+}  // namespace ecgf::schemes

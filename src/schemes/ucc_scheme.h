@@ -1,0 +1,38 @@
+// UCC — user-centric clustered cooperation, adapted from arXiv:1710.08582
+// (clustered device cooperation centred on where demand actually lands) to
+// measured-RTT formation.
+//
+// The source paper clusters cooperating caches around the nodes that face
+// user demand most directly. In this substrate every cache's demand path
+// ends at the origin server, so the demand-facing proxy is proximity to
+// the origin: the scheme repeatedly crowns the unassigned cache nearest
+// the origin server as the next cluster head ("the user-centric anchor"),
+// probes one column against it, and pulls in its nearest unassigned
+// neighbours until the cluster reaches its share ceil(remaining / groups
+// left) of the remaining population. Later heads therefore sit farther
+// from the origin and serve the periphery — the same centre-outwards
+// growth the paper's clusters exhibit.
+//
+// Complexity O(n·k) probes + O(n·k log n) work — no K-means. The anchor
+// column is probed against ALL caches (not just the still-unassigned) so
+// the published position map is complete and the ctl plane can maintain
+// the grouping like any other. Ties break on lowest id.
+#pragma once
+
+#include "core/scheme.h"
+
+namespace ecgf::schemes {
+
+class UccScheme final : public core::GroupingScheme {
+ public:
+  UccScheme() = default;
+
+  std::string_view name() const override { return "UCC"; }
+  core::GroupingResult form_groups(std::size_t cache_count,
+                                   net::HostId server, std::size_t k,
+                                   net::Prober& prober, util::Rng& rng,
+                                   obs::TraceContext* trace = nullptr)
+      const override;
+};
+
+}  // namespace ecgf::schemes
